@@ -1,0 +1,59 @@
+#ifndef TREL_BENCH_BENCH_UTIL_H_
+#define TREL_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <string>
+#include <vector>
+
+namespace trel {
+namespace bench_util {
+
+// Minimal fixed-width table printer so every figure/table binary emits a
+// uniform, diff-friendly report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(int64_t value) { return std::to_string(value); }
+
+inline std::string Fmt(double value, int decimals = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace bench_util
+}  // namespace trel
+
+#endif  // TREL_BENCH_BENCH_UTIL_H_

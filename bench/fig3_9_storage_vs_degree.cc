@@ -1,0 +1,52 @@
+// Figure 3.9: storage required for a 1000-node random graph as a function
+// of average out-degree, as a multiple of the original graph's storage.
+//
+// Paper's reported shape: the full transitive closure grows steeply up to
+// degree ~4 (most of the ~495,000 possible pairs present) and then
+// flattens/dips relative to the growing graph; the compressed closure
+// rises a little at low degree and then *decreases*, eventually dropping
+// below the size of the original graph itself.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/compressed_closure.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+
+int main() {
+  using namespace trel;
+  using bench_util::Fmt;
+
+  const NodeId kNodes = 1000;
+  const int kSeeds = 3;
+
+  std::printf("Figure 3.9: storage vs average degree (n=%d, %d seeds)\n",
+              kNodes, kSeeds);
+  std::printf("units: graph=arcs, closure=pairs, compressed=2*intervals\n\n");
+
+  bench_util::Table table({"degree", "graph", "closure", "compressed",
+                           "closure/graph", "compressed/graph"});
+  for (int degree : {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 30, 50}) {
+    double graph_units = 0, closure_units = 0, compressed_units = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Digraph graph =
+          RandomDag(kNodes, degree, 1000 + seed);
+      ReachabilityMatrix matrix(graph);
+      auto closure = CompressedClosure::Build(graph);
+      if (!closure.ok()) return 1;
+      graph_units += static_cast<double>(graph.NumArcs());
+      closure_units += static_cast<double>(matrix.NumClosurePairs());
+      compressed_units += static_cast<double>(closure->StorageUnits());
+    }
+    graph_units /= kSeeds;
+    closure_units /= kSeeds;
+    compressed_units /= kSeeds;
+    table.AddRow({Fmt(static_cast<int64_t>(degree)), Fmt(graph_units, 0),
+                  Fmt(closure_units, 0), Fmt(compressed_units, 0),
+                  Fmt(closure_units / graph_units),
+                  Fmt(compressed_units / graph_units)});
+  }
+  table.Print();
+  return 0;
+}

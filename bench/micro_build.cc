@@ -1,0 +1,57 @@
+// Construction-cost microbenchmarks: "the complexity of computing the
+// compressed transitive closure of a graph is the same as the computation
+// of its transitive closure ... compression is a one-time activity."
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/chain_cover.h"
+#include "core/compressed_closure.h"
+#include "core/tree_cover.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+
+namespace trel {
+namespace {
+
+void BM_BuildCompressedOptimal(benchmark::State& state) {
+  Digraph graph = RandomDag(static_cast<NodeId>(state.range(0)), 2.0, 8100);
+  for (auto _ : state) {
+    auto closure = CompressedClosure::Build(graph);
+    benchmark::DoNotOptimize(closure);
+  }
+}
+BENCHMARK(BM_BuildCompressedOptimal)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_BuildCompressedDfsCover(benchmark::State& state) {
+  Digraph graph = RandomDag(static_cast<NodeId>(state.range(0)), 2.0, 8100);
+  ClosureOptions options;
+  options.strategy = TreeCoverStrategy::kDfs;
+  for (auto _ : state) {
+    auto closure = CompressedClosure::Build(graph, options);
+    benchmark::DoNotOptimize(closure);
+  }
+}
+BENCHMARK(BM_BuildCompressedDfsCover)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_BuildFullClosureMatrix(benchmark::State& state) {
+  Digraph graph = RandomDag(static_cast<NodeId>(state.range(0)), 2.0, 8100);
+  for (auto _ : state) {
+    ReachabilityMatrix matrix(graph);
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+BENCHMARK(BM_BuildFullClosureMatrix)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_BuildChainCoverGreedy(benchmark::State& state) {
+  Digraph graph = RandomDag(static_cast<NodeId>(state.range(0)), 2.0, 8100);
+  for (auto _ : state) {
+    auto cover = ChainCover::Build(graph, ChainCover::Method::kGreedy);
+    benchmark::DoNotOptimize(cover);
+  }
+}
+BENCHMARK(BM_BuildChainCoverGreedy)->Arg(500)->Arg(1000);
+
+}  // namespace
+}  // namespace trel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Query-latency microbenchmarks: the paper's motivating comparison of
+// "a lookup instead of a graph traversal".  google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/chain_cover.h"
+#include "baselines/full_closure.h"
+#include "common/random.h"
+#include "core/compressed_closure.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+
+namespace trel {
+namespace {
+
+Digraph BenchGraph(int64_t nodes, double degree) {
+  return RandomDag(static_cast<NodeId>(nodes), degree, 8000);
+}
+
+// Args: {nodes, degree}.  Degree matters a lot for the DFS baseline and
+// barely at all for the index lookups — which is the point.
+
+void BM_ReachesCompressed(benchmark::State& state) {
+  Digraph graph = BenchGraph(state.range(0), static_cast<double>(state.range(1)));
+  auto closure = CompressedClosure::Build(graph);
+  Random rng(1);
+  const NodeId n = graph.NumNodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(closure->Reaches(u, v));
+  }
+}
+BENCHMARK(BM_ReachesCompressed)->Args({1000, 2})->Args({1000, 8})->Args({10000, 2});
+
+void BM_ReachesFullClosure(benchmark::State& state) {
+  Digraph graph = BenchGraph(state.range(0), 2.0);
+  FullClosure closure(graph);
+  Random rng(1);
+  const NodeId n = graph.NumNodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(closure.Reaches(u, v));
+  }
+}
+BENCHMARK(BM_ReachesFullClosure)->Arg(1000)->Arg(10000);
+
+void BM_ReachesChainCover(benchmark::State& state) {
+  Digraph graph = BenchGraph(state.range(0), 2.0);
+  auto cover = ChainCover::Build(graph, ChainCover::Method::kGreedy);
+  Random rng(1);
+  const NodeId n = graph.NumNodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(cover->Reaches(u, v));
+  }
+}
+BENCHMARK(BM_ReachesChainCover)->Arg(1000);
+
+void BM_ReachesDfsTraversal(benchmark::State& state) {
+  Digraph graph = BenchGraph(state.range(0), static_cast<double>(state.range(1)));
+  Random rng(1);
+  const NodeId n = graph.NumNodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(DfsReaches(graph, u, v));
+  }
+}
+BENCHMARK(BM_ReachesDfsTraversal)->Args({1000, 2})->Args({1000, 8})->Args({10000, 2});
+
+void BM_SuccessorsCompressed(benchmark::State& state) {
+  Digraph graph = BenchGraph(state.range(0), 2.0);
+  auto closure = CompressedClosure::Build(graph);
+  Random rng(1);
+  const NodeId n = graph.NumNodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(closure->Successors(u));
+  }
+}
+BENCHMARK(BM_SuccessorsCompressed)->Arg(1000);
+
+void BM_SuccessorsDfs(benchmark::State& state) {
+  Digraph graph = BenchGraph(state.range(0), 2.0);
+  Random rng(1);
+  const NodeId n = graph.NumNodes();
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(DfsReachableSet(graph, u));
+  }
+}
+BENCHMARK(BM_SuccessorsDfs)->Arg(1000);
+
+}  // namespace
+}  // namespace trel
+
+BENCHMARK_MAIN();

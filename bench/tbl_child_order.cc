@@ -1,0 +1,55 @@
+// Section 3.2 open problem: adjacent-interval merging is order-dependent
+// and "fixing an optimum ordering of node numbers to maximize the
+// benefits of interval merging appears to be a combinatorial problem".
+// This table measures the sibling-ordering heuristics the library offers
+// (merged interval counts; lower is better).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/compressed_closure.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace trel;
+  using bench_util::Fmt;
+
+  const int kSeeds = 3;
+  std::printf(
+      "Sibling-order heuristics for adjacent-interval merging "
+      "(merged interval counts, %d seeds)\n\n",
+      kSeeds);
+  bench_util::Table table({"nodes", "degree", "unmerged", "insertion",
+                           "subtree_asc", "subtree_desc", "node_id"});
+  const ChildOrder orders[] = {
+      ChildOrder::kInsertion, ChildOrder::kBySubtreeSizeAsc,
+      ChildOrder::kBySubtreeSizeDesc, ChildOrder::kByNodeId};
+
+  for (NodeId n : {300, 1000}) {
+    for (double degree : {2.0, 4.0, 8.0}) {
+      int64_t unmerged = 0;
+      int64_t merged[4] = {0, 0, 0, 0};
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        Digraph graph = RandomDag(n, degree, 9500 + seed);
+        ClosureOptions plain;
+        auto base = CompressedClosure::Build(graph, plain);
+        if (!base.ok()) return 1;
+        unmerged += base->TotalIntervals();
+        for (int o = 0; o < 4; ++o) {
+          ClosureOptions options;
+          options.child_order = orders[o];
+          options.labeling.merge_adjacent = true;
+          auto closure = CompressedClosure::Build(graph, options);
+          if (!closure.ok()) return 1;
+          merged[o] += closure->TotalIntervals();
+        }
+      }
+      table.AddRow({Fmt(static_cast<int64_t>(n)), Fmt(degree, 1),
+                    Fmt(unmerged / kSeeds), Fmt(merged[0] / kSeeds),
+                    Fmt(merged[1] / kSeeds), Fmt(merged[2] / kSeeds),
+                    Fmt(merged[3] / kSeeds)});
+    }
+  }
+  table.Print();
+  return 0;
+}

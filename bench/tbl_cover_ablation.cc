@@ -1,0 +1,48 @@
+// Ablation: how much does Alg1's optimal tree cover buy over cheaper
+// cover heuristics (DFS discovery, first parent, random parent)?  This
+// isolates the paper's Theorem 1 contribution from the generic idea of
+// interval labeling.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/compressed_closure.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace trel;
+  using bench_util::Fmt;
+
+  const int kSeeds = 3;
+  std::printf("Tree-cover strategy ablation (interval counts, %d seeds)\n\n",
+              kSeeds);
+  bench_util::Table table({"nodes", "degree", "optimal", "dfs",
+                           "first_parent", "random", "worst/optimal"});
+  for (NodeId n : {200, 500, 1000}) {
+    for (double degree : {1.0, 2.0, 4.0, 8.0}) {
+      int64_t totals[4] = {0, 0, 0, 0};
+      const TreeCoverStrategy strategies[4] = {
+          TreeCoverStrategy::kOptimal, TreeCoverStrategy::kDfs,
+          TreeCoverStrategy::kFirstParent, TreeCoverStrategy::kRandom};
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        Digraph graph = RandomDag(n, degree, 9000 + seed);
+        for (int s = 0; s < 4; ++s) {
+          ClosureOptions options;
+          options.strategy = strategies[s];
+          options.seed = seed;
+          auto closure = CompressedClosure::Build(graph, options);
+          if (!closure.ok()) return 1;
+          totals[s] += closure->TotalIntervals();
+        }
+      }
+      int64_t worst = std::max({totals[1], totals[2], totals[3]});
+      table.AddRow({Fmt(static_cast<int64_t>(n)), Fmt(degree, 1),
+                    Fmt(totals[0] / kSeeds), Fmt(totals[1] / kSeeds),
+                    Fmt(totals[2] / kSeeds), Fmt(totals[3] / kSeeds),
+                    Fmt(static_cast<double>(worst) /
+                        static_cast<double>(totals[0]))});
+    }
+  }
+  table.Print();
+  return 0;
+}

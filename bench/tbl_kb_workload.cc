@@ -1,0 +1,170 @@
+// End-to-end knowledge-representation workload (the paper's Section 2.1
+// motivation): a growing concept hierarchy serving a mix of subsumption
+// queries and updates.  Compares three management strategies:
+//   dynamic   — compressed closure maintained incrementally (this paper),
+//   rebuild   — compressed closure recomputed after every update batch,
+//   traverse  — no materialization; every query is a DFS ("simple pointer
+//               chasing in the underlying data structure, the current
+//               approach").
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/compressed_closure.h"
+#include "core/dynamic_closure.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+
+namespace {
+
+using namespace trel;
+
+struct WorkloadOp {
+  enum Kind { kQuery, kAddConcept, kAddIsA } kind;
+  NodeId a;
+  NodeId b;
+};
+
+// A session: concepts are added under random parents, extra IS-A links
+// appear, and subsumption queries dominate (100 queries : 1 update).
+std::vector<WorkloadOp> MakeWorkload(NodeId initial_nodes, int num_ops,
+                                     uint64_t seed) {
+  Random rng(seed);
+  std::vector<WorkloadOp> ops;
+  ops.reserve(static_cast<size_t>(num_ops));
+  NodeId nodes = initial_nodes;
+  for (int i = 0; i < num_ops; ++i) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 98) {
+      ops.push_back({WorkloadOp::kQuery,
+                     static_cast<NodeId>(rng.Uniform(nodes)),
+                     static_cast<NodeId>(rng.Uniform(nodes))});
+    } else if (dice == 98) {
+      ops.push_back({WorkloadOp::kAddConcept,
+                     static_cast<NodeId>(rng.Uniform(nodes)), kNoNode});
+      ++nodes;
+    } else {
+      ops.push_back({WorkloadOp::kAddIsA,
+                     static_cast<NodeId>(rng.Uniform(nodes)),
+                     static_cast<NodeId>(rng.Uniform(nodes))});
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  using bench_util::Fmt;
+
+  const NodeId kInitial = 2000;
+  const int kOps = 200000;
+
+  std::printf(
+      "KR workload: %d initial concepts, %d ops (98%% subsumption queries, "
+      "2%% updates)\n\n",
+      kInitial, kOps);
+  bench_util::Table table({"strategy", "total_ms", "us/op"});
+
+  Digraph base = RandomDag(kInitial, 2.0, 12000);
+  std::vector<WorkloadOp> ops = MakeWorkload(kInitial, kOps, 13);
+
+  // Strategy 1: incremental dynamic closure.
+  {
+    auto closure = DynamicClosure::Build(base);
+    if (!closure.ok()) return 1;
+    Stopwatch watch;
+    int64_t positives = 0;
+    for (const WorkloadOp& op : ops) {
+      switch (op.kind) {
+        case WorkloadOp::kQuery:
+          positives += closure->Reaches(op.a, op.b) ? 1 : 0;
+          break;
+        case WorkloadOp::kAddConcept:
+          if (!closure->AddLeafUnder(op.a).ok()) return 1;
+          break;
+        case WorkloadOp::kAddIsA:
+          (void)closure->AddArc(op.a, op.b);  // Cycles refused, fine.
+          break;
+      }
+    }
+    const double ms = watch.ElapsedSeconds() * 1000;
+    table.AddRow({"dynamic (this paper)", Fmt(ms, 1),
+                  Fmt(1000.0 * ms / kOps, 3)});
+    (void)positives;
+  }
+
+  // Strategy 2: rebuild the static closure after every update.
+  {
+    Digraph graph = base;
+    auto closure = CompressedClosure::Build(graph);
+    if (!closure.ok()) return 1;
+    Stopwatch watch;
+    for (const WorkloadOp& op : ops) {
+      switch (op.kind) {
+        case WorkloadOp::kQuery:
+          (void)closure->Reaches(op.a % graph.NumNodes(),
+                                 op.b % graph.NumNodes());
+          break;
+        case WorkloadOp::kAddConcept: {
+          const NodeId node = graph.AddNode();
+          if (!graph.AddArc(op.a, node).ok()) return 1;
+          auto rebuilt = CompressedClosure::Build(graph);
+          if (!rebuilt.ok()) return 1;
+          closure = std::move(rebuilt);
+          break;
+        }
+        case WorkloadOp::kAddIsA: {
+          if (!graph.AddArc(op.a, op.b).ok()) break;  // Duplicate.
+          auto rebuilt = CompressedClosure::Build(graph);
+          if (!rebuilt.ok()) {
+            // Introduced a cycle: revert.
+            if (!graph.RemoveArc(op.a, op.b).ok()) return 1;
+            break;
+          }
+          closure = std::move(rebuilt);
+          break;
+        }
+      }
+    }
+    const double ms = watch.ElapsedSeconds() * 1000;
+    table.AddRow({"rebuild per update", Fmt(ms, 1),
+                  Fmt(1000.0 * ms / kOps, 3)});
+  }
+
+  // Strategy 3: no materialization, DFS per query.
+  {
+    Digraph graph = base;
+    Stopwatch watch;
+    for (const WorkloadOp& op : ops) {
+      switch (op.kind) {
+        case WorkloadOp::kQuery:
+          (void)DfsReaches(graph, op.a % graph.NumNodes(),
+                           op.b % graph.NumNodes());
+          break;
+        case WorkloadOp::kAddConcept: {
+          const NodeId node = graph.AddNode();
+          if (!graph.AddArc(op.a, node).ok()) return 1;
+          break;
+        }
+        case WorkloadOp::kAddIsA:
+          if (graph.HasArc(op.a, op.b) || op.a == op.b) break;
+          if (DfsReaches(graph, op.b, op.a)) break;  // Would be a cycle.
+          if (!graph.AddArc(op.a, op.b).ok()) return 1;
+          break;
+      }
+    }
+    const double ms = watch.ElapsedSeconds() * 1000;
+    table.AddRow({"DFS per query", Fmt(ms, 1), Fmt(1000.0 * ms / kOps, 3)});
+  }
+
+  table.Print();
+  std::printf(
+      "\nNote: the three strategies see slightly different graphs (each "
+      "applies only the updates it can express); the comparison is about "
+      "per-operation cost, not exact result equality.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Section 3.3 (end): "We finally performed experiments in all cases to
+// assess the benefits of interval merging.  We found the additional
+// compression obtained was rather small, usually less than 5%."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/compressed_closure.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace trel;
+  using bench_util::Fmt;
+
+  std::printf("Adjacent-interval merging benefit (paper: usually <5%%)\n\n");
+  bench_util::Table table(
+      {"nodes", "degree", "intervals", "merged", "reduction%"});
+  for (NodeId n : {200, 500, 1000}) {
+    for (double degree : {1.0, 2.0, 4.0, 8.0}) {
+      int64_t plain_total = 0, merged_total = 0;
+      for (int seed = 0; seed < 3; ++seed) {
+        Digraph graph = RandomDag(n, degree, 4000 + seed);
+        ClosureOptions plain_options;
+        auto plain = CompressedClosure::Build(graph, plain_options);
+        ClosureOptions merged_options;
+        merged_options.labeling.merge_adjacent = true;
+        auto merged = CompressedClosure::Build(graph, merged_options);
+        if (!plain.ok() || !merged.ok()) return 1;
+        plain_total += plain->TotalIntervals();
+        merged_total += merged->TotalIntervals();
+      }
+      table.AddRow(
+          {Fmt(static_cast<int64_t>(n)), Fmt(degree, 1), Fmt(plain_total),
+           Fmt(merged_total),
+           Fmt(100.0 * (plain_total - merged_total) / plain_total)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Section 3.2 worst case (Figures 3.6 / 3.7): a complete bipartite graph
+// costs Theta(n^2/4) intervals, but inserting a single intermediary node
+// carrying the same reachability collapses the compressed closure to
+// O(n).  The paper argues such "meaningful bundles" are what hierarchy
+// designers create anyway.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/compressed_closure.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace trel;
+  using bench_util::Fmt;
+
+  std::printf(
+      "Worst case: complete bipartite m->m vs the intermediary fix\n\n");
+  bench_util::Table table({"m", "nodes", "bipartite_ivls", "routed_ivls",
+                           "bipartite/routed"});
+  for (NodeId m : {4, 8, 16, 32, 64, 128}) {
+    auto dense = CompressedClosure::Build(CompleteBipartite(m, m));
+    auto routed = CompressedClosure::Build(BipartiteWithIntermediary(m, m));
+    if (!dense.ok() || !routed.ok()) return 1;
+    table.AddRow({Fmt(static_cast<int64_t>(m)),
+                  Fmt(static_cast<int64_t>(2 * m)),
+                  Fmt(dense->TotalIntervals()), Fmt(routed->TotalIntervals()),
+                  Fmt(static_cast<double>(dense->TotalIntervals()) /
+                      static_cast<double>(routed->TotalIntervals()))});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reachability over a cyclic relation: a call graph with mutual recursion.
+// The paper handles cycles "by collapsing strongly connected components
+// into one node"; TransitiveClosureIndex does exactly that.
+//
+//   ./build/examples/cyclic_call_graph
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/closure_index.h"
+#include "graph/digraph.h"
+
+int main() {
+  using trel::NodeId;
+
+  const std::vector<std::string> names = {
+      "main", "parse", "eval", "apply", "gc", "print", "error"};
+  trel::Digraph calls(static_cast<NodeId>(names.size()));
+  // main -> parse -> eval <-> apply (mutual recursion), eval -> gc,
+  // main -> print, apply -> error.
+  for (auto [from, to] :
+       {std::pair<NodeId, NodeId>{0, 1}, {1, 2}, {2, 3}, {3, 2}, {2, 4},
+        {0, 5}, {3, 6}}) {
+    auto status = calls.AddArc(from, to);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+  }
+
+  auto index = trel::TransitiveClosureIndex::Build(calls);
+  if (!index.ok()) {
+    std::cerr << index.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "functions: " << index->NumNodes()
+            << ", strongly connected components: " << index->NumComponents()
+            << "\n\n";
+
+  auto show = [&](NodeId from, NodeId to) {
+    std::cout << names[from] << " can call " << names[to] << "? "
+              << (index->Reaches(from, to) ? "yes" : "no") << "\n";
+  };
+  show(0, 6);  // main -> error (through the recursion).
+  show(2, 3);  // eval -> apply.
+  show(3, 2);  // apply -> eval (back edge inside the SCC).
+  show(4, 0);  // gc -> main.
+  show(5, 2);  // print -> eval.
+
+  std::cout << "\neverything reachable from eval:";
+  for (NodeId v : index->Successors(2)) std::cout << " " << names[v];
+  std::cout << "\n";
+  return 0;
+}

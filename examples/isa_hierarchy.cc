@@ -1,0 +1,89 @@
+// Knowledge-representation scenario from Section 2.1 of the paper: an
+// IS-A concept hierarchy with subsumption queries, property inheritance,
+// and the Section 4.1 constant-time hierarchy refinement.
+//
+//   ./build/examples/isa_hierarchy
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kb/taxonomy.h"
+
+namespace {
+
+void Must(const trel::Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T MustValue(trel::StatusOr<T> result) {
+  Must(result.status().ok() ? trel::Status::Ok() : result.status());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  trel::Taxonomy kb;
+
+  // A slice of an aircraft parts/concepts catalogue ("an airplane ... may
+  // have close to 100,000 different kinds of parts").
+  MustValue(kb.AddConcept("part"));
+  MustValue(kb.AddConcept("engine-part", {"part"}));
+  MustValue(kb.AddConcept("airframe-part", {"part"}));
+  MustValue(kb.AddConcept("turbine-blade", {"engine-part"}));
+  MustValue(kb.AddConcept("fuel-pump", {"engine-part"}));
+  MustValue(kb.AddConcept("wing-spar", {"airframe-part"}));
+  MustValue(kb.AddConcept("fastener", {"airframe-part", "engine-part"}));
+  MustValue(kb.AddConcept("titanium-fastener", {"fastener"}));
+
+  std::cout << std::boolalpha;
+  std::cout << "part subsumes titanium-fastener?     "
+            << kb.Subsumes("part", "titanium-fastener") << "\n";
+  std::cout << "engine-part subsumes wing-spar?      "
+            << kb.Subsumes("engine-part", "wing-spar") << "\n";
+  std::cout << "engine-part subsumes titanium-fast.? "
+            << kb.Subsumes("engine-part", "titanium-fastener") << "\n\n";
+
+  // Inheritable properties: the nearest definition wins.
+  Must(kb.SetProperty("part", "inspection-interval", "5y"));
+  Must(kb.SetProperty("engine-part", "inspection-interval", "1y"));
+  Must(kb.SetProperty("turbine-blade", "inspection-interval", "100h"));
+  for (const std::string& concept_name :
+       {"wing-spar", "fuel-pump", "turbine-blade", "titanium-fastener"}) {
+    std::cout << concept_name << " inspection interval: "
+              << MustValue(kb.LookupProperty(concept_name,
+                                             "inspection-interval"))
+              << "\n";
+  }
+
+  // Least common subsumer — the paper lists this among the lattice
+  // operations the compressed closure accelerates.
+  auto lcs = MustValue(kb.LeastCommonSubsumers("turbine-blade", "fastener"));
+  std::cout << "\nLCS(turbine-blade, fastener):";
+  for (const std::string& name : lcs) std::cout << " " << name;
+  std::cout << "\n\n";
+
+  // Section 4.1 refinement: interpose "rotating-part" between engine-part
+  // and turbine-blade without touching any other node's labels.
+  MustValue(kb.RefineAbove("rotating-part", "turbine-blade", {"engine-part"}));
+  std::cout << "after refinement:\n";
+  std::cout << "  rotating-part subsumes turbine-blade? "
+            << kb.Subsumes("rotating-part", "turbine-blade") << "\n";
+  std::cout << "  engine-part subsumes rotating-part?   "
+            << kb.Subsumes("engine-part", "rotating-part") << "\n";
+  std::cout << "  part subsumes rotating-part?          "
+            << kb.Subsumes("part", "rotating-part") << "\n";
+  std::cout << "  airframe-part subsumes rotating-part? "
+            << kb.Subsumes("airframe-part", "rotating-part") << "\n";
+
+  std::cout << "\nconcepts: " << kb.NumConcepts()
+            << ", closure intervals: " << kb.closure().TotalIntervals()
+            << ", renumbers so far: " << kb.closure().stats().renumbers
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "baselines/chain_cover.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/reachability.h"
+#include "graph/topology.h"
+
+namespace trel {
+namespace {
+
+// Hopcroft–Karp maximum bipartite matching.  Left and right vertex sets
+// are both the node set; adj[u] lists right vertices matchable to u.
+// Returns match_right[v] = left partner of v (or -1).
+std::vector<int> HopcroftKarp(int n, const std::vector<std::vector<int>>& adj) {
+  constexpr int kInf = 1 << 30;
+  std::vector<int> match_left(n, -1), match_right(n, -1), dist(n);
+
+  auto bfs = [&]() {
+    std::queue<int> queue;
+    bool found_augmenting = false;
+    for (int u = 0; u < n; ++u) {
+      if (match_left[u] == -1) {
+        dist[u] = 0;
+        queue.push(u);
+      } else {
+        dist[u] = kInf;
+      }
+    }
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (int v : adj[u]) {
+        const int w = match_right[v];
+        if (w == -1) {
+          found_augmenting = true;
+        } else if (dist[w] == kInf) {
+          dist[w] = dist[u] + 1;
+          queue.push(w);
+        }
+      }
+    }
+    return found_augmenting;
+  };
+
+  std::function<bool(int)> dfs = [&](int u) {
+    for (int v : adj[u]) {
+      const int w = match_right[v];
+      if (w == -1 || (dist[w] == dist[u] + 1 && dfs(w))) {
+        match_left[u] = v;
+        match_right[v] = u;
+        return true;
+      }
+    }
+    dist[u] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (int u = 0; u < n; ++u) {
+      if (match_left[u] == -1) dfs(u);
+    }
+  }
+  return match_right;
+}
+
+}  // namespace
+
+StatusOr<ChainCover> ChainCover::Build(const Digraph& graph, Method method) {
+  TREL_ASSIGN_OR_RETURN(std::vector<NodeId> topo, TopologicalOrder(graph));
+  const NodeId n = graph.NumNodes();
+  ReachabilityMatrix matrix(graph);
+
+  ChainCover cover;
+  cover.chain_of_.assign(n, kNone);
+  cover.seq_of_.assign(n, kNone);
+
+  if (method == Method::kGreedy) {
+    // First-fit decreasing over the topological order; chain_tails[c] is
+    // the current last node of chain c.
+    std::vector<NodeId> chain_tails;
+    std::vector<int> chain_lengths;
+    for (NodeId v : topo) {
+      int chosen = kNone;
+      for (int c = 0; c < static_cast<int>(chain_tails.size()); ++c) {
+        if (matrix.Reaches(chain_tails[c], v)) {
+          chosen = c;
+          break;
+        }
+      }
+      if (chosen == kNone) {
+        chosen = static_cast<int>(chain_tails.size());
+        chain_tails.push_back(v);
+        chain_lengths.push_back(0);
+      } else {
+        chain_tails[chosen] = v;
+      }
+      cover.chain_of_[v] = chosen;
+      cover.seq_of_[v] = chain_lengths[chosen]++;
+    }
+    cover.num_chains_ = static_cast<int>(chain_tails.size());
+  } else {
+    // Dilworth via maximum matching on the strict closure relation.
+    std::vector<std::vector<int>> adj(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u != v && matrix.Reaches(u, v)) adj[u].push_back(v);
+      }
+    }
+    std::vector<int> match_right = HopcroftKarp(n, adj);
+    // Invert: next_in_chain[u] = matched successor.
+    std::vector<int> next(n, kNone);
+    std::vector<bool> has_pred(n, false);
+    for (int v = 0; v < n; ++v) {
+      if (match_right[v] != -1) {
+        next[match_right[v]] = v;
+        has_pred[v] = true;
+      }
+    }
+    int chains = 0;
+    for (int v = 0; v < n; ++v) {
+      if (has_pred[v]) continue;
+      int seq = 0;
+      for (int w = v; w != kNone; w = next[w]) {
+        cover.chain_of_[w] = chains;
+        cover.seq_of_[w] = seq++;
+      }
+      ++chains;
+    }
+    cover.num_chains_ = chains;
+  }
+
+  cover.ComputeReachTables(graph);
+  return cover;
+}
+
+void ChainCover::ComputeReachTables(const Digraph& graph) {
+  const NodeId n = graph.NumNodes();
+  first_reach_.assign(n, std::vector<int>(num_chains_, kNone));
+
+  auto topo = TopologicalOrder(graph);
+  TREL_CHECK(topo.ok());
+  const std::vector<NodeId>& order = topo.value();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    auto& row = first_reach_[v];
+    row[chain_of_[v]] = seq_of_[v];
+    for (NodeId w : graph.OutNeighbors(v)) {
+      const auto& succ_row = first_reach_[w];
+      for (int c = 0; c < num_chains_; ++c) {
+        if (succ_row[c] == kNone) continue;
+        if (row[c] == kNone || succ_row[c] < row[c]) row[c] = succ_row[c];
+      }
+    }
+  }
+
+  storage_entries_ = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (int c = 0; c < num_chains_; ++c) {
+      if (first_reach_[v][c] != kNone) ++storage_entries_;
+    }
+  }
+}
+
+bool ChainCover::Reaches(NodeId u, NodeId v) const {
+  TREL_CHECK_GE(u, 0);
+  TREL_CHECK_LT(static_cast<size_t>(u), chain_of_.size());
+  TREL_CHECK_GE(v, 0);
+  TREL_CHECK_LT(static_cast<size_t>(v), chain_of_.size());
+  if (u == v) return true;
+  const int entry = first_reach_[u][chain_of_[v]];
+  return entry != kNone && entry <= seq_of_[v];
+}
+
+}  // namespace trel

@@ -1,0 +1,126 @@
+#include "baselines/grail_index.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "graph/topology.h"
+
+namespace trel {
+
+StatusOr<GrailIndex> GrailIndex::Build(const Digraph& graph, int num_labels,
+                                       uint64_t seed) {
+  if (num_labels < 1) {
+    return InvalidArgumentError("need at least one label");
+  }
+  TREL_ASSIGN_OR_RETURN(std::vector<NodeId> topo, TopologicalOrder(graph));
+  const NodeId n = graph.NumNodes();
+
+  GrailIndex index(&graph, num_labels);
+  index.labels_.assign(static_cast<size_t>(num_labels),
+                       std::vector<Interval>(n, Interval{0, 0}));
+  Random rng(seed);
+
+  for (int round = 0; round < num_labels; ++round) {
+    auto& label = index.labels_[static_cast<size_t>(round)];
+    // Random-order DFS over the whole graph assigns postorder ranks.
+    std::vector<NodeId> roots;
+    for (NodeId v = 0; v < n; ++v) {
+      if (graph.InDegree(v) == 0) roots.push_back(v);
+    }
+    for (size_t i = roots.size(); i > 1; --i) {
+      std::swap(roots[i - 1], roots[rng.Uniform(i)]);
+    }
+
+    std::vector<Label> rank(n, 0);
+    std::vector<bool> visited(n, false);
+    Label next_rank = 0;
+    // Frame: (node, shuffled children, next index).
+    struct Frame {
+      NodeId node;
+      std::vector<NodeId> children;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    auto shuffled_out = [&](NodeId v) {
+      std::vector<NodeId> out = graph.OutNeighbors(v);
+      for (size_t i = out.size(); i > 1; --i) {
+        std::swap(out[i - 1], out[rng.Uniform(i)]);
+      }
+      return out;
+    };
+    for (NodeId root : roots) {
+      if (visited[root]) continue;
+      visited[root] = true;
+      stack.push_back({root, shuffled_out(root)});
+      while (!stack.empty()) {
+        Frame& frame = stack.back();
+        if (frame.next < frame.children.size()) {
+          const NodeId w = frame.children[frame.next++];
+          if (!visited[w]) {
+            visited[w] = true;
+            stack.push_back({w, shuffled_out(w)});
+          }
+        } else {
+          rank[frame.node] = ++next_rank;
+          stack.pop_back();
+        }
+      }
+    }
+
+    // lo(v) = min over everything reachable (including v); propagate in
+    // reverse topological order.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId v = *it;
+      Label lo = rank[v];
+      for (NodeId w : graph.OutNeighbors(v)) {
+        lo = std::min(lo, label[w].lo);
+      }
+      label[v] = Interval{lo, rank[v]};
+    }
+  }
+  return index;
+}
+
+bool GrailIndex::LabelsAdmit(NodeId u, NodeId v) const {
+  for (const auto& label : labels_) {
+    if (!label[u].Subsumes(label[v])) return false;
+  }
+  return true;
+}
+
+bool GrailIndex::Reaches(NodeId u, NodeId v) const {
+  TREL_CHECK(graph_->IsValidNode(u));
+  TREL_CHECK(graph_->IsValidNode(v));
+  ++query_stats_.queries;
+  if (u == v) {
+    ++query_stats_.label_hits;
+    return true;
+  }
+  if (!LabelsAdmit(u, v)) {
+    ++query_stats_.label_rejections;
+    return false;
+  }
+  // Label-pruned DFS fallback.
+  ++query_stats_.dfs_fallbacks;
+  std::vector<bool> visited(static_cast<size_t>(num_nodes_), false);
+  std::vector<NodeId> stack = {u};
+  visited[u] = true;
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    ++query_stats_.dfs_nodes_visited;
+    for (NodeId w : graph_->OutNeighbors(x)) {
+      if (w == v) return true;
+      if (!visited[w] && LabelsAdmit(w, v)) {
+        visited[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace trel

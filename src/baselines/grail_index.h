@@ -1,0 +1,69 @@
+#ifndef TREL_BASELINES_GRAIL_INDEX_H_
+#define TREL_BASELINES_GRAIL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/interval.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// GRAIL-style randomized interval labeling (Yildirim, Chaoji, Zaki, VLDB
+// 2010) — the best-known descendant of the paper's interval idea, included
+// as a forward-looking comparison point.  Where the 1989 scheme stores
+// *exact* interval sets (variable count per node), GRAIL stores a fixed
+// number k of approximate intervals from random depth-first traversals:
+//   - containment failure in any label proves non-reachability;
+//   - containment in all labels is inconclusive and falls back to a
+//     label-pruned DFS.
+// Storage is exactly k intervals per node; the price is fallback
+// traversals on "admitted but unreachable" queries, measured in
+// bench/tbl_grail_comparison.
+class GrailIndex {
+ public:
+  struct QueryStats {
+    int64_t queries = 0;
+    int64_t label_rejections = 0;  // Decided negatively by labels alone.
+    int64_t label_hits = 0;        // u==v or trivially decided positives.
+    int64_t dfs_fallbacks = 0;
+    int64_t dfs_nodes_visited = 0;
+  };
+
+  // Builds k = `num_labels` randomized labelings.  Fails on cyclic input.
+  static StatusOr<GrailIndex> Build(const Digraph& graph, int num_labels,
+                                    uint64_t seed);
+
+  // Necessary condition only: false means definitely unreachable; true
+  // means "maybe".
+  bool LabelsAdmit(NodeId u, NodeId v) const;
+
+  // Exact reachability (label check + pruned DFS fallback).
+  bool Reaches(NodeId u, NodeId v) const;
+
+  int NumLabels() const { return num_labels_; }
+  // k intervals per node.
+  int64_t StorageUnits() const {
+    return 2 * static_cast<int64_t>(num_labels_) * num_nodes_;
+  }
+  const QueryStats& query_stats() const { return query_stats_; }
+  void ResetQueryStats() { query_stats_ = QueryStats(); }
+
+ private:
+  GrailIndex(const Digraph* graph, int num_labels)
+      : graph_(graph),
+        num_nodes_(graph->NumNodes()),
+        num_labels_(num_labels) {}
+
+  // labels_[i][v] = interval of v in labeling i.
+  const Digraph* graph_;  // Not owned; must outlive the index.
+  NodeId num_nodes_;
+  int num_labels_;
+  std::vector<std::vector<Interval>> labels_;
+  mutable QueryStats query_stats_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_BASELINES_GRAIL_INDEX_H_

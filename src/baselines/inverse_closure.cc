@@ -1,0 +1,44 @@
+#include "baselines/inverse_closure.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/reachability.h"
+#include "graph/topology.h"
+
+namespace trel {
+
+StatusOr<InverseClosure> InverseClosure::Build(const Digraph& graph) {
+  TREL_ASSIGN_OR_RETURN(std::vector<NodeId> topo, TopologicalOrder(graph));
+  const NodeId n = graph.NumNodes();
+
+  InverseClosure result;
+  result.position_ = PositionsInOrder(topo, n);
+
+  ReachabilityMatrix matrix(graph);
+  result.inverse_.assign(n, {});
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (result.position_[u] < result.position_[v] && !matrix.Reaches(u, v)) {
+        result.inverse_[u].push_back(result.position_[v]);
+        ++result.num_inverse_pairs_;
+      }
+    }
+    std::sort(result.inverse_[u].begin(), result.inverse_[u].end());
+  }
+  return result;
+}
+
+bool InverseClosure::Reaches(NodeId u, NodeId v) const {
+  TREL_CHECK_GE(u, 0);
+  TREL_CHECK_LT(static_cast<size_t>(u), position_.size());
+  TREL_CHECK_GE(v, 0);
+  TREL_CHECK_LT(static_cast<size_t>(v), position_.size());
+  if (u == v) return true;
+  if (position_[u] > position_[v]) return false;
+  return !std::binary_search(inverse_[u].begin(), inverse_[u].end(),
+                             position_[v]);
+}
+
+}  // namespace trel

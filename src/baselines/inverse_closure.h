@@ -1,0 +1,43 @@
+#ifndef TREL_BASELINES_INVERSE_CLOSURE_H_
+#define TREL_BASELINES_INVERSE_CLOSURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Inverse closure baseline (paper Section 3.3, Figure 3.10): when the
+// closure contains most possible arcs, store the complement instead —
+// tuples only for source/destination pairs *consistent with a stored
+// topological ordering* between which no path exists.  Reaches(u, v) is
+// then "u precedes v in the ordering and (u, v) is not in the inverse
+// relation".  The paper notes incremental updates are awkward because the
+// topological sort must be maintained; this implementation is static.
+class InverseClosure {
+ public:
+  // Fails with FailedPrecondition if `graph` is cyclic.
+  static StatusOr<InverseClosure> Build(const Digraph& graph);
+
+  bool Reaches(NodeId u, NodeId v) const;
+
+  // Number of stored non-reachability tuples, plus one position entry per
+  // node for the topological ordering.
+  int64_t StorageUnits() const { return num_inverse_pairs_; }
+  int64_t NumInversePairs() const { return num_inverse_pairs_; }
+
+ private:
+  InverseClosure() = default;
+
+  // position_[v] = rank of v in the stored topological order.
+  std::vector<int> position_;
+  // inverse_[u] = sorted positions w (> position_[u]) unreachable from u.
+  std::vector<std::vector<int>> inverse_;
+  int64_t num_inverse_pairs_ = 0;
+};
+
+}  // namespace trel
+
+#endif  // TREL_BASELINES_INVERSE_CLOSURE_H_

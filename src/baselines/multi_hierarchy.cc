@@ -1,0 +1,93 @@
+#include "baselines/multi_hierarchy.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "graph/topology.h"
+
+namespace trel {
+
+StatusOr<MultiHierarchyLabeling> MultiHierarchyLabeling::Build(
+    const Digraph& graph) {
+  if (!IsAcyclic(graph)) {
+    return FailedPreconditionError("graph contains a cycle");
+  }
+  const NodeId n = graph.NumNodes();
+
+  // Greedy first-fit arc coloring: arc (u, v) joins the first hierarchy
+  // where v is still parentless.  The number of hierarchies equals the
+  // maximum in-degree.
+  std::vector<std::vector<NodeId>> parent_per_hierarchy;  // [h][v].
+  for (NodeId v = 0; v < n; ++v) {
+    int h = 0;
+    for (NodeId u : graph.InNeighbors(v)) {
+      if (h == static_cast<int>(parent_per_hierarchy.size())) {
+        parent_per_hierarchy.emplace_back(n, kNoNode);
+      }
+      parent_per_hierarchy[h][v] = u;
+      ++h;
+    }
+  }
+  if (parent_per_hierarchy.empty()) {
+    parent_per_hierarchy.emplace_back(n, kNoNode);  // Arcless graph.
+  }
+
+  MultiHierarchyLabeling result;
+  result.num_hierarchies_ = static_cast<int>(parent_per_hierarchy.size());
+  result.postorder_.resize(result.num_hierarchies_);
+  result.interval_.resize(result.num_hierarchies_);
+  result.stored_.resize(result.num_hierarchies_);
+
+  for (int h = 0; h < result.num_hierarchies_; ++h) {
+    const auto& parent = parent_per_hierarchy[h];
+    std::vector<std::vector<NodeId>> children(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (parent[v] != kNoNode) children[parent[v]].push_back(v);
+    }
+    auto& postorder = result.postorder_[h];
+    auto& interval = result.interval_[h];
+    auto& stored = result.stored_[h];
+    postorder.assign(n, 0);
+    interval.assign(n, Interval{0, 0});
+    stored.assign(n, false);
+
+    Label next = 0;
+    std::vector<std::pair<NodeId, size_t>> stack;
+    std::vector<Label> anchor(n, 0);
+    for (NodeId root = 0; root < n; ++root) {
+      if (parent[root] != kNoNode) continue;
+      anchor[root] = next;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [v, child_index] = stack.back();
+        if (child_index < children[v].size()) {
+          const NodeId child = children[v][child_index++];
+          anchor[child] = next;
+          stack.emplace_back(child, 0);
+        } else {
+          ++next;
+          postorder[v] = next;
+          interval[v] = Interval{anchor[v] + 1, next};
+          stored[v] = parent[v] != kNoNode || !children[v].empty();
+          if (stored[v]) ++result.stored_intervals_;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool MultiHierarchyLabeling::Reaches(NodeId u, NodeId v) const {
+  TREL_CHECK_GE(u, 0);
+  TREL_CHECK_GE(v, 0);
+  TREL_CHECK_LT(static_cast<size_t>(u), postorder_[0].size());
+  TREL_CHECK_LT(static_cast<size_t>(v), postorder_[0].size());
+  if (u == v) return true;
+  for (int h = 0; h < num_hierarchies_; ++h) {
+    if (interval_[h][u].Contains(postorder_[h][v])) return true;
+  }
+  return false;
+}
+
+}  // namespace trel

@@ -1,0 +1,58 @@
+#ifndef TREL_BASELINES_MULTI_HIERARCHY_H_
+#define TREL_BASELINES_MULTI_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/interval.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Schubert et al.'s overlapping-hierarchies labeling (IEEE Computer 1983;
+// the paper's Section 5 related work): the graph is decomposed into
+// hierarchies (forests); every node is assigned one tree interval per
+// hierarchy, tagged with the hierarchy id.  Reachability holds if the
+// containment test passes in *some* hierarchy.
+//
+// The paper's critique, which this implementation makes measurable:
+//  - "the decomposition of a graph into hierarchies is not addressed" —
+//    here a greedy first-fit assigns each arc to the first forest where
+//    the child is still parentless;
+//  - paths that alternate between hierarchies are invisible, so the
+//    scheme *under-approximates* reachability on general DAGs (see
+//    UndetectedPairs in the bench), while the tree-cover interval scheme
+//    is exact;
+//  - every node pays an interval in every hierarchy it touches.
+class MultiHierarchyLabeling {
+ public:
+  // Fails with FailedPrecondition on cyclic input.
+  static StatusOr<MultiHierarchyLabeling> Build(const Digraph& graph);
+
+  // True iff some hierarchy's interval of u contains v's number in that
+  // hierarchy.  Sound but incomplete on DAGs with cross-forest paths.
+  bool Reaches(NodeId u, NodeId v) const;
+
+  int NumHierarchies() const { return num_hierarchies_; }
+
+  // Intervals stored: one per (node, hierarchy) pair where the node is
+  // non-isolated in that hierarchy, plus one for its home hierarchy.
+  int64_t StorageUnits() const { return stored_intervals_; }
+
+ private:
+  MultiHierarchyLabeling() = default;
+
+  int num_hierarchies_ = 0;
+  // postorder_[h][v], interval_[h][v]; nodes isolated in hierarchy h keep
+  // interval [p, p] (self only).
+  std::vector<std::vector<Label>> postorder_;
+  std::vector<std::vector<Interval>> interval_;
+  // stored_[h][v]: whether (v, h) counts toward storage (non-isolated).
+  std::vector<std::vector<bool>> stored_;
+  int64_t stored_intervals_ = 0;
+};
+
+}  // namespace trel
+
+#endif  // TREL_BASELINES_MULTI_HIERARCHY_H_

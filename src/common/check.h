@@ -1,0 +1,62 @@
+#ifndef TREL_COMMON_CHECK_H_
+#define TREL_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace trel {
+namespace internal_check {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only via the TREL_CHECK* macros; the streaming form lets call sites
+// attach context: TREL_CHECK(x > 0) << "x=" << x;
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  const CheckFailure& operator<<(const T& value) const {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  mutable std::ostringstream stream_;
+};
+
+// Makes the whole check expression void regardless of the streamed chain.
+// operator& binds looser than operator<<, so the message is built first.
+struct Voidify {
+  void operator&(const CheckFailure&) const {}
+};
+
+}  // namespace internal_check
+}  // namespace trel
+
+// Aborts with a diagnostic if `condition` is false.  Always on (guards API
+// contracts, not just debugging).  Supports streaming extra context.
+#define TREL_CHECK(condition)                                       \
+  (condition) ? static_cast<void>(0)                                \
+              : ::trel::internal_check::Voidify() &                 \
+                    ::trel::internal_check::CheckFailure(           \
+                        __FILE__, __LINE__, #condition)
+
+#define TREL_CHECK_EQ(a, b) TREL_CHECK((a) == (b))
+#define TREL_CHECK_NE(a, b) TREL_CHECK((a) != (b))
+#define TREL_CHECK_LT(a, b) TREL_CHECK((a) < (b))
+#define TREL_CHECK_LE(a, b) TREL_CHECK((a) <= (b))
+#define TREL_CHECK_GT(a, b) TREL_CHECK((a) > (b))
+#define TREL_CHECK_GE(a, b) TREL_CHECK((a) >= (b))
+
+#endif  // TREL_COMMON_CHECK_H_

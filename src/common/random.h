@@ -1,0 +1,87 @@
+#ifndef TREL_COMMON_RANDOM_H_
+#define TREL_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace trel {
+
+// Deterministic, seedable pseudo-random generator (xoshiro256**).
+// Used instead of std::mt19937 so that workloads are reproducible across
+// standard library implementations: the same seed yields the same graph
+// everywhere, which the experiment harness relies on.
+class Random {
+ public:
+  explicit Random(uint64_t seed) { Reseed(seed); }
+
+  // Re-initializes the state from `seed` via splitmix64 so that nearby
+  // seeds produce unrelated streams.
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform over all 64-bit values.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform over [0, bound).  `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    TREL_CHECK_GT(bound, 0u);
+    // Lemire's nearly-divisionless rejection method.
+    uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    TREL_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace trel
+
+#endif  // TREL_COMMON_RANDOM_H_

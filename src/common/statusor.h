@@ -1,0 +1,66 @@
+#ifndef TREL_COMMON_STATUSOR_H_
+#define TREL_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace trel {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent.  Accessing the value of a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows
+  // `return value;` and `return SomeError(...);` from functions returning
+  // StatusOr<T>.
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    TREL_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TREL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TREL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TREL_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Assigns the value of `rexpr` (a StatusOr expression) to `lhs`, or returns
+// its status from the enclosing function.
+#define TREL_STATUSOR_CONCAT_INNER_(a, b) a##b
+#define TREL_STATUSOR_CONCAT_(a, b) TREL_STATUSOR_CONCAT_INNER_(a, b)
+#define TREL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+#define TREL_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  TREL_ASSIGN_OR_RETURN_IMPL_(                                            \
+      TREL_STATUSOR_CONCAT_(trel_statusor_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace trel
+
+#endif  // TREL_COMMON_STATUSOR_H_

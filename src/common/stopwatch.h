@@ -1,0 +1,34 @@
+#ifndef TREL_COMMON_STOPWATCH_H_
+#define TREL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace trel {
+
+// Wall-clock stopwatch for coarse harness timing.  For statistically
+// rigorous micro measurements use the google-benchmark binaries instead.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_COMMON_STOPWATCH_H_

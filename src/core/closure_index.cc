@@ -1,0 +1,45 @@
+#include "core/closure_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace trel {
+
+StatusOr<TransitiveClosureIndex> TransitiveClosureIndex::Build(
+    const Digraph& graph, const ClosureOptions& options) {
+  Condensation condensation = CondenseScc(graph);
+  TREL_ASSIGN_OR_RETURN(CompressedClosure closure,
+                        CompressedClosure::Build(condensation.dag, options));
+  return TransitiveClosureIndex(std::move(condensation), std::move(closure));
+}
+
+bool TransitiveClosureIndex::Reaches(NodeId u, NodeId v) const {
+  TREL_CHECK_GE(u, 0);
+  TREL_CHECK_LT(u, NumNodes());
+  TREL_CHECK_GE(v, 0);
+  TREL_CHECK_LT(v, NumNodes());
+  return closure_.Reaches(condensation_.component_of[u],
+                          condensation_.component_of[v]);
+}
+
+std::vector<NodeId> TransitiveClosureIndex::Successors(NodeId u) const {
+  TREL_CHECK_GE(u, 0);
+  TREL_CHECK_LT(u, NumNodes());
+  const NodeId cu = condensation_.component_of[u];
+  std::vector<NodeId> result;
+  // Own component first (cycle members are mutually reachable) ...
+  for (NodeId member : condensation_.members[cu]) {
+    if (member != u) result.push_back(member);
+  }
+  // ... then every member of every reachable component.
+  for (NodeId comp : closure_.Successors(cu)) {
+    result.insert(result.end(), condensation_.members[comp].begin(),
+                  condensation_.members[comp].end());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace trel

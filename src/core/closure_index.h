@@ -1,0 +1,47 @@
+#ifndef TREL_CORE_CLOSURE_INDEX_H_
+#define TREL_CORE_CLOSURE_INDEX_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/compressed_closure.h"
+#include "graph/digraph.h"
+#include "graph/scc.h"
+
+namespace trel {
+
+// Reachability index for arbitrary digraphs, cyclic or not: strongly
+// connected components are collapsed to single nodes ("the techniques
+// ... can also be extended to cyclic graphs by collapsing strongly
+// connected components into one node", Section 3) and the compressed
+// closure is built on the condensation DAG.
+class TransitiveClosureIndex {
+ public:
+  static StatusOr<TransitiveClosureIndex> Build(
+      const Digraph& graph, const ClosureOptions& options = {});
+
+  // True iff u reaches v in the original (possibly cyclic) graph.
+  bool Reaches(NodeId u, NodeId v) const;
+
+  // All nodes reachable from `u`, excluding `u` itself, ascending ids.
+  std::vector<NodeId> Successors(NodeId u) const;
+
+  NodeId NumNodes() const {
+    return static_cast<NodeId>(condensation_.component_of.size());
+  }
+  NodeId NumComponents() const { return condensation_.NumComponents(); }
+
+  const Condensation& condensation() const { return condensation_; }
+  const CompressedClosure& component_closure() const { return closure_; }
+
+ private:
+  TransitiveClosureIndex(Condensation condensation, CompressedClosure closure)
+      : condensation_(std::move(condensation)), closure_(std::move(closure)) {}
+
+  Condensation condensation_;
+  CompressedClosure closure_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_CORE_CLOSURE_INDEX_H_

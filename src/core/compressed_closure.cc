@@ -1,0 +1,94 @@
+#include "core/compressed_closure.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace trel {
+
+CompressedClosure::CompressedClosure(NodeLabels labels, TreeCover tree_cover)
+    : labels_(std::move(labels)), tree_cover_(std::move(tree_cover)) {
+  by_postorder_.reserve(labels_.postorder.size());
+  for (NodeId v = 0; v < static_cast<NodeId>(labels_.postorder.size()); ++v) {
+    by_postorder_.emplace_back(labels_.postorder[v], v);
+  }
+  std::sort(by_postorder_.begin(), by_postorder_.end());
+}
+
+StatusOr<CompressedClosure> CompressedClosure::Build(
+    const Digraph& graph, const ClosureOptions& options) {
+  TREL_ASSIGN_OR_RETURN(TreeCover cover,
+                        ComputeTreeCover(graph, options.strategy,
+                                         options.seed));
+  ReorderChildren(cover, options.child_order);
+  TREL_ASSIGN_OR_RETURN(NodeLabels labels,
+                        BuildLabels(graph, cover, options.labeling));
+  return CompressedClosure(std::move(labels), std::move(cover));
+}
+
+void CompressedClosure::AppendNodesInRange(Label lo, Label hi,
+                                           std::vector<NodeId>& out) const {
+  auto it = std::lower_bound(
+      by_postorder_.begin(), by_postorder_.end(), lo,
+      [](const std::pair<Label, NodeId>& e, Label x) { return e.first < x; });
+  for (; it != by_postorder_.end() && it->first <= hi; ++it) {
+    out.push_back(it->second);
+  }
+}
+
+std::vector<NodeId> CompressedClosure::Successors(NodeId u) const {
+  TREL_CHECK(IsValidNode(u));
+  std::vector<NodeId> result;
+  // Interval-set members are an antichain sorted by lo with increasing hi;
+  // consecutive members may still overlap, so advance a cursor to avoid
+  // double-listing.
+  Label cursor = std::numeric_limits<Label>::min();
+  for (const Interval& interval : labels_.intervals[u].intervals()) {
+    const Label lo = std::max(interval.lo, cursor);
+    if (lo > interval.hi) continue;
+    AppendNodesInRange(lo, interval.hi, result);
+    cursor = interval.hi + 1;
+  }
+  // The node's own tree interval contains its own number; drop it to match
+  // successor-list semantics.
+  auto self = std::find(result.begin(), result.end(), u);
+  if (self != result.end()) result.erase(self);
+  return result;
+}
+
+int64_t CompressedClosure::CountSuccessors(NodeId u) const {
+  TREL_CHECK(IsValidNode(u));
+  int64_t count = 0;
+  Label cursor = std::numeric_limits<Label>::min();
+  for (const Interval& interval : labels_.intervals[u].intervals()) {
+    const Label lo = std::max(interval.lo, cursor);
+    if (lo > interval.hi) continue;
+    auto first = std::lower_bound(
+        by_postorder_.begin(), by_postorder_.end(), lo,
+        [](const std::pair<Label, NodeId>& e, Label x) {
+          return e.first < x;
+        });
+    auto last = std::upper_bound(
+        by_postorder_.begin(), by_postorder_.end(), interval.hi,
+        [](Label x, const std::pair<Label, NodeId>& e) {
+          return x < e.first;
+        });
+    count += last - first;
+    cursor = interval.hi + 1;
+  }
+  return count - 1;  // Exclude u itself.
+}
+
+std::vector<NodeId> CompressedClosure::Predecessors(NodeId v) const {
+  TREL_CHECK(IsValidNode(v));
+  std::vector<NodeId> result;
+  const Label target = labels_.postorder[v];
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    if (u != v && labels_.intervals[u].Contains(target)) result.push_back(u);
+  }
+  return result;
+}
+
+}  // namespace trel

@@ -1,0 +1,96 @@
+#ifndef TREL_CORE_COMPRESSED_CLOSURE_H_
+#define TREL_CORE_COMPRESSED_CLOSURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/interval.h"
+#include "core/labeling.h"
+#include "core/tree_cover.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Build-time options for the compressed closure.
+struct ClosureOptions {
+  TreeCoverStrategy strategy = TreeCoverStrategy::kOptimal;
+  // Random seed, used only by TreeCoverStrategy::kRandom.
+  uint64_t seed = 0;
+  // Sibling traversal order; only affects storage when
+  // labeling.merge_adjacent is on (see ChildOrder).
+  ChildOrder child_order = ChildOrder::kInsertion;
+  LabelingOptions labeling;
+};
+
+// Immutable compressed transitive closure of a DAG — the paper's primary
+// contribution.  Reachability queries are O(log k) where k is the number
+// of intervals at the source node (k is 1 for most nodes); enumeration
+// queries cost output-size log-factors.  For a mutable index supporting
+// the Section 4 incremental updates, see DynamicClosure; for cyclic
+// inputs, see TransitiveClosureIndex.
+class CompressedClosure {
+ public:
+  // Compresses the closure of `graph`.  Fails with FailedPrecondition if
+  // the graph is cyclic, InvalidArgument on bad options.
+  static StatusOr<CompressedClosure> Build(const Digraph& graph,
+                                           const ClosureOptions& options = {});
+
+  // True iff there is a directed path from `u` to `v` (every node reaches
+  // itself).  One binary search over u's interval set.
+  bool Reaches(NodeId u, NodeId v) const {
+    TREL_CHECK(IsValidNode(u));
+    TREL_CHECK(IsValidNode(v));
+    if (u == v) return true;
+    return labels_.intervals[u].Contains(labels_.postorder[v]);
+  }
+
+  // All nodes reachable from `u`, excluding `u` itself, in ascending
+  // postorder-number order.
+  std::vector<NodeId> Successors(NodeId u) const;
+
+  // All nodes that reach `v`, excluding `v` itself.  O(total intervals)
+  // scan; the structure is optimized for forward queries, matching the
+  // paper's successor-list framing.
+  std::vector<NodeId> Predecessors(NodeId v) const;
+
+  // Number of successors of `u` (excluding `u`), without materializing
+  // them.
+  int64_t CountSuccessors(NodeId u) const;
+
+  NodeId NumNodes() const {
+    return static_cast<NodeId>(labels_.postorder.size());
+  }
+  bool IsValidNode(NodeId v) const { return v >= 0 && v < NumNodes(); }
+
+  // The paper's storage measures.
+  int64_t TotalIntervals() const { return labels_.TotalIntervals(); }
+  int64_t StorageUnits() const { return labels_.StorageUnits(); }
+
+  // Introspection (used by tests, benches, and the dynamic index).
+  const NodeLabels& labels() const { return labels_; }
+  const TreeCover& tree_cover() const { return tree_cover_; }
+  Label PostorderOf(NodeId v) const {
+    TREL_CHECK(IsValidNode(v));
+    return labels_.postorder[v];
+  }
+  const IntervalSet& IntervalsOf(NodeId v) const {
+    TREL_CHECK(IsValidNode(v));
+    return labels_.intervals[v];
+  }
+
+ private:
+  CompressedClosure(NodeLabels labels, TreeCover tree_cover);
+
+  // Nodes listed in the closed interval [lo, hi] of postorder numbers.
+  void AppendNodesInRange(Label lo, Label hi, std::vector<NodeId>& out) const;
+
+  NodeLabels labels_;
+  TreeCover tree_cover_;
+  // (postorder number, node) sorted by number, for range enumeration.
+  std::vector<std::pair<Label, NodeId>> by_postorder_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_CORE_COMPRESSED_CLOSURE_H_

@@ -1,0 +1,176 @@
+#ifndef TREL_CORE_DYNAMIC_CLOSURE_H_
+#define TREL_CORE_DYNAMIC_CLOSURE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/compressed_closure.h"
+#include "core/interval.h"
+#include "core/labeling.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Mutable compressed transitive closure implementing the paper's Section 4
+// incremental update algorithms.  The key enabler is gap numbering:
+// postorder numbers are spaced `gap` apart so new nodes slot into holes
+// without disturbing existing labels.
+//
+// Update cost model (n = nodes, k = intervals):
+//   AddLeafUnder      O(log n)    (constant label work; no propagation —
+//                                  ancestors' intervals already cover the
+//                                  hole the new number is drawn from)
+//   AddArc            O(affected predecessors * interval work); stops as
+//                     soon as subsumption absorbs the new intervals
+//   RefineAbove       O(parents) when all parents already reach the child
+//                     (the paper's constant-time hierarchy refinement)
+//   RemoveArc         renumbers the detached subtree (tree arc) and
+//                     re-propagates interval sets; keeps the tree cover
+//   Renumber          O(n + propagation); invoked automatically when a
+//                     gap is exhausted
+//   Reoptimize        full rebuild with a fresh optimal tree cover (the
+//                     paper: "it may be prudent to develop a new
+//                     tree-cover after sufficient update activity")
+//
+// Incremental updates do not preserve the optimality of the tree cover
+// (paper, end of Section 4); call Reoptimize() to restore it.
+class DynamicClosure {
+ public:
+  struct Stats {
+    int64_t renumbers = 0;      // automatic Renumber() invocations
+    int64_t reoptimizes = 0;    // full rebuilds (explicit or forced)
+    int64_t propagation_node_visits = 0;  // nodes touched by AddArc floods
+  };
+
+  // Sensible defaults for dynamic use: room for 63 in-place leaf splits
+  // per hole and 15 refinements per node between renumberings.
+  static ClosureOptions DefaultOptions();
+
+  // Empty closure; nodes are introduced via AddLeafUnder.
+  explicit DynamicClosure(const ClosureOptions& options = DefaultOptions());
+
+  // Wraps an existing DAG.  Fails if `graph` is cyclic.
+  static StatusOr<DynamicClosure> Build(
+      const Digraph& graph, const ClosureOptions& options = DefaultOptions());
+
+  // --- Updates (paper Section 4) -----------------------------------------
+
+  // "Addition of a tree arc": creates a new node with tree parent
+  // `parent`, or a new root if parent == kNoNode.  Never fails for valid
+  // parents; renumbers automatically when the hole below `parent` is full.
+  StatusOr<NodeId> AddLeafUnder(NodeId parent);
+
+  // "Addition of a non-tree arc" between existing nodes.  Propagates the
+  // target's intervals to the source and its predecessors, pruned by
+  // subsumption.  Fails if the arc would create a cycle, is a duplicate,
+  // or has invalid endpoints.
+  Status AddArc(NodeId from, NodeId to);
+
+  // Section 4.1 hierarchy refinement: inserts a new node z with arcs
+  // (p, z) for each p in `parents` and (z, child), drawing z's postorder
+  // number from child's reserved slack so that predecessors of child need
+  // no interval updates.  Soundness requires `parents` to include every
+  // current immediate predecessor of `child` (otherwise some node would
+  // claim to reach z without a path); fails with FailedPrecondition if
+  // violated, if child's reserve pool is exhausted, or on cycles.
+  // Runs in O(|parents|) when every parent already reaches child.
+  StatusOr<NodeId> RefineAbove(NodeId child,
+                               const std::vector<NodeId>& parents);
+
+  // Section 4.2 deletions.  Tree-arc removal detaches the subtree (it is
+  // renumbered past the current maximum and re-rooted, per the paper);
+  // non-tree removal recomputes non-tree intervals in reverse topological
+  // order.  Falls back to Reoptimize() when refined nodes are present.
+  Status RemoveArc(NodeId from, NodeId to);
+
+  // --- Persistence ---------------------------------------------------------
+
+  // Serializes the complete index state (graph, tree cover, labels,
+  // reserve pools, stats) to a binary stream, so a process can restart
+  // without rebuilding.  Format is versioned and host-endian-independent.
+  Status Save(std::ostream& out) const;
+  static StatusOr<DynamicClosure> Load(std::istream& in);
+
+  // Rebuilds numbering and intervals for the *current* tree cover,
+  // restoring full gaps and reserve pools.
+  void Renumber();
+
+  // Full rebuild: fresh optimal tree cover, numbering, and intervals.
+  void Reoptimize();
+
+  // --- Queries ------------------------------------------------------------
+
+  bool Reaches(NodeId u, NodeId v) const {
+    TREL_CHECK(graph_.IsValidNode(u));
+    TREL_CHECK(graph_.IsValidNode(v));
+    if (u == v) return true;
+    return labels_.intervals[u].Contains(labels_.postorder[v]);
+  }
+
+  // Reachable nodes excluding `u`, ascending postorder order.
+  std::vector<NodeId> Successors(NodeId u) const;
+
+  // Number of nodes reachable from `u` (excluding `u`), without
+  // materializing them.
+  int64_t CountSuccessors(NodeId u) const;
+
+  // Nodes that reach `v`, excluding `v` (upward BFS over the arcs; the
+  // structure is optimized for forward queries — see BidirectionalClosure
+  // for an indexed alternative on static graphs).
+  std::vector<NodeId> Predecessors(NodeId v) const;
+
+  // True iff (from, to) is an arc of the current tree cover.
+  bool IsTreeArc(NodeId from, NodeId to) const {
+    TREL_CHECK(graph_.IsValidNode(from));
+    TREL_CHECK(graph_.IsValidNode(to));
+    return tree_parent_[to] == from;
+  }
+
+  NodeId NumNodes() const { return graph_.NumNodes(); }
+  const Digraph& graph() const { return graph_; }
+  const NodeLabels& labels() const { return labels_; }
+  int64_t TotalIntervals() const { return labels_.TotalIntervals(); }
+  int64_t StorageUnits() const { return labels_.StorageUnits(); }
+  NodeId TreeParent(NodeId v) const {
+    TREL_CHECK(graph_.IsValidNode(v));
+    return tree_parent_[v];
+  }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Creates label slots for a freshly added graph node.
+  void GrowNodeState();
+  // Largest assigned postorder number (0 when empty).
+  Label MaxAssigned() const;
+  // Assigned number strictly below `x`, or 0.
+  Label PreviousAssigned(Label x) const;
+  // Flood `delta` into `start` and transitively into predecessors,
+  // stopping where subsumption makes it a no-op.
+  void PropagateIntoPredecessors(NodeId start,
+                                 const std::vector<Interval>& delta);
+  // Rebuild intervals for the whole graph with current numbering.
+  void RepropagateAll();
+  // Shared post-rebuild bookkeeping.
+  void AdoptCover(const TreeCover& cover, NodeLabels labels);
+
+  ClosureOptions options_;
+  Digraph graph_;
+  NodeLabels labels_;
+  std::vector<NodeId> tree_parent_;
+  std::vector<std::vector<NodeId>> tree_children_;
+  // Unused refinement slots above each node's postorder number; consumed
+  // top-down so propagated pads shrink monotonically (soundness).
+  std::vector<Label> reserve_remaining_;
+  std::vector<bool> is_refined_;
+  int64_t num_refined_ = 0;
+  // Assigned postorder number -> node.
+  std::map<Label, NodeId> by_postorder_;
+  Stats stats_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_CORE_DYNAMIC_CLOSURE_H_

@@ -1,0 +1,117 @@
+#include "core/dynamic_reachability.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace trel {
+
+DynamicReachability::DynamicReachability(const ClosureOptions& options)
+    : options_(options), index_(options) {}
+
+StatusOr<DynamicReachability> DynamicReachability::Build(
+    const Digraph& graph, const ClosureOptions& options) {
+  DynamicReachability result(options);
+  result.graph_ = graph;
+  result.Rebuild();
+  return result;
+}
+
+void DynamicReachability::Rebuild() {
+  Condensation condensation = CondenseScc(graph_);
+  component_of_ = condensation.component_of;
+  members_ = condensation.members;
+  auto rebuilt = DynamicClosure::Build(condensation.dag, options_);
+  TREL_CHECK(rebuilt.ok()) << rebuilt.status().ToString();
+  index_ = std::move(rebuilt).value();
+  ++stats_.rebuilds;
+}
+
+NodeId DynamicReachability::AddNode() {
+  const NodeId node = graph_.AddNode();
+  auto component = index_.AddLeafUnder(kNoNode);
+  TREL_CHECK(component.ok());
+  component_of_.push_back(component.value());
+  // Component ids always equal index node ids; a fresh singleton lands at
+  // the end of both.
+  TREL_CHECK_EQ(static_cast<size_t>(component.value()), members_.size());
+  members_.push_back({node});
+  return node;
+}
+
+Status DynamicReachability::AddArc(NodeId from, NodeId to) {
+  TREL_RETURN_IF_ERROR(graph_.AddArc(from, to));
+  const NodeId cf = component_of_[from];
+  const NodeId ct = component_of_[to];
+  if (cf == ct) {
+    // Internal to one reachability class; nothing changes.
+    ++stats_.incremental_arcs;
+    return Status::Ok();
+  }
+  if (index_.Reaches(ct, cf)) {
+    // Back arc: merges every component on a ct ~> cf path.  Recondense.
+    Rebuild();
+    return Status::Ok();
+  }
+  if (index_.graph().HasArc(cf, ct)) {
+    // Parallel arc at component level (another node pair already links
+    // the components).
+    ++stats_.incremental_arcs;
+    return Status::Ok();
+  }
+  Status status = index_.AddArc(cf, ct);
+  TREL_CHECK(status.ok()) << status.ToString();
+  ++stats_.incremental_arcs;
+  return Status::Ok();
+}
+
+Status DynamicReachability::RemoveArc(NodeId from, NodeId to) {
+  TREL_RETURN_IF_ERROR(graph_.RemoveArc(from, to));
+  const NodeId cf = component_of_[from];
+  const NodeId ct = component_of_[to];
+  if (cf == ct) {
+    // The class may split; recondense.
+    Rebuild();
+    return Status::Ok();
+  }
+  // Cross-component arc: the component graph loses this arc only if no
+  // other node pair carries it.
+  bool still_linked = false;
+  for (NodeId u : members_[cf]) {
+    for (NodeId w : graph_.OutNeighbors(u)) {
+      if (component_of_[w] == ct) {
+        still_linked = true;
+        break;
+      }
+    }
+    if (still_linked) break;
+  }
+  if (still_linked) return Status::Ok();
+  Status status = index_.RemoveArc(cf, ct);
+  TREL_CHECK(status.ok()) << status.ToString();
+  return Status::Ok();
+}
+
+bool DynamicReachability::Reaches(NodeId u, NodeId v) const {
+  TREL_CHECK(graph_.IsValidNode(u));
+  TREL_CHECK(graph_.IsValidNode(v));
+  return index_.Reaches(component_of_[u], component_of_[v]);
+}
+
+std::vector<NodeId> DynamicReachability::Successors(NodeId u) const {
+  TREL_CHECK(graph_.IsValidNode(u));
+  const NodeId cu = component_of_[u];
+  std::vector<NodeId> result;
+  for (NodeId member : members_[cu]) {
+    if (member != u) result.push_back(member);
+  }
+  for (NodeId comp : index_.Successors(cu)) {
+    result.insert(result.end(), members_[comp].begin(), members_[comp].end());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace trel

@@ -1,0 +1,92 @@
+#include "core/interval.h"
+
+#include <algorithm>
+
+namespace trel {
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval) {
+  return os << "[" << interval.lo << "," << interval.hi << "]";
+}
+
+bool IntervalSet::Insert(Interval interval) {
+  TREL_CHECK_LE(interval.lo, interval.hi);
+  // Position of the first member with lo > interval.lo.
+  auto upper = std::upper_bound(
+      intervals_.begin(), intervals_.end(), interval,
+      [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+
+  // The member that could subsume `interval` is the one with the largest
+  // lo <= interval.lo (in an antichain hi increases with lo, so it has the
+  // largest hi among members that start at or before interval.lo).
+  if (upper != intervals_.begin()) {
+    const Interval& candidate = *(upper - 1);
+    if (candidate.Subsumes(interval)) return false;
+  }
+
+  // Members subsumed by `interval` start at `upper`'s predecessor region:
+  // they have lo >= interval.lo, so they form a contiguous run starting at
+  // the first member with lo >= interval.lo and ending before the first
+  // member with hi > interval.hi.
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), interval,
+      [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  auto last = first;
+  while (last != intervals_.end() && last->hi <= interval.hi) ++last;
+  auto insert_pos = intervals_.erase(first, last);
+  intervals_.insert(insert_pos, interval);
+  return true;
+}
+
+bool IntervalSet::Contains(Label x) const {
+  // The only candidate is the member with the largest lo <= x.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](Label value, const Interval& i) { return value < i.lo; });
+  if (it == intervals_.begin()) return false;
+  return (it - 1)->hi >= x;
+}
+
+bool IntervalSet::CoveredBy(const Interval& interval) const {
+  for (const Interval& member : intervals_) {
+    if (!interval.Subsumes(member)) return false;
+  }
+  return true;
+}
+
+bool IntervalSet::SubsumesInterval(const Interval& interval) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), interval.lo,
+      [](Label value, const Interval& i) { return value < i.lo; });
+  if (it == intervals_.begin()) return false;
+  return (it - 1)->Subsumes(interval);
+}
+
+int IntervalSet::MergeAdjacent() {
+  if (intervals_.size() < 2) return 0;
+  int merges = 0;
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size());
+  merged.push_back(intervals_[0]);
+  for (size_t k = 1; k < intervals_.size(); ++k) {
+    Interval& last = merged.back();
+    if (intervals_[k].lo <= last.hi + 1) {
+      last.hi = std::max(last.hi, intervals_[k].hi);
+      ++merges;
+    } else {
+      merged.push_back(intervals_[k]);
+    }
+  }
+  intervals_ = std::move(merged);
+  return merges;
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set) {
+  os << "{";
+  for (size_t k = 0; k < set.intervals().size(); ++k) {
+    if (k > 0) os << " ";
+    os << set.intervals()[k];
+  }
+  return os << "}";
+}
+
+}  // namespace trel

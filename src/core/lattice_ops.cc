@@ -1,0 +1,84 @@
+#include "core/lattice_ops.h"
+#include <iterator>
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace trel {
+namespace {
+
+// Intersection of two sorted id vectors.
+std::vector<NodeId> Intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> LatticeOps::AncestorsOf(NodeId v) const {
+  std::vector<NodeId> result = closure_->Predecessors(v);
+  result.push_back(v);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<NodeId> LatticeOps::DescendantsOf(NodeId v) const {
+  std::vector<NodeId> result = closure_->Successors(v);
+  result.push_back(v);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<NodeId> LatticeOps::LeastCommonAncestors(NodeId u, NodeId v) const {
+  const std::vector<NodeId> common =
+      Intersect(AncestorsOf(u), AncestorsOf(v));
+  // Keep c iff no other common ancestor lies strictly below it (i.e., c
+  // reaches no other member of `common`).
+  std::vector<NodeId> minimal;
+  for (NodeId c : common) {
+    bool is_minimal = true;
+    for (NodeId d : common) {
+      if (c != d && closure_->Reaches(c, d)) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) minimal.push_back(c);
+  }
+  return minimal;
+}
+
+std::vector<NodeId> LatticeOps::GreatestCommonDescendants(NodeId u,
+                                                          NodeId v) const {
+  const std::vector<NodeId> common =
+      Intersect(DescendantsOf(u), DescendantsOf(v));
+  // Keep c iff no other common descendant lies strictly above it.
+  std::vector<NodeId> maximal;
+  for (NodeId c : common) {
+    bool is_maximal = true;
+    for (NodeId d : common) {
+      if (c != d && closure_->Reaches(d, c)) {
+        is_maximal = false;
+        break;
+      }
+    }
+    if (is_maximal) maximal.push_back(c);
+  }
+  return maximal;
+}
+
+bool LatticeOps::AreDisjoint(NodeId u, NodeId v) const {
+  // Cheap pre-check: comparable nodes share the lower one.
+  if (Comparable(u, v)) return false;
+  return Intersect(DescendantsOf(u), DescendantsOf(v)).empty();
+}
+
+bool LatticeOps::Comparable(NodeId u, NodeId v) const {
+  return closure_->Reaches(u, v) || closure_->Reaches(v, u);
+}
+
+}  // namespace trel

@@ -1,0 +1,51 @@
+#ifndef TREL_CORE_LATTICE_OPS_H_
+#define TREL_CORE_LATTICE_OPS_H_
+
+#include <vector>
+
+#include "core/predecessor_index.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Order-theoretic operations over the DAG's reachability partial order,
+// backed by the compressed closure.  The paper (Sections 5 and 6) lists
+// these as target applications: "we can use these compression techniques
+// for the computation of subsumption, disjointness, least common
+// ancestors, and other properties in frame-based knowledge representation
+// systems", and compares against Ait-Kaci et al.'s lattice encodings.
+//
+// Conventions: u is an ancestor of v iff u reaches v (reflexively); the
+// "least" common ancestors are the minimal elements of the common
+// ancestor set under reachability (there can be several in a DAG).
+class LatticeOps {
+ public:
+  explicit LatticeOps(const BidirectionalClosure* closure)
+      : closure_(closure) {}
+
+  // Minimal common ancestors of u and v (the DAG generalization of LCA;
+  // the "least upper bound" candidates of Ait-Kaci et al. [5]).  If u
+  // reaches v, this is {u}.  Sorted by node id.
+  std::vector<NodeId> LeastCommonAncestors(NodeId u, NodeId v) const;
+
+  // Maximal common descendants (the "greatest lower bound" candidates).
+  std::vector<NodeId> GreatestCommonDescendants(NodeId u, NodeId v) const;
+
+  // True iff u and v have no common descendant — concept disjointness:
+  // nothing can be an instance of both.
+  bool AreDisjoint(NodeId u, NodeId v) const;
+
+  // True iff u reaches v or v reaches u.
+  bool Comparable(NodeId u, NodeId v) const;
+
+ private:
+  // Sorted reflexive ancestor/descendant id sets.
+  std::vector<NodeId> AncestorsOf(NodeId v) const;
+  std::vector<NodeId> DescendantsOf(NodeId v) const;
+
+  const BidirectionalClosure* closure_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_CORE_LATTICE_OPS_H_

@@ -1,0 +1,33 @@
+#include "core/path_finder.h"
+
+#include "common/check.h"
+
+namespace trel {
+
+std::vector<NodeId> FindPath(const Digraph& graph,
+                             const CompressedClosure& closure, NodeId source,
+                             NodeId target) {
+  TREL_CHECK(graph.IsValidNode(source));
+  TREL_CHECK(graph.IsValidNode(target));
+  if (!closure.Reaches(source, target)) return {};
+
+  std::vector<NodeId> path = {source};
+  NodeId current = source;
+  while (current != target) {
+    NodeId next = kNoNode;
+    for (NodeId w : graph.OutNeighbors(current)) {
+      if (closure.Reaches(w, target)) {
+        next = w;
+        break;
+      }
+    }
+    // Reaches(current, target) && current != target guarantees some
+    // out-neighbor still reaches the target in a DAG.
+    TREL_CHECK(next != kNoNode) << "closure inconsistent with graph";
+    path.push_back(next);
+    current = next;
+  }
+  return path;
+}
+
+}  // namespace trel

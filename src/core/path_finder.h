@@ -1,0 +1,27 @@
+#ifndef TREL_CORE_PATH_FINDER_H_
+#define TREL_CORE_PATH_FINDER_H_
+
+#include <vector>
+
+#include "core/compressed_closure.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Witness-path reconstruction guided by the compressed closure: instead
+// of a blind DFS, each step picks an out-neighbor that still reaches the
+// target (one interval lookup per candidate), so the walk never
+// backtracks.  Cost: O(path length x out-degree x lookup), independent of
+// the rest of the graph — the "lookup instead of traversal" economics
+// extended from boolean queries to path queries.
+//
+// Returns the node sequence from `source` to `target` inclusive, or an
+// empty vector when the target is unreachable.  {source} when source ==
+// target.
+std::vector<NodeId> FindPath(const Digraph& graph,
+                             const CompressedClosure& closure, NodeId source,
+                             NodeId target);
+
+}  // namespace trel
+
+#endif  // TREL_CORE_PATH_FINDER_H_

@@ -1,0 +1,27 @@
+#include "core/predecessor_index.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace trel {
+
+Digraph ReverseGraph(const Digraph& graph) {
+  Digraph reversed(graph.NumNodes());
+  for (const auto& [from, to] : graph.Arcs()) {
+    TREL_CHECK(reversed.AddArc(to, from).ok());
+  }
+  return reversed;
+}
+
+StatusOr<BidirectionalClosure> BidirectionalClosure::Build(
+    const Digraph& graph, const ClosureOptions& options) {
+  TREL_ASSIGN_OR_RETURN(CompressedClosure forward,
+                        CompressedClosure::Build(graph, options));
+  TREL_ASSIGN_OR_RETURN(CompressedClosure backward,
+                        CompressedClosure::Build(ReverseGraph(graph),
+                                                 options));
+  return BidirectionalClosure(std::move(forward), std::move(backward));
+}
+
+}  // namespace trel

@@ -1,0 +1,64 @@
+#ifndef TREL_CORE_PREDECESSOR_INDEX_H_
+#define TREL_CORE_PREDECESSOR_INDEX_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/compressed_closure.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Bidirectional compressed closure: a forward index over the graph plus a
+// second interval labeling of the *reversed* graph, so that predecessor
+// queries ("who inherits from v", "what breaks if v changes") are as
+// cheap as successor queries instead of the O(total intervals) scan that
+// CompressedClosure::Predecessors performs.
+//
+// Storage is simply two compressed closures; the paper's compression
+// argument applies to each direction independently.
+class BidirectionalClosure {
+ public:
+  static StatusOr<BidirectionalClosure> Build(
+      const Digraph& graph, const ClosureOptions& options = {});
+
+  bool Reaches(NodeId u, NodeId v) const { return forward_.Reaches(u, v); }
+
+  // All nodes reachable from u / that reach v, excluding the node itself.
+  std::vector<NodeId> Successors(NodeId u) const {
+    return forward_.Successors(u);
+  }
+  std::vector<NodeId> Predecessors(NodeId v) const {
+    return backward_.Successors(v);
+  }
+
+  int64_t CountSuccessors(NodeId u) const {
+    return forward_.CountSuccessors(u);
+  }
+  int64_t CountPredecessors(NodeId v) const {
+    return backward_.CountSuccessors(v);
+  }
+
+  NodeId NumNodes() const { return forward_.NumNodes(); }
+  int64_t TotalIntervals() const {
+    return forward_.TotalIntervals() + backward_.TotalIntervals();
+  }
+  int64_t StorageUnits() const { return 2 * TotalIntervals(); }
+
+  const CompressedClosure& forward() const { return forward_; }
+  const CompressedClosure& backward() const { return backward_; }
+
+ private:
+  BidirectionalClosure(CompressedClosure forward, CompressedClosure backward)
+      : forward_(std::move(forward)), backward_(std::move(backward)) {}
+
+  CompressedClosure forward_;
+  CompressedClosure backward_;
+};
+
+// Reverses every arc of `graph`.
+Digraph ReverseGraph(const Digraph& graph);
+
+}  // namespace trel
+
+#endif  // TREL_CORE_PREDECESSOR_INDEX_H_

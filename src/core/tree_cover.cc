@@ -1,0 +1,228 @@
+#include "core/tree_cover.h"
+
+
+#include <algorithm>
+#include <string>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "graph/topology.h"
+
+namespace trel {
+namespace {
+
+// Fills children/roots from parent[] and returns the completed cover.
+TreeCover FinishCover(std::vector<NodeId> parent) {
+  TreeCover cover;
+  const NodeId n = static_cast<NodeId>(parent.size());
+  cover.children.resize(parent.size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent[v] == kNoNode) {
+      cover.roots.push_back(v);
+    } else {
+      cover.children[parent[v]].push_back(v);
+    }
+  }
+  cover.parent = std::move(parent);
+  return cover;
+}
+
+// Alg1 (optimum tree-cover): in topological order, give each node the
+// immediate predecessor with the largest predecessor set as tree parent,
+// and accumulate pred(j) = union over immediate predecessors i of
+// pred(i) + {i}.  Predecessor sets are bitsets; the union is
+// word-parallel, so the whole pass is O(n * m / 64).
+std::vector<NodeId> OptimalParents(const Digraph& graph,
+                                   const std::vector<NodeId>& topo) {
+  const NodeId n = graph.NumNodes();
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<DynamicBitset> pred(n);
+  std::vector<size_t> pred_size(n, 0);
+  for (NodeId v = 0; v < n; ++v) pred[v] = DynamicBitset(n);
+
+  for (NodeId j : topo) {
+    NodeId best = kNoNode;
+    size_t best_size = 0;
+    for (NodeId i : graph.InNeighbors(j)) {
+      // Deterministic tie-break on node id keeps builds reproducible; the
+      // optimality theorem is indifferent to ties.
+      if (best == kNoNode || pred_size[i] > best_size ||
+          (pred_size[i] == best_size && i < best)) {
+        best = i;
+        best_size = pred_size[i];
+      }
+      pred[j].UnionWith(pred[i]);
+      pred[j].Set(static_cast<size_t>(i));
+    }
+    parent[j] = best;
+    pred_size[j] = pred[j].Count();
+  }
+  return parent;
+}
+
+std::vector<NodeId> DfsParents(const Digraph& graph,
+                               const std::vector<NodeId>& roots) {
+  const NodeId n = graph.NumNodes();
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<bool> visited(n, false);
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId root : roots) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      const auto& out = graph.OutNeighbors(u);
+      if (next < out.size()) {
+        const NodeId w = out[next++];
+        if (!visited[w]) {
+          visited[w] = true;
+          parent[w] = u;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        stack.pop_back();
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+const char* TreeCoverStrategyName(TreeCoverStrategy strategy) {
+  switch (strategy) {
+    case TreeCoverStrategy::kOptimal:
+      return "optimal";
+    case TreeCoverStrategy::kDfs:
+      return "dfs";
+    case TreeCoverStrategy::kFirstParent:
+      return "first_parent";
+    case TreeCoverStrategy::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+StatusOr<TreeCover> ComputeTreeCover(const Digraph& graph,
+                                     TreeCoverStrategy strategy,
+                                     uint64_t seed) {
+  TREL_ASSIGN_OR_RETURN(std::vector<NodeId> topo, TopologicalOrder(graph));
+  const NodeId n = graph.NumNodes();
+  std::vector<NodeId> parent(n, kNoNode);
+  switch (strategy) {
+    case TreeCoverStrategy::kOptimal:
+      parent = OptimalParents(graph, topo);
+      break;
+    case TreeCoverStrategy::kDfs: {
+      std::vector<NodeId> roots;
+      for (NodeId v : topo) {
+        if (graph.InDegree(v) == 0) roots.push_back(v);
+      }
+      parent = DfsParents(graph, roots);
+      break;
+    }
+    case TreeCoverStrategy::kFirstParent:
+      for (NodeId v = 0; v < n; ++v) {
+        if (!graph.InNeighbors(v).empty()) parent[v] = graph.InNeighbors(v)[0];
+      }
+      break;
+    case TreeCoverStrategy::kRandom: {
+      Random rng(seed);
+      for (NodeId v = 0; v < n; ++v) {
+        const auto& in = graph.InNeighbors(v);
+        if (!in.empty()) parent[v] = in[rng.Uniform(in.size())];
+      }
+      break;
+    }
+  }
+  return FinishCover(std::move(parent));
+}
+
+const char* ChildOrderName(ChildOrder order) {
+  switch (order) {
+    case ChildOrder::kInsertion:
+      return "insertion";
+    case ChildOrder::kBySubtreeSizeAsc:
+      return "subtree_asc";
+    case ChildOrder::kBySubtreeSizeDesc:
+      return "subtree_desc";
+    case ChildOrder::kByNodeId:
+      return "node_id";
+  }
+  return "unknown";
+}
+
+void ReorderChildren(TreeCover& cover, ChildOrder order) {
+  if (order == ChildOrder::kInsertion) return;
+  const NodeId n = cover.NumNodes();
+
+  std::vector<int64_t> subtree_size;
+  if (order == ChildOrder::kBySubtreeSizeAsc ||
+      order == ChildOrder::kBySubtreeSizeDesc) {
+    // Sizes bottom-up: process nodes in decreasing depth via a DFS
+    // finish-order pass.
+    subtree_size.assign(n, 1);
+    std::vector<NodeId> finish_order;
+    finish_order.reserve(n);
+    std::vector<std::pair<NodeId, size_t>> stack;
+    for (NodeId root : cover.roots) {
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [v, next] = stack.back();
+        if (next < cover.children[v].size()) {
+          stack.emplace_back(cover.children[v][next++], 0);
+        } else {
+          finish_order.push_back(v);
+          stack.pop_back();
+        }
+      }
+    }
+    for (NodeId v : finish_order) {
+      for (NodeId c : cover.children[v]) subtree_size[v] += subtree_size[c];
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    auto& kids = cover.children[v];
+    switch (order) {
+      case ChildOrder::kInsertion:
+        break;
+      case ChildOrder::kBySubtreeSizeAsc:
+        std::stable_sort(kids.begin(), kids.end(), [&](NodeId a, NodeId b) {
+          return subtree_size[a] < subtree_size[b];
+        });
+        break;
+      case ChildOrder::kBySubtreeSizeDesc:
+        std::stable_sort(kids.begin(), kids.end(), [&](NodeId a, NodeId b) {
+          return subtree_size[a] > subtree_size[b];
+        });
+        break;
+      case ChildOrder::kByNodeId:
+        std::sort(kids.begin(), kids.end());
+        break;
+    }
+  }
+}
+
+StatusOr<TreeCover> TreeCoverFromParents(const Digraph& graph,
+                                         std::vector<NodeId> parent) {
+  if (static_cast<NodeId>(parent.size()) != graph.NumNodes()) {
+    return InvalidArgumentError("parent vector size mismatch");
+  }
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (parent[v] == kNoNode) continue;
+    if (!graph.HasArc(parent[v], v)) {
+      return InvalidArgumentError(
+          "parent " + std::to_string(parent[v]) + " of node " +
+          std::to_string(v) + " is not an immediate predecessor");
+    }
+  }
+  return FinishCover(std::move(parent));
+}
+
+}  // namespace trel

@@ -1,0 +1,83 @@
+#ifndef TREL_CORE_TREE_COVER_H_
+#define TREL_CORE_TREE_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// How the spanning tree (forest) covering the DAG is chosen.  The choice
+// determines how many non-tree intervals survive subsumption, i.e., the
+// compressed closure size.
+enum class TreeCoverStrategy {
+  // The paper's Alg1: process nodes in topological order; the tree parent
+  // of each node is its immediate predecessor with the largest predecessor
+  // set.  Theorem 1: minimizes the total interval count over all tree
+  // covers (when adjacent-interval merging is off).
+  kOptimal,
+  // Tree arc = the arc that first discovers the node in a DFS from the
+  // roots.  A reasonable heuristic; used as an ablation baseline.
+  kDfs,
+  // Tree parent = first immediate predecessor in insertion order.
+  kFirstParent,
+  // Tree parent = uniformly random immediate predecessor.  Ablation
+  // baseline showing how much Alg1 buys over an arbitrary cover.
+  kRandom,
+};
+
+const char* TreeCoverStrategyName(TreeCoverStrategy strategy);
+
+// A spanning forest of the DAG in which every node's parent is one of its
+// immediate predecessors.  Roots (nodes with no predecessors) have parent
+// kNoNode; conceptually they hang off the paper's "virtual root".
+struct TreeCover {
+  // parent[v] = tree parent of v, or kNoNode for roots.
+  std::vector<NodeId> parent;
+  // children[v] = tree children of v in deterministic order.
+  std::vector<std::vector<NodeId>> children;
+  // Roots in ascending id order.
+  std::vector<NodeId> roots;
+
+  NodeId NumNodes() const { return static_cast<NodeId>(parent.size()); }
+};
+
+// Computes a tree cover of `graph` using `strategy`.  `seed` only matters
+// for kRandom.  Fails with FailedPrecondition if `graph` is cyclic.
+StatusOr<TreeCover> ComputeTreeCover(const Digraph& graph,
+                                     TreeCoverStrategy strategy,
+                                     uint64_t seed = 0);
+
+// Ordering of siblings in the postorder traversal.  Interval *counts*
+// without merging are order-independent (Lemma 4 is structural), but the
+// Section 3.2 adjacent-interval merging is order-dependent; the paper
+// leaves the optimum ordering open ("appears to be a combinatorial
+// problem").  These heuristics are measured in bench/tbl_child_order.
+enum class ChildOrder {
+  // Arc insertion order (the default; matches the paper's figures).
+  kInsertion,
+  // Smallest subtree first: clusters small leaves next to each other.
+  kBySubtreeSizeAsc,
+  // Largest subtree first.
+  kBySubtreeSizeDesc,
+  // Ascending node id: deterministic across cover strategies.
+  kByNodeId,
+};
+
+const char* ChildOrderName(ChildOrder order);
+
+// Rewrites cover.children in place according to `order`.
+void ReorderChildren(TreeCover& cover, ChildOrder order);
+
+// Builds the TreeCover bookkeeping (children lists, roots) from an
+// explicit parent assignment.  Every non-root parent must be an immediate
+// predecessor of its child in `graph`; used by tests to brute-force all
+// covers.  Fails on invalid parents.
+StatusOr<TreeCover> TreeCoverFromParents(const Digraph& graph,
+                                         std::vector<NodeId> parent);
+
+}  // namespace trel
+
+#endif  // TREL_CORE_TREE_COVER_H_

@@ -1,0 +1,98 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace trel {
+
+NodeId Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+Status Digraph::AddArc(NodeId from, NodeId to) {
+  if (!IsValidNode(from) || !IsValidNode(to)) {
+    return InvalidArgumentError("arc endpoint out of range: (" +
+                                std::to_string(from) + "," +
+                                std::to_string(to) + ")");
+  }
+  if (from == to) {
+    return InvalidArgumentError("self-loop rejected: node " +
+                                std::to_string(from));
+  }
+  if (HasArc(from, to)) {
+    return AlreadyExistsError("duplicate arc (" + std::to_string(from) + "," +
+                              std::to_string(to) + ")");
+  }
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++num_arcs_;
+  return Status::Ok();
+}
+
+Status Digraph::RemoveArc(NodeId from, NodeId to) {
+  if (!IsValidNode(from) || !IsValidNode(to)) {
+    return InvalidArgumentError("arc endpoint out of range");
+  }
+  auto out_it = std::find(out_[from].begin(), out_[from].end(), to);
+  if (out_it == out_[from].end()) {
+    return NotFoundError("arc (" + std::to_string(from) + "," +
+                         std::to_string(to) + ") not present");
+  }
+  out_[from].erase(out_it);
+  auto in_it = std::find(in_[to].begin(), in_[to].end(), from);
+  TREL_CHECK(in_it != in_[to].end());
+  in_[to].erase(in_it);
+  --num_arcs_;
+  return Status::Ok();
+}
+
+bool Digraph::HasArc(NodeId from, NodeId to) const {
+  if (!IsValidNode(from) || !IsValidNode(to)) return false;
+  // Scan the smaller of the two adjacency lists.
+  if (out_[from].size() <= in_[to].size()) {
+    return std::find(out_[from].begin(), out_[from].end(), to) !=
+           out_[from].end();
+  }
+  return std::find(in_[to].begin(), in_[to].end(), from) != in_[to].end();
+}
+
+const std::vector<NodeId>& Digraph::OutNeighbors(NodeId node) const {
+  TREL_CHECK(IsValidNode(node)) << "node" << node;
+  return out_[node];
+}
+
+const std::vector<NodeId>& Digraph::InNeighbors(NodeId node) const {
+  TREL_CHECK(IsValidNode(node)) << "node" << node;
+  return in_[node];
+}
+
+std::vector<NodeId> Digraph::RootNodes() const {
+  std::vector<NodeId> roots;
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    if (in_[v].empty()) roots.push_back(v);
+  }
+  return roots;
+}
+
+std::vector<NodeId> Digraph::LeafNodes() const {
+  std::vector<NodeId> leaves;
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    if (out_[v].empty()) leaves.push_back(v);
+  }
+  return leaves;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Digraph::Arcs() const {
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arcs.reserve(static_cast<size_t>(num_arcs_));
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : out_[u]) arcs.emplace_back(u, v);
+  }
+  return arcs;
+}
+
+}  // namespace trel

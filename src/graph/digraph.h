@@ -1,0 +1,88 @@
+#ifndef TREL_GRAPH_DIGRAPH_H_
+#define TREL_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trel {
+
+// Node identifier.  Nodes are dense integers [0, NumNodes()).
+using NodeId = int32_t;
+
+// Sentinel for "no node" (e.g., the tree parent of a root).
+inline constexpr NodeId kNoNode = -1;
+
+// Mutable directed graph with both out- and in-adjacency lists.
+//
+// This is the base representation for the binary relation whose transitive
+// closure the library compresses: one node per distinct value, one arc per
+// tuple.  Parallel arcs are rejected; self-loops are rejected (the closure
+// machinery assumes simple graphs and handles cycles via condensation, see
+// scc.h).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(NodeId num_nodes)
+      : out_(num_nodes), in_(num_nodes), num_arcs_(0) {}
+
+  Digraph(const Digraph&) = default;
+  Digraph& operator=(const Digraph&) = default;
+  Digraph(Digraph&&) = default;
+  Digraph& operator=(Digraph&&) = default;
+
+  NodeId NumNodes() const { return static_cast<NodeId>(out_.size()); }
+  int64_t NumArcs() const { return num_arcs_; }
+
+  // Appends a new isolated node and returns its id.
+  NodeId AddNode();
+
+  // Adds the arc (from, to).  Fails with InvalidArgument on out-of-range
+  // endpoints or self-loops, AlreadyExists on duplicate arcs.
+  Status AddArc(NodeId from, NodeId to);
+
+  // Removes the arc (from, to); NotFound if absent.
+  Status RemoveArc(NodeId from, NodeId to);
+
+  bool HasArc(NodeId from, NodeId to) const;
+
+  bool IsValidNode(NodeId node) const {
+    return node >= 0 && node < NumNodes();
+  }
+
+  // Immediate successors of `node` (direct arcs out).
+  const std::vector<NodeId>& OutNeighbors(NodeId node) const;
+  // Immediate predecessors of `node` (direct arcs in).
+  const std::vector<NodeId>& InNeighbors(NodeId node) const;
+
+  int OutDegree(NodeId node) const {
+    return static_cast<int>(OutNeighbors(node).size());
+  }
+  int InDegree(NodeId node) const {
+    return static_cast<int>(InNeighbors(node).size());
+  }
+
+  // Nodes with no incoming arcs (the candidates the paper hooks to a
+  // virtual root).
+  std::vector<NodeId> RootNodes() const;
+  // Nodes with no outgoing arcs.
+  std::vector<NodeId> LeafNodes() const;
+
+  // All arcs as (from, to) pairs, ordered by from then insertion order.
+  std::vector<std::pair<NodeId, NodeId>> Arcs() const;
+
+  bool operator==(const Digraph& other) const {
+    return out_ == other.out_;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  int64_t num_arcs_ = 0;
+};
+
+}  // namespace trel
+
+#endif  // TREL_GRAPH_DIGRAPH_H_

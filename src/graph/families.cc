@@ -1,0 +1,132 @@
+#include "graph/families.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace trel {
+
+Digraph GridDag(int rows, int cols) {
+  TREL_CHECK_GE(rows, 1);
+  TREL_CHECK_GE(cols, 1);
+  Digraph graph(static_cast<NodeId>(rows) * cols);
+  auto id = [cols](int r, int c) { return static_cast<NodeId>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) TREL_CHECK(graph.AddArc(id(r, c), id(r, c + 1)).ok());
+      if (r + 1 < rows) TREL_CHECK(graph.AddArc(id(r, c), id(r + 1, c)).ok());
+    }
+  }
+  return graph;
+}
+
+Digraph SeriesParallelDag(int operations, uint64_t seed) {
+  TREL_CHECK_GE(operations, 0);
+  // Components as (source, sink, arcs) over a growing node space; compose
+  // randomly, then emit one Digraph.
+  struct Component {
+    NodeId source;
+    NodeId sink;
+  };
+  Random rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  NodeId next_node = 0;
+  auto make_edge = [&]() {
+    const NodeId a = next_node++;
+    const NodeId b = next_node++;
+    arcs.emplace_back(a, b);
+    return Component{a, b};
+  };
+
+  std::vector<Component> pool = {make_edge()};
+  for (int op = 0; op < operations; ++op) {
+    // Grow the pool sometimes so compositions have material to work with.
+    if (pool.size() < 2 || rng.Bernoulli(0.4)) {
+      pool.push_back(make_edge());
+      continue;
+    }
+    const size_t i = rng.Uniform(pool.size());
+    size_t j = rng.Uniform(pool.size() - 1);
+    if (j >= i) ++j;
+    Component a = pool[i];
+    Component b = pool[j];
+    // Remove the higher index first.
+    pool.erase(pool.begin() + static_cast<int64_t>(std::max(i, j)));
+    pool.erase(pool.begin() + static_cast<int64_t>(std::min(i, j)));
+    if (rng.Bernoulli(0.5)) {
+      // Series: a.sink -> b.source.
+      arcs.emplace_back(a.sink, b.source);
+      pool.push_back({a.source, b.sink});
+    } else {
+      // Parallel: shared endpoints via fresh source/sink.
+      const NodeId source = next_node++;
+      const NodeId sink = next_node++;
+      arcs.emplace_back(source, a.source);
+      arcs.emplace_back(source, b.source);
+      arcs.emplace_back(a.sink, sink);
+      arcs.emplace_back(b.sink, sink);
+      pool.push_back({source, sink});
+    }
+  }
+
+  Digraph graph(next_node);
+  for (const auto& [from, to] : arcs) {
+    TREL_CHECK(graph.AddArc(from, to).ok());
+  }
+  return graph;
+}
+
+Digraph PowerLawDag(NodeId num_nodes, double alpha, int max_degree,
+                    uint64_t seed) {
+  TREL_CHECK_GT(num_nodes, 0);
+  TREL_CHECK_GT(alpha, 1.0);
+  TREL_CHECK_GE(max_degree, 1);
+  Random rng(seed);
+  Digraph graph(num_nodes);
+
+  // Precompute the Zipf CDF over degrees 1..max_degree.
+  std::vector<double> cdf(static_cast<size_t>(max_degree));
+  double total = 0;
+  for (int k = 1; k <= max_degree; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), alpha);
+    cdf[static_cast<size_t>(k - 1)] = total;
+  }
+  for (double& x : cdf) x /= total;
+
+  for (NodeId v = 0; v + 1 < num_nodes; ++v) {
+    const double u = rng.NextDouble();
+    int degree = 1;
+    while (degree < max_degree && u > cdf[static_cast<size_t>(degree - 1)]) {
+      ++degree;
+    }
+    for (int k = 0; k < degree; ++k) {
+      const NodeId w = v + 1 +
+                       static_cast<NodeId>(rng.Uniform(
+                           static_cast<uint64_t>(num_nodes - v - 1)));
+      // Duplicates are simply skipped.
+      (void)graph.AddArc(v, w);
+    }
+  }
+  return graph;
+}
+
+Digraph GenealogyDag(NodeId num_nodes, NodeId founders, uint64_t seed) {
+  TREL_CHECK_GE(founders, 2);
+  TREL_CHECK_GE(num_nodes, founders);
+  Random rng(seed);
+  Digraph graph(num_nodes);
+  for (NodeId v = founders; v < num_nodes; ++v) {
+    const NodeId p1 = static_cast<NodeId>(rng.Uniform(v));
+    NodeId p2 = static_cast<NodeId>(rng.Uniform(v - 1));
+    if (p2 >= p1) ++p2;
+    TREL_CHECK(graph.AddArc(p1, v).ok());
+    TREL_CHECK(graph.AddArc(p2, v).ok());
+  }
+  return graph;
+}
+
+}  // namespace trel

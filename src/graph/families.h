@@ -1,0 +1,35 @@
+#ifndef TREL_GRAPH_FAMILIES_H_
+#define TREL_GRAPH_FAMILIES_H_
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Structured DAG families beyond the paper's random/bipartite workloads,
+// used by the extended benches and property sweeps.  Each models a shape
+// that shows up in the paper's motivating applications (part hierarchies,
+// IS-A lattices, dependency graphs).
+
+// Grid DAG: rows x cols nodes; arcs go right and down.  Node (r, c) has
+// id r*cols + c.  Wide "lattice-like" reachability with many diamonds.
+Digraph GridDag(int rows, int cols);
+
+// Series-parallel DAG built by `operations` random series/parallel
+// compositions starting from single arcs.  Models structured workflows;
+// its closure compresses extremely well.
+Digraph SeriesParallelDag(int operations, uint64_t seed);
+
+// DAG with power-law out-degrees (citation-graph-like): node i links to
+// `Zipf(alpha)`-many uniformly random later nodes.
+Digraph PowerLawDag(NodeId num_nodes, double alpha, int max_degree,
+                    uint64_t seed);
+
+// Genealogy-style DAG: every node except the founders has exactly two
+// distinct earlier parents (in-degree 2).  `founders` >= 2.
+Digraph GenealogyDag(NodeId num_nodes, NodeId founders, uint64_t seed);
+
+}  // namespace trel
+
+#endif  // TREL_GRAPH_FAMILIES_H_

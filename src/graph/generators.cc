@@ -1,0 +1,182 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace trel {
+namespace {
+
+// Packs an ordered pair into one key for the dedupe set.
+uint64_t PairKey(NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+Digraph RandomDag(NodeId num_nodes, double avg_out_degree, uint64_t seed) {
+  TREL_CHECK_GT(num_nodes, 0);
+  TREL_CHECK_GE(avg_out_degree, 0.0);
+  Digraph graph(num_nodes);
+  const int64_t max_arcs =
+      static_cast<int64_t>(num_nodes) * (num_nodes - 1) / 2;
+  int64_t target = std::llround(avg_out_degree * num_nodes);
+  target = std::min(target, max_arcs);
+
+  Random rng(seed);
+  std::unordered_set<uint64_t> used;
+  used.reserve(static_cast<size_t>(target) * 2);
+
+  // Rejection sampling is efficient while the graph is sparse; for dense
+  // requests (> half the possible arcs) enumerate-and-shuffle instead.
+  if (target <= max_arcs / 2 || max_arcs < 64) {
+    int64_t added = 0;
+    while (added < target) {
+      NodeId a = static_cast<NodeId>(rng.Uniform(num_nodes));
+      NodeId b = static_cast<NodeId>(rng.Uniform(num_nodes));
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      if (!used.insert(PairKey(a, b)).second) continue;
+      TREL_CHECK(graph.AddArc(a, b).ok());
+      ++added;
+    }
+  } else {
+    std::vector<std::pair<NodeId, NodeId>> all;
+    all.reserve(static_cast<size_t>(max_arcs));
+    for (NodeId i = 0; i < num_nodes; ++i) {
+      for (NodeId j = i + 1; j < num_nodes; ++j) all.emplace_back(i, j);
+    }
+    // Fisher-Yates prefix shuffle of length `target`.
+    for (int64_t i = 0; i < target; ++i) {
+      const int64_t j =
+          i + static_cast<int64_t>(rng.Uniform(all.size() - i));
+      std::swap(all[i], all[j]);
+      TREL_CHECK(graph.AddArc(all[i].first, all[i].second).ok());
+    }
+  }
+  return graph;
+}
+
+Digraph RandomTree(NodeId num_nodes, uint64_t seed) {
+  TREL_CHECK_GT(num_nodes, 0);
+  Digraph graph(num_nodes);
+  Random rng(seed);
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const NodeId parent = static_cast<NodeId>(rng.Uniform(v));
+    TREL_CHECK(graph.AddArc(parent, v).ok());
+  }
+  return graph;
+}
+
+Digraph CompleteTree(int branching, int depth) {
+  TREL_CHECK_GE(branching, 1);
+  TREL_CHECK_GE(depth, 0);
+  // Number of nodes = (b^(depth+1) - 1) / (b - 1); build breadth-first.
+  Digraph graph;
+  const NodeId root = graph.AddNode();
+  std::vector<NodeId> frontier = {root};
+  for (int level = 0; level < depth; ++level) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * static_cast<size_t>(branching));
+    for (NodeId parent : frontier) {
+      for (int c = 0; c < branching; ++c) {
+        const NodeId child = graph.AddNode();
+        TREL_CHECK(graph.AddArc(parent, child).ok());
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return graph;
+}
+
+Digraph LayeredDag(int layers, int width, double arc_prob, uint64_t seed) {
+  TREL_CHECK_GE(layers, 1);
+  TREL_CHECK_GE(width, 1);
+  Digraph graph(static_cast<NodeId>(layers) * width);
+  Random rng(seed);
+  for (int layer = 0; layer + 1 < layers; ++layer) {
+    for (int a = 0; a < width; ++a) {
+      for (int b = 0; b < width; ++b) {
+        if (rng.Bernoulli(arc_prob)) {
+          const NodeId u = static_cast<NodeId>(layer * width + a);
+          const NodeId v = static_cast<NodeId>((layer + 1) * width + b);
+          TREL_CHECK(graph.AddArc(u, v).ok());
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+Digraph CompleteBipartite(NodeId num_top, NodeId num_bottom) {
+  TREL_CHECK_GT(num_top, 0);
+  TREL_CHECK_GT(num_bottom, 0);
+  Digraph graph(num_top + num_bottom);
+  for (NodeId u = 0; u < num_top; ++u) {
+    for (NodeId v = 0; v < num_bottom; ++v) {
+      TREL_CHECK(graph.AddArc(u, num_top + v).ok());
+    }
+  }
+  return graph;
+}
+
+Digraph BipartiteWithIntermediary(NodeId num_top, NodeId num_bottom) {
+  TREL_CHECK_GT(num_top, 0);
+  TREL_CHECK_GT(num_bottom, 0);
+  Digraph graph(num_top + 1 + num_bottom);
+  const NodeId middle = num_top;
+  for (NodeId u = 0; u < num_top; ++u) {
+    TREL_CHECK(graph.AddArc(u, middle).ok());
+  }
+  for (NodeId v = 0; v < num_bottom; ++v) {
+    TREL_CHECK(graph.AddArc(middle, middle + 1 + v).ok());
+  }
+  return graph;
+}
+
+int64_t EnumerateDagsOverOrder(
+    NodeId num_nodes, const std::function<void(const Digraph&)>& fn) {
+  TREL_CHECK_GT(num_nodes, 0);
+  const int num_slots = num_nodes * (num_nodes - 1) / 2;
+  TREL_CHECK_LE(num_slots, 40) << "enumeration space too large";
+
+  // Precompute the (i, j) pair for each bit position.
+  std::vector<std::pair<NodeId, NodeId>> slots;
+  slots.reserve(static_cast<size_t>(num_slots));
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    for (NodeId j = i + 1; j < num_nodes; ++j) slots.emplace_back(i, j);
+  }
+
+  const uint64_t total = uint64_t{1} << num_slots;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    Digraph graph(num_nodes);
+    for (int bit = 0; bit < num_slots; ++bit) {
+      if ((mask >> bit) & 1) {
+        TREL_CHECK(graph.AddArc(slots[bit].first, slots[bit].second).ok());
+      }
+    }
+    fn(graph);
+  }
+  return static_cast<int64_t>(total);
+}
+
+Digraph SampleDagOverOrder(NodeId num_nodes, uint64_t seed) {
+  TREL_CHECK_GT(num_nodes, 0);
+  Digraph graph(num_nodes);
+  Random rng(seed);
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    for (NodeId j = i + 1; j < num_nodes; ++j) {
+      if (rng.Bernoulli(0.5)) TREL_CHECK(graph.AddArc(i, j).ok());
+    }
+  }
+  return graph;
+}
+
+}  // namespace trel

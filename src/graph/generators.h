@@ -1,0 +1,61 @@
+#ifndef TREL_GRAPH_GENERATORS_H_
+#define TREL_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Synthetic workloads.  The paper's evaluation ("Following [1], synthetic
+// graphs were used as data sets") is parameterized by node count and
+// average out-degree; the generators here reproduce that methodology plus
+// the special families used in Sections 3.2 and 3.3.
+
+// Random DAG with `num_nodes` nodes and round(num_nodes * avg_out_degree)
+// distinct arcs, sampled uniformly over ordered pairs (i, j) with i < j in
+// a fixed topological order (node ids are the order).  This matches the
+// Agrawal–Jagadish VLDB'87 methodology the paper cites: acyclicity is
+// guaranteed by construction, arcs are otherwise uniform.  The arc count
+// is capped at the DAG maximum n(n-1)/2.
+Digraph RandomDag(NodeId num_nodes, double avg_out_degree, uint64_t seed);
+
+// Random tree: node 0 is the root; each node i >= 1 gets a uniformly
+// random parent in [0, i).  Arcs run parent -> child.
+Digraph RandomTree(NodeId num_nodes, uint64_t seed);
+
+// Complete tree with the given branching factor and depth (depth 0 is a
+// single root).  Arcs run parent -> child.
+Digraph CompleteTree(int branching, int depth);
+
+// Layered DAG: `layers` layers of `width` nodes; each (u, w) pair in
+// consecutive layers is an arc with probability `arc_prob`.
+Digraph LayeredDag(int layers, int width, double arc_prob, uint64_t seed);
+
+// Complete bipartite graph: every one of `num_top` source nodes has an arc
+// to every one of `num_bottom` sink nodes.  The paper's worst case for
+// interval compression (Figure 3.6): Theta(num_top * num_bottom) intervals.
+Digraph CompleteBipartite(NodeId num_top, NodeId num_bottom);
+
+// The Figure 3.7 fix: same reachability as CompleteBipartite but routed
+// through one intermediary node, collapsing the closure to O(n) intervals.
+// Node layout: [0, num_top) sources, num_top = intermediary,
+// (num_top, num_top + num_bottom] sinks.
+Digraph BipartiteWithIntermediary(NodeId num_top, NodeId num_bottom);
+
+// Enumerates every DAG over the fixed topological order 0 < 1 < ... < n-1:
+// all 2^(n(n-1)/2) subsets of the arcs (i, j), i < j.  This is the
+// population behind the paper's Figure 3.12 sensitivity experiment.
+// Practical for n <= 6 or so; aborts if n(n-1)/2 > 40.
+// Returns the number of graphs visited.
+int64_t EnumerateDagsOverOrder(NodeId num_nodes,
+                               const std::function<void(const Digraph&)>& fn);
+
+// One uniform sample from the same population (each possible arc present
+// independently with probability 1/2).
+Digraph SampleDagOverOrder(NodeId num_nodes, uint64_t seed);
+
+}  // namespace trel
+
+#endif  // TREL_GRAPH_GENERATORS_H_

@@ -1,0 +1,29 @@
+#ifndef TREL_GRAPH_GRAPH_IO_H_
+#define TREL_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <vector>
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Writes one "<from> <to>" line per arc, preceded by a header line
+// "# nodes <n>" so isolated nodes round-trip.
+void WriteEdgeList(const Digraph& graph, std::ostream& os);
+
+// Parses the WriteEdgeList format.  Lines starting with '#' other than the
+// header are comments.  Fails with InvalidArgument on malformed input.
+StatusOr<Digraph> ReadEdgeList(std::istream& is);
+
+// Graphviz rendering for debugging and documentation examples.
+// `tree_parent` (optional, may be empty) draws tree-cover arcs solid and
+// non-tree arcs dashed, matching the paper's figures.
+std::string ToDot(const Digraph& graph,
+                  const std::vector<NodeId>& tree_parent = {});
+
+}  // namespace trel
+
+#endif  // TREL_GRAPH_GRAPH_IO_H_

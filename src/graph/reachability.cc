@@ -1,0 +1,96 @@
+#include "graph/reachability.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "graph/topology.h"
+
+namespace trel {
+
+bool DfsReaches(const Digraph& graph, NodeId source, NodeId target) {
+  TREL_CHECK(graph.IsValidNode(source));
+  TREL_CHECK(graph.IsValidNode(target));
+  if (source == target) return true;
+  std::vector<bool> visited(graph.NumNodes(), false);
+  std::vector<NodeId> stack = {source};
+  visited[source] = true;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId w : graph.OutNeighbors(u)) {
+      if (w == target) return true;
+      if (!visited[w]) {
+        visited[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> DfsReachableSet(const Digraph& graph, NodeId source) {
+  TREL_CHECK(graph.IsValidNode(source));
+  std::vector<bool> visited(graph.NumNodes(), false);
+  std::vector<NodeId> stack = {source};
+  std::vector<NodeId> result = {source};
+  visited[source] = true;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId w : graph.OutNeighbors(u)) {
+      if (!visited[w]) {
+        visited[w] = true;
+        result.push_back(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return result;
+}
+
+ReachabilityMatrix::ReachabilityMatrix(const Digraph& graph) {
+  const NodeId n = graph.NumNodes();
+  rows_.assign(n, DynamicBitset(static_cast<size_t>(n)));
+
+  auto order = TopologicalOrder(graph);
+  if (order.ok()) {
+    // DAG: union successor rows in reverse topological order.
+    const std::vector<NodeId>& topo = order.value();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId u = *it;
+      for (NodeId w : graph.OutNeighbors(u)) {
+        rows_[u].Set(static_cast<size_t>(w));
+        rows_[u].UnionWith(rows_[w]);
+      }
+    }
+    // Keep the diagonal clear: a union through a cycle cannot happen in a
+    // DAG, so no extra pass is needed.
+  } else {
+    // General digraph: DFS from every node.
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : DfsReachableSet(graph, u)) {
+        if (v != u) rows_[u].Set(static_cast<size_t>(v));
+      }
+    }
+  }
+}
+
+int64_t ReachabilityMatrix::NumClosurePairs() const {
+  int64_t total = 0;
+  for (const DynamicBitset& row : rows_) {
+    total += static_cast<int64_t>(row.Count());
+  }
+  return total;
+}
+
+std::vector<NodeId> ReachabilityMatrix::Successors(NodeId u) const {
+  TREL_CHECK_GE(u, 0);
+  TREL_CHECK_LT(static_cast<size_t>(u), rows_.size());
+  std::vector<NodeId> result;
+  for (size_t v = 0; v < rows_[u].size(); ++v) {
+    if (rows_[u].Test(v)) result.push_back(static_cast<NodeId>(v));
+  }
+  return result;
+}
+
+}  // namespace trel

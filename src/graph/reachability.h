@@ -1,0 +1,49 @@
+#ifndef TREL_GRAPH_REACHABILITY_H_
+#define TREL_GRAPH_REACHABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// True iff there is a directed path from `source` to `target` (a node
+// reaches itself).  On-the-fly iterative DFS — the "pointer chasing"
+// baseline the paper argues against for repeated queries.
+bool DfsReaches(const Digraph& graph, NodeId source, NodeId target);
+
+// All nodes reachable from `source`, including `source` itself.
+std::vector<NodeId> DfsReachableSet(const Digraph& graph, NodeId source);
+
+// Ground-truth reachability matrix for testing and for the full-closure
+// baseline: row u has bit v set iff u reaches v (u != v; the diagonal is
+// left clear so Count() sums proper closure pairs).
+//
+// Works on any digraph (cycles allowed).  O(n * m / 64) for DAGs via
+// reverse-topological bitset union; falls back to per-node DFS otherwise.
+class ReachabilityMatrix {
+ public:
+  explicit ReachabilityMatrix(const Digraph& graph);
+
+  bool Reaches(NodeId u, NodeId v) const {
+    if (u == v) return true;
+    return rows_[u].Test(static_cast<size_t>(v));
+  }
+
+  // Number of ordered pairs (u, v), u != v, with u reaching v — the
+  // paper's "storage for the uncompressed transitive closure" in units of
+  // successor-list entries.
+  int64_t NumClosurePairs() const;
+
+  // Successors of u excluding u itself, ascending.
+  std::vector<NodeId> Successors(NodeId u) const;
+
+ private:
+  std::vector<DynamicBitset> rows_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_GRAPH_REACHABILITY_H_

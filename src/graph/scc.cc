@@ -1,0 +1,93 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace trel {
+namespace {
+
+// Iterative Tarjan state per node.
+struct TarjanFrame {
+  NodeId node;
+  size_t next_child;
+};
+
+}  // namespace
+
+Condensation CondenseScc(const Digraph& graph) {
+  const NodeId n = graph.NumNodes();
+  constexpr int kUnvisited = -1;
+
+  std::vector<int> index(n, kUnvisited);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::vector<TarjanFrame> call_stack;
+  std::vector<NodeId> component_of(n, kNoNode);
+  std::vector<std::vector<NodeId>> members;
+  int next_index = 0;
+
+  for (NodeId start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    call_stack.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!call_stack.empty()) {
+      TarjanFrame& frame = call_stack.back();
+      const NodeId u = frame.node;
+      const auto& out = graph.OutNeighbors(u);
+      if (frame.next_child < out.size()) {
+        const NodeId w = out[frame.next_child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[u] = std::min(lowlink[u], index[w]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          // u is the root of an SCC: pop it off the stack.
+          const NodeId component = static_cast<NodeId>(members.size());
+          members.emplace_back();
+          NodeId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component_of[w] = component;
+            members[component].push_back(w);
+          } while (w != u);
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const NodeId parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+
+  Condensation result;
+  result.component_of = std::move(component_of);
+  result.dag = Digraph(static_cast<NodeId>(members.size()));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId w : graph.OutNeighbors(u)) {
+      const NodeId cu = result.component_of[u];
+      const NodeId cw = result.component_of[w];
+      if (cu != cw && !result.dag.HasArc(cu, cw)) {
+        TREL_CHECK(result.dag.AddArc(cu, cw).ok());
+      }
+    }
+  }
+  result.members = std::move(members);
+  return result;
+}
+
+}  // namespace trel

@@ -1,0 +1,33 @@
+#ifndef TREL_GRAPH_SCC_H_
+#define TREL_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Decomposition of a digraph into strongly connected components plus the
+// acyclic condensation graph, per the paper's note that cyclic relations
+// are handled "by collapsing strongly connected components into one node".
+struct Condensation {
+  // component_of[v] = id of v's component in [0, NumComponents).
+  std::vector<NodeId> component_of;
+  // members[c] = nodes in component c.
+  std::vector<std::vector<NodeId>> members;
+  // Acyclic graph with one node per component; arc (a,b) iff some arc in
+  // the original graph crosses from component a to component b.
+  Digraph dag;
+
+  NodeId NumComponents() const {
+    return static_cast<NodeId>(members.size());
+  }
+};
+
+// Computes SCCs (iterative Tarjan, safe for deep graphs) and the
+// condensation DAG.
+Condensation CondenseScc(const Digraph& graph);
+
+}  // namespace trel
+
+#endif  // TREL_GRAPH_SCC_H_

@@ -1,0 +1,51 @@
+#include "graph/topology.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace trel {
+
+StatusOr<std::vector<NodeId>> TopologicalOrder(const Digraph& graph) {
+  const NodeId n = graph.NumNodes();
+  std::vector<int> in_degree(n, 0);
+  for (NodeId v = 0; v < n; ++v) in_degree[v] = graph.InDegree(v);
+
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) queue.push_back(v);
+  }
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    order.push_back(u);
+    for (NodeId w : graph.OutNeighbors(u)) {
+      if (--in_degree[w] == 0) queue.push_back(w);
+    }
+  }
+
+  if (static_cast<NodeId>(order.size()) != n) {
+    return FailedPreconditionError("graph contains a cycle");
+  }
+  return order;
+}
+
+bool IsAcyclic(const Digraph& graph) {
+  return TopologicalOrder(graph).ok();
+}
+
+std::vector<int> PositionsInOrder(const std::vector<NodeId>& order,
+                                  NodeId num_nodes) {
+  std::vector<int> position(num_nodes, -1);
+  for (size_t i = 0; i < order.size(); ++i) {
+    TREL_CHECK_GE(order[i], 0);
+    TREL_CHECK_LT(order[i], num_nodes);
+    position[order[i]] = static_cast<int>(i);
+  }
+  return position;
+}
+
+}  // namespace trel

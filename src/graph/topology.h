@@ -1,0 +1,27 @@
+#ifndef TREL_GRAPH_TOPOLOGY_H_
+#define TREL_GRAPH_TOPOLOGY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Returns the nodes of `graph` in a topological order (every arc goes from
+// an earlier to a later position), or FailedPrecondition if the graph has a
+// cycle.  Kahn's algorithm; deterministic (smaller node ids first among
+// ready nodes is NOT guaranteed — insertion order is).
+StatusOr<std::vector<NodeId>> TopologicalOrder(const Digraph& graph);
+
+// True iff `graph` has no directed cycle.
+bool IsAcyclic(const Digraph& graph);
+
+// Inverse permutation of a topological order: position_of[v] = index of v
+// in `order`.
+std::vector<int> PositionsInOrder(const std::vector<NodeId>& order,
+                                  NodeId num_nodes);
+
+}  // namespace trel
+
+#endif  // TREL_GRAPH_TOPOLOGY_H_

@@ -1,0 +1,259 @@
+#include "kb/taxonomy.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "common/check.h"
+
+namespace trel {
+
+StatusOr<std::vector<Taxonomy::ConceptId>> Taxonomy::ResolveAll(
+    const std::vector<std::string>& names) const {
+  std::vector<ConceptId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    TREL_ASSIGN_OR_RETURN(ConceptId id, Find(name));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Status Taxonomy::RegisterName(const std::string& name, ConceptId id) {
+  TREL_CHECK_EQ(static_cast<size_t>(id), names_.size());
+  ids_[name] = id;
+  names_.push_back(name);
+  properties_.emplace_back();
+  return Status::Ok();
+}
+
+StatusOr<Taxonomy::ConceptId> Taxonomy::AddConcept(
+    const std::string& name, const std::vector<std::string>& parents) {
+  if (name.empty()) return InvalidArgumentError("empty concept name");
+  if (ids_.count(name) > 0) {
+    return AlreadyExistsError("concept '" + name + "' already exists");
+  }
+  TREL_ASSIGN_OR_RETURN(std::vector<ConceptId> parent_ids,
+                        ResolveAll(parents));
+
+  // First parent becomes the tree parent; the rest are non-tree IS-A arcs.
+  TREL_ASSIGN_OR_RETURN(
+      ConceptId id,
+      closure_.AddLeafUnder(parent_ids.empty() ? kNoNode : parent_ids[0]));
+  for (size_t k = 1; k < parent_ids.size(); ++k) {
+    Status s = closure_.AddArc(parent_ids[k], id);
+    if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+  }
+  TREL_RETURN_IF_ERROR(RegisterName(name, id));
+  return id;
+}
+
+Status Taxonomy::AddIsA(const std::string& child, const std::string& parent) {
+  TREL_ASSIGN_OR_RETURN(ConceptId child_id, Find(child));
+  TREL_ASSIGN_OR_RETURN(ConceptId parent_id, Find(parent));
+  return closure_.AddArc(parent_id, child_id);
+}
+
+StatusOr<Taxonomy::ConceptId> Taxonomy::RefineAbove(
+    const std::string& name, const std::string& child,
+    const std::vector<std::string>& parents) {
+  if (ids_.count(name) > 0) {
+    return AlreadyExistsError("concept '" + name + "' already exists");
+  }
+  TREL_ASSIGN_OR_RETURN(ConceptId child_id, Find(child));
+  TREL_ASSIGN_OR_RETURN(std::vector<ConceptId> parent_ids,
+                        ResolveAll(parents));
+  TREL_ASSIGN_OR_RETURN(ConceptId id,
+                        closure_.RefineAbove(child_id, parent_ids));
+  TREL_RETURN_IF_ERROR(RegisterName(name, id));
+  return id;
+}
+
+bool Taxonomy::Subsumes(const std::string& ancestor,
+                        const std::string& descendant) const {
+  auto a = Find(ancestor);
+  auto d = Find(descendant);
+  TREL_CHECK(a.ok()) << "unknown concept" << ancestor;
+  TREL_CHECK(d.ok()) << "unknown concept" << descendant;
+  return closure_.Reaches(a.value(), d.value());
+}
+
+StatusOr<std::vector<std::string>> Taxonomy::DescendantsOf(
+    const std::string& name) const {
+  TREL_ASSIGN_OR_RETURN(ConceptId id, Find(name));
+  std::vector<std::string> result;
+  for (ConceptId d : closure_.Successors(id)) result.push_back(names_[d]);
+  return result;
+}
+
+StatusOr<std::vector<std::string>> Taxonomy::AncestorsOf(
+    const std::string& name) const {
+  TREL_ASSIGN_OR_RETURN(ConceptId id, Find(name));
+  // Walk up the IS-A arcs; the set is typically small.
+  std::vector<bool> seen(closure_.NumNodes(), false);
+  std::deque<ConceptId> queue = {id};
+  seen[id] = true;
+  std::vector<std::string> result;
+  while (!queue.empty()) {
+    const ConceptId v = queue.front();
+    queue.pop_front();
+    for (ConceptId p : closure_.graph().InNeighbors(v)) {
+      if (!seen[p]) {
+        seen[p] = true;
+        result.push_back(names_[p]);
+        queue.push_back(p);
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<std::vector<std::string>> Taxonomy::LeastCommonSubsumers(
+    const std::string& a, const std::string& b) const {
+  TREL_ASSIGN_OR_RETURN(ConceptId ida, Find(a));
+  TREL_ASSIGN_OR_RETURN(ConceptId idb, Find(b));
+  std::vector<ConceptId> common;
+  for (ConceptId c = 0; c < closure_.NumNodes(); ++c) {
+    if (closure_.Reaches(c, ida) && closure_.Reaches(c, idb)) {
+      common.push_back(c);
+    }
+  }
+  // Keep the minimal (most specific) elements: c is dropped if some other
+  // common subsumer is strictly below it.
+  std::vector<std::string> result;
+  for (ConceptId c : common) {
+    bool minimal = true;
+    for (ConceptId d : common) {
+      if (c != d && closure_.Reaches(c, d)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) result.push_back(names_[c]);
+  }
+  return result;
+}
+
+Status Taxonomy::SetProperty(const std::string& concept_name,
+                             const std::string& key,
+                             const std::string& value) {
+  TREL_ASSIGN_OR_RETURN(ConceptId id, Find(concept_name));
+  properties_[id][key] = value;
+  return Status::Ok();
+}
+
+StatusOr<std::string> Taxonomy::LookupProperty(
+    const std::string& concept_name, const std::string& key) const {
+  TREL_ASSIGN_OR_RETURN(ConceptId id, Find(concept_name));
+  // Breadth-first up the IS-A arcs: the nearest definition wins, with ties
+  // broken by discovery order.
+  std::vector<bool> seen(closure_.NumNodes(), false);
+  std::deque<ConceptId> queue = {id};
+  seen[id] = true;
+  while (!queue.empty()) {
+    const ConceptId v = queue.front();
+    queue.pop_front();
+    auto it = properties_[v].find(key);
+    if (it != properties_[v].end()) return it->second;
+    for (ConceptId p : closure_.graph().InNeighbors(v)) {
+      if (!seen[p]) {
+        seen[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return NotFoundError("property '" + key + "' not defined on '" +
+                       concept_name + "' or its ancestors");
+}
+
+StatusOr<Taxonomy::ConceptId> Taxonomy::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return NotFoundError("unknown concept '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::string& Taxonomy::NameOf(ConceptId id) const {
+  TREL_CHECK_GE(id, 0);
+  TREL_CHECK_LT(static_cast<size_t>(id), names_.size());
+  return names_[id];
+}
+
+
+Relation Taxonomy::ConceptsRelation() const {
+  Relation relation({{"name", ColumnType::kString}});
+  for (const std::string& name : names_) {
+    TREL_CHECK(relation.Append({name}).ok());
+  }
+  return relation;
+}
+
+Relation Taxonomy::IsaRelation() const {
+  Relation relation({{"child", ColumnType::kString},
+                     {"parent", ColumnType::kString}});
+  for (const auto& [parent, child] : closure_.graph().Arcs()) {
+    TREL_CHECK(relation.Append({names_[child], names_[parent]}).ok());
+  }
+  return relation;
+}
+
+Relation Taxonomy::PropertiesRelation() const {
+  Relation relation({{"concept", ColumnType::kString},
+                     {"key", ColumnType::kString},
+                     {"value", ColumnType::kString}});
+  for (size_t id = 0; id < properties_.size(); ++id) {
+    for (const auto& [key, value] : properties_[id]) {
+      TREL_CHECK(relation.Append({names_[id], key, value}).ok());
+    }
+  }
+  return relation;
+}
+
+StatusOr<Taxonomy> Taxonomy::FromRelations(const Relation& concepts,
+                                           const Relation& isa,
+                                           const Relation& properties,
+                                           const ClosureOptions& options) {
+  Taxonomy taxonomy(options);
+  TREL_ASSIGN_OR_RETURN(int name_col, concepts.ColumnIndex("name"));
+  for (const Tuple& tuple : concepts.tuples()) {
+    if (!std::holds_alternative<std::string>(tuple[name_col])) {
+      return InvalidArgumentError("concept names must be strings");
+    }
+    TREL_ASSIGN_OR_RETURN(
+        ConceptId id,
+        taxonomy.AddConcept(std::get<std::string>(tuple[name_col])));
+    (void)id;
+  }
+  TREL_ASSIGN_OR_RETURN(int child_col, isa.ColumnIndex("child"));
+  TREL_ASSIGN_OR_RETURN(int parent_col, isa.ColumnIndex("parent"));
+  for (const Tuple& tuple : isa.tuples()) {
+    if (!std::holds_alternative<std::string>(tuple[child_col]) ||
+        !std::holds_alternative<std::string>(tuple[parent_col])) {
+      return InvalidArgumentError("isa endpoints must be strings");
+    }
+    TREL_RETURN_IF_ERROR(
+        taxonomy.AddIsA(std::get<std::string>(tuple[child_col]),
+                        std::get<std::string>(tuple[parent_col])));
+  }
+  TREL_ASSIGN_OR_RETURN(int concept_col, properties.ColumnIndex("concept"));
+  TREL_ASSIGN_OR_RETURN(int key_col, properties.ColumnIndex("key"));
+  TREL_ASSIGN_OR_RETURN(int value_col, properties.ColumnIndex("value"));
+  for (const Tuple& tuple : properties.tuples()) {
+    for (int col : {concept_col, key_col, value_col}) {
+      if (!std::holds_alternative<std::string>(tuple[col])) {
+        return InvalidArgumentError("property fields must be strings");
+      }
+    }
+    TREL_RETURN_IF_ERROR(
+        taxonomy.SetProperty(std::get<std::string>(tuple[concept_col]),
+                             std::get<std::string>(tuple[key_col]),
+                             std::get<std::string>(tuple[value_col])));
+  }
+  // All concepts were inserted as roots and linked by non-tree arcs;
+  // re-derive the optimal cover for compact labels.
+  taxonomy.closure_.Reoptimize();
+  return taxonomy;
+}
+
+}  // namespace trel

@@ -1,0 +1,109 @@
+#ifndef TREL_KB_TAXONOMY_H_
+#define TREL_KB_TAXONOMY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/dynamic_closure.h"
+#include "graph/digraph.h"
+#include "relational/relation.h"
+
+namespace trel {
+
+// IS-A concept hierarchy backed by the compressed transitive closure — the
+// paper's Section 2.1 knowledge-representation application ("CLASSIC ...
+// has separated the maintenance of subclass relationships into an abstract
+// data type ... We plan to use the techniques presented in this paper for
+// this purpose").
+//
+// Arcs run from the more general concept to the more specific one, so
+// Subsumes(a, b) — "every b is an a" — is a single interval lookup.
+// Concepts may have multiple parents (a DAG, not a tree).  Properties
+// attached to a concept are inherited by all concepts it subsumes.
+class Taxonomy {
+ public:
+  using ConceptId = NodeId;
+
+  explicit Taxonomy(
+      const ClosureOptions& options = DynamicClosure::DefaultOptions())
+      : closure_(options) {}
+
+  // Adds a concept below the named parents (all must exist; empty =
+  // top-level concept).  Fails on duplicate names or unknown parents.
+  StatusOr<ConceptId> AddConcept(const std::string& name,
+                                 const std::vector<std::string>& parents = {});
+
+  // Adds an extra IS-A link: `child` is also a kind of `parent`.
+  Status AddIsA(const std::string& child, const std::string& parent);
+
+  // Section 4.1 hierarchy refinement: interposes a new concept above
+  // `child`, below `parents`.  Constant-time when the reserve pool allows.
+  StatusOr<ConceptId> RefineAbove(const std::string& name,
+                                  const std::string& child,
+                                  const std::vector<std::string>& parents);
+
+  // True iff every `descendant` is an `ancestor` (reflexive).  Aborts on
+  // unknown names; use Find first for untrusted input.
+  bool Subsumes(const std::string& ancestor,
+                const std::string& descendant) const;
+
+  // All concepts subsumed by `name` (excluding itself).
+  StatusOr<std::vector<std::string>> DescendantsOf(
+      const std::string& name) const;
+  // All concepts subsuming `name` (excluding itself).
+  StatusOr<std::vector<std::string>> AncestorsOf(
+      const std::string& name) const;
+
+  // Most specific common subsumers of `a` and `b`.
+  StatusOr<std::vector<std::string>> LeastCommonSubsumers(
+      const std::string& a, const std::string& b) const;
+
+  // Attaches an inheritable property.
+  Status SetProperty(const std::string& concept_name, const std::string& key,
+                     const std::string& value);
+
+  // Looks `key` up on the concept, then on its nearest ancestors
+  // (breadth-first, ties broken by insertion order).  NotFound if no
+  // ancestor defines it.
+  StatusOr<std::string> LookupProperty(const std::string& concept_name,
+                                       const std::string& key) const;
+
+  StatusOr<ConceptId> Find(const std::string& name) const;
+  const std::string& NameOf(ConceptId id) const;
+  int64_t NumConcepts() const { return closure_.NumNodes(); }
+  const DynamicClosure& closure() const { return closure_; }
+
+  // --- Relational interchange (CSV-friendly; see relational/csv.h) --------
+
+  // concepts(name) in insertion order.
+  Relation ConceptsRelation() const;
+  // isa(child, parent), one row per direct IS-A arc.
+  Relation IsaRelation() const;
+  // properties(concept, key, value).
+  Relation PropertiesRelation() const;
+
+  // Rebuilds a taxonomy from the three relations above (schemas must
+  // match by column name).  Concepts must appear before their parents are
+  // referenced; IsaRelation/ConceptsRelation output satisfies this.
+  static StatusOr<Taxonomy> FromRelations(
+      const Relation& concepts, const Relation& isa,
+      const Relation& properties,
+      const ClosureOptions& options = DynamicClosure::DefaultOptions());
+
+ private:
+  StatusOr<std::vector<ConceptId>> ResolveAll(
+      const std::vector<std::string>& names) const;
+  Status RegisterName(const std::string& name, ConceptId id);
+
+  DynamicClosure closure_;
+  std::unordered_map<std::string, ConceptId> ids_;
+  std::vector<std::string> names_;
+  // properties_[id] = key -> value.
+  std::vector<std::unordered_map<std::string, std::string>> properties_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_KB_TAXONOMY_H_

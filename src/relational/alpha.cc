@@ -1,0 +1,120 @@
+#include "relational/alpha.h"
+
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+StatusOr<AlphaOperator> AlphaOperator::Build(
+    const Relation& base, const std::string& source_column,
+    const std::string& destination_column, const ClosureOptions& options) {
+  TREL_ASSIGN_OR_RETURN(int src, base.ColumnIndex(source_column));
+  TREL_ASSIGN_OR_RETURN(int dst, base.ColumnIndex(destination_column));
+  if (base.schema()[src].type != base.schema()[dst].type) {
+    return InvalidArgumentError(
+        "source and destination columns must share a type");
+  }
+
+  // Dictionary-encode the distinct values.
+  std::vector<Value> values;
+  std::map<Value, NodeId> ids;
+  auto intern = [&](const Value& value) {
+    auto [it, inserted] =
+        ids.emplace(value, static_cast<NodeId>(values.size()));
+    if (inserted) values.push_back(value);
+    return it->second;
+  };
+
+  // Self-loop tuples (a, a) cannot live in the simple digraph; remember
+  // them separately — they make a value reach itself.
+  std::set<NodeId> self_loops;
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  for (const Tuple& tuple : base.tuples()) {
+    const NodeId a = intern(tuple[src]);
+    const NodeId b = intern(tuple[dst]);
+    if (a == b) {
+      self_loops.insert(a);
+    } else {
+      arcs.emplace_back(a, b);
+    }
+  }
+
+  Digraph graph(static_cast<NodeId>(values.size()));
+  for (const auto& [a, b] : arcs) {
+    Status status = graph.AddArc(a, b);
+    if (!status.ok() && status.code() != StatusCode::kAlreadyExists) {
+      return status;
+    }
+  }
+
+  TREL_ASSIGN_OR_RETURN(TransitiveClosureIndex index,
+                        TransitiveClosureIndex::Build(graph, options));
+
+  std::vector<Column> schema = {
+      {"value", base.schema()[src].type}};
+  AlphaOperator alpha(std::move(values), std::move(ids), std::move(index),
+                      std::move(schema));
+  alpha.self_loops_ = std::move(self_loops);
+  return alpha;
+}
+
+NodeId AlphaOperator::IdOf(const Value& value) const {
+  auto it = ids_.find(value);
+  return it == ids_.end() ? kNoNode : it->second;
+}
+
+bool AlphaOperator::OnCycle(NodeId node) const {
+  const NodeId comp = index_.condensation().component_of[node];
+  return index_.condensation().members[comp].size() > 1 ||
+         self_loops_.count(node) > 0;
+}
+
+bool AlphaOperator::Reaches(const Value& from, const Value& to) const {
+  const NodeId a = IdOf(from);
+  const NodeId b = IdOf(to);
+  if (a == kNoNode || b == kNoNode) return false;
+  if (a == b) return OnCycle(a);
+  return index_.Reaches(a, b);
+}
+
+Relation AlphaOperator::SuccessorsOf(const Value& from,
+                                     const std::string& column_name) const {
+  Relation output({{column_name, value_schema_[0].type}});
+  const NodeId a = IdOf(from);
+  if (a == kNoNode) return output;
+  if (OnCycle(a)) {
+    TREL_CHECK(output.Append({values_[a]}).ok());
+  }
+  for (NodeId v : index_.Successors(a)) {
+    TREL_CHECK(output.Append({values_[v]}).ok());
+  }
+  return output;
+}
+
+Relation AlphaOperator::Materialize() const {
+  Relation output({{"source", value_schema_[0].type},
+                   {"destination", value_schema_[0].type}});
+  for (NodeId u = 0; u < static_cast<NodeId>(values_.size()); ++u) {
+    if (OnCycle(u)) {
+      TREL_CHECK(output.Append({values_[u], values_[u]}).ok());
+    }
+    for (NodeId v : index_.Successors(u)) {
+      TREL_CHECK(output.Append({values_[u], values_[v]}).ok());
+    }
+  }
+  return output;
+}
+
+int64_t AlphaOperator::NumClosurePairs() const {
+  int64_t pairs = 0;
+  for (NodeId u = 0; u < static_cast<NodeId>(values_.size()); ++u) {
+    pairs += static_cast<int64_t>(index_.Successors(u).size()) +
+             (OnCycle(u) ? 1 : 0);
+  }
+  return pairs;
+}
+
+}  // namespace trel

@@ -1,0 +1,85 @@
+#ifndef TREL_RELATIONAL_ALPHA_H_
+#define TREL_RELATIONAL_ALPHA_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/closure_index.h"
+#include "relational/relation.h"
+
+namespace trel {
+
+// The alpha operator: transitive closure of a binary relation, the
+// recursion primitive of Agrawal's alpha-extended relational algebra that
+// the paper names as its integration target ("answering a transitive
+// closure query in a deductive database system reduces to a lookup
+// instead of a graph traversal").
+//
+// The operator is *materialized*: construction maps the distinct values
+// of the source/destination columns to graph nodes, collapses strongly
+// connected components, and builds the compressed interval closure over
+// the condensation.  Queries are then lookups, and the materialized view
+// is a fraction of the size of the closure relation it stands for.
+class AlphaOperator {
+ public:
+  // Builds the closure of base[source_column, destination_column].
+  // Cycles in the base relation are permitted (they collapse into one
+  // reachability class).
+  static StatusOr<AlphaOperator> Build(const Relation& base,
+                                       const std::string& source_column,
+                                       const std::string& destination_column,
+                                       const ClosureOptions& options = {});
+
+  // Membership in the closure: is (from, to) derivable?  Strict — a value
+  // does not reach itself unless it lies on a cycle.
+  bool Reaches(const Value& from, const Value& to) const;
+
+  // All values reachable from `from` (strict), as a one-column relation
+  // named `column_name`.
+  Relation SuccessorsOf(const Value& from,
+                        const std::string& column_name = "value") const;
+
+  // The entire closure as a two-column relation (source, destination).
+  // This is what a system *without* compression would have to store; it
+  // is provided for interoperability and for measuring the compression
+  // ratio, not for routine use.
+  Relation Materialize() const;
+
+  // Number of (source, destination) pairs in the closure, without
+  // materializing them.
+  int64_t NumClosurePairs() const;
+
+  // Storage of the compressed form in the paper's units (2 per interval),
+  // for comparison against NumClosurePairs().
+  int64_t StorageUnits() const {
+    return 2 * index_.component_closure().TotalIntervals();
+  }
+
+  int64_t NumValues() const { return static_cast<int64_t>(values_.size()); }
+
+ private:
+  AlphaOperator(std::vector<Value> values, std::map<Value, NodeId> ids,
+                TransitiveClosureIndex index, std::vector<Column> schema)
+      : values_(std::move(values)),
+        ids_(std::move(ids)),
+        index_(std::move(index)),
+        value_schema_(std::move(schema)) {}
+
+  // kNoNode when the value never appeared in the base relation.
+  NodeId IdOf(const Value& value) const;
+  // True iff the value reaches itself (non-trivial SCC or self-loop).
+  bool OnCycle(NodeId node) const;
+
+  std::vector<Value> values_;       // NodeId -> Value.
+  std::map<Value, NodeId> ids_;     // Value -> NodeId.
+  TransitiveClosureIndex index_;
+  std::vector<Column> value_schema_;  // Single-column schema template.
+  std::set<NodeId> self_loops_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_RELATIONAL_ALPHA_H_

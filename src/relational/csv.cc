@@ -1,0 +1,163 @@
+#include "relational/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace trel {
+namespace {
+
+// Splits one CSV line honoring double quotes.
+StatusOr<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                                int line_number) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError("unterminated quote at line " +
+                                std::to_string(line_number));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool ParsesAsInt64(const std::string& text, int64_t& value) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  value = parsed;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& text) {
+  return text.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& text) {
+  if (!NeedsQuoting(text)) return text;
+  std::string quoted = "\"";
+  for (char c : text) {
+    if (c == '"') quoted += "\"\"";
+    else quoted.push_back(c);
+  }
+  quoted += "\"";
+  return quoted;
+}
+
+}  // namespace
+
+StatusOr<Relation> ReadCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return InvalidArgumentError("empty CSV input (no header)");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  TREL_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                        SplitCsvLine(line, 1));
+
+  // First pass: collect raw rows; infer types afterwards.
+  std::vector<std::vector<std::string>> rows;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    TREL_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          SplitCsvLine(line, line_number));
+    if (fields.size() != header.size()) {
+      return InvalidArgumentError(
+          "row at line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, header has " +
+          std::to_string(header.size()));
+    }
+    rows.push_back(std::move(fields));
+  }
+
+  std::vector<Column> schema;
+  std::vector<bool> is_int(header.size(), !rows.empty());
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      int64_t ignored;
+      if (is_int[c] && !ParsesAsInt64(row[c], ignored)) is_int[c] = false;
+    }
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    schema.push_back(
+        {header[c], is_int[c] ? ColumnType::kInt64 : ColumnType::kString});
+  }
+
+  Relation relation(std::move(schema));
+  for (auto& row : rows) {
+    Tuple tuple;
+    tuple.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (is_int[c]) {
+        int64_t value = 0;
+        TREL_CHECK(ParsesAsInt64(row[c], value));
+        tuple.emplace_back(value);
+      } else {
+        tuple.emplace_back(std::move(row[c]));
+      }
+    }
+    TREL_RETURN_IF_ERROR(relation.Append(std::move(tuple)));
+  }
+  return relation;
+}
+
+StatusOr<Relation> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open " + path);
+  return ReadCsv(in);
+}
+
+void WriteCsv(const Relation& relation, std::ostream& out) {
+  for (int c = 0; c < relation.NumColumns(); ++c) {
+    if (c > 0) out << ",";
+    out << QuoteField(relation.schema()[c].name);
+  }
+  out << "\n";
+  for (const Tuple& tuple : relation.tuples()) {
+    for (size_t c = 0; c < tuple.size(); ++c) {
+      if (c > 0) out << ",";
+      out << QuoteField(ValueToString(tuple[c]));
+    }
+    out << "\n";
+  }
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return IoError("cannot open " + path + " for writing");
+  WriteCsv(relation, out);
+  return out.good() ? Status::Ok() : IoError("write failed on " + path);
+}
+
+}  // namespace trel

@@ -1,0 +1,25 @@
+#ifndef TREL_RELATIONAL_CSV_H_
+#define TREL_RELATIONAL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/statusor.h"
+#include "relational/relation.h"
+
+namespace trel {
+
+// Minimal CSV interchange for relations: comma-separated, first line is
+// the header, a column is kInt64 iff every value in it parses as a
+// 64-bit integer (header names never affect typing).  Quoting supports
+// double-quoted fields with "" escapes; newlines inside quotes are not
+// supported.
+StatusOr<Relation> ReadCsv(std::istream& in);
+StatusOr<Relation> ReadCsvFile(const std::string& path);
+
+void WriteCsv(const Relation& relation, std::ostream& out);
+Status WriteCsvFile(const Relation& relation, const std::string& path);
+
+}  // namespace trel
+
+#endif  // TREL_RELATIONAL_CSV_H_

@@ -1,0 +1,115 @@
+#include "relational/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace trel {
+
+Relation Select(const Relation& input,
+                const std::function<bool(const Tuple&)>& predicate) {
+  Relation output(input.schema());
+  for (const Tuple& tuple : input.tuples()) {
+    if (predicate(tuple)) {
+      TREL_CHECK(output.Append(tuple).ok());
+    }
+  }
+  return output;
+}
+
+StatusOr<Relation> SelectEq(const Relation& input, const std::string& column,
+                            const Value& value) {
+  TREL_ASSIGN_OR_RETURN(int index, input.ColumnIndex(column));
+  return Select(input, [index, &value](const Tuple& tuple) {
+    return tuple[index] == value;
+  });
+}
+
+StatusOr<Relation> Project(const Relation& input,
+                           const std::vector<std::string>& columns) {
+  std::vector<int> indices;
+  std::vector<Column> schema;
+  for (const std::string& name : columns) {
+    TREL_ASSIGN_OR_RETURN(int index, input.ColumnIndex(name));
+    indices.push_back(index);
+    schema.push_back(input.schema()[index]);
+  }
+  Relation output(std::move(schema));
+  for (const Tuple& tuple : input.tuples()) {
+    Tuple projected;
+    projected.reserve(indices.size());
+    for (int index : indices) projected.push_back(tuple[index]);
+    TREL_CHECK(output.Append(std::move(projected)).ok());
+  }
+  return output;
+}
+
+StatusOr<Relation> Join(const Relation& left, const std::string& left_column,
+                        const Relation& right,
+                        const std::string& right_column) {
+  TREL_ASSIGN_OR_RETURN(int left_index, left.ColumnIndex(left_column));
+  TREL_ASSIGN_OR_RETURN(int right_index, right.ColumnIndex(right_column));
+  if (left.schema()[left_index].type != right.schema()[right_index].type) {
+    return InvalidArgumentError("join columns have different types");
+  }
+
+  std::vector<Column> schema = left.schema();
+  for (const Column& column : right.schema()) {
+    Column renamed = column;
+    // Disambiguate clashing names SQL-style.
+    for (const Column& existing : left.schema()) {
+      if (existing.name == renamed.name) {
+        renamed.name = "right." + renamed.name;
+        break;
+      }
+    }
+    schema.push_back(renamed);
+  }
+  Relation output(std::move(schema));
+
+  // Build a hash table over the right side.
+  std::map<Value, std::vector<const Tuple*>> hash;
+  for (const Tuple& tuple : right.tuples()) {
+    hash[tuple[right_index]].push_back(&tuple);
+  }
+  for (const Tuple& tuple : left.tuples()) {
+    auto it = hash.find(tuple[left_index]);
+    if (it == hash.end()) continue;
+    for (const Tuple* match : it->second) {
+      Tuple joined = tuple;
+      joined.insert(joined.end(), match->begin(), match->end());
+      TREL_CHECK(output.Append(std::move(joined)).ok());
+    }
+  }
+  return output;
+}
+
+StatusOr<Relation> Union(const Relation& a, const Relation& b) {
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("union schema mismatch");
+  }
+  Relation output(a.schema());
+  for (const Tuple& tuple : a.tuples()) {
+    TREL_CHECK(output.Append(tuple).ok());
+  }
+  for (const Tuple& tuple : b.tuples()) {
+    TREL_CHECK(output.Append(tuple).ok());
+  }
+  return output;
+}
+
+Relation Distinct(const Relation& input) {
+  Relation output(input.schema());
+  std::set<Tuple> seen;
+  for (const Tuple& tuple : input.tuples()) {
+    if (seen.insert(tuple).second) {
+      TREL_CHECK(output.Append(tuple).ok());
+    }
+  }
+  return output;
+}
+
+}  // namespace trel

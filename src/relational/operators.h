@@ -1,0 +1,44 @@
+#ifndef TREL_RELATIONAL_OPERATORS_H_
+#define TREL_RELATIONAL_OPERATORS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relational/relation.h"
+
+namespace trel {
+
+// Classical relational operators over in-memory relations.  Small and
+// eager by design — enough to express the paper's deductive-database
+// examples around the alpha operator, not a query engine.
+
+// sigma: rows satisfying `predicate`.
+Relation Select(const Relation& input,
+                const std::function<bool(const Tuple&)>& predicate);
+
+// sigma with an equality constant predicate on a named column.
+StatusOr<Relation> SelectEq(const Relation& input, const std::string& column,
+                            const Value& value);
+
+// pi: the named columns, in the given order.  Fails on unknown names.
+StatusOr<Relation> Project(const Relation& input,
+                           const std::vector<std::string>& columns);
+
+// Equi-join on input1.column1 == input2.column2.  Output schema is
+// input1's columns followed by input2's (join column included once from
+// each side; callers can Project it away).  Hash join on the right side.
+StatusOr<Relation> Join(const Relation& left, const std::string& left_column,
+                        const Relation& right,
+                        const std::string& right_column);
+
+// Bag union; schemas must match exactly.
+StatusOr<Relation> Union(const Relation& a, const Relation& b);
+
+// Duplicate elimination.
+Relation Distinct(const Relation& input);
+
+}  // namespace trel
+
+#endif  // TREL_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,73 @@
+#include "relational/relation.h"
+
+#include <sstream>
+
+namespace trel {
+
+std::string ValueToString(const Value& value) {
+  if (std::holds_alternative<int64_t>(value)) {
+    return std::to_string(std::get<int64_t>(value));
+  }
+  return std::get<std::string>(value);
+}
+
+namespace {
+
+bool TypeMatches(const Value& value, ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return std::holds_alternative<int64_t>(value);
+    case ColumnType::kString:
+      return std::holds_alternative<std::string>(value);
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Relation::Append(Tuple tuple) {
+  if (tuple.size() != schema_.size()) {
+    return InvalidArgumentError(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match schema arity " + std::to_string(schema_.size()));
+  }
+  for (size_t c = 0; c < tuple.size(); ++c) {
+    if (!TypeMatches(tuple[c], schema_[c].type)) {
+      return InvalidArgumentError("type mismatch in column '" +
+                                  schema_[c].name + "'");
+    }
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::Ok();
+}
+
+StatusOr<int> Relation::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (schema_[c].name == name) return static_cast<int>(c);
+  }
+  return NotFoundError("no column named '" + name + "'");
+}
+
+std::string Relation::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (c > 0) os << " | ";
+    os << schema_[c].name;
+  }
+  os << "\n";
+  int64_t shown = 0;
+  for (const Tuple& tuple : tuples_) {
+    if (shown++ >= max_rows) {
+      os << "... (" << (NumTuples() - max_rows) << " more)\n";
+      break;
+    }
+    for (size_t c = 0; c < tuple.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << ValueToString(tuple[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace trel

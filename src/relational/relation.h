@@ -1,0 +1,67 @@
+#ifndef TREL_RELATIONAL_RELATION_H_
+#define TREL_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace trel {
+
+// A relational value: integers and strings cover the workloads in this
+// library (node names, measures).
+using Value = std::variant<int64_t, std::string>;
+
+std::string ValueToString(const Value& value);
+
+// Column type tags for schema checking.
+enum class ColumnType { kInt64, kString };
+
+struct Column {
+  std::string name;
+  ColumnType type;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+using Tuple = std::vector<Value>;
+
+// In-memory relation: a schema plus a bag of tuples.  This is the
+// substrate for the alpha-extended relational algebra examples (the
+// paper, Section 6: "we are planning to incorporate these techniques in
+// prototype systems based on [the] alpha-extended relational algebra").
+//
+// Deliberately a bag, not a set: duplicate elimination is explicit via
+// Distinct() in operators.h, as in SQL.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<Column> schema) : schema_(std::move(schema)) {}
+
+  // Appends a tuple; fails if arity or any value's type disagrees with
+  // the schema.
+  Status Append(Tuple tuple);
+
+  // Index of the named column, or NotFound.
+  StatusOr<int> ColumnIndex(const std::string& name) const;
+
+  const std::vector<Column>& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  int64_t NumTuples() const { return static_cast<int64_t>(tuples_.size()); }
+  int NumColumns() const { return static_cast<int>(schema_.size()); }
+
+  // Human-readable table dump (for examples and debugging).
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  std::vector<Column> schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_RELATIONAL_RELATION_H_

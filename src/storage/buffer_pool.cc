@@ -1,0 +1,76 @@
+#include "storage/buffer_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace trel {
+
+BufferPool::BufferPool(PageStore* store, size_t capacity)
+    : store_(store), capacity_(capacity) {
+  TREL_CHECK(store != nullptr);
+  TREL_CHECK_GE(capacity, 1u);
+}
+
+Status BufferPool::EvictIfFull() {
+  while (frames_.size() >= capacity_) {
+    Frame& victim = frames_.back();
+    if (victim.dirty) {
+      TREL_RETURN_IF_ERROR(store_->WritePage(victim.page_id, victim.data));
+    }
+    index_.erase(victim.page_id);
+    frames_.pop_back();
+    ++stats_.evictions;
+  }
+  return Status::Ok();
+}
+
+StatusOr<const std::vector<uint8_t>*> BufferPool::GetPage(uint64_t page_id) {
+  auto it = index_.find(page_id);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    frames_.splice(frames_.begin(), frames_, it->second);
+    return const_cast<const std::vector<uint8_t>*>(&frames_.front().data);
+  }
+  ++stats_.misses;
+  TREL_RETURN_IF_ERROR(EvictIfFull());
+  Frame frame;
+  frame.page_id = page_id;
+  TREL_RETURN_IF_ERROR(store_->ReadPage(page_id, frame.data));
+  frames_.push_front(std::move(frame));
+  index_[page_id] = frames_.begin();
+  return const_cast<const std::vector<uint8_t>*>(&frames_.front().data);
+}
+
+Status BufferPool::PutPage(uint64_t page_id, std::vector<uint8_t> data) {
+  if (data.size() != store_->page_size()) {
+    return InvalidArgumentError("page data size mismatch");
+  }
+  auto it = index_.find(page_id);
+  if (it != index_.end()) {
+    it->second->data = std::move(data);
+    it->second->dirty = true;
+    frames_.splice(frames_.begin(), frames_, it->second);
+    return Status::Ok();
+  }
+  TREL_RETURN_IF_ERROR(EvictIfFull());
+  Frame frame;
+  frame.page_id = page_id;
+  frame.data = std::move(data);
+  frame.dirty = true;
+  frames_.push_front(std::move(frame));
+  index_[page_id] = frames_.begin();
+  return Status::Ok();
+}
+
+Status BufferPool::Flush() {
+  for (Frame& frame : frames_) {
+    if (frame.dirty) {
+      TREL_RETURN_IF_ERROR(store_->WritePage(frame.page_id, frame.data));
+      frame.dirty = false;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace trel

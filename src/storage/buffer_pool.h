@@ -1,0 +1,69 @@
+#ifndef TREL_STORAGE_BUFFER_POOL_H_
+#define TREL_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/page_store.h"
+
+namespace trel {
+
+// LRU page cache over a PageStore.  Models the main-memory buffer the
+// paper assumes between queries and secondary storage; hit/miss/eviction
+// counters let benches report logical vs physical I/O.
+class BufferPool {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t LogicalReads() const { return hits + misses; }
+  };
+
+  // `capacity` = maximum resident pages; must be >= 1.  The pool does not
+  // own the store.
+  BufferPool(PageStore* store, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a pointer to the cached page contents, valid until the next
+  // GetPage/PutPage call.
+  StatusOr<const std::vector<uint8_t>*> GetPage(uint64_t page_id);
+
+  // Write-back update: replaces the page in the cache and marks it dirty.
+  Status PutPage(uint64_t page_id, std::vector<uint8_t> data);
+
+  // Writes all dirty pages to the store.
+  Status Flush();
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+  size_t capacity() const { return capacity_; }
+  size_t page_size() const { return store_->page_size(); }
+  size_t NumResident() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    uint64_t page_id;
+    std::vector<uint8_t> data;
+    bool dirty = false;
+  };
+
+  // Evicts the least recently used frame if at capacity.
+  Status EvictIfFull();
+
+  PageStore* store_;
+  size_t capacity_;
+  // Most recently used at front.
+  std::list<Frame> frames_;
+  std::unordered_map<uint64_t, std::list<Frame>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,91 @@
+#ifndef TREL_STORAGE_CLOSURE_STORE_H_
+#define TREL_STORAGE_CLOSURE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/compressed_closure.h"
+#include "graph/digraph.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace trel {
+
+// On-disk form of the compressed closure: a relation mapping each node to
+// its postorder number and interval list.  Queries run through a
+// BufferPool so that logical/physical I/O per lookup is measurable — the
+// paper's claim is that a reachability query becomes "a lookup instead of
+// a graph traversal".
+//
+// Layout (byte offsets, little-endian):
+//   header:    magic u64, n u64, postorder_off u64, dir_off u64
+//   postorder: n x i64
+//   directory: n x { data_byte_offset u64, interval_count u64 }
+//   data:      concatenated intervals, 2 x i64 each
+class IntervalStore {
+ public:
+  // Serializes `closure` into `store` (overwrites from page 0).
+  static Status Write(const CompressedClosure& closure, PageStore& store);
+
+  // Opens a previously written store.  The pool must wrap the same store.
+  static StatusOr<IntervalStore> Open(BufferPool* pool);
+
+  // Disk-backed reachability: reads v's postorder number, u's directory
+  // entry, and u's interval list through the pool.
+  StatusOr<bool> Reaches(NodeId u, NodeId v);
+
+  int64_t NumNodes() const { return num_nodes_; }
+
+ private:
+  explicit IntervalStore(BufferPool* pool) : pool_(pool) {}
+
+  BufferPool* pool_;
+  int64_t num_nodes_ = 0;
+  uint64_t postorder_off_ = 0;
+  uint64_t dir_off_ = 0;
+};
+
+// On-disk adjacency relation: each node's sorted list of out-neighbors.
+// Used two ways in the benches: as the materialized full closure (lists =
+// all successors; Reaches = one indexed lookup) and as the base relation
+// (lists = immediate successors; Reaches = DFS pointer chasing across
+// pages, the strategy the paper is replacing).
+//
+// Layout:
+//   header:    magic u64, n u64, dir_off u64
+//   directory: n x { data_byte_offset u64, neighbor_count u64 }
+//   data:      concatenated i32 neighbor lists (each sorted)
+class AdjacencyStore {
+ public:
+  // `lists[v]` = sorted out-neighbors of v.
+  static Status Write(const std::vector<std::vector<NodeId>>& lists,
+                      PageStore& store);
+  // Convenience: write a digraph's immediate-successor lists.
+  static Status WriteGraph(const Digraph& graph, PageStore& store);
+
+  static StatusOr<AdjacencyStore> Open(BufferPool* pool);
+
+  // Binary search of v inside u's on-disk list (for closure relations).
+  StatusOr<bool> LookupReaches(NodeId u, NodeId v);
+
+  // Iterative DFS over the on-disk lists (for base relations): the
+  // "pointer chasing" the paper replaces.
+  StatusOr<bool> DfsReaches(NodeId u, NodeId v);
+
+  int64_t NumNodes() const { return num_nodes_; }
+
+ private:
+  explicit AdjacencyStore(BufferPool* pool) : pool_(pool) {}
+
+  // Reads the directory entry of `v`.
+  StatusOr<std::pair<uint64_t, uint64_t>> DirEntry(NodeId v);
+
+  BufferPool* pool_;
+  int64_t num_nodes_ = 0;
+  uint64_t dir_off_ = 0;
+};
+
+}  // namespace trel
+
+#endif  // TREL_STORAGE_CLOSURE_STORE_H_

@@ -1,0 +1,100 @@
+#include "storage/page_store.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace trel {
+
+StatusOr<PageStore> PageStore::Open(const std::string& path, size_t page_size,
+                                    bool truncate) {
+  if (page_size < 64 || (page_size & (page_size - 1)) != 0) {
+    return InvalidArgumentError("page size must be a power of two >= 64");
+  }
+  std::FILE* file = std::fopen(path.c_str(), truncate ? "w+b" : "r+b");
+  if (file == nullptr) {
+    return IoError("cannot open " + path);
+  }
+  uint64_t existing_pages = 0;
+  if (!truncate) {
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    if (size < 0 || static_cast<size_t>(size) % page_size != 0) {
+      std::fclose(file);
+      return IoError("file size is not a multiple of the page size");
+    }
+    existing_pages = static_cast<uint64_t>(size) / page_size;
+  }
+  PageStore store(file, page_size);
+  store.num_pages_ = existing_pages;
+  return store;
+}
+
+PageStore::PageStore(PageStore&& other) noexcept
+    : file_(other.file_),
+      page_size_(other.page_size_),
+      num_pages_(other.num_pages_),
+      stats_(other.stats_) {
+  other.file_ = nullptr;
+}
+
+PageStore& PageStore::operator=(PageStore&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    page_size_ = other.page_size_;
+    num_pages_ = other.num_pages_;
+    stats_ = other.stats_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+PageStore::~PageStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+uint64_t PageStore::AllocatePage() {
+  TREL_CHECK(file_ != nullptr);
+  std::vector<uint8_t> zeros(page_size_, 0);
+  std::fseek(file_, static_cast<long>(num_pages_ * page_size_), SEEK_SET);
+  const size_t written = std::fwrite(zeros.data(), 1, page_size_, file_);
+  TREL_CHECK_EQ(written, page_size_);
+  return num_pages_++;
+}
+
+Status PageStore::WritePage(uint64_t page_id,
+                            const std::vector<uint8_t>& data) {
+  TREL_CHECK(file_ != nullptr);
+  if (page_id >= num_pages_) {
+    return OutOfRangeError("page " + std::to_string(page_id) +
+                           " not allocated");
+  }
+  if (data.size() != page_size_) {
+    return InvalidArgumentError("page data size mismatch");
+  }
+  std::fseek(file_, static_cast<long>(page_id * page_size_), SEEK_SET);
+  if (std::fwrite(data.data(), 1, page_size_, file_) != page_size_) {
+    return IoError("short write");
+  }
+  ++stats_.physical_writes;
+  return Status::Ok();
+}
+
+Status PageStore::ReadPage(uint64_t page_id, std::vector<uint8_t>& out) {
+  TREL_CHECK(file_ != nullptr);
+  if (page_id >= num_pages_) {
+    return OutOfRangeError("page " + std::to_string(page_id) +
+                           " not allocated");
+  }
+  out.resize(page_size_);
+  std::fflush(file_);
+  std::fseek(file_, static_cast<long>(page_id * page_size_), SEEK_SET);
+  if (std::fread(out.data(), 1, page_size_, file_) != page_size_) {
+    return IoError("short read");
+  }
+  ++stats_.physical_reads;
+  return Status::Ok();
+}
+
+}  // namespace trel

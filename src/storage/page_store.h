@@ -1,0 +1,64 @@
+#ifndef TREL_STORAGE_PAGE_STORE_H_
+#define TREL_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace trel {
+
+// File-backed array of fixed-size pages — the simulated secondary storage
+// behind the paper's motivation ("in the case of large relations, the
+// information will reside on secondary storage, and hence we need to
+// minimize I/O traffic").  Physical reads/writes are counted so benches
+// can report I/O cost independent of the host's real disk.
+class PageStore {
+ public:
+  static constexpr size_t kDefaultPageSize = 4096;
+
+  struct Stats {
+    int64_t physical_reads = 0;
+    int64_t physical_writes = 0;
+  };
+
+  // Creates (truncating) or opens the file at `path`.
+  static StatusOr<PageStore> Open(const std::string& path,
+                                  size_t page_size = kDefaultPageSize,
+                                  bool truncate = true);
+
+  PageStore(PageStore&& other) noexcept;
+  PageStore& operator=(PageStore&& other) noexcept;
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+  ~PageStore();
+
+  // Extends the file by one zeroed page; returns its id.
+  uint64_t AllocatePage();
+
+  // `data.size()` must equal page_size(); the page must exist.
+  Status WritePage(uint64_t page_id, const std::vector<uint8_t>& data);
+
+  // Fills `out` (resized to page_size()) with the page contents.
+  Status ReadPage(uint64_t page_id, std::vector<uint8_t>& out);
+
+  size_t page_size() const { return page_size_; }
+  uint64_t num_pages() const { return num_pages_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  PageStore(std::FILE* file, size_t page_size)
+      : file_(file), page_size_(page_size) {}
+
+  std::FILE* file_ = nullptr;
+  size_t page_size_ = 0;
+  uint64_t num_pages_ = 0;
+  Stats stats_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_STORAGE_PAGE_STORE_H_

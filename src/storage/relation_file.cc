@@ -1,0 +1,79 @@
+#include "storage/relation_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace trel {
+namespace relation_file {
+
+void AppendU64(std::vector<uint8_t>& image, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    image.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void AppendI64(std::vector<uint8_t>& image, int64_t value) {
+  AppendU64(image, static_cast<uint64_t>(value));
+}
+
+void AppendI32(std::vector<uint8_t>& image, int32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    image.push_back(static_cast<uint8_t>(static_cast<uint32_t>(value) >>
+                                         (8 * i)));
+  }
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) value = (value << 8) | p[i];
+  return value;
+}
+
+int64_t ReadI64(const uint8_t* p) { return static_cast<int64_t>(ReadU64(p)); }
+
+int32_t ReadI32(const uint8_t* p) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) value = (value << 8) | p[i];
+  return static_cast<int32_t>(value);
+}
+
+Status WriteImage(PageStore& store, const std::vector<uint8_t>& image) {
+  const size_t page_size = store.page_size();
+  const uint64_t pages_needed = (image.size() + page_size - 1) / page_size;
+  while (store.num_pages() < pages_needed) store.AllocatePage();
+  std::vector<uint8_t> page(page_size, 0);
+  for (uint64_t p = 0; p < pages_needed; ++p) {
+    const size_t start = p * page_size;
+    const size_t len = std::min(page_size, image.size() - start);
+    std::memset(page.data(), 0, page_size);
+    std::memcpy(page.data(), image.data() + start, len);
+    TREL_RETURN_IF_ERROR(store.WritePage(p, page));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> ReadBytes(BufferPool& pool, uint64_t offset,
+                                         uint64_t len) {
+  std::vector<uint8_t> result;
+  result.reserve(len);
+  uint64_t remaining = len;
+  uint64_t position = offset;
+  const uint64_t page_size = pool.page_size();
+  while (remaining > 0) {
+    const uint64_t page_id = position / page_size;
+    const uint64_t in_page = position % page_size;
+    const uint64_t chunk = std::min(remaining, page_size - in_page);
+    TREL_ASSIGN_OR_RETURN(const std::vector<uint8_t>* data,
+                          pool.GetPage(page_id));
+    result.insert(result.end(), data->begin() + in_page,
+                  data->begin() + in_page + chunk);
+    position += chunk;
+    remaining -= chunk;
+  }
+  return result;
+}
+
+}  // namespace relation_file
+}  // namespace trel

@@ -1,0 +1,37 @@
+#ifndef TREL_STORAGE_RELATION_FILE_H_
+#define TREL_STORAGE_RELATION_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace trel {
+
+// Byte-level helpers shared by the on-disk relation formats: a file is a
+// flat byte image split across fixed-size pages.
+namespace relation_file {
+
+// Little-endian primitive encoding into a growing byte image.
+void AppendU64(std::vector<uint8_t>& image, uint64_t value);
+void AppendI64(std::vector<uint8_t>& image, int64_t value);
+void AppendI32(std::vector<uint8_t>& image, int32_t value);
+
+uint64_t ReadU64(const uint8_t* p);
+int64_t ReadI64(const uint8_t* p);
+int32_t ReadI32(const uint8_t* p);
+
+// Writes `image` to `store` starting at page 0, allocating pages as
+// needed and zero-padding the tail.
+Status WriteImage(PageStore& store, const std::vector<uint8_t>& image);
+
+// Reads `len` bytes starting at byte offset `offset` through the pool.
+StatusOr<std::vector<uint8_t>> ReadBytes(BufferPool& pool, uint64_t offset,
+                                         uint64_t len);
+
+}  // namespace relation_file
+}  // namespace trel
+
+#endif  // TREL_STORAGE_RELATION_FILE_H_

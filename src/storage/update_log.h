@@ -1,0 +1,84 @@
+#ifndef TREL_STORAGE_UPDATE_LOG_H_
+#define TREL_STORAGE_UPDATE_LOG_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/dynamic_closure.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Write-ahead log of DynamicClosure updates.  Combined with
+// DynamicClosure::Save/Load snapshots this gives the classic recovery
+// story: periodically snapshot, log every update in between, and recover
+// by loading the snapshot and replaying the tail.  Replay is determinate:
+// DynamicClosure assigns node ids and labels purely from the operation
+// sequence, so a replayed index answers identically.
+struct UpdateOp {
+  enum class Kind : uint8_t {
+    kAddLeaf = 1,    // a = parent (kNoNode for a new root).
+    kAddArc = 2,     // a -> b.
+    kRemoveArc = 3,  // a -> b.
+    kRefine = 4,     // b = child; parents in `parents`.
+    kReoptimize = 5,
+  };
+
+  Kind kind;
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  std::vector<NodeId> parents;
+
+  bool operator==(const UpdateOp& other) const {
+    return kind == other.kind && a == other.a && b == other.b &&
+           parents == other.parents;
+  }
+};
+
+// Appends one length-delimited binary record.
+Status AppendUpdateOp(std::ostream& out, const UpdateOp& op);
+
+// Reads records until EOF.  Fails on a torn/corrupt record.
+StatusOr<std::vector<UpdateOp>> ReadUpdateLog(std::istream& in);
+
+// Applies `ops` to `closure` in order.  Individual operations that fail
+// benignly during live use (duplicate arcs, cycle-refused arcs) are
+// replayed strictly: any failure aborts recovery, because a log written
+// through LoggedClosure only contains operations that succeeded.
+Status ReplayUpdateLog(DynamicClosure& closure,
+                       const std::vector<UpdateOp>& ops);
+
+// Convenience wrapper that journals every successful mutation to a log
+// stream before acknowledging it.  Query methods pass through.
+class LoggedClosure {
+ public:
+  // The caller owns `log` and must keep it alive; typically an
+  // std::ofstream opened in append mode.
+  LoggedClosure(DynamicClosure closure, std::ostream* log);
+
+  StatusOr<NodeId> AddLeafUnder(NodeId parent);
+  Status AddArc(NodeId from, NodeId to);
+  StatusOr<NodeId> RefineAbove(NodeId child,
+                               const std::vector<NodeId>& parents);
+  Status RemoveArc(NodeId from, NodeId to);
+  Status Reoptimize();
+
+  bool Reaches(NodeId u, NodeId v) const { return closure_.Reaches(u, v); }
+  const DynamicClosure& closure() const { return closure_; }
+
+  // Loads the snapshot (if `snapshot` is non-null) and replays `log`.
+  static StatusOr<DynamicClosure> Recover(std::istream* snapshot,
+                                          std::istream& log,
+                                          const ClosureOptions& options =
+                                              DynamicClosure::DefaultOptions());
+
+ private:
+  DynamicClosure closure_;
+  std::ostream* log_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_STORAGE_UPDATE_LOG_H_

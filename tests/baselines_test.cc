@@ -1,0 +1,152 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/chain_cover.h"
+#include "baselines/full_closure.h"
+#include "baselines/inverse_closure.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+TEST(FullClosureTest, MatchesDfsAndCountsPairs) {
+  Digraph graph = testing_util::PaperStyleDag();
+  FullClosure closure(graph);
+  ReachabilityMatrix matrix(graph);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      EXPECT_EQ(closure.Reaches(u, v), matrix.Reaches(u, v));
+    }
+  }
+  EXPECT_EQ(closure.StorageUnits(), matrix.NumClosurePairs());
+}
+
+TEST(InverseClosureTest, RejectsCycles) {
+  Digraph graph = GraphFromArcs(2, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(InverseClosure::Build(graph).ok());
+}
+
+TEST(InverseClosureTest, MatchesGroundTruth) {
+  Digraph graph = RandomDag(60, 3.0, 40);
+  auto inverse = InverseClosure::Build(graph);
+  ASSERT_TRUE(inverse.ok());
+  ReachabilityMatrix matrix(graph);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      EXPECT_EQ(inverse->Reaches(u, v), matrix.Reaches(u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(InverseClosureTest, StorageIsComplementOfClosure) {
+  Digraph graph = RandomDag(50, 4.0, 41);
+  auto inverse = InverseClosure::Build(graph);
+  ASSERT_TRUE(inverse.ok());
+  ReachabilityMatrix matrix(graph);
+  const int64_t n = graph.NumNodes();
+  // Pairs ordered by topological position: n(n-1)/2 total; reachable ones
+  // are in the closure, the rest are in the inverse.
+  EXPECT_EQ(inverse->NumInversePairs() + matrix.NumClosurePairs(),
+            n * (n - 1) / 2);
+}
+
+TEST(InverseClosureTest, DenseGraphHasTinyInverse) {
+  // Near-complete order: closure holds almost everything.
+  Digraph graph = RandomDag(40, 100.0, 42);  // Capped at the maximum.
+  auto inverse = InverseClosure::Build(graph);
+  ASSERT_TRUE(inverse.ok());
+  EXPECT_EQ(inverse->NumInversePairs(), 0);
+}
+
+TEST(ChainCoverTest, RejectsCycles) {
+  Digraph graph = GraphFromArcs(2, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(ChainCover::Build(graph).ok());
+}
+
+TEST(ChainCoverTest, PathIsOneChain) {
+  Digraph graph = GraphFromArcs(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  for (auto method :
+       {ChainCover::Method::kGreedy, ChainCover::Method::kMinimum}) {
+    auto cover = ChainCover::Build(graph, method);
+    ASSERT_TRUE(cover.ok());
+    EXPECT_EQ(cover->NumChains(), 1);
+    EXPECT_EQ(cover->StorageUnits(), 5);  // One entry per node.
+  }
+}
+
+TEST(ChainCoverTest, AntichainNeedsOneChainPerNode) {
+  Digraph graph(6);  // No arcs at all.
+  auto cover = ChainCover::Build(graph, ChainCover::Method::kMinimum);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->NumChains(), 6);
+  EXPECT_EQ(cover->StorageUnits(), 6);
+}
+
+TEST(ChainCoverTest, MinimumMatchesDilworthOnDiamond) {
+  // Diamond: width 2.
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto cover = ChainCover::Build(graph, ChainCover::Method::kMinimum);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->NumChains(), 2);
+}
+
+class ChainCoverSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, ChainCover::Method>> {
+};
+
+TEST_P(ChainCoverSweepTest, MatchesGroundTruth) {
+  const auto& [seed, method] = GetParam();
+  Digraph graph = RandomDag(45, 2.0, seed);
+  auto cover = ChainCover::Build(graph, method);
+  ASSERT_TRUE(cover.ok());
+  ReachabilityMatrix matrix(graph);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      EXPECT_EQ(cover->Reaches(u, v), matrix.Reaches(u, v))
+          << u << "->" << v;
+    }
+  }
+  // Every node sits on exactly one chain with a consistent sequence.
+  std::vector<std::vector<NodeId>> chains(cover->NumChains());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    ASSERT_GE(cover->ChainOf(v), 0);
+    ASSERT_LT(cover->ChainOf(v), cover->NumChains());
+    chains[cover->ChainOf(v)].push_back(v);
+  }
+  for (auto& chain : chains) {
+    std::sort(chain.begin(), chain.end(), [&](NodeId a, NodeId b) {
+      return cover->SeqOf(a) < cover->SeqOf(b);
+    });
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      EXPECT_TRUE(matrix.Reaches(chain[k], chain[k + 1]))
+          << "chain order violated";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChainCoverSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(ChainCover::Method::kGreedy,
+                                         ChainCover::Method::kMinimum)));
+
+TEST(ChainCoverTest, MinimumNeverUsesMoreChainsThanGreedy) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Digraph graph = RandomDag(40, 1.5, seed);
+    auto greedy = ChainCover::Build(graph, ChainCover::Method::kGreedy);
+    auto minimum = ChainCover::Build(graph, ChainCover::Method::kMinimum);
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(minimum.ok());
+    EXPECT_LE(minimum->NumChains(), greedy->NumChains());
+  }
+}
+
+}  // namespace
+}  // namespace trel

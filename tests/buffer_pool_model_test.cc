@@ -1,0 +1,97 @@
+// Model-based test for the buffer pool: a long random trace of reads and
+// writes over a small page file, checked against (a) an in-memory
+// reference model of page contents and (b) a reference LRU simulation
+// that predicts exactly which accesses hit.
+
+#include <list>
+#include <map>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace trel {
+namespace {
+
+// Reference LRU over page ids only.
+class LruModel {
+ public:
+  explicit LruModel(size_t capacity) : capacity_(capacity) {}
+
+  // Returns true if the access hits; updates recency either way.
+  bool Access(uint64_t page) {
+    auto it = std::find(order_.begin(), order_.end(), page);
+    const bool hit = it != order_.end();
+    if (hit) order_.erase(it);
+    order_.push_front(page);
+    if (order_.size() > capacity_) order_.pop_back();
+    return hit;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> order_;
+};
+
+class BufferPoolModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferPoolModelTest, RandomTraceMatchesModels) {
+  const std::string path = ::testing::TempDir() + "/pool_model_" +
+                           std::to_string(GetParam()) + ".db";
+  auto store = PageStore::Open(path, 128);
+  ASSERT_TRUE(store.ok());
+  const uint64_t kPages = 12;
+  const size_t kCapacity = 4;
+  for (uint64_t p = 0; p < kPages; ++p) store->AllocatePage();
+
+  BufferPool pool(&store.value(), kCapacity);
+  LruModel lru(kCapacity);
+  std::map<uint64_t, std::vector<uint8_t>> contents;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    contents[p] = std::vector<uint8_t>(128, 0);
+  }
+
+  Random rng(GetParam());
+  int64_t expected_hits = 0, expected_misses = 0;
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t page = rng.Uniform(kPages);
+    if (rng.Bernoulli(0.35)) {
+      // Write through the pool.
+      std::vector<uint8_t> data(128, static_cast<uint8_t>(step & 0xFF));
+      ASSERT_TRUE(pool.PutPage(page, data).ok());
+      contents[page] = data;
+      // PutPage counts neither hit nor miss but does touch recency.
+      lru.Access(page);
+    } else {
+      auto got = pool.GetPage(page);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got.value(), contents[page]) << "page " << page;
+      if (lru.Access(page)) {
+        ++expected_hits;
+      } else {
+        ++expected_misses;
+      }
+    }
+  }
+  EXPECT_EQ(pool.stats().hits, expected_hits);
+  EXPECT_EQ(pool.stats().misses, expected_misses);
+
+  // After a flush, the store holds the reference contents.
+  ASSERT_TRUE(pool.Flush().ok());
+  for (uint64_t p = 0; p < kPages; ++p) {
+    std::vector<uint8_t> read;
+    ASSERT_TRUE(store->ReadPage(p, read).ok());
+    EXPECT_EQ(read, contents[p]) << "page " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferPoolModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace trel

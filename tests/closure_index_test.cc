@@ -1,0 +1,83 @@
+#include "core/closure_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+TEST(TransitiveClosureIndexTest, HandlesSimpleCycle) {
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  auto index = TransitiveClosureIndex::Build(graph);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumComponents(), 3);
+  EXPECT_TRUE(index->Reaches(1, 2));
+  EXPECT_TRUE(index->Reaches(2, 1));  // Inside the SCC.
+  EXPECT_TRUE(index->Reaches(0, 3));
+  EXPECT_FALSE(index->Reaches(3, 0));
+}
+
+TEST(TransitiveClosureIndexTest, SuccessorsIncludeCycleMembers) {
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  auto index = TransitiveClosureIndex::Build(graph);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Successors(0), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(index->Successors(3), (std::vector<NodeId>{}));
+}
+
+TEST(TransitiveClosureIndexTest, AcyclicInputDegeneratesToPlainClosure) {
+  Digraph graph = testing_util::PaperStyleDag();
+  auto index = TransitiveClosureIndex::Build(graph);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumComponents(), graph.NumNodes());
+  ReachabilityMatrix matrix(graph);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      EXPECT_EQ(index->Reaches(u, v), matrix.Reaches(u, v));
+    }
+  }
+}
+
+// Random digraphs with cycles: index must agree with DFS ground truth.
+class CyclicSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CyclicSweepTest, MatchesGroundTruth) {
+  Random rng(GetParam());
+  const NodeId n = 30;
+  Digraph graph(n);
+  // ~2.5 arcs per node, unrestricted direction => plenty of cycles.
+  for (int k = 0; k < 75; ++k) {
+    const NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a != b && !graph.HasArc(a, b)) {
+      ASSERT_TRUE(graph.AddArc(a, b).ok());
+    }
+  }
+  auto index = TransitiveClosureIndex::Build(graph);
+  ASSERT_TRUE(index.ok());
+  ReachabilityMatrix matrix(graph);
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<NodeId> expected;
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(index->Reaches(u, v), matrix.Reaches(u, v))
+          << u << "->" << v;
+      if (u != v && matrix.Reaches(u, v)) expected.push_back(v);
+    }
+    EXPECT_EQ(index->Successors(u), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CyclicSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,61 @@
+#include "core/closure_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/path_finder.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+TEST(ClosureStatsTest, ChainStats) {
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto closure = CompressedClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  ClosureStats stats = ComputeClosureStats(graph, closure.value());
+  EXPECT_EQ(stats.num_nodes, 4);
+  EXPECT_EQ(stats.num_arcs, 3);
+  EXPECT_EQ(stats.num_tree_arcs, 3);
+  EXPECT_EQ(stats.num_roots, 1);
+  EXPECT_EQ(stats.total_intervals, 4);
+  EXPECT_EQ(stats.storage_units, 8);
+  EXPECT_EQ(stats.max_intervals_per_node, 1);
+  EXPECT_DOUBLE_EQ(stats.single_interval_fraction, 1.0);
+  EXPECT_EQ(stats.tree_depth_max, 3);
+  EXPECT_DOUBLE_EQ(stats.tree_depth_avg, 1.5);
+  // Histogram: 0 nodes with 0 intervals, 4 with exactly 1.
+  EXPECT_EQ(stats.interval_histogram[0], 0);
+  EXPECT_EQ(stats.interval_histogram[1], 4);
+}
+
+TEST(ClosureStatsTest, HistogramTailAggregates) {
+  // Bipartite worst case: top nodes carry many intervals.
+  Digraph graph = CompleteBipartite(6, 6);
+  auto closure = CompressedClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  ClosureStats stats = ComputeClosureStats(graph, closure.value(), 4);
+  EXPECT_EQ(static_cast<int>(stats.interval_histogram.size()), 4);
+  int64_t total_nodes = 0;
+  for (int64_t count : stats.interval_histogram) total_nodes += count;
+  EXPECT_EQ(total_nodes, graph.NumNodes());
+  // Five non-adopting top nodes carry 7 intervals each -> tail bucket.
+  EXPECT_EQ(stats.interval_histogram[3], 5);
+  EXPECT_EQ(stats.max_intervals_per_node, 7);
+}
+
+TEST(ClosureStatsTest, SumsMatchClosureAccessors) {
+  Digraph graph = RandomDag(120, 2.5, 240);
+  auto closure = CompressedClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  ClosureStats stats = ComputeClosureStats(graph, closure.value());
+  EXPECT_EQ(stats.total_intervals, closure->TotalIntervals());
+  EXPECT_EQ(stats.storage_units, closure->StorageUnits());
+  EXPECT_GT(stats.single_interval_fraction, 0.2);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+}  // namespace
+}  // namespace trel

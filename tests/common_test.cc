@@ -1,0 +1,155 @@
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/bitset.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace trel {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << InvalidArgumentError("bad");
+  EXPECT_EQ(os.str(), "INVALID_ARGUMENT: bad");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kIoError}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+StatusOr<int> DoublePositive(int x) {
+  TREL_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = ParsePositive(5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 5);
+  EXPECT_EQ(*result, 5);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = ParsePositive(-1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(DoublePositive(21).value(), 42);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(BitsetTest, SetTestReset) {
+  DynamicBitset bits(130);
+  EXPECT_FALSE(bits.Test(0));
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.Reset(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(BitsetTest, UnionWith) {
+  DynamicBitset a(100), b(100);
+  a.Set(3);
+  b.Set(70);
+  b.Set(3);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(70));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(BitsetTest, ClearAndEquality) {
+  DynamicBitset a(10), b(10);
+  a.Set(5);
+  EXPECT_FALSE(a == b);
+  a.Clear();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.UniformInt(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(RandomTest, UniformIsRoughlyUniform) {
+  Random rng(11);
+  int counts[10] = {};
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Uniform(10)];
+  for (int bucket = 0; bucket < 10; ++bucket) {
+    EXPECT_NEAR(counts[bucket], kSamples / 10, kSamples / 100);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,81 @@
+#include "relational/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace trel {
+namespace {
+
+TEST(CsvTest, ReadsTypedColumns) {
+  std::istringstream in("part,qty\nbolt,4\nnut,8\n");
+  auto relation = ReadCsv(in);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->NumTuples(), 2);
+  EXPECT_EQ(relation->schema()[0].type, ColumnType::kString);
+  EXPECT_EQ(relation->schema()[1].type, ColumnType::kInt64);
+  EXPECT_EQ(relation->tuples()[0][1], Value{int64_t{4}});
+}
+
+TEST(CsvTest, MixedColumnFallsBackToString) {
+  std::istringstream in("x\n1\ntwo\n3\n");
+  auto relation = ReadCsv(in);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->schema()[0].type, ColumnType::kString);
+  EXPECT_EQ(relation->tuples()[0][0], Value{std::string("1")});
+}
+
+TEST(CsvTest, QuotedFieldsRoundTrip) {
+  Relation relation({{"name", ColumnType::kString},
+                     {"note", ColumnType::kString}});
+  TREL_CHECK(relation.Append({std::string("a,b"), std::string("say \"hi\"")})
+                 .ok());
+  std::ostringstream out;
+  WriteCsv(relation, out);
+  std::istringstream in(out.str());
+  auto read = ReadCsv(in);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->NumTuples(), 1);
+  EXPECT_EQ(read->tuples()[0][0], Value{std::string("a,b")});
+  EXPECT_EQ(read->tuples()[0][1], Value{std::string("say \"hi\"")});
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(ReadCsv(in).ok());
+  }
+  {
+    std::istringstream in("a,b\n1\n");  // Wrong arity.
+    EXPECT_FALSE(ReadCsv(in).ok());
+  }
+  {
+    std::istringstream in("a\n\"unterminated\n");
+    EXPECT_FALSE(ReadCsv(in).ok());
+  }
+}
+
+TEST(CsvTest, HandlesCrLfAndBlankLines) {
+  std::istringstream in("x,y\r\n1,2\r\n\r\n3,4\r\n");
+  auto relation = ReadCsv(in);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->NumTuples(), 2);
+  EXPECT_EQ(relation->schema()[0].type, ColumnType::kInt64);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Relation relation({{"id", ColumnType::kInt64}});
+  TREL_CHECK(relation.Append({int64_t{42}}).ok());
+  const std::string path = ::testing::TempDir() + "/trel_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(relation, path).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->NumTuples(), 1);
+  EXPECT_EQ(read->tuples()[0][0], Value{int64_t{42}});
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace trel

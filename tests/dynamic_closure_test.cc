@@ -1,0 +1,361 @@
+#include "core/dynamic_closure.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+// Checks the dynamic index against DFS ground truth on its own graph.
+void ExpectConsistent(const DynamicClosure& closure) {
+  const Digraph& graph = closure.graph();
+  ReachabilityMatrix matrix(graph);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      ASSERT_EQ(closure.Reaches(u, v), matrix.Reaches(u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(DynamicClosureTest, BuildFromGraphMatchesGroundTruth) {
+  Digraph graph = RandomDag(60, 2.0, 3);
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, GrowFromEmpty) {
+  DynamicClosure closure;
+  auto root = closure.AddLeafUnder(kNoNode);
+  ASSERT_TRUE(root.ok());
+  auto a = closure.AddLeafUnder(root.value());
+  auto b = closure.AddLeafUnder(root.value());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = closure.AddLeafUnder(a.value());
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(closure.Reaches(root.value(), c.value()));
+  EXPECT_TRUE(closure.Reaches(a.value(), c.value()));
+  EXPECT_FALSE(closure.Reaches(b.value(), c.value()));
+  EXPECT_FALSE(closure.Reaches(c.value(), root.value()));
+  ExpectConsistent(closure);
+  // Leaf insertion under an existing parent must not renumber with the
+  // default gap.
+  EXPECT_EQ(closure.stats().renumbers, 0);
+}
+
+TEST(DynamicClosureTest, PaperFigure41GapExample) {
+  // Figure 4.1: with gap 10, adding x under b gets the midpoint number and
+  // the interval [floor+1, mid]; no other node's labels change.
+  Digraph graph = GraphFromArcs(2, {{0, 1}});  // b=0 with child 1.
+  ClosureOptions options;
+  options.labeling.gap = 10;
+  auto closure = DynamicClosure::Build(graph, options);
+  ASSERT_TRUE(closure.ok());
+  // Postorder: node1=10, node0=20.
+  EXPECT_EQ(closure->labels().postorder[1], 10);
+  EXPECT_EQ(closure->labels().postorder[0], 20);
+  auto x = closure->AddLeafUnder(0);
+  ASSERT_TRUE(x.ok());
+  // Hole below 20 is (10, 20): midpoint 15, interval [11, 15].
+  EXPECT_EQ(closure->labels().postorder[x.value()], 15);
+  EXPECT_EQ(closure->labels().tree_interval[x.value()], (Interval{11, 15}));
+  // Untouched labels.
+  EXPECT_EQ(closure->labels().postorder[1], 10);
+  EXPECT_EQ(closure->labels().postorder[0], 20);
+  EXPECT_EQ(closure->stats().renumbers, 0);
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, AddLeafRenumbersWhenHoleExhausted) {
+  ClosureOptions options;
+  options.labeling.gap = 2;
+  options.labeling.reserve = 0;
+  DynamicClosure closure(options);
+  auto root = closure.AddLeafUnder(kNoNode);
+  ASSERT_TRUE(root.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(closure.AddLeafUnder(root.value()).ok());
+  }
+  EXPECT_GT(closure.stats().renumbers, 0);
+  ExpectConsistent(closure);
+}
+
+TEST(DynamicClosureTest, GapOneAlwaysRenumbersButStaysCorrect) {
+  ClosureOptions options;
+  options.labeling.gap = 1;
+  DynamicClosure closure(options);
+  auto root = closure.AddLeafUnder(kNoNode);
+  ASSERT_TRUE(root.ok());
+  NodeId tip = root.value();
+  for (int i = 0; i < 6; ++i) {
+    auto leaf = closure.AddLeafUnder(tip);
+    ASSERT_TRUE(leaf.ok());
+    tip = leaf.value();
+  }
+  EXPECT_EQ(closure.stats().renumbers, 6);
+  ExpectConsistent(closure);
+}
+
+TEST(DynamicClosureTest, AddArcPropagatesToAllPredecessors) {
+  // Two chains 0->1->2 and 3->4->5; connect 2 -> 3: everything upstream
+  // of 2 must now reach the second chain.
+  Digraph graph = GraphFromArcs(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_FALSE(closure->Reaches(0, 5));
+  ASSERT_TRUE(closure->AddArc(2, 3).ok());
+  EXPECT_TRUE(closure->Reaches(0, 5));
+  EXPECT_TRUE(closure->Reaches(2, 4));
+  EXPECT_FALSE(closure->Reaches(3, 0));
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, AddArcRejectsCyclesAndDuplicates) {
+  Digraph graph = GraphFromArcs(3, {{0, 1}, {1, 2}});
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure->AddArc(2, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(closure->AddArc(1, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(closure->AddArc(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(closure->AddArc(0, 9).code(), StatusCode::kInvalidArgument);
+  // Redundant (already implied) arc is fine.
+  EXPECT_TRUE(closure->AddArc(0, 2).ok());
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, AddArcPropagationStopsAtSubsumption) {
+  // Chain 0->1->...->29 plus a shortcut 0->29 to an already-reachable
+  // node: no interval changes anywhere, so only node 0 is visited.
+  Digraph graph(30);
+  for (NodeId v = 0; v + 1 < 30; ++v) {
+    ASSERT_TRUE(graph.AddArc(v, v + 1).ok());
+  }
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  const int64_t before = closure->stats().propagation_node_visits;
+  ASSERT_TRUE(closure->AddArc(0, 29).ok());
+  EXPECT_EQ(closure->stats().propagation_node_visits, before + 1);
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, RefineAboveIsConstantTimeWhenCovered) {
+  // e -> h and x -> h; refine z between {e, x} and h (the paper's
+  // Figure 4.2 scenario).
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {1, 3}, {2, 3}});  // e=1? no:
+  // 0 -> 1 (a chain head), arcs (1,3) and (2,3): e=1, x=2, h=3.
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  const int64_t visits_before = closure->stats().propagation_node_visits;
+  auto z = closure->RefineAbove(3, {1, 2});
+  ASSERT_TRUE(z.ok()) << z.status().ToString();
+  // Both parents already reached h: constant time, no flood.
+  EXPECT_EQ(closure->stats().propagation_node_visits, visits_before);
+  EXPECT_TRUE(closure->Reaches(1, z.value()));
+  EXPECT_TRUE(closure->Reaches(2, z.value()));
+  EXPECT_TRUE(closure->Reaches(0, z.value()));  // Through e.
+  EXPECT_TRUE(closure->Reaches(z.value(), 3));
+  EXPECT_FALSE(closure->Reaches(3, z.value()));
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, RefineAboveEnforcesSoundnessPrecondition) {
+  Digraph graph = GraphFromArcs(3, {{0, 2}, {1, 2}});
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  // Leaving out predecessor 1 would let it claim the new node falsely.
+  EXPECT_EQ(closure->RefineAbove(2, {0}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(closure->RefineAbove(2, {0, 1}).ok());
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, RefineAboveExhaustsReservePool) {
+  Digraph graph = GraphFromArcs(2, {{0, 1}});
+  ClosureOptions options;
+  options.labeling.gap = 8;
+  options.labeling.reserve = 2;
+  auto closure = DynamicClosure::Build(graph, options);
+  ASSERT_TRUE(closure.ok());
+  auto z1 = closure->RefineAbove(1, {0});
+  ASSERT_TRUE(z1.ok());
+  // The second refinement must name z1 as a parent (it now precedes 1).
+  auto z2 = closure->RefineAbove(1, {0, z1.value()});
+  ASSERT_TRUE(z2.ok()) << z2.status().ToString();
+  auto z3 = closure->RefineAbove(1, {0, z1.value(), z2.value()});
+  EXPECT_EQ(z3.status().code(), StatusCode::kFailedPrecondition);
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, RefineAbovePropagatesToNewAncestors) {
+  // Parent 4 does not reach child 2 yet; refinement must update it.
+  Digraph graph = GraphFromArcs(5, {{0, 2}, {1, 2}, {3, 4}});
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  auto z = closure->RefineAbove(2, {0, 1, 4});
+  ASSERT_TRUE(z.ok());
+  EXPECT_TRUE(closure->Reaches(4, 2));
+  EXPECT_TRUE(closure->Reaches(3, 2));  // Through 4.
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, RemoveNonTreeArc) {
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  // Remove whichever arc into 3 is not the tree arc.
+  const NodeId tree_parent = closure->TreeParent(3);
+  const NodeId other = tree_parent == 1 ? 2 : 1;
+  ASSERT_TRUE(closure->RemoveArc(other, 3).ok());
+  EXPECT_FALSE(closure->Reaches(other, 3));
+  EXPECT_TRUE(closure->Reaches(tree_parent, 3));
+  EXPECT_TRUE(closure->Reaches(0, 3));
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, RemoveTreeArcDetachesSubtree) {
+  // Chain 0->1->2 with extra arc 3->1: removing the tree arc (0,1) keeps
+  // 1 reachable from 3 only.
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {1, 2}, {3, 1}});
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  const NodeId tree_parent = closure->TreeParent(1);
+  ASSERT_TRUE(closure->RemoveArc(tree_parent, 1).ok());
+  const NodeId remaining = tree_parent == 0 ? 3 : 0;
+  EXPECT_FALSE(closure->Reaches(tree_parent, 1));
+  EXPECT_FALSE(closure->Reaches(tree_parent, 2));
+  EXPECT_TRUE(closure->Reaches(remaining, 1));
+  EXPECT_TRUE(closure->Reaches(remaining, 2));
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicClosureTest, RemoveArcErrors) {
+  Digraph graph = GraphFromArcs(2, {{0, 1}});
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure->RemoveArc(1, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(closure->RemoveArc(0, 7).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DynamicClosureTest, ReoptimizeRestoresOptimalStorage) {
+  Digraph graph = RandomDag(80, 2.0, 17);
+  auto dynamic = DynamicClosure::Build(graph);
+  ASSERT_TRUE(dynamic.ok());
+  // Degrade the cover with a burst of updates.
+  Random rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const NodeId parent = static_cast<NodeId>(
+        rng.Uniform(static_cast<uint64_t>(dynamic->NumNodes())));
+    ASSERT_TRUE(dynamic->AddLeafUnder(parent).ok());
+  }
+  const int64_t degraded = dynamic->TotalIntervals();
+  dynamic->Reoptimize();
+  EXPECT_LE(dynamic->TotalIntervals(), degraded);
+  ExpectConsistent(dynamic.value());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized operation soak: every mutation keeps the index equivalent to
+// ground-truth DFS reachability on the evolving graph.
+// ---------------------------------------------------------------------------
+
+struct SoakParam {
+  uint64_t seed;
+  Label gap;
+  Label reserve;
+};
+
+class DynamicSoakTest : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(DynamicSoakTest, RandomOperationSequenceStaysConsistent) {
+  const SoakParam& param = GetParam();
+  Random rng(param.seed);
+  ClosureOptions options;
+  options.labeling.gap = param.gap;
+  options.labeling.reserve = param.reserve;
+  DynamicClosure closure(options);
+
+  // Seed a few roots.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(closure.AddLeafUnder(kNoNode).ok());
+  }
+
+  for (int step = 0; step < 120; ++step) {
+    const NodeId n = closure.NumNodes();
+    const uint64_t op = rng.Uniform(10);
+    if (op < 4) {  // Add a leaf.
+      const NodeId parent =
+          rng.Uniform(5) == 0
+              ? kNoNode
+              : static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(n)));
+      ASSERT_TRUE(closure.AddLeafUnder(parent).ok());
+    } else if (op < 7) {  // Add a random arc (may be rejected).
+      const NodeId a =
+          static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(n)));
+      const NodeId b =
+          static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(n)));
+      Status s = closure.AddArc(a, b);
+      ASSERT_TRUE(s.ok() || s.code() == StatusCode::kInvalidArgument ||
+                  s.code() == StatusCode::kAlreadyExists)
+          << s.ToString();
+    } else if (op < 8) {  // Refine above a random child.
+      const NodeId child =
+          static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(n)));
+      auto z = closure.RefineAbove(child, closure.graph().InNeighbors(child));
+      ASSERT_TRUE(z.ok() || z.status().code() == StatusCode::kInvalidArgument ||
+                  z.status().code() == StatusCode::kFailedPrecondition)
+          << z.status().ToString();
+    } else {  // Remove a random existing arc.
+      auto arcs = closure.graph().Arcs();
+      if (!arcs.empty()) {
+        const auto& [a, b] = arcs[rng.Uniform(arcs.size())];
+        ASSERT_TRUE(closure.RemoveArc(a, b).ok());
+      }
+    }
+    if (step % 10 == 9) ExpectConsistent(closure);
+  }
+  ExpectConsistent(closure);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DynamicSoakTest,
+    ::testing::Values(SoakParam{1, 64, 16}, SoakParam{2, 64, 16},
+                      SoakParam{3, 64, 0}, SoakParam{4, 8, 3},
+                      SoakParam{5, 4, 1}, SoakParam{6, 2, 0},
+                      SoakParam{7, 1, 0}, SoakParam{8, 256, 64},
+                      SoakParam{9, 16, 7}, SoakParam{10, 32, 8},
+                      SoakParam{11, 128, 100}, SoakParam{12, 3, 2},
+                      SoakParam{13, 64, 63}, SoakParam{14, 2, 1}),
+    [](const ::testing::TestParamInfo<SoakParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_gap" +
+             std::to_string(info.param.gap) + "_res" +
+             std::to_string(info.param.reserve);
+    });
+
+TEST(DynamicClosureTest, SuccessorsMatchGroundTruthAfterUpdates) {
+  Digraph graph = RandomDag(40, 2.0, 30);
+  auto closure = DynamicClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  ASSERT_TRUE(closure->AddLeafUnder(5).ok());
+  ASSERT_TRUE(closure->AddArc(7, 39).ok() ||
+              closure->graph().HasArc(7, 39) || closure->Reaches(39, 7));
+  ReachabilityMatrix matrix(closure->graph());
+  for (NodeId u = 0; u < closure->NumNodes(); ++u) {
+    std::vector<NodeId> got = closure->Successors(u);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, matrix.Successors(u)) << "node " << u;
+  }
+}
+
+}  // namespace
+}  // namespace trel

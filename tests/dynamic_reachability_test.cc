@@ -1,0 +1,117 @@
+#include "core/dynamic_reachability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+void ExpectConsistent(const DynamicReachability& index) {
+  ReachabilityMatrix truth(index.graph());
+  for (NodeId u = 0; u < index.NumNodes(); ++u) {
+    std::vector<NodeId> expected;
+    for (NodeId v = 0; v < index.NumNodes(); ++v) {
+      ASSERT_EQ(index.Reaches(u, v), truth.Reaches(u, v))
+          << u << "->" << v;
+      if (u != v && truth.Reaches(u, v)) expected.push_back(v);
+    }
+    ASSERT_EQ(index.Successors(u), expected) << "node " << u;
+  }
+}
+
+TEST(DynamicReachabilityTest, BuildOnCyclicGraph) {
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  auto index = DynamicReachability::Build(graph);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumComponents(), 3);
+  ExpectConsistent(index.value());
+}
+
+TEST(DynamicReachabilityTest, CycleCreatingArcMergesClasses) {
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto index = DynamicReachability::Build(graph);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Reaches(3, 0));
+  ASSERT_TRUE(index->AddArc(3, 1).ok());  // 1-2-3 become one class.
+  EXPECT_TRUE(index->Reaches(3, 1));
+  EXPECT_TRUE(index->Reaches(2, 1));
+  EXPECT_FALSE(index->Reaches(1, 0));
+  EXPECT_EQ(index->NumComponents(), 2);
+  ExpectConsistent(index.value());
+}
+
+TEST(DynamicReachabilityTest, RemovalSplitsClass) {
+  Digraph graph = GraphFromArcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto index = DynamicReachability::Build(graph);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumComponents(), 1);
+  ASSERT_TRUE(index->RemoveArc(2, 0).ok());
+  EXPECT_EQ(index->NumComponents(), 3);
+  EXPECT_TRUE(index->Reaches(0, 2));
+  EXPECT_FALSE(index->Reaches(2, 0));
+  ExpectConsistent(index.value());
+}
+
+TEST(DynamicReachabilityTest, ParallelComponentArcsSurviveRemoval) {
+  // Two arcs between the same components: removing one keeps
+  // reachability.
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {1, 0}, {0, 2}, {1, 3}, {2, 3},
+                                    {3, 2}});
+  auto index = DynamicReachability::Build(graph);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumComponents(), 2);
+  ASSERT_TRUE(index->RemoveArc(0, 2).ok());
+  EXPECT_TRUE(index->Reaches(0, 2));  // Still via 1 -> 3.
+  ExpectConsistent(index.value());
+}
+
+TEST(DynamicReachabilityTest, AddNodeStartsIsolated) {
+  DynamicReachability index;
+  const NodeId a = index.AddNode();
+  const NodeId b = index.AddNode();
+  EXPECT_FALSE(index.Reaches(a, b));
+  ASSERT_TRUE(index.AddArc(a, b).ok());
+  EXPECT_TRUE(index.Reaches(a, b));
+  ASSERT_TRUE(index.AddArc(b, a).ok());  // Now a 2-cycle.
+  EXPECT_TRUE(index.Reaches(b, a));
+  EXPECT_EQ(index.NumComponents(), 1);
+}
+
+TEST(DynamicReachabilityTest, RandomizedSoakWithCycles) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Random rng(seed);
+    DynamicReachability index;
+    for (int i = 0; i < 8; ++i) index.AddNode();
+    for (int step = 0; step < 80; ++step) {
+      const NodeId n = index.NumNodes();
+      const uint64_t op = rng.Uniform(10);
+      if (op < 2) {
+        index.AddNode();
+      } else if (op < 8) {
+        const NodeId a = static_cast<NodeId>(rng.Uniform(n));
+        const NodeId b = static_cast<NodeId>(rng.Uniform(n));
+        Status s = index.AddArc(a, b);
+        ASSERT_TRUE(s.ok() || s.code() == StatusCode::kAlreadyExists ||
+                    s.code() == StatusCode::kInvalidArgument)
+            << s.ToString();
+      } else {
+        auto arcs = index.graph().Arcs();
+        if (!arcs.empty()) {
+          const auto& [a, b] = arcs[rng.Uniform(arcs.size())];
+          ASSERT_TRUE(index.RemoveArc(a, b).ok());
+        }
+      }
+      if (step % 8 == 7) ExpectConsistent(index);
+    }
+    ExpectConsistent(index);
+  }
+}
+
+}  // namespace
+}  // namespace trel

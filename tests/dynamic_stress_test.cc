@@ -1,0 +1,140 @@
+// Heavier randomized stress for the dynamic index: longer operation
+// sequences, snapshot round-trips mid-flight, explicit Renumber() and
+// Reoptimize() interleavings, and growth purely from refinements.
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/dynamic_closure.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+
+namespace trel {
+namespace {
+
+void ExpectConsistent(const DynamicClosure& closure) {
+  ReachabilityMatrix truth(closure.graph());
+  for (NodeId u = 0; u < closure.NumNodes(); ++u) {
+    for (NodeId v = 0; v < closure.NumNodes(); ++v) {
+      ASSERT_EQ(closure.Reaches(u, v), truth.Reaches(u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(DynamicStressTest, LongMixedSequenceWithMaintenanceCalls) {
+  Random rng(77);
+  DynamicClosure closure;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(closure.AddLeafUnder(kNoNode).ok());
+  }
+  for (int step = 0; step < 400; ++step) {
+    const NodeId n = closure.NumNodes();
+    const uint64_t op = rng.Uniform(20);
+    if (op < 8) {
+      const NodeId parent =
+          op == 0 ? kNoNode
+                  : static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(n)));
+      ASSERT_TRUE(closure.AddLeafUnder(parent).ok());
+    } else if (op < 14) {
+      const NodeId a = static_cast<NodeId>(rng.Uniform(n));
+      const NodeId b = static_cast<NodeId>(rng.Uniform(n));
+      Status s = closure.AddArc(a, b);
+      ASSERT_TRUE(s.ok() || s.code() == StatusCode::kInvalidArgument ||
+                  s.code() == StatusCode::kAlreadyExists);
+    } else if (op < 16) {
+      const NodeId child = static_cast<NodeId>(rng.Uniform(n));
+      auto z = closure.RefineAbove(child, closure.graph().InNeighbors(child));
+      ASSERT_TRUE(z.ok() ||
+                  z.status().code() == StatusCode::kInvalidArgument ||
+                  z.status().code() == StatusCode::kFailedPrecondition);
+    } else if (op < 18) {
+      auto arcs = closure.graph().Arcs();
+      if (!arcs.empty()) {
+        const auto& [a, b] = arcs[rng.Uniform(arcs.size())];
+        ASSERT_TRUE(closure.RemoveArc(a, b).ok());
+      }
+    } else if (op == 18) {
+      if (rng.Bernoulli(0.5)) {
+        closure.Reoptimize();
+      } else if (closure.stats().reoptimizes >= 0) {
+        // Renumber only when no refined nodes are pending; Reoptimize
+        // otherwise (Renumber CHECKs against refined nodes).
+        closure.Reoptimize();
+      }
+    } else {
+      // Snapshot round-trip mid-flight.
+      std::stringstream buffer;
+      ASSERT_TRUE(closure.Save(buffer).ok());
+      auto loaded = DynamicClosure::Load(buffer);
+      ASSERT_TRUE(loaded.ok());
+      closure = std::move(loaded).value();
+    }
+    if (step % 40 == 39) ExpectConsistent(closure);
+  }
+  ExpectConsistent(closure);
+}
+
+TEST(DynamicStressTest, GrowthPurelyByRefinement) {
+  // Start from a chain and keep interposing nodes above the tail — the
+  // paper's "refining a hierarchy" in its purest form.
+  Digraph graph(3);
+  ASSERT_TRUE(graph.AddArc(0, 1).ok());
+  ASSERT_TRUE(graph.AddArc(1, 2).ok());
+  ClosureOptions options;
+  options.labeling.gap = 256;
+  options.labeling.reserve = 255;
+  auto closure = DynamicClosure::Build(graph, options);
+  ASSERT_TRUE(closure.ok());
+  int succeeded = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto z = closure->RefineAbove(2, closure->graph().InNeighbors(2));
+    if (z.ok()) {
+      ++succeeded;
+    } else {
+      ASSERT_EQ(z.status().code(), StatusCode::kFailedPrecondition);
+      closure->Reoptimize();  // Refresh the pools and continue.
+    }
+  }
+  EXPECT_GT(succeeded, 40);
+  ExpectConsistent(closure.value());
+}
+
+TEST(DynamicStressTest, DeepChainGrowthTriggersRenumbering) {
+  ClosureOptions options;
+  options.labeling.gap = 4;
+  options.labeling.reserve = 1;
+  DynamicClosure closure(options);
+  auto tip = closure.AddLeafUnder(kNoNode);
+  ASSERT_TRUE(tip.ok());
+  NodeId current = tip.value();
+  for (int i = 0; i < 200; ++i) {
+    auto leaf = closure.AddLeafUnder(current);
+    ASSERT_TRUE(leaf.ok());
+    current = leaf.value();
+  }
+  EXPECT_GT(closure.stats().renumbers, 0);
+  // Spot-check the chain: the root reaches the tip, not vice versa.
+  EXPECT_TRUE(closure.Reaches(tip.value(), current));
+  EXPECT_FALSE(closure.Reaches(current, tip.value()));
+  EXPECT_EQ(closure.CountSuccessors(tip.value()), 200);
+}
+
+TEST(DynamicStressTest, WideFanoutGrowth) {
+  DynamicClosure closure;
+  auto root = closure.AddLeafUnder(kNoNode);
+  ASSERT_TRUE(root.ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(closure.AddLeafUnder(root.value()).ok());
+  }
+  EXPECT_EQ(closure.CountSuccessors(root.value()), 300);
+  EXPECT_EQ(closure.Successors(root.value()).size(), 300u);
+  // Every leaf sees only itself.
+  EXPECT_EQ(closure.CountSuccessors(5), 0);
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,66 @@
+#include "graph/families.h"
+
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/compressed_closure.h"
+#include "graph/reachability.h"
+#include "graph/topology.h"
+
+namespace trel {
+namespace {
+
+TEST(GridDagTest, StructureAndReachability) {
+  Digraph graph = GridDag(3, 4);
+  EXPECT_EQ(graph.NumNodes(), 12);
+  // Arcs: right 3*3 + down 2*4 = 17.
+  EXPECT_EQ(graph.NumArcs(), 17);
+  EXPECT_TRUE(IsAcyclic(graph));
+  ReachabilityMatrix matrix(graph);
+  EXPECT_TRUE(matrix.Reaches(0, 11));   // Corner to corner.
+  EXPECT_FALSE(matrix.Reaches(11, 0));
+  EXPECT_FALSE(matrix.Reaches(3, 4));   // (0,3) cannot reach (1,0).
+}
+
+TEST(SeriesParallelDagTest, AcyclicAndDeterministic) {
+  Digraph a = SeriesParallelDag(40, 3);
+  Digraph b = SeriesParallelDag(40, 3);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(IsAcyclic(a));
+  EXPECT_GT(a.NumNodes(), 10);
+}
+
+TEST(SeriesParallelDagTest, CompressesToNearTreeSize) {
+  // Series-parallel reachability is structured; the closure should be
+  // close to one interval per node.
+  Digraph graph = SeriesParallelDag(120, 9);
+  auto closure = CompressedClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_LT(closure->TotalIntervals(), 2 * graph.NumNodes());
+}
+
+TEST(PowerLawDagTest, RespectsDegreeCapAndAcyclicity) {
+  Digraph graph = PowerLawDag(300, 2.0, 20, 4);
+  EXPECT_TRUE(IsAcyclic(graph));
+  int max_out = 0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    max_out = std::max(max_out, graph.OutDegree(v));
+  }
+  EXPECT_LE(max_out, 20);
+  EXPECT_GE(graph.NumArcs(), 299);  // At least ~1 per non-sink node.
+}
+
+TEST(GenealogyDagTest, EveryNonFounderHasTwoParents) {
+  Digraph graph = GenealogyDag(200, 5, 6);
+  EXPECT_TRUE(IsAcyclic(graph));
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(graph.InDegree(v), 0);
+  }
+  for (NodeId v = 5; v < 200; ++v) {
+    EXPECT_EQ(graph.InDegree(v), 2);
+  }
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,117 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/reachability.h"
+#include "graph/topology.h"
+
+namespace trel {
+namespace {
+
+TEST(RandomDagTest, ProducesRequestedArcCount) {
+  Digraph graph = RandomDag(200, 3.0, 1);
+  EXPECT_EQ(graph.NumNodes(), 200);
+  EXPECT_EQ(graph.NumArcs(), 600);
+  EXPECT_TRUE(IsAcyclic(graph));
+}
+
+TEST(RandomDagTest, DeterministicPerSeed) {
+  Digraph a = RandomDag(100, 2.0, 9);
+  Digraph b = RandomDag(100, 2.0, 9);
+  Digraph c = RandomDag(100, 2.0, 10);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RandomDagTest, DenseRequestCapsAtMaximum) {
+  // 10 nodes -> at most 45 arcs; asking for degree 100 must cap, stay
+  // acyclic, and be a complete order.
+  Digraph graph = RandomDag(10, 100.0, 2);
+  EXPECT_EQ(graph.NumArcs(), 45);
+  EXPECT_TRUE(IsAcyclic(graph));
+}
+
+TEST(RandomDagTest, DensePathUsesShuffle) {
+  // Degree just over half the maximum exercises the enumerate-and-shuffle
+  // branch.
+  const NodeId n = 40;
+  Digraph graph = RandomDag(n, 12.0, 3);  // 480 of 780 possible.
+  EXPECT_EQ(graph.NumArcs(), 480);
+  EXPECT_TRUE(IsAcyclic(graph));
+}
+
+TEST(RandomTreeTest, EveryNonRootHasOneParent) {
+  Digraph tree = RandomTree(50, 4);
+  EXPECT_EQ(tree.NumArcs(), 49);
+  EXPECT_EQ(tree.InDegree(0), 0);
+  for (NodeId v = 1; v < 50; ++v) {
+    EXPECT_EQ(tree.InDegree(v), 1);
+    EXPECT_LT(tree.InNeighbors(v)[0], v);
+  }
+}
+
+TEST(CompleteTreeTest, SizesMatchFormula) {
+  Digraph tree = CompleteTree(2, 3);  // 1+2+4+8 = 15 nodes.
+  EXPECT_EQ(tree.NumNodes(), 15);
+  EXPECT_EQ(tree.NumArcs(), 14);
+  Digraph single = CompleteTree(3, 0);
+  EXPECT_EQ(single.NumNodes(), 1);
+}
+
+TEST(LayeredDagTest, ArcsOnlyBetweenConsecutiveLayers) {
+  Digraph graph = LayeredDag(3, 4, 1.0, 0);
+  EXPECT_EQ(graph.NumNodes(), 12);
+  EXPECT_EQ(graph.NumArcs(), 2 * 4 * 4);
+  for (const auto& [from, to] : graph.Arcs()) {
+    EXPECT_EQ(to / 4, from / 4 + 1);
+  }
+}
+
+TEST(BipartiteTest, CompleteBipartiteReachability) {
+  Digraph graph = CompleteBipartite(3, 4);
+  EXPECT_EQ(graph.NumNodes(), 7);
+  EXPECT_EQ(graph.NumArcs(), 12);
+  ReachabilityMatrix matrix(graph);
+  EXPECT_EQ(matrix.NumClosurePairs(), 12);
+}
+
+TEST(BipartiteTest, IntermediaryPreservesTopBottomReachability) {
+  Digraph direct = CompleteBipartite(3, 4);
+  Digraph routed = BipartiteWithIntermediary(3, 4);
+  ReachabilityMatrix matrix(routed);
+  // Top u reaches bottom b in the routed graph iff it did directly.
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId b = 0; b < 4; ++b) {
+      EXPECT_TRUE(matrix.Reaches(u, 3 + 1 + b));
+    }
+  }
+  EXPECT_EQ(routed.NumArcs(), 3 + 4);
+  (void)direct;
+}
+
+TEST(EnumerateDagsTest, CountsAllGraphsOverOrder) {
+  int64_t with_two_arcs = 0;
+  const int64_t total = EnumerateDagsOverOrder(3, [&](const Digraph& graph) {
+    EXPECT_TRUE(IsAcyclic(graph));
+    if (graph.NumArcs() == 2) ++with_two_arcs;
+  });
+  EXPECT_EQ(total, 8);          // 2^(3 choose 2).
+  EXPECT_EQ(with_two_arcs, 3);  // (3 choose 2) masks with two bits set.
+}
+
+TEST(SampleDagTest, UniformSamplesAreAcyclicAndVaried) {
+  int64_t arcs_total = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Digraph graph = SampleDagOverOrder(8, seed);
+    EXPECT_TRUE(IsAcyclic(graph));
+    arcs_total += graph.NumArcs();
+  }
+  // Expected arcs per sample = 28/2 = 14.
+  EXPECT_NEAR(static_cast<double>(arcs_total) / 20.0, 14.0, 3.0);
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,79 @@
+#include "baselines/grail_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/families.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+TEST(GrailIndexTest, RejectsBadInput) {
+  Digraph cyclic = GraphFromArcs(2, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(GrailIndex::Build(cyclic, 2, 1).ok());
+  Digraph dag = GraphFromArcs(2, {{0, 1}});
+  EXPECT_FALSE(GrailIndex::Build(dag, 0, 1).ok());
+}
+
+TEST(GrailIndexTest, LabelsNeverRejectReachablePairs) {
+  // Soundness of the necessary condition: a reachable pair must be
+  // admitted by every label.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Digraph graph = RandomDag(50, 2.5, 200 + seed);
+    auto index = GrailIndex::Build(graph, 3, seed);
+    ASSERT_TRUE(index.ok());
+    ReachabilityMatrix matrix(graph);
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+        if (matrix.Reaches(u, v)) {
+          EXPECT_TRUE(index->LabelsAdmit(u, v)) << u << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(GrailIndexTest, ExactQueriesMatchGroundTruth) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Digraph graph = RandomDag(60, 2.0, 210 + seed);
+    auto index = GrailIndex::Build(graph, 2, seed);
+    ASSERT_TRUE(index.ok());
+    ReachabilityMatrix matrix(graph);
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+        ASSERT_EQ(index->Reaches(u, v), matrix.Reaches(u, v))
+            << u << "->" << v << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(GrailIndexTest, MoreLabelsMeanFewerFallbacks) {
+  Digraph graph = RandomDag(300, 3.0, 220);
+  auto one = GrailIndex::Build(graph, 1, 5);
+  auto four = GrailIndex::Build(graph, 4, 5);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  for (NodeId u = 0; u < graph.NumNodes(); u += 3) {
+    for (NodeId v = 0; v < graph.NumNodes(); v += 7) {
+      (void)one->Reaches(u, v);
+      (void)four->Reaches(u, v);
+    }
+  }
+  EXPECT_LE(four->query_stats().dfs_fallbacks,
+            one->query_stats().dfs_fallbacks);
+}
+
+TEST(GrailIndexTest, StorageIsExactlyKPerNode) {
+  Digraph graph = GridDag(6, 6);
+  auto index = GrailIndex::Build(graph, 3, 1);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->StorageUnits(), 2 * 3 * 36);
+}
+
+}  // namespace
+}  // namespace trel

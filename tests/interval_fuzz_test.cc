@@ -1,0 +1,91 @@
+// Model-based fuzzing of IntervalSet: long random operation sequences
+// checked against a naive reference implementation.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/interval.h"
+
+namespace trel {
+namespace {
+
+// Reference model: just remembers every inserted interval.
+class NaiveIntervalSet {
+ public:
+  void Insert(Interval interval) { intervals_.push_back(interval); }
+
+  bool Contains(Label x) const {
+    for (const Interval& interval : intervals_) {
+      if (interval.Contains(x)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+class IntervalFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalFuzzTest, LongInsertSequencesMatchModel) {
+  Random rng(GetParam());
+  IntervalSet set;
+  NaiveIntervalSet model;
+  constexpr Label kUniverse = 400;
+
+  for (int step = 0; step < 500; ++step) {
+    const Label lo = static_cast<Label>(rng.Uniform(kUniverse));
+    const Label hi = lo + static_cast<Label>(rng.Uniform(30));
+    set.Insert({lo, hi});
+    model.Insert({lo, hi});
+
+    if (step % 50 == 49) {
+      for (Label x = -2; x <= kUniverse + 32; ++x) {
+        ASSERT_EQ(set.Contains(x), model.Contains(x))
+            << "x=" << x << " step=" << step;
+      }
+      // Structural invariants: sorted antichain.
+      const auto& members = set.intervals();
+      for (size_t i = 1; i < members.size(); ++i) {
+        ASSERT_LT(members[i - 1].lo, members[i].lo);
+        ASSERT_LT(members[i - 1].hi, members[i].hi);
+      }
+    }
+  }
+}
+
+TEST_P(IntervalFuzzTest, MergeAdjacentPreservesCoverageAndIsIdempotent) {
+  Random rng(GetParam() + 1000);
+  IntervalSet set;
+  NaiveIntervalSet model;
+  constexpr Label kUniverse = 300;
+  for (int k = 0; k < 120; ++k) {
+    const Label lo = static_cast<Label>(rng.Uniform(kUniverse));
+    const Label hi = lo + static_cast<Label>(rng.Uniform(12));
+    set.Insert({lo, hi});
+    model.Insert({lo, hi});
+  }
+
+  IntervalSet merged = set;
+  merged.MergeAdjacent();
+  EXPECT_LE(merged.size(), set.size());
+  // Merging only coalesces touching intervals ([a,b] + [lo<=b+1, c]), so
+  // point coverage is preserved exactly.
+  for (Label x = -2; x <= kUniverse + 16; ++x) {
+    ASSERT_EQ(merged.Contains(x), model.Contains(x)) << x;
+  }
+
+  IntervalSet twice = merged;
+  const int second_merges = twice.MergeAdjacent();
+  EXPECT_EQ(second_merges, 0);
+  EXPECT_TRUE(twice == merged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,141 @@
+#include "core/interval.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace trel {
+namespace {
+
+TEST(IntervalTest, ContainsIsInclusive) {
+  const Interval interval{3, 7};
+  EXPECT_FALSE(interval.Contains(2));
+  EXPECT_TRUE(interval.Contains(3));
+  EXPECT_TRUE(interval.Contains(5));
+  EXPECT_TRUE(interval.Contains(7));
+  EXPECT_FALSE(interval.Contains(8));
+}
+
+TEST(IntervalTest, SubsumesMatchesPaperDefinition) {
+  // [i1,i2] subsumes [j1,j2] iff i1 <= j1 and i2 >= j2.
+  EXPECT_TRUE((Interval{1, 10}.Subsumes(Interval{2, 9})));
+  EXPECT_TRUE((Interval{1, 10}.Subsumes(Interval{1, 10})));
+  EXPECT_FALSE((Interval{2, 9}.Subsumes(Interval{1, 10})));
+  EXPECT_FALSE((Interval{1, 5}.Subsumes(Interval{3, 7})));
+}
+
+TEST(IntervalSetTest, InsertDiscardsSubsumedNewInterval) {
+  IntervalSet set;
+  EXPECT_TRUE(set.Insert({1, 10}));
+  EXPECT_FALSE(set.Insert({3, 7}));
+  EXPECT_EQ(set.size(), 1);
+}
+
+TEST(IntervalSetTest, InsertRemovesSubsumedMembers) {
+  IntervalSet set;
+  EXPECT_TRUE(set.Insert({3, 4}));
+  EXPECT_TRUE(set.Insert({6, 7}));
+  EXPECT_TRUE(set.Insert({12, 13}));
+  EXPECT_TRUE(set.Insert({2, 8}));  // Swallows the first two.
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_EQ(set.intervals()[0], (Interval{2, 8}));
+  EXPECT_EQ(set.intervals()[1], (Interval{12, 13}));
+}
+
+TEST(IntervalSetTest, KeepsOverlappingNonSubsumedIntervals) {
+  IntervalSet set;
+  EXPECT_TRUE(set.Insert({1, 5}));
+  EXPECT_TRUE(set.Insert({3, 8}));
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_TRUE(set.Contains(6));
+}
+
+TEST(IntervalSetTest, ContainsBinarySearches) {
+  IntervalSet set;
+  set.Insert({1, 2});
+  set.Insert({5, 6});
+  set.Insert({10, 20});
+  EXPECT_TRUE(set.Contains(1));
+  EXPECT_TRUE(set.Contains(6));
+  EXPECT_TRUE(set.Contains(15));
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_FALSE(set.Contains(7));
+  EXPECT_FALSE(set.Contains(21));
+  EXPECT_FALSE(set.Contains(0));
+}
+
+TEST(IntervalSetTest, InsertEqualLoKeepsWider) {
+  IntervalSet set;
+  set.Insert({4, 6});
+  EXPECT_TRUE(set.Insert({4, 9}));  // Same lo, wider: replaces.
+  EXPECT_EQ(set.size(), 1);
+  EXPECT_EQ(set.intervals()[0], (Interval{4, 9}));
+  EXPECT_FALSE(set.Insert({4, 7}));  // Same lo, narrower: subsumed.
+  EXPECT_EQ(set.size(), 1);
+}
+
+TEST(IntervalSetTest, MergeAdjacentCoalescesTouchingIntervals) {
+  IntervalSet set;
+  set.Insert({1, 3});
+  set.Insert({4, 6});    // Adjacent to [1,3].
+  set.Insert({9, 12});   // Not adjacent.
+  EXPECT_EQ(set.MergeAdjacent(), 1);
+  ASSERT_EQ(set.size(), 2);
+  EXPECT_EQ(set.intervals()[0], (Interval{1, 6}));
+  EXPECT_EQ(set.intervals()[1], (Interval{9, 12}));
+}
+
+TEST(IntervalSetTest, MergeAdjacentCoalescesOverlap) {
+  IntervalSet set;
+  set.Insert({1, 5});
+  set.Insert({3, 8});
+  EXPECT_EQ(set.MergeAdjacent(), 1);
+  ASSERT_EQ(set.size(), 1);
+  EXPECT_EQ(set.intervals()[0], (Interval{1, 8}));
+}
+
+TEST(IntervalSetTest, SubsumesIntervalQuery) {
+  IntervalSet set;
+  set.Insert({1, 5});
+  set.Insert({10, 20});
+  EXPECT_TRUE(set.SubsumesInterval({2, 4}));
+  EXPECT_TRUE(set.SubsumesInterval({10, 20}));
+  EXPECT_FALSE(set.SubsumesInterval({4, 11}));
+  EXPECT_FALSE(set.SubsumesInterval({0, 3}));
+}
+
+// Property: after any insertion sequence, the set is a sorted antichain
+// and answers Contains exactly like the naive union of all inserted
+// intervals.
+TEST(IntervalSetTest, RandomizedInsertionMatchesNaiveUnion) {
+  Random rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet set;
+    std::vector<Interval> inserted;
+    for (int k = 0; k < 40; ++k) {
+      const Label lo = static_cast<Label>(rng.Uniform(100));
+      const Label hi = lo + static_cast<Label>(rng.Uniform(20));
+      set.Insert({lo, hi});
+      inserted.push_back({lo, hi});
+    }
+    // Antichain, sorted by lo, hi strictly increasing.
+    const auto& members = set.intervals();
+    for (size_t i = 1; i < members.size(); ++i) {
+      EXPECT_LT(members[i - 1].lo, members[i].lo);
+      EXPECT_LT(members[i - 1].hi, members[i].hi);
+    }
+    for (Label x = -1; x <= 125; ++x) {
+      bool naive = false;
+      for (const Interval& interval : inserted) {
+        naive |= interval.Contains(x);
+      }
+      EXPECT_EQ(set.Contains(x), naive) << "x=" << x << " trial=" << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trel

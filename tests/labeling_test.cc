@@ -1,0 +1,157 @@
+#include "core/labeling.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+NodeLabels MustBuild(const Digraph& graph, const LabelingOptions& options = {},
+                     TreeCoverStrategy strategy = TreeCoverStrategy::kOptimal) {
+  auto cover = ComputeTreeCover(graph, strategy);
+  TREL_CHECK(cover.ok());
+  auto labels = BuildLabels(graph, cover.value(), options);
+  TREL_CHECK(labels.ok()) << labels.status().ToString();
+  return std::move(labels).value();
+}
+
+TEST(LabelingTest, TreeGetsOneIntervalPerNode) {
+  // Section 3.1: for a tree, O(n) storage — exactly one interval per node.
+  Digraph tree = RandomTree(60, 3);
+  NodeLabels labels = MustBuild(tree);
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    EXPECT_EQ(labels.intervals[v].size(), 1) << "node " << v;
+  }
+  EXPECT_EQ(labels.TotalIntervals(), 60);
+  EXPECT_EQ(labels.StorageUnits(), 120);
+}
+
+TEST(LabelingTest, TreeIntervalIsLowestDescendantToOwnPostorder) {
+  //        0
+  //      / | \
+  //     1  2  3
+  //        |
+  //        4
+  Digraph tree = GraphFromArcs(5, {{0, 1}, {0, 2}, {0, 3}, {2, 4}});
+  NodeLabels labels = MustBuild(tree);
+  // Postorder with gap 1: children in insertion order: 1, (4, 2), 3, 0.
+  EXPECT_EQ(labels.postorder[1], 1);
+  EXPECT_EQ(labels.postorder[4], 2);
+  EXPECT_EQ(labels.postorder[2], 3);
+  EXPECT_EQ(labels.postorder[3], 4);
+  EXPECT_EQ(labels.postorder[0], 5);
+  // Lemma 1 intervals.
+  EXPECT_EQ(labels.tree_interval[1], (Interval{1, 1}));
+  EXPECT_EQ(labels.tree_interval[2], (Interval{2, 3}));
+  EXPECT_EQ(labels.tree_interval[0], (Interval{1, 5}));
+}
+
+TEST(LabelingTest, Lemma1PathIffIntervalContains) {
+  Digraph tree = RandomTree(40, 9);
+  NodeLabels labels = MustBuild(tree);
+  ReachabilityMatrix matrix(tree);
+  for (NodeId a = 0; a < tree.NumNodes(); ++a) {
+    for (NodeId b = 0; b < tree.NumNodes(); ++b) {
+      EXPECT_EQ(labels.tree_interval[a].Contains(labels.postorder[b]),
+                matrix.Reaches(a, b))
+          << a << "->" << b;
+    }
+  }
+}
+
+TEST(LabelingTest, DagSubsumptionDiscardsInheritedTreeIntervals) {
+  // Diamond 0->{1,2}->3: whichever of 1,2 is not 3's tree parent inherits
+  // 3's tree interval as its only non-tree interval; node 0 subsumes
+  // everything into its own tree interval.
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  NodeLabels labels = MustBuild(graph);
+  EXPECT_EQ(labels.intervals[0].size(), 1);
+  EXPECT_EQ(labels.intervals[3].size(), 1);
+  EXPECT_EQ(labels.intervals[1].size() + labels.intervals[2].size(), 3);
+}
+
+TEST(LabelingTest, GapSpacingMultipliesNumbers) {
+  Digraph tree = GraphFromArcs(3, {{0, 1}, {0, 2}});
+  LabelingOptions options;
+  options.gap = 10;
+  NodeLabels labels = MustBuild(tree, options);
+  EXPECT_EQ(labels.postorder[1], 10);
+  EXPECT_EQ(labels.postorder[2], 20);
+  EXPECT_EQ(labels.postorder[0], 30);
+  EXPECT_EQ(labels.tree_interval[0], (Interval{1, 30}));
+  EXPECT_EQ(labels.tree_interval[2], (Interval{11, 20}));
+}
+
+TEST(LabelingTest, RejectsBadOptions) {
+  Digraph graph = GraphFromArcs(2, {{0, 1}});
+  auto cover = ComputeTreeCover(graph, TreeCoverStrategy::kOptimal);
+  ASSERT_TRUE(cover.ok());
+  LabelingOptions bad_gap;
+  bad_gap.gap = 0;
+  EXPECT_FALSE(BuildLabels(graph, cover.value(), bad_gap).ok());
+  LabelingOptions bad_reserve;
+  bad_reserve.gap = 4;
+  bad_reserve.reserve = 4;
+  EXPECT_FALSE(BuildLabels(graph, cover.value(), bad_reserve).ok());
+}
+
+TEST(LabelingTest, ReservePadsPropagatedCopiesOnly) {
+  // 0 -> 1 (tree), 2 -> 1 (non-tree): 2 inherits 1's padded interval.
+  Digraph graph = GraphFromArcs(3, {{0, 1}, {2, 1}});
+  LabelingOptions options;
+  options.gap = 10;
+  options.reserve = 5;
+  auto cover = ComputeTreeCover(graph, TreeCoverStrategy::kFirstParent);
+  ASSERT_TRUE(cover.ok());
+  auto labels = BuildLabels(graph, cover.value(), options);
+  ASSERT_TRUE(labels.ok());
+  const Label p1 = labels->postorder[1];
+  // 1's own interval is unpadded.
+  EXPECT_EQ(labels->tree_interval[1].hi, p1);
+  ASSERT_EQ(labels->intervals[1].size(), 1);
+  EXPECT_EQ(labels->intervals[1].intervals()[0].hi, p1);
+  // 2 holds the padded copy [lo, p1 + reserve] (plus its own interval).
+  bool found_padded = false;
+  for (const Interval& interval : labels->intervals[2].intervals()) {
+    if (interval.lo == labels->tree_interval[1].lo) {
+      EXPECT_EQ(interval.hi, p1 + 5);
+      found_padded = true;
+    }
+  }
+  EXPECT_TRUE(found_padded);
+}
+
+TEST(LabelingTest, MergeAdjacentOnlyReducesCount) {
+  Digraph graph = RandomDag(120, 2.0, 13);
+  NodeLabels plain = MustBuild(graph);
+  LabelingOptions merged_options;
+  merged_options.merge_adjacent = true;
+  NodeLabels merged = MustBuild(graph, merged_options);
+  EXPECT_LE(merged.TotalIntervals(), plain.TotalIntervals());
+}
+
+TEST(LabelingTest, BipartiteWorstCaseIsQuadratic) {
+  // Figure 3.6: m top nodes fanning into m bottom nodes costs ~m^2
+  // intervals; the Figure 3.7 intermediary collapses it to O(n).
+  const NodeId m = 12;
+  NodeLabels dense = MustBuild(CompleteBipartite(m, m));
+  NodeLabels routed = MustBuild(BipartiteWithIntermediary(m, m));
+  // Dense: one top node adopts all bottoms into the tree (1 interval);
+  // each other top node holds its own interval plus m bottom intervals:
+  // m + 1 + (m-1)(m+1) = m^2 + m.
+  EXPECT_EQ(dense.TotalIntervals(), m * m + m);
+  // Routed: bottoms m, middle 1, adopting top 1, and 2 for each other top
+  // node = 3m.
+  EXPECT_EQ(routed.TotalIntervals(), 3 * m);
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,125 @@
+#include "core/lattice_ops.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/predecessor_index.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+BidirectionalClosure MustBuild(const Digraph& graph) {
+  auto closure = BidirectionalClosure::Build(graph);
+  TREL_CHECK(closure.ok());
+  return std::move(closure).value();
+}
+
+TEST(ReverseGraphTest, FlipsEveryArc) {
+  Digraph graph = GraphFromArcs(3, {{0, 1}, {1, 2}});
+  Digraph reversed = ReverseGraph(graph);
+  EXPECT_TRUE(reversed.HasArc(1, 0));
+  EXPECT_TRUE(reversed.HasArc(2, 1));
+  EXPECT_EQ(reversed.NumArcs(), 2);
+}
+
+TEST(BidirectionalClosureTest, PredecessorsMatchScanBaseline) {
+  Digraph graph = RandomDag(70, 2.5, 61);
+  BidirectionalClosure closure = MustBuild(graph);
+  ReachabilityMatrix matrix(graph);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    std::vector<NodeId> expected;
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      if (u != v && matrix.Reaches(u, v)) expected.push_back(u);
+    }
+    std::vector<NodeId> got = closure.Predecessors(v);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "node " << v;
+    EXPECT_EQ(closure.CountPredecessors(v),
+              static_cast<int64_t>(expected.size()));
+  }
+}
+
+TEST(LatticeOpsTest, DiamondLca) {
+  //    0
+  //   / \
+  //  1   2
+  //   \ /
+  //    3
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  BidirectionalClosure closure = MustBuild(graph);
+  LatticeOps ops(&closure);
+  EXPECT_EQ(ops.LeastCommonAncestors(1, 2), (std::vector<NodeId>{0}));
+  EXPECT_EQ(ops.GreatestCommonDescendants(1, 2), (std::vector<NodeId>{3}));
+  // Comparable pair: the lower node is its own common-descendant rep, the
+  // upper is the LCA.
+  EXPECT_EQ(ops.LeastCommonAncestors(0, 3), (std::vector<NodeId>{0}));
+  EXPECT_EQ(ops.GreatestCommonDescendants(0, 3), (std::vector<NodeId>{3}));
+}
+
+TEST(LatticeOpsTest, MultipleMinimalAncestors) {
+  // Two incomparable common ancestors 0 and 1 over children 2 and 3.
+  Digraph graph = GraphFromArcs(4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  BidirectionalClosure closure = MustBuild(graph);
+  LatticeOps ops(&closure);
+  EXPECT_EQ(ops.LeastCommonAncestors(2, 3), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(ops.GreatestCommonDescendants(0, 1),
+            (std::vector<NodeId>{2, 3}));
+}
+
+TEST(LatticeOpsTest, DisjointnessAndComparability) {
+  // Two separate chains.
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {2, 3}});
+  BidirectionalClosure closure = MustBuild(graph);
+  LatticeOps ops(&closure);
+  EXPECT_TRUE(ops.AreDisjoint(0, 2));
+  EXPECT_TRUE(ops.AreDisjoint(1, 3));
+  EXPECT_FALSE(ops.AreDisjoint(0, 1));  // Comparable.
+  EXPECT_TRUE(ops.Comparable(0, 1));
+  EXPECT_FALSE(ops.Comparable(0, 2));
+  EXPECT_TRUE(ops.LeastCommonAncestors(0, 2).empty());
+  EXPECT_TRUE(ops.GreatestCommonDescendants(0, 2).empty());
+}
+
+// Property: LCA results are common ancestors and are pairwise
+// incomparable; ditto for GCD, on random DAGs.
+TEST(LatticeOpsTest, RandomizedLcaInvariants) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Digraph graph = RandomDag(35, 1.8, 70 + seed);
+    BidirectionalClosure closure = MustBuild(graph);
+    LatticeOps ops(&closure);
+    ReachabilityMatrix matrix(graph);
+    for (NodeId u = 0; u < graph.NumNodes(); u += 3) {
+      for (NodeId v = u + 1; v < graph.NumNodes(); v += 4) {
+        const std::vector<NodeId> lca = ops.LeastCommonAncestors(u, v);
+        for (NodeId c : lca) {
+          EXPECT_TRUE(matrix.Reaches(c, u));
+          EXPECT_TRUE(matrix.Reaches(c, v));
+        }
+        for (NodeId a : lca) {
+          for (NodeId b : lca) {
+            if (a != b) EXPECT_FALSE(matrix.Reaches(a, b));
+          }
+        }
+        // Completeness: every common ancestor reaches some LCA member.
+        for (NodeId c = 0; c < graph.NumNodes(); ++c) {
+          if (!matrix.Reaches(c, u) || !matrix.Reaches(c, v)) continue;
+          bool reaches_minimal = false;
+          for (NodeId a : lca) {
+            reaches_minimal |= matrix.Reaches(c, a);
+          }
+          EXPECT_TRUE(reaches_minimal) << "ancestor " << c;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,84 @@
+#include "baselines/multi_hierarchy.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+TEST(MultiHierarchyTest, RejectsCycles) {
+  Digraph graph = GraphFromArcs(2, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(MultiHierarchyLabeling::Build(graph).ok());
+}
+
+TEST(MultiHierarchyTest, ExactOnTrees) {
+  Digraph tree = RandomTree(60, 80);
+  auto labeling = MultiHierarchyLabeling::Build(tree);
+  ASSERT_TRUE(labeling.ok());
+  EXPECT_EQ(labeling->NumHierarchies(), 1);
+  ReachabilityMatrix matrix(tree);
+  for (NodeId u = 0; u < tree.NumNodes(); ++u) {
+    for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+      EXPECT_EQ(labeling->Reaches(u, v), matrix.Reaches(u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(MultiHierarchyTest, NumHierarchiesEqualsMaxInDegree) {
+  Digraph graph = GraphFromArcs(5, {{0, 4}, {1, 4}, {2, 4}, {3, 4}});
+  auto labeling = MultiHierarchyLabeling::Build(graph);
+  ASSERT_TRUE(labeling.ok());
+  EXPECT_EQ(labeling->NumHierarchies(), 4);
+}
+
+TEST(MultiHierarchyTest, SoundButIncompleteOnDags) {
+  // 0 -> 1 -> 3 and 2 -> 3; with 0->1 in forest 0 and the diamond split,
+  // cross-forest paths can be missed but nothing false is reported.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Digraph graph = RandomDag(40, 2.0, 90 + seed);
+    auto labeling = MultiHierarchyLabeling::Build(graph);
+    ASSERT_TRUE(labeling.ok());
+    ReachabilityMatrix matrix(graph);
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+        if (labeling->Reaches(u, v)) {
+          EXPECT_TRUE(matrix.Reaches(u, v))
+              << "false positive " << u << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(MultiHierarchyTest, MissesCrossForestPaths) {
+  // Force a cross-forest path: 0->1 (forest 0), 2->1 (forest 1), and
+  // 1->3.  Path 2->1->3 exists; in forest 1, node 1 has no child (3's
+  // parent lives in forest 0), so 2->3 is invisible to the labeling.
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {2, 1}, {1, 3}});
+  auto labeling = MultiHierarchyLabeling::Build(graph);
+  ASSERT_TRUE(labeling.ok());
+  EXPECT_TRUE(labeling->Reaches(0, 3));
+  EXPECT_TRUE(labeling->Reaches(2, 1));
+  EXPECT_FALSE(labeling->Reaches(2, 3)) << "expected the documented miss";
+  ReachabilityMatrix matrix(graph);
+  EXPECT_TRUE(matrix.Reaches(2, 3));
+}
+
+TEST(MultiHierarchyTest, StorageCountsNonIsolatedEntries) {
+  // A single chain: one hierarchy, every node stored once.
+  Digraph chain = GraphFromArcs(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto labeling = MultiHierarchyLabeling::Build(chain);
+  ASSERT_TRUE(labeling.ok());
+  EXPECT_EQ(labeling->StorageUnits(), 4);
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,134 @@
+// Verifies the paper's two theorems empirically:
+//   Theorem 1: Alg1's tree cover minimizes the total interval count over
+//              all tree covers (exhaustively checked on small DAGs).
+//   Theorem 2: the tree-cover compression never needs more storage than
+//              the best chain-cover compression.
+
+#include <cstdint>
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/chain_cover.h"
+#include "common/check.h"
+#include "core/labeling.h"
+#include "core/tree_cover.h"
+#include "graph/generators.h"
+
+namespace trel {
+namespace {
+
+int64_t IntervalCount(const Digraph& graph, const TreeCover& cover) {
+  auto labels = BuildLabels(graph, cover, LabelingOptions{});
+  TREL_CHECK(labels.ok());
+  return labels->TotalIntervals();
+}
+
+// Enumerates every spanning tree cover (each node picks one immediate
+// predecessor or none if it has none) and returns the minimum interval
+// count.
+int64_t BruteForceBestCover(const Digraph& graph) {
+  const NodeId n = graph.NumNodes();
+  std::vector<NodeId> parent(n, kNoNode);
+  int64_t best = std::numeric_limits<int64_t>::max();
+
+  // Odometer over predecessor choices.
+  std::vector<int> choice(n, 0);
+  while (true) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& preds = graph.InNeighbors(v);
+      parent[v] = preds.empty() ? kNoNode : preds[choice[v]];
+    }
+    auto cover = TreeCoverFromParents(graph, parent);
+    TREL_CHECK(cover.ok());
+    best = std::min(best, IntervalCount(graph, cover.value()));
+
+    // Increment the odometer.
+    NodeId v = 0;
+    for (; v < n; ++v) {
+      const int limit =
+          std::max<int>(1, static_cast<int>(graph.InNeighbors(v).size()));
+      if (++choice[v] < limit) break;
+      choice[v] = 0;
+    }
+    if (v == n) break;
+  }
+  return best;
+}
+
+int64_t Alg1Count(const Digraph& graph) {
+  auto cover = ComputeTreeCover(graph, TreeCoverStrategy::kOptimal);
+  TREL_CHECK(cover.ok());
+  return IntervalCount(graph, cover.value());
+}
+
+TEST(Theorem1Test, Alg1OptimalOnAllFourNodeDags) {
+  int64_t graphs = EnumerateDagsOverOrder(4, [](const Digraph& graph) {
+    ASSERT_EQ(Alg1Count(graph), BruteForceBestCover(graph));
+  });
+  EXPECT_EQ(graphs, 64);
+}
+
+TEST(Theorem1Test, Alg1OptimalOnAllFiveNodeDags) {
+  int64_t graphs = EnumerateDagsOverOrder(5, [](const Digraph& graph) {
+    ASSERT_EQ(Alg1Count(graph), BruteForceBestCover(graph));
+  });
+  EXPECT_EQ(graphs, 1024);
+}
+
+TEST(Theorem1Test, Alg1OptimalOnRandomSixNodeDags) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Digraph graph = SampleDagOverOrder(6, seed);
+    ASSERT_EQ(Alg1Count(graph), BruteForceBestCover(graph)) << "seed " << seed;
+  }
+}
+
+TEST(Theorem1Test, Alg1NeverWorseThanHeuristicsOnRandomDags) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Digraph graph = RandomDag(70, 2.5, seed);
+    const int64_t optimal = Alg1Count(graph);
+    for (TreeCoverStrategy strategy :
+         {TreeCoverStrategy::kDfs, TreeCoverStrategy::kFirstParent,
+          TreeCoverStrategy::kRandom}) {
+      auto cover = ComputeTreeCover(graph, strategy, seed);
+      ASSERT_TRUE(cover.ok());
+      EXPECT_LE(optimal, IntervalCount(graph, cover.value()))
+          << TreeCoverStrategyName(strategy) << " seed " << seed;
+    }
+  }
+}
+
+TEST(Theorem2Test, TreeCoverBeatsMinimumChainCoverOnRandomDags) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Digraph graph = RandomDag(50, 2.0, seed);
+    const int64_t tree_storage = Alg1Count(graph);
+    auto chains = ChainCover::Build(graph, ChainCover::Method::kMinimum);
+    ASSERT_TRUE(chains.ok());
+    EXPECT_LE(tree_storage, chains->StorageUnits()) << "seed " << seed;
+  }
+}
+
+TEST(Theorem2Test, TreeCoverBeatsChainCoverOnTrees) {
+  // Section 5: "Consider, for example, a tree.  O(n) storage suffices ...
+  // Significantly greater storage would be required by any chain
+  // compression technique."
+  Digraph tree = RandomTree(100, 5);
+  const int64_t tree_storage = Alg1Count(tree);
+  auto chains = ChainCover::Build(tree, ChainCover::Method::kMinimum);
+  ASSERT_TRUE(chains.ok());
+  EXPECT_EQ(tree_storage, 100);
+  EXPECT_GT(chains->StorageUnits(), tree_storage);
+}
+
+TEST(Theorem2Test, HoldsOnAllFourNodeDags) {
+  EnumerateDagsOverOrder(4, [](const Digraph& graph) {
+    auto chains = ChainCover::Build(graph, ChainCover::Method::kMinimum);
+    ASSERT_TRUE(chains.ok());
+    ASSERT_LE(Alg1Count(graph), chains->StorageUnits());
+  });
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,71 @@
+#include "core/path_finder.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/families.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+CompressedClosure MustBuild(const Digraph& graph) {
+  auto closure = CompressedClosure::Build(graph);
+  TREL_CHECK(closure.ok());
+  return std::move(closure).value();
+}
+
+// A path must start and end correctly and follow real arcs.
+void ExpectValidPath(const Digraph& graph, const std::vector<NodeId>& path,
+                     NodeId source, NodeId target) {
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), source);
+  EXPECT_EQ(path.back(), target);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(graph.HasArc(path[i], path[i + 1]))
+        << path[i] << "->" << path[i + 1];
+  }
+}
+
+TEST(PathFinderTest, TrivialAndDirectPaths) {
+  Digraph graph = GraphFromArcs(3, {{0, 1}, {1, 2}});
+  CompressedClosure closure = MustBuild(graph);
+  EXPECT_EQ(FindPath(graph, closure, 0, 0), (std::vector<NodeId>{0}));
+  EXPECT_EQ(FindPath(graph, closure, 0, 2), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_TRUE(FindPath(graph, closure, 2, 0).empty());
+}
+
+TEST(PathFinderTest, FindsWitnessesOnRandomDags) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Digraph graph = RandomDag(60, 2.0, 100 + seed);
+    CompressedClosure closure = MustBuild(graph);
+    ReachabilityMatrix matrix(graph);
+    for (NodeId u = 0; u < graph.NumNodes(); u += 2) {
+      for (NodeId v = 0; v < graph.NumNodes(); v += 3) {
+        const std::vector<NodeId> path = FindPath(graph, closure, u, v);
+        if (matrix.Reaches(u, v)) {
+          ExpectValidPath(graph, path, u, v);
+        } else {
+          EXPECT_TRUE(path.empty());
+        }
+      }
+    }
+  }
+}
+
+TEST(PathFinderTest, GridPathsHaveManhattanLength) {
+  // In a grid DAG every source-to-target path has the same length.
+  Digraph graph = GridDag(5, 7);
+  CompressedClosure closure = MustBuild(graph);
+  const std::vector<NodeId> path =
+      FindPath(graph, closure, 0, 5 * 7 - 1);
+  EXPECT_EQ(path.size(), 1u + (5 - 1) + (7 - 1));
+}
+
+}  // namespace
+}  // namespace trel

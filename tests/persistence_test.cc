@@ -1,0 +1,99 @@
+// Persistence across close/reopen: a compressed closure written to a page
+// file must answer identically after the process-level handle is dropped
+// and the file is reopened cold.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/compressed_closure.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "storage/buffer_pool.h"
+#include "storage/closure_store.h"
+#include "storage/page_store.h"
+
+namespace trel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PersistenceTest, PageStoreReopenPreservesContents) {
+  const std::string path = TempPath("reopen.db");
+  {
+    auto store = PageStore::Open(path, 256);
+    ASSERT_TRUE(store.ok());
+    store->AllocatePage();
+    store->AllocatePage();
+    std::vector<uint8_t> data(256, 0x3C);
+    ASSERT_TRUE(store->WritePage(1, data).ok());
+  }  // Store closed here.
+  auto reopened = PageStore::Open(path, 256, /*truncate=*/false);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->num_pages(), 2u);
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(reopened->ReadPage(1, read).ok());
+  EXPECT_EQ(read, std::vector<uint8_t>(256, 0x3C));
+}
+
+TEST(PersistenceTest, ReopenRejectsTornFile) {
+  const std::string path = TempPath("torn.db");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[100] = {0};
+    std::fwrite(junk, 1, sizeof(junk), f);  // Not a multiple of 256.
+    std::fclose(f);
+  }
+  EXPECT_FALSE(PageStore::Open(path, 256, /*truncate=*/false).ok());
+}
+
+TEST(PersistenceTest, IntervalStoreSurvivesReopen) {
+  const std::string path = TempPath("closure_reopen.db");
+  Digraph graph = RandomDag(120, 2.5, 400);
+  auto closure = CompressedClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  {
+    auto store = PageStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(IntervalStore::Write(closure.value(), store.value()).ok());
+  }
+
+  auto reopened = PageStore::Open(path, PageStore::kDefaultPageSize,
+                                  /*truncate=*/false);
+  ASSERT_TRUE(reopened.ok());
+  BufferPool pool(&reopened.value(), 8);
+  auto on_disk = IntervalStore::Open(&pool);
+  ASSERT_TRUE(on_disk.ok());
+  ReachabilityMatrix truth(graph);
+  for (NodeId u = 0; u < graph.NumNodes(); u += 3) {
+    for (NodeId v = 0; v < graph.NumNodes(); v += 2) {
+      auto got = on_disk->Reaches(u, v);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got.value(), truth.Reaches(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(PersistenceTest, BufferPoolFlushThenReopenSeesWrites) {
+  const std::string path = TempPath("flush_reopen.db");
+  {
+    auto store = PageStore::Open(path, 256);
+    ASSERT_TRUE(store.ok());
+    store->AllocatePage();
+    BufferPool pool(&store.value(), 2);
+    std::vector<uint8_t> data(256, 0x42);
+    ASSERT_TRUE(pool.PutPage(0, data).ok());
+    ASSERT_TRUE(pool.Flush().ok());
+  }
+  auto reopened = PageStore::Open(path, 256, /*truncate=*/false);
+  ASSERT_TRUE(reopened.ok());
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(reopened->ReadPage(0, read).ok());
+  EXPECT_EQ(read, std::vector<uint8_t>(256, 0x42));
+}
+
+}  // namespace
+}  // namespace trel

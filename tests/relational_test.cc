@@ -1,0 +1,155 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "relational/alpha.h"
+#include "relational/operators.h"
+#include "relational/relation.h"
+
+namespace trel {
+namespace {
+
+Relation EdgeRelation(
+    std::initializer_list<std::pair<const char*, const char*>> arcs) {
+  Relation r({{"src", ColumnType::kString}, {"dst", ColumnType::kString}});
+  for (const auto& [a, b] : arcs) {
+    TREL_CHECK(r.Append({std::string(a), std::string(b)}).ok());
+  }
+  return r;
+}
+
+TEST(RelationTest, AppendEnforcesSchema) {
+  Relation r({{"id", ColumnType::kInt64}, {"name", ColumnType::kString}});
+  EXPECT_TRUE(r.Append({int64_t{1}, std::string("a")}).ok());
+  EXPECT_FALSE(r.Append({std::string("a"), int64_t{1}}).ok());  // Types.
+  EXPECT_FALSE(r.Append({int64_t{1}}).ok());                    // Arity.
+  EXPECT_EQ(r.NumTuples(), 1);
+}
+
+TEST(RelationTest, ColumnIndexLookup) {
+  Relation r({{"x", ColumnType::kInt64}, {"y", ColumnType::kInt64}});
+  EXPECT_EQ(r.ColumnIndex("y").value(), 1);
+  EXPECT_FALSE(r.ColumnIndex("z").ok());
+}
+
+TEST(OperatorsTest, SelectAndProject) {
+  Relation r({{"id", ColumnType::kInt64}, {"name", ColumnType::kString}});
+  ASSERT_TRUE(r.Append({int64_t{1}, std::string("a")}).ok());
+  ASSERT_TRUE(r.Append({int64_t{2}, std::string("b")}).ok());
+  ASSERT_TRUE(r.Append({int64_t{2}, std::string("c")}).ok());
+
+  auto selected = SelectEq(r, "id", Value{int64_t{2}});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->NumTuples(), 2);
+
+  auto projected = Project(selected.value(), {"name"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->NumColumns(), 1);
+  EXPECT_EQ(projected->tuples()[0][0], Value{std::string("b")});
+  EXPECT_FALSE(Project(r, {"missing"}).ok());
+}
+
+TEST(OperatorsTest, JoinMatchesOnEquality) {
+  Relation left({{"part", ColumnType::kString},
+                 {"qty", ColumnType::kInt64}});
+  ASSERT_TRUE(left.Append({std::string("bolt"), int64_t{4}}).ok());
+  ASSERT_TRUE(left.Append({std::string("nut"), int64_t{8}}).ok());
+  Relation right({{"part", ColumnType::kString},
+                  {"grams", ColumnType::kInt64}});
+  ASSERT_TRUE(right.Append({std::string("bolt"), int64_t{10}}).ok());
+
+  auto joined = Join(left, "part", right, "part");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumTuples(), 1);
+  EXPECT_EQ(joined->NumColumns(), 4);
+  // Clashing right-side column renamed.
+  EXPECT_EQ(joined->schema()[2].name, "right.part");
+}
+
+TEST(OperatorsTest, UnionAndDistinct) {
+  Relation a({{"x", ColumnType::kInt64}});
+  ASSERT_TRUE(a.Append({int64_t{1}}).ok());
+  Relation b({{"x", ColumnType::kInt64}});
+  ASSERT_TRUE(b.Append({int64_t{1}}).ok());
+  ASSERT_TRUE(b.Append({int64_t{2}}).ok());
+
+  auto both = Union(a, b);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->NumTuples(), 3);
+  EXPECT_EQ(Distinct(both.value()).NumTuples(), 2);
+
+  Relation mismatched({{"y", ColumnType::kInt64}});
+  EXPECT_FALSE(Union(a, mismatched).ok());
+}
+
+TEST(AlphaTest, ClosureOfAcyclicRelation) {
+  Relation base = EdgeRelation({{"a", "b"}, {"b", "c"}, {"a", "d"}});
+  auto alpha = AlphaOperator::Build(base, "src", "dst");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_TRUE(alpha->Reaches(std::string("a"), std::string("c")));
+  EXPECT_FALSE(alpha->Reaches(std::string("c"), std::string("a")));
+  EXPECT_FALSE(alpha->Reaches(std::string("a"), std::string("a")));
+  EXPECT_FALSE(alpha->Reaches(std::string("a"), std::string("zzz")));
+  EXPECT_EQ(alpha->NumClosurePairs(), 4);  // ab, ac, ad, bc.
+  EXPECT_EQ(alpha->Materialize().NumTuples(), 4);
+}
+
+TEST(AlphaTest, CyclicRelationCollapsesScc) {
+  Relation base =
+      EdgeRelation({{"a", "b"}, {"b", "a"}, {"b", "c"}});
+  auto alpha = AlphaOperator::Build(base, "src", "dst");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_TRUE(alpha->Reaches(std::string("a"), std::string("a")));  // Cycle.
+  EXPECT_TRUE(alpha->Reaches(std::string("b"), std::string("a")));
+  EXPECT_TRUE(alpha->Reaches(std::string("a"), std::string("c")));
+  EXPECT_FALSE(alpha->Reaches(std::string("c"), std::string("c")));
+  // Pairs: aa, ab, ac, ba, bb, bc.
+  EXPECT_EQ(alpha->NumClosurePairs(), 6);
+}
+
+TEST(AlphaTest, SelfLoopTupleMakesValueReachItself) {
+  Relation base = EdgeRelation({{"a", "a"}, {"a", "b"}});
+  auto alpha = AlphaOperator::Build(base, "src", "dst");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_TRUE(alpha->Reaches(std::string("a"), std::string("a")));
+  EXPECT_FALSE(alpha->Reaches(std::string("b"), std::string("b")));
+  Relation successors = alpha->SuccessorsOf(std::string("a"), "part");
+  EXPECT_EQ(successors.NumTuples(), 2);  // a itself and b.
+  EXPECT_EQ(successors.schema()[0].name, "part");
+}
+
+TEST(AlphaTest, IntegerDomain) {
+  Relation base({{"from", ColumnType::kInt64}, {"to", ColumnType::kInt64}});
+  ASSERT_TRUE(base.Append({int64_t{10}, int64_t{20}}).ok());
+  ASSERT_TRUE(base.Append({int64_t{20}, int64_t{30}}).ok());
+  auto alpha = AlphaOperator::Build(base, "from", "to");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_TRUE(alpha->Reaches(int64_t{10}, int64_t{30}));
+  EXPECT_FALSE(alpha->Reaches(int64_t{30}, int64_t{10}));
+}
+
+TEST(AlphaTest, RejectsMixedTypeColumns) {
+  Relation base({{"src", ColumnType::kString}, {"dst", ColumnType::kInt64}});
+  EXPECT_FALSE(AlphaOperator::Build(base, "src", "dst").ok());
+  Relation ok_base = EdgeRelation({});
+  EXPECT_FALSE(AlphaOperator::Build(ok_base, "src", "missing").ok());
+}
+
+TEST(AlphaTest, CompressionBeatsTheMaterializedViewOnDenseGraphs) {
+  // A long chain with shortcut arcs: quadratic closure, linear intervals.
+  Relation base({{"s", ColumnType::kInt64}, {"d", ColumnType::kInt64}});
+  const int64_t n = 60;
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(base.Append({i, i + 1}).ok());
+    if (i + 2 < n) ASSERT_TRUE(base.Append({i, i + 2}).ok());
+  }
+  auto alpha = AlphaOperator::Build(base, "s", "d");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(alpha->NumClosurePairs(), n * (n - 1) / 2);
+  EXPECT_LT(alpha->StorageUnits(), alpha->NumClosurePairs() / 10);
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,240 @@
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compressed_closure.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "storage/buffer_pool.h"
+#include "storage/closure_store.h"
+#include "storage/page_store.h"
+#include "storage/relation_file.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PageStoreTest, AllocateWriteRead) {
+  auto store = PageStore::Open(TempPath("pages.db"), 256);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->AllocatePage(), 0u);
+  EXPECT_EQ(store->AllocatePage(), 1u);
+  std::vector<uint8_t> data(256, 0xAB);
+  ASSERT_TRUE(store->WritePage(1, data).ok());
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(store->ReadPage(1, read).ok());
+  EXPECT_EQ(read, data);
+  // Page 0 stays zeroed.
+  ASSERT_TRUE(store->ReadPage(0, read).ok());
+  EXPECT_EQ(read, std::vector<uint8_t>(256, 0));
+  EXPECT_EQ(store->stats().physical_reads, 2);
+  EXPECT_EQ(store->stats().physical_writes, 1);
+}
+
+TEST(PageStoreTest, RejectsBadRequests) {
+  auto store = PageStore::Open(TempPath("pages2.db"), 256);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> page(256, 0);
+  EXPECT_EQ(store->WritePage(0, page).code(), StatusCode::kOutOfRange);
+  store->AllocatePage();
+  std::vector<uint8_t> short_page(100, 0);
+  EXPECT_EQ(store->WritePage(0, short_page).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(PageStore::Open(TempPath("bad.db"), 100).ok());  // Not 2^k.
+}
+
+TEST(BufferPoolTest, CachesAndCountsHits) {
+  auto store = PageStore::Open(TempPath("pool.db"), 256);
+  ASSERT_TRUE(store.ok());
+  store->AllocatePage();
+  store->AllocatePage();
+  BufferPool pool(&store.value(), 4);
+  ASSERT_TRUE(pool.GetPage(0).ok());
+  ASSERT_TRUE(pool.GetPage(0).ok());
+  ASSERT_TRUE(pool.GetPage(1).ok());
+  EXPECT_EQ(pool.stats().hits, 1);
+  EXPECT_EQ(pool.stats().misses, 2);
+  EXPECT_EQ(store->stats().physical_reads, 2);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  auto store = PageStore::Open(TempPath("lru.db"), 256);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 3; ++i) store->AllocatePage();
+  BufferPool pool(&store.value(), 2);
+  ASSERT_TRUE(pool.GetPage(0).ok());
+  ASSERT_TRUE(pool.GetPage(1).ok());
+  ASSERT_TRUE(pool.GetPage(0).ok());  // 0 now more recent than 1.
+  ASSERT_TRUE(pool.GetPage(2).ok());  // Evicts 1.
+  EXPECT_EQ(pool.stats().evictions, 1);
+  ASSERT_TRUE(pool.GetPage(0).ok());  // Still resident.
+  EXPECT_EQ(pool.stats().hits, 2);
+  ASSERT_TRUE(pool.GetPage(1).ok());  // Must re-read.
+  EXPECT_EQ(pool.stats().misses, 4);
+}
+
+TEST(BufferPoolTest, WriteBackOnEviction) {
+  auto store = PageStore::Open(TempPath("wb.db"), 256);
+  ASSERT_TRUE(store.ok());
+  store->AllocatePage();
+  store->AllocatePage();
+  BufferPool pool(&store.value(), 1);
+  std::vector<uint8_t> data(256, 0x7F);
+  ASSERT_TRUE(pool.PutPage(0, data).ok());
+  ASSERT_TRUE(pool.GetPage(1).ok());  // Evicts dirty page 0.
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(store->ReadPage(0, read).ok());
+  EXPECT_EQ(read, data);
+}
+
+TEST(BufferPoolTest, FlushWritesDirtyPages) {
+  auto store = PageStore::Open(TempPath("flush.db"), 256);
+  ASSERT_TRUE(store.ok());
+  store->AllocatePage();
+  BufferPool pool(&store.value(), 2);
+  std::vector<uint8_t> data(256, 0x11);
+  ASSERT_TRUE(pool.PutPage(0, data).ok());
+  EXPECT_EQ(store->stats().physical_writes, 0);
+  ASSERT_TRUE(pool.Flush().ok());
+  EXPECT_EQ(store->stats().physical_writes, 1);
+}
+
+TEST(RelationFileTest, PrimitivesRoundTrip) {
+  std::vector<uint8_t> image;
+  relation_file::AppendU64(image, 0xDEADBEEFCAFEF00DULL);
+  relation_file::AppendI64(image, -42);
+  relation_file::AppendI32(image, -7);
+  EXPECT_EQ(relation_file::ReadU64(image.data()), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(relation_file::ReadI64(image.data() + 8), -42);
+  EXPECT_EQ(relation_file::ReadI32(image.data() + 16), -7);
+}
+
+TEST(RelationFileTest, ImageSpansPages) {
+  auto store = PageStore::Open(TempPath("img.db"), 256);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> image(1000);
+  for (size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<uint8_t>(i * 13);
+  }
+  ASSERT_TRUE(relation_file::WriteImage(store.value(), image).ok());
+  EXPECT_EQ(store->num_pages(), 4u);
+  BufferPool pool(&store.value(), 2);
+  // Read a range crossing a page boundary.
+  auto bytes = relation_file::ReadBytes(pool, 200, 300);
+  ASSERT_TRUE(bytes.ok());
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_EQ((*bytes)[i], static_cast<uint8_t>((200 + i) * 13));
+  }
+}
+
+TEST(IntervalStoreTest, OnDiskReachesMatchesInMemory) {
+  Digraph graph = RandomDag(60, 2.0, 50);
+  auto closure = CompressedClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+  auto store = PageStore::Open(TempPath("ivstore.db"), 512);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(IntervalStore::Write(closure.value(), store.value()).ok());
+  BufferPool pool(&store.value(), 16);
+  auto on_disk = IntervalStore::Open(&pool);
+  ASSERT_TRUE(on_disk.ok());
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      auto got = on_disk->Reaches(u, v);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got.value(), closure->Reaches(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(IntervalStoreTest, OpenRejectsWrongMagic) {
+  auto store = PageStore::Open(TempPath("junk.db"), 256);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> image(64, 0x5A);
+  ASSERT_TRUE(relation_file::WriteImage(store.value(), image).ok());
+  BufferPool pool(&store.value(), 2);
+  EXPECT_FALSE(IntervalStore::Open(&pool).ok());
+}
+
+TEST(AdjacencyStoreTest, LookupAndDfsMatchGroundTruth) {
+  Digraph graph = RandomDag(50, 2.0, 51);
+  ReachabilityMatrix matrix(graph);
+
+  // Full-closure relation: sorted successor lists.
+  std::vector<std::vector<NodeId>> closure_lists(graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    closure_lists[v] = matrix.Successors(v);
+  }
+  auto closure_store = PageStore::Open(TempPath("adj_closure.db"), 512);
+  ASSERT_TRUE(closure_store.ok());
+  ASSERT_TRUE(
+      AdjacencyStore::Write(closure_lists, closure_store.value()).ok());
+  BufferPool closure_pool(&closure_store.value(), 16);
+  auto lookup = AdjacencyStore::Open(&closure_pool);
+  ASSERT_TRUE(lookup.ok());
+
+  // Base relation: immediate successors only, queried by DFS.
+  auto base_store = PageStore::Open(TempPath("adj_base.db"), 512);
+  ASSERT_TRUE(base_store.ok());
+  ASSERT_TRUE(AdjacencyStore::WriteGraph(graph, base_store.value()).ok());
+  BufferPool base_pool(&base_store.value(), 16);
+  auto chased = AdjacencyStore::Open(&base_pool);
+  ASSERT_TRUE(chased.ok());
+
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      auto a = lookup->LookupReaches(u, v);
+      auto b = chased->DfsReaches(u, v);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a.value(), matrix.Reaches(u, v)) << u << "->" << v;
+      ASSERT_EQ(b.value(), matrix.Reaches(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(AdjacencyStoreTest, DfsCostsMoreIoThanIntervalLookup) {
+  // The paper's core economics: on-disk pointer chasing touches many
+  // pages; an interval lookup touches a constant few.
+  Digraph graph = RandomDag(400, 2.0, 52);
+  auto closure = CompressedClosure::Build(graph);
+  ASSERT_TRUE(closure.ok());
+
+  auto interval_pages = PageStore::Open(TempPath("io_iv.db"), 512);
+  ASSERT_TRUE(interval_pages.ok());
+  ASSERT_TRUE(
+      IntervalStore::Write(closure.value(), interval_pages.value()).ok());
+
+  auto base_pages = PageStore::Open(TempPath("io_base.db"), 512);
+  ASSERT_TRUE(base_pages.ok());
+  ASSERT_TRUE(AdjacencyStore::WriteGraph(graph, base_pages.value()).ok());
+
+  // Cold pool per query; count logical reads for a far-apart pair.
+  int64_t interval_io = 0, dfs_io = 0;
+  for (NodeId u = 0; u < 20; ++u) {
+    {
+      BufferPool pool(&interval_pages.value(), 4);
+      auto on_disk = IntervalStore::Open(&pool);
+      ASSERT_TRUE(on_disk.ok());
+      ASSERT_TRUE(on_disk->Reaches(u, 399).ok());
+      interval_io += pool.stats().LogicalReads();
+    }
+    {
+      BufferPool pool(&base_pages.value(), 4);
+      auto on_disk = AdjacencyStore::Open(&pool);
+      ASSERT_TRUE(on_disk.ok());
+      ASSERT_TRUE(on_disk->DfsReaches(u, 399).ok());
+      dfs_io += pool.stats().LogicalReads();
+    }
+  }
+  EXPECT_LT(interval_io, dfs_io);
+}
+
+}  // namespace
+}  // namespace trel

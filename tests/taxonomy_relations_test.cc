@@ -1,0 +1,89 @@
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "kb/taxonomy.h"
+#include "relational/csv.h"
+
+namespace trel {
+namespace {
+
+Taxonomy SmallTaxonomy() {
+  Taxonomy taxonomy;
+  TREL_CHECK(taxonomy.AddConcept("animal").ok());
+  TREL_CHECK(taxonomy.AddConcept("bird", {"animal"}).ok());
+  TREL_CHECK(taxonomy.AddConcept("fish", {"animal"}).ok());
+  TREL_CHECK(taxonomy.AddConcept("penguin", {"bird"}).ok());
+  TREL_CHECK(taxonomy.SetProperty("bird", "can-fly", "yes").ok());
+  TREL_CHECK(taxonomy.SetProperty("penguin", "can-fly", "no").ok());
+  return taxonomy;
+}
+
+TEST(TaxonomyRelationsTest, ExportSchemasAndContents) {
+  Taxonomy taxonomy = SmallTaxonomy();
+  Relation concepts = taxonomy.ConceptsRelation();
+  EXPECT_EQ(concepts.NumTuples(), 4);
+  Relation isa = taxonomy.IsaRelation();
+  EXPECT_EQ(isa.NumTuples(), 3);
+  Relation properties = taxonomy.PropertiesRelation();
+  EXPECT_EQ(properties.NumTuples(), 2);
+}
+
+TEST(TaxonomyRelationsTest, RoundTripPreservesSemantics) {
+  Taxonomy original = SmallTaxonomy();
+  auto restored = Taxonomy::FromRelations(original.ConceptsRelation(),
+                                          original.IsaRelation(),
+                                          original.PropertiesRelation());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (const char* a : {"animal", "bird", "fish", "penguin"}) {
+    for (const char* b : {"animal", "bird", "fish", "penguin"}) {
+      EXPECT_EQ(original.Subsumes(a, b), restored->Subsumes(a, b))
+          << a << " vs " << b;
+    }
+  }
+  EXPECT_EQ(restored->LookupProperty("penguin", "can-fly").value(), "no");
+  EXPECT_EQ(restored->LookupProperty("fish", "can-fly").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TaxonomyRelationsTest, RoundTripThroughCsvText) {
+  Taxonomy original = SmallTaxonomy();
+  std::ostringstream concepts_csv, isa_csv, properties_csv;
+  WriteCsv(original.ConceptsRelation(), concepts_csv);
+  WriteCsv(original.IsaRelation(), isa_csv);
+  WriteCsv(original.PropertiesRelation(), properties_csv);
+
+  std::istringstream c(concepts_csv.str()), i(isa_csv.str()),
+      p(properties_csv.str());
+  auto concepts = ReadCsv(c);
+  auto isa = ReadCsv(i);
+  auto properties = ReadCsv(p);
+  ASSERT_TRUE(concepts.ok());
+  ASSERT_TRUE(isa.ok());
+  ASSERT_TRUE(properties.ok());
+  auto restored = Taxonomy::FromRelations(concepts.value(), isa.value(),
+                                          properties.value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->Subsumes("animal", "penguin"));
+  EXPECT_FALSE(restored->Subsumes("fish", "penguin"));
+}
+
+TEST(TaxonomyRelationsTest, FromRelationsValidatesInput) {
+  Relation bad_concepts({{"wrong", ColumnType::kString}});
+  Relation isa({{"child", ColumnType::kString},
+                {"parent", ColumnType::kString}});
+  Relation properties({{"concept", ColumnType::kString},
+                       {"key", ColumnType::kString},
+                       {"value", ColumnType::kString}});
+  EXPECT_FALSE(
+      Taxonomy::FromRelations(bad_concepts, isa, properties).ok());
+
+  Relation concepts({{"name", ColumnType::kString}});
+  TREL_CHECK(concepts.Append({std::string("a")}).ok());
+  TREL_CHECK(isa.Append({std::string("a"), std::string("missing")}).ok());
+  EXPECT_FALSE(Taxonomy::FromRelations(concepts, isa, properties).ok());
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,172 @@
+#include "kb/taxonomy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace trel {
+namespace {
+
+// Builds the small vehicle taxonomy used across tests.
+Taxonomy VehicleTaxonomy() {
+  Taxonomy taxonomy;
+  TREL_CHECK(taxonomy.AddConcept("thing").ok());
+  TREL_CHECK(taxonomy.AddConcept("vehicle", {"thing"}).ok());
+  TREL_CHECK(taxonomy.AddConcept("watercraft", {"vehicle"}).ok());
+  TREL_CHECK(taxonomy.AddConcept("car", {"vehicle"}).ok());
+  TREL_CHECK(taxonomy.AddConcept("amphibious-car", {"car", "watercraft"}).ok());
+  TREL_CHECK(taxonomy.AddConcept("sports-car", {"car"}).ok());
+  return taxonomy;
+}
+
+TEST(TaxonomyTest, SubsumptionFollowsIsAPaths) {
+  Taxonomy taxonomy = VehicleTaxonomy();
+  EXPECT_TRUE(taxonomy.Subsumes("thing", "sports-car"));
+  EXPECT_TRUE(taxonomy.Subsumes("vehicle", "amphibious-car"));
+  EXPECT_TRUE(taxonomy.Subsumes("watercraft", "amphibious-car"));
+  EXPECT_TRUE(taxonomy.Subsumes("car", "car"));  // Reflexive.
+  EXPECT_FALSE(taxonomy.Subsumes("watercraft", "sports-car"));
+  EXPECT_FALSE(taxonomy.Subsumes("sports-car", "car"));
+}
+
+TEST(TaxonomyTest, RejectsDuplicatesAndUnknownParents) {
+  Taxonomy taxonomy = VehicleTaxonomy();
+  EXPECT_EQ(taxonomy.AddConcept("car").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(taxonomy.AddConcept("boat", {"nonexistent"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(taxonomy.AddConcept("").ok());
+  EXPECT_EQ(taxonomy.Find("nonexistent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TaxonomyTest, DescendantsAndAncestors) {
+  Taxonomy taxonomy = VehicleTaxonomy();
+  auto descendants = taxonomy.DescendantsOf("car");
+  ASSERT_TRUE(descendants.ok());
+  std::vector<std::string> got = descendants.value();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got,
+            (std::vector<std::string>{"amphibious-car", "sports-car"}));
+
+  auto ancestors = taxonomy.AncestorsOf("amphibious-car");
+  ASSERT_TRUE(ancestors.ok());
+  got = ancestors.value();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::string>{"car", "thing", "vehicle",
+                                           "watercraft"}));
+}
+
+TEST(TaxonomyTest, LeastCommonSubsumers) {
+  Taxonomy taxonomy = VehicleTaxonomy();
+  auto lcs = taxonomy.LeastCommonSubsumers("sports-car", "amphibious-car");
+  ASSERT_TRUE(lcs.ok());
+  EXPECT_EQ(lcs.value(), (std::vector<std::string>{"car"}));
+
+  lcs = taxonomy.LeastCommonSubsumers("watercraft", "sports-car");
+  ASSERT_TRUE(lcs.ok());
+  EXPECT_EQ(lcs.value(), (std::vector<std::string>{"vehicle"}));
+}
+
+TEST(TaxonomyTest, PropertyInheritanceFindsNearestDefinition) {
+  Taxonomy taxonomy = VehicleTaxonomy();
+  ASSERT_TRUE(taxonomy.SetProperty("vehicle", "movable", "yes").ok());
+  ASSERT_TRUE(taxonomy.SetProperty("car", "wheels", "4").ok());
+  ASSERT_TRUE(taxonomy.SetProperty("sports-car", "wheels", "4-low-profile")
+                  .ok());
+
+  EXPECT_EQ(taxonomy.LookupProperty("sports-car", "wheels").value(),
+            "4-low-profile");  // Own definition wins.
+  EXPECT_EQ(taxonomy.LookupProperty("amphibious-car", "wheels").value(),
+            "4");  // Inherited from car.
+  EXPECT_EQ(taxonomy.LookupProperty("sports-car", "movable").value(),
+            "yes");  // Inherited from vehicle, two levels up.
+  EXPECT_EQ(taxonomy.LookupProperty("thing", "wheels").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TaxonomyTest, AddIsAUpdatesSubsumption) {
+  Taxonomy taxonomy = VehicleTaxonomy();
+  ASSERT_TRUE(taxonomy.AddConcept("toy", {"thing"}).ok());
+  EXPECT_FALSE(taxonomy.Subsumes("toy", "sports-car"));
+  ASSERT_TRUE(taxonomy.AddIsA("sports-car", "toy").ok());
+  EXPECT_TRUE(taxonomy.Subsumes("toy", "sports-car"));
+  // Cycles rejected.
+  EXPECT_FALSE(taxonomy.AddIsA("thing", "sports-car").ok());
+}
+
+TEST(TaxonomyTest, RefineAboveInterposesConcept) {
+  Taxonomy taxonomy = VehicleTaxonomy();
+  // Interpose "land-vehicle" between vehicle and car.
+  auto refined = taxonomy.RefineAbove("land-vehicle", "car", {"vehicle"});
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  EXPECT_TRUE(taxonomy.Subsumes("land-vehicle", "car"));
+  EXPECT_TRUE(taxonomy.Subsumes("land-vehicle", "sports-car"));
+  EXPECT_TRUE(taxonomy.Subsumes("vehicle", "land-vehicle"));
+  EXPECT_FALSE(taxonomy.Subsumes("land-vehicle", "watercraft"));
+}
+
+TEST(TaxonomyTest, ScalesToThousandsOfConcepts) {
+  Taxonomy taxonomy;
+  ASSERT_TRUE(taxonomy.AddConcept("part-0").ok());
+  // A parts hierarchy: each part belongs under an earlier part.
+  for (int i = 1; i < 2000; ++i) {
+    const std::string parent = "part-" + std::to_string((i - 1) / 2);
+    ASSERT_TRUE(
+        taxonomy.AddConcept("part-" + std::to_string(i), {parent}).ok());
+  }
+  EXPECT_EQ(taxonomy.NumConcepts(), 2000);
+  EXPECT_TRUE(taxonomy.Subsumes("part-0", "part-1999"));
+  EXPECT_TRUE(taxonomy.Subsumes("part-1", "part-1023"));
+  EXPECT_FALSE(taxonomy.Subsumes("part-2", "part-1023"));
+  // Heap-shaped tree: subtree of part-1 holds 2^(k-1) nodes per level k,
+  // all present through the last level => 1023 nodes incl. itself.
+  auto descendants = taxonomy.DescendantsOf("part-1");
+  ASSERT_TRUE(descendants.ok());
+  EXPECT_EQ(descendants->size(), 1022u);
+}
+
+
+TEST(TaxonomyTest, RefineAboveErrorPaths) {
+  Taxonomy taxonomy = VehicleTaxonomy();
+  // Duplicate name.
+  EXPECT_EQ(taxonomy.RefineAbove("car", "sports-car", {"car"}).status().code(),
+            StatusCode::kAlreadyExists);
+  // Unknown child/parent.
+  EXPECT_EQ(taxonomy.RefineAbove("x", "ghost", {"car"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(taxonomy.RefineAbove("x", "car", {"ghost"}).status().code(),
+            StatusCode::kNotFound);
+  // Missing one of the child's immediate parents (amphibious-car has two).
+  EXPECT_EQ(
+      taxonomy.RefineAbove("x", "amphibious-car", {"car"}).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(TaxonomyTest, DiamondPropertyResolutionIsNearest) {
+  Taxonomy taxonomy;
+  TREL_CHECK(taxonomy.AddConcept("top").ok());
+  TREL_CHECK(taxonomy.AddConcept("left", {"top"}).ok());
+  TREL_CHECK(taxonomy.AddConcept("right", {"top"}).ok());
+  TREL_CHECK(taxonomy.AddConcept("bottom", {"left", "right"}).ok());
+  TREL_CHECK(taxonomy.SetProperty("top", "color", "grey").ok());
+  TREL_CHECK(taxonomy.SetProperty("right", "color", "red").ok());
+  // BFS from bottom sees left and right before top; right defines it.
+  EXPECT_EQ(taxonomy.LookupProperty("bottom", "color").value(), "red");
+  // Overriding on the nearer left parent wins by discovery order.
+  TREL_CHECK(taxonomy.SetProperty("left", "color", "blue").ok());
+  EXPECT_EQ(taxonomy.LookupProperty("bottom", "color").value(), "blue");
+}
+
+TEST(TaxonomyTest, LcsOfUnrelatedTreesIsEmpty) {
+  Taxonomy taxonomy;
+  TREL_CHECK(taxonomy.AddConcept("a").ok());
+  TREL_CHECK(taxonomy.AddConcept("b").ok());
+  auto lcs = taxonomy.LeastCommonSubsumers("a", "b");
+  ASSERT_TRUE(lcs.ok());
+  EXPECT_TRUE(lcs->empty());
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,49 @@
+#ifndef TREL_TESTS_TEST_UTIL_H_
+#define TREL_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/digraph.h"
+
+namespace trel {
+namespace testing_util {
+
+// Builds a digraph from an arc list; aborts on invalid arcs (tests supply
+// literals).
+inline Digraph GraphFromArcs(
+    NodeId num_nodes,
+    std::initializer_list<std::pair<NodeId, NodeId>> arcs) {
+  Digraph graph(num_nodes);
+  for (const auto& [from, to] : arcs) {
+    TREL_CHECK(graph.AddArc(from, to).ok());
+  }
+  return graph;
+}
+
+// The paper's running example (Figure 3.2): a DAG whose tree cover and
+// intervals are discussed throughout Sections 3 and 4.  Nodes:
+// 0=a 1=b 2=c 3=d 4=e 5=f 6=g 7=h 8=i 9=j.  A two-level DAG with one
+// root, two shared leaves.
+inline Digraph PaperStyleDag() {
+  return GraphFromArcs(10, {{0, 1},
+                            {0, 2},
+                            {0, 3},
+                            {1, 4},
+                            {1, 5},
+                            {2, 5},
+                            {2, 6},
+                            {3, 6},
+                            {4, 7},
+                            {5, 7},
+                            {5, 8},
+                            {6, 9},
+                            {6, 8}});
+}
+
+}  // namespace testing_util
+}  // namespace trel
+
+#endif  // TREL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,94 @@
+#include "core/tree_cover.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+using testing_util::GraphFromArcs;
+
+TEST(TreeCoverTest, FailsOnCyclicGraph) {
+  Digraph graph = GraphFromArcs(2, {{0, 1}, {1, 0}});
+  EXPECT_EQ(ComputeTreeCover(graph, TreeCoverStrategy::kOptimal)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TreeCoverTest, TreeInputIsItsOwnCover) {
+  Digraph tree = RandomTree(30, 1);
+  for (TreeCoverStrategy strategy :
+       {TreeCoverStrategy::kOptimal, TreeCoverStrategy::kDfs,
+        TreeCoverStrategy::kFirstParent, TreeCoverStrategy::kRandom}) {
+    auto cover = ComputeTreeCover(tree, strategy, 5);
+    ASSERT_TRUE(cover.ok());
+    for (NodeId v = 1; v < 30; ++v) {
+      EXPECT_EQ(cover->parent[v], tree.InNeighbors(v)[0])
+          << TreeCoverStrategyName(strategy);
+    }
+    EXPECT_EQ(cover->roots, (std::vector<NodeId>{0}));
+  }
+}
+
+TEST(TreeCoverTest, EveryParentIsAnImmediatePredecessor) {
+  Digraph graph = RandomDag(100, 3.0, 7);
+  for (TreeCoverStrategy strategy :
+       {TreeCoverStrategy::kOptimal, TreeCoverStrategy::kDfs,
+        TreeCoverStrategy::kFirstParent, TreeCoverStrategy::kRandom}) {
+    auto cover = ComputeTreeCover(graph, strategy, 11);
+    ASSERT_TRUE(cover.ok());
+    int non_roots = 0;
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      if (cover->parent[v] == kNoNode) {
+        EXPECT_EQ(graph.InDegree(v), 0) << TreeCoverStrategyName(strategy);
+      } else {
+        EXPECT_TRUE(graph.HasArc(cover->parent[v], v));
+        ++non_roots;
+      }
+    }
+    // Children lists are consistent with parents.
+    int children_total = 0;
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      for (NodeId c : cover->children[v]) {
+        EXPECT_EQ(cover->parent[c], v);
+        ++children_total;
+      }
+    }
+    EXPECT_EQ(children_total, non_roots);
+  }
+}
+
+TEST(TreeCoverTest, OptimalPicksPredecessorWithLargestPredSet) {
+  // Diamond with an extra tail: pred(1) = {0}; pred(2) = {0, 1}.
+  // Node 3 has arcs from 1 and 2; Alg1 must pick 2.
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  auto cover = ComputeTreeCover(graph, TreeCoverStrategy::kOptimal);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->parent[3], 2);
+}
+
+TEST(TreeCoverFromParentsTest, ValidatesParents) {
+  Digraph graph = GraphFromArcs(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(TreeCoverFromParents(graph, {kNoNode, 0, 1}).ok());
+  // 0 is not an immediate predecessor of 2.
+  EXPECT_EQ(TreeCoverFromParents(graph, {kNoNode, 0, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TreeCoverFromParents(graph, {kNoNode, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TreeCoverTest, MultipleRootsAllCovered) {
+  // Two disjoint chains.
+  Digraph graph = GraphFromArcs(4, {{0, 1}, {2, 3}});
+  auto cover = ComputeTreeCover(graph, TreeCoverStrategy::kOptimal);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_EQ(cover->roots, (std::vector<NodeId>{0, 2}));
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,254 @@
+// Command-line front end for the library: generate workloads, compress
+// edge lists into on-disk interval stores, query them, and report storage
+// statistics.
+//
+//   trel_tool generate random <nodes> <avg_degree> <seed>   > graph.el
+//   trel_tool generate tree <nodes> <seed>                  > graph.el
+//   trel_tool stats <graph.el>
+//   trel_tool compress <graph.el> <closure.db>
+//   trel_tool query <closure.db> <from> <to>
+//   trel_tool dot <graph.el>                                > graph.dot
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baselines/chain_cover.h"
+#include "baselines/inverse_closure.h"
+#include "core/closure_stats.h"
+#include "core/compressed_closure.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/reachability.h"
+#include "relational/alpha.h"
+#include "relational/csv.h"
+#include "storage/buffer_pool.h"
+#include "storage/closure_store.h"
+#include "storage/page_store.h"
+
+namespace {
+
+using namespace trel;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  trel_tool generate random <nodes> <avg_degree> <seed>\n"
+      "  trel_tool generate tree <nodes> <seed>\n"
+      "  trel_tool generate bipartite <top> <bottom>\n"
+      "  trel_tool stats <graph.el>\n"
+      "  trel_tool compress <graph.el> <closure.db>\n"
+      "  trel_tool query <closure.db> <from> <to>\n"
+      "  trel_tool dot <graph.el>\n"
+      "  trel_tool alpha <relation.csv> <src-col> <dst-col> <from> <to>\n"
+      "  trel_tool successors <relation.csv> <src-col> <dst-col> <from>\n");
+  return 2;
+}
+
+StatusOr<Digraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open " + path);
+  return ReadEdgeList(in);
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string kind = argv[0];
+  Digraph graph;
+  if (kind == "random" && argc == 4) {
+    graph = RandomDag(std::atoi(argv[1]), std::atof(argv[2]),
+                      std::strtoull(argv[3], nullptr, 10));
+  } else if (kind == "tree" && argc == 3) {
+    graph = RandomTree(std::atoi(argv[1]),
+                       std::strtoull(argv[2], nullptr, 10));
+  } else if (kind == "bipartite" && argc == 3) {
+    graph = CompleteBipartite(std::atoi(argv[1]), std::atoi(argv[2]));
+  } else {
+    return Usage();
+  }
+  WriteEdgeList(graph, std::cout);
+  return 0;
+}
+
+int Stats(const std::string& path) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  auto closure = CompressedClosure::Build(graph.value());
+  if (!closure.ok()) {
+    std::cerr << closure.status() << "\n";
+    return 1;
+  }
+  ReachabilityMatrix matrix(graph.value());
+  auto inverse = InverseClosure::Build(graph.value());
+  auto chains = ChainCover::Build(graph.value());
+
+  std::printf("nodes:                %d\n", graph->NumNodes());
+  std::printf("arcs:                 %lld\n",
+              static_cast<long long>(graph->NumArcs()));
+  std::printf("closure pairs:        %lld\n",
+              static_cast<long long>(matrix.NumClosurePairs()));
+  std::printf("compressed intervals: %lld  (storage units %lld)\n",
+              static_cast<long long>(closure->TotalIntervals()),
+              static_cast<long long>(closure->StorageUnits()));
+  if (inverse.ok()) {
+    std::printf("inverse pairs:        %lld\n",
+                static_cast<long long>(inverse->NumInversePairs()));
+  }
+  if (chains.ok()) {
+    std::printf("chain entries:        %lld  (%d chains, greedy)\n",
+                static_cast<long long>(chains->StorageUnits()),
+                chains->NumChains());
+  }
+  std::printf("\n%s",
+              ComputeClosureStats(graph.value(), closure.value())
+                  .ToString()
+                  .c_str());
+  return 0;
+}
+
+// Converts a command-line token to the value type of `column` in `base`.
+Value ParseValueFor(const Relation& base, const std::string& column,
+                    const std::string& token) {
+  auto index = base.ColumnIndex(column);
+  if (index.ok() &&
+      base.schema()[index.value()].type == ColumnType::kInt64) {
+    return Value{static_cast<int64_t>(std::strtoll(token.c_str(), nullptr,
+                                                   10))};
+  }
+  return Value{token};
+}
+
+// Builds the alpha view over a CSV relation and answers one query.
+int Alpha(const std::string& csv_path, const std::string& src_col,
+          const std::string& dst_col, const std::string& from,
+          const std::string& to) {
+  auto base = ReadCsvFile(csv_path);
+  if (!base.ok()) {
+    std::cerr << base.status() << "\n";
+    return 1;
+  }
+  auto alpha = AlphaOperator::Build(base.value(), src_col, dst_col);
+  if (!alpha.ok()) {
+    std::cerr << alpha.status() << "\n";
+    return 1;
+  }
+  const bool reaches = alpha->Reaches(ParseValueFor(base.value(), src_col, from),
+                                      ParseValueFor(base.value(), dst_col, to));
+  std::printf("%s %s %s  (closure pairs %lld, compressed units %lld)\n",
+              from.c_str(), reaches ? "reaches" : "does not reach",
+              to.c_str(), static_cast<long long>(alpha->NumClosurePairs()),
+              static_cast<long long>(alpha->StorageUnits()));
+  return reaches ? 0 : 1;
+}
+
+int Successors(const std::string& csv_path, const std::string& src_col,
+               const std::string& dst_col, const std::string& from) {
+  auto base = ReadCsvFile(csv_path);
+  if (!base.ok()) {
+    std::cerr << base.status() << "\n";
+    return 1;
+  }
+  auto alpha = AlphaOperator::Build(base.value(), src_col, dst_col);
+  if (!alpha.ok()) {
+    std::cerr << alpha.status() << "\n";
+    return 1;
+  }
+  WriteCsv(alpha->SuccessorsOf(ParseValueFor(base.value(), src_col, from),
+                               dst_col),
+           std::cout);
+  return 0;
+}
+
+int Compress(const std::string& graph_path, const std::string& db_path) {
+  auto graph = LoadGraph(graph_path);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  auto closure = CompressedClosure::Build(graph.value());
+  if (!closure.ok()) {
+    std::cerr << closure.status() << "\n";
+    return 1;
+  }
+  auto store = PageStore::Open(db_path);
+  if (!store.ok()) {
+    std::cerr << store.status() << "\n";
+    return 1;
+  }
+  Status written = IntervalStore::Write(closure.value(), store.value());
+  if (!written.ok()) {
+    std::cerr << written << "\n";
+    return 1;
+  }
+  std::printf("wrote %llu pages (%lld intervals over %d nodes)\n",
+              static_cast<unsigned long long>(store->num_pages()),
+              static_cast<long long>(closure->TotalIntervals()),
+              closure->NumNodes());
+  return 0;
+}
+
+int Query(const std::string& db_path, NodeId from, NodeId to) {
+  auto store = PageStore::Open(db_path, PageStore::kDefaultPageSize,
+                               /*truncate=*/false);
+  if (!store.ok()) {
+    std::cerr << store.status() << "\n";
+    return 1;
+  }
+  BufferPool pool(&store.value(), 16);
+  auto on_disk = IntervalStore::Open(&pool);
+  if (!on_disk.ok()) {
+    std::cerr << on_disk.status() << "\n";
+    return 1;
+  }
+  auto result = on_disk->Reaches(from, to);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::printf("%d %s %d  (%lld logical page reads)\n", from,
+              result.value() ? "reaches" : "does not reach", to,
+              static_cast<long long>(pool.stats().LogicalReads()));
+  return result.value() ? 0 : 1;
+}
+
+int Dot(const std::string& path) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  auto cover = ComputeTreeCover(graph.value(), TreeCoverStrategy::kOptimal);
+  if (!cover.ok()) {
+    std::cerr << cover.status() << "\n";
+    return 1;
+  }
+  std::cout << ToDot(graph.value(), cover->parent);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return Generate(argc - 2, argv + 2);
+  if (command == "stats" && argc == 3) return Stats(argv[2]);
+  if (command == "compress" && argc == 4) return Compress(argv[2], argv[3]);
+  if (command == "query" && argc == 5) {
+    return Query(argv[2], std::atoi(argv[3]), std::atoi(argv[4]));
+  }
+  if (command == "dot" && argc == 3) return Dot(argv[2]);
+  if (command == "alpha" && argc == 7) {
+    return Alpha(argv[2], argv[3], argv[4], argv[5], argv[6]);
+  }
+  if (command == "successors" && argc == 6) {
+    return Successors(argv[2], argv[3], argv[4], argv[5]);
+  }
+  return Usage();
+}
