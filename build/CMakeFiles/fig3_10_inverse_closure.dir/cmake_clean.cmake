@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_10_inverse_closure.dir/bench/fig3_10_inverse_closure.cc.o"
+  "CMakeFiles/fig3_10_inverse_closure.dir/bench/fig3_10_inverse_closure.cc.o.d"
+  "bench/fig3_10_inverse_closure"
+  "bench/fig3_10_inverse_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_10_inverse_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

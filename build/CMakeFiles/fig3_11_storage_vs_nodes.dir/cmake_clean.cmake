@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_11_storage_vs_nodes.dir/bench/fig3_11_storage_vs_nodes.cc.o"
+  "CMakeFiles/fig3_11_storage_vs_nodes.dir/bench/fig3_11_storage_vs_nodes.cc.o.d"
+  "bench/fig3_11_storage_vs_nodes"
+  "bench/fig3_11_storage_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_11_storage_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_11_storage_vs_nodes.
+# This may be replaced when dependencies are built.

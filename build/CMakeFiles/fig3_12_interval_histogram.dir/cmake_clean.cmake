@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_12_interval_histogram.dir/bench/fig3_12_interval_histogram.cc.o"
+  "CMakeFiles/fig3_12_interval_histogram.dir/bench/fig3_12_interval_histogram.cc.o.d"
+  "bench/fig3_12_interval_histogram"
+  "bench/fig3_12_interval_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_12_interval_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

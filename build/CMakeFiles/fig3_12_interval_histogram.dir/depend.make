@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_12_interval_histogram.
+# This may be replaced when dependencies are built.

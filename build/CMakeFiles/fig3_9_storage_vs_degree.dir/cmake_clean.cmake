@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_9_storage_vs_degree.dir/bench/fig3_9_storage_vs_degree.cc.o"
+  "CMakeFiles/fig3_9_storage_vs_degree.dir/bench/fig3_9_storage_vs_degree.cc.o.d"
+  "bench/fig3_9_storage_vs_degree"
+  "bench/fig3_9_storage_vs_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_9_storage_vs_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_build.dir/bench/micro_build.cc.o"
+  "CMakeFiles/micro_build.dir/bench/micro_build.cc.o.d"
+  "bench/micro_build"
+  "bench/micro_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

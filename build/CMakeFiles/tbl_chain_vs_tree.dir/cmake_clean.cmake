@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_chain_vs_tree.dir/bench/tbl_chain_vs_tree.cc.o"
+  "CMakeFiles/tbl_chain_vs_tree.dir/bench/tbl_chain_vs_tree.cc.o.d"
+  "bench/tbl_chain_vs_tree"
+  "bench/tbl_chain_vs_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_chain_vs_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

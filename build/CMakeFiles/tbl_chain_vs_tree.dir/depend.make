@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl_chain_vs_tree.
+# This may be replaced when dependencies are built.

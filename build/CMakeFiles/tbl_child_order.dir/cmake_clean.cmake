@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_child_order.dir/bench/tbl_child_order.cc.o"
+  "CMakeFiles/tbl_child_order.dir/bench/tbl_child_order.cc.o.d"
+  "bench/tbl_child_order"
+  "bench/tbl_child_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_child_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

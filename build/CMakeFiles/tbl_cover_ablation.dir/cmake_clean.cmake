@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_cover_ablation.dir/bench/tbl_cover_ablation.cc.o"
+  "CMakeFiles/tbl_cover_ablation.dir/bench/tbl_cover_ablation.cc.o.d"
+  "bench/tbl_cover_ablation"
+  "bench/tbl_cover_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_cover_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

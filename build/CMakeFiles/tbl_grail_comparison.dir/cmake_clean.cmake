@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_grail_comparison.dir/bench/tbl_grail_comparison.cc.o"
+  "CMakeFiles/tbl_grail_comparison.dir/bench/tbl_grail_comparison.cc.o.d"
+  "bench/tbl_grail_comparison"
+  "bench/tbl_grail_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_grail_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_incremental_updates.dir/bench/tbl_incremental_updates.cc.o"
+  "CMakeFiles/tbl_incremental_updates.dir/bench/tbl_incremental_updates.cc.o.d"
+  "bench/tbl_incremental_updates"
+  "bench/tbl_incremental_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_incremental_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_io_cost.dir/bench/tbl_io_cost.cc.o"
+  "CMakeFiles/tbl_io_cost.dir/bench/tbl_io_cost.cc.o.d"
+  "bench/tbl_io_cost"
+  "bench/tbl_io_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_io_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_kb_workload.dir/bench/tbl_kb_workload.cc.o"
+  "CMakeFiles/tbl_kb_workload.dir/bench/tbl_kb_workload.cc.o.d"
+  "bench/tbl_kb_workload"
+  "bench/tbl_kb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_kb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

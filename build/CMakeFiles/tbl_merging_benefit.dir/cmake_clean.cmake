@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_merging_benefit.dir/bench/tbl_merging_benefit.cc.o"
+  "CMakeFiles/tbl_merging_benefit.dir/bench/tbl_merging_benefit.cc.o.d"
+  "bench/tbl_merging_benefit"
+  "bench/tbl_merging_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_merging_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

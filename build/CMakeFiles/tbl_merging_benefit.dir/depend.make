@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl_merging_benefit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_multi_hierarchy.dir/bench/tbl_multi_hierarchy.cc.o"
+  "CMakeFiles/tbl_multi_hierarchy.dir/bench/tbl_multi_hierarchy.cc.o.d"
+  "bench/tbl_multi_hierarchy"
+  "bench/tbl_multi_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_multi_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_scaling.dir/bench/tbl_scaling.cc.o"
+  "CMakeFiles/tbl_scaling.dir/bench/tbl_scaling.cc.o.d"
+  "bench/tbl_scaling"
+  "bench/tbl_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_worst_case_bipartite.dir/bench/tbl_worst_case_bipartite.cc.o"
+  "CMakeFiles/tbl_worst_case_bipartite.dir/bench/tbl_worst_case_bipartite.cc.o.d"
+  "bench/tbl_worst_case_bipartite"
+  "bench/tbl_worst_case_bipartite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_worst_case_bipartite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbl_worst_case_bipartite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl_worst_case_bipartite.
+# This may be replaced when dependencies are built.

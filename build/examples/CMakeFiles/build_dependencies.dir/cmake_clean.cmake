@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_dependencies.dir/build_dependencies.cc.o"
+  "CMakeFiles/build_dependencies.dir/build_dependencies.cc.o.d"
+  "build_dependencies"
+  "build_dependencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_dependencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

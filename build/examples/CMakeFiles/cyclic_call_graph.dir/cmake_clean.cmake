@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclic_call_graph.dir/cyclic_call_graph.cc.o"
+  "CMakeFiles/cyclic_call_graph.dir/cyclic_call_graph.cc.o.d"
+  "cyclic_call_graph"
+  "cyclic_call_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclic_call_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deductive_db.dir/deductive_db.cc.o"
+  "CMakeFiles/deductive_db.dir/deductive_db.cc.o.d"
+  "deductive_db"
+  "deductive_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deductive_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

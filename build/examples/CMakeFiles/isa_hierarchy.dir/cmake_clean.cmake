@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_hierarchy.dir/isa_hierarchy.cc.o"
+  "CMakeFiles/isa_hierarchy.dir/isa_hierarchy.cc.o.d"
+  "isa_hierarchy"
+  "isa_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

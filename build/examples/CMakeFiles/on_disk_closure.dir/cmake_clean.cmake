@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/on_disk_closure.dir/on_disk_closure.cc.o"
+  "CMakeFiles/on_disk_closure.dir/on_disk_closure.cc.o.d"
+  "on_disk_closure"
+  "on_disk_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/on_disk_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parts_catalog.dir/parts_catalog.cc.o"
+  "CMakeFiles/parts_catalog.dir/parts_catalog.cc.o.d"
+  "parts_catalog"
+  "parts_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parts_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

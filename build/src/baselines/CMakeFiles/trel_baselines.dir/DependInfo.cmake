@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/chain_cover.cc" "src/baselines/CMakeFiles/trel_baselines.dir/chain_cover.cc.o" "gcc" "src/baselines/CMakeFiles/trel_baselines.dir/chain_cover.cc.o.d"
+  "/root/repo/src/baselines/grail_index.cc" "src/baselines/CMakeFiles/trel_baselines.dir/grail_index.cc.o" "gcc" "src/baselines/CMakeFiles/trel_baselines.dir/grail_index.cc.o.d"
+  "/root/repo/src/baselines/inverse_closure.cc" "src/baselines/CMakeFiles/trel_baselines.dir/inverse_closure.cc.o" "gcc" "src/baselines/CMakeFiles/trel_baselines.dir/inverse_closure.cc.o.d"
+  "/root/repo/src/baselines/multi_hierarchy.cc" "src/baselines/CMakeFiles/trel_baselines.dir/multi_hierarchy.cc.o" "gcc" "src/baselines/CMakeFiles/trel_baselines.dir/multi_hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/trel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

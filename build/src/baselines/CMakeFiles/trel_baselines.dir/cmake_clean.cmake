@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trel_baselines.dir/chain_cover.cc.o"
+  "CMakeFiles/trel_baselines.dir/chain_cover.cc.o.d"
+  "CMakeFiles/trel_baselines.dir/grail_index.cc.o"
+  "CMakeFiles/trel_baselines.dir/grail_index.cc.o.d"
+  "CMakeFiles/trel_baselines.dir/inverse_closure.cc.o"
+  "CMakeFiles/trel_baselines.dir/inverse_closure.cc.o.d"
+  "CMakeFiles/trel_baselines.dir/multi_hierarchy.cc.o"
+  "CMakeFiles/trel_baselines.dir/multi_hierarchy.cc.o.d"
+  "libtrel_baselines.a"
+  "libtrel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trel_common.dir/status.cc.o"
+  "CMakeFiles/trel_common.dir/status.cc.o.d"
+  "libtrel_common.a"
+  "libtrel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/closure_index.cc" "src/core/CMakeFiles/trel_core.dir/closure_index.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/closure_index.cc.o.d"
+  "/root/repo/src/core/closure_stats.cc" "src/core/CMakeFiles/trel_core.dir/closure_stats.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/closure_stats.cc.o.d"
+  "/root/repo/src/core/compressed_closure.cc" "src/core/CMakeFiles/trel_core.dir/compressed_closure.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/compressed_closure.cc.o.d"
+  "/root/repo/src/core/dynamic_closure.cc" "src/core/CMakeFiles/trel_core.dir/dynamic_closure.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/dynamic_closure.cc.o.d"
+  "/root/repo/src/core/dynamic_reachability.cc" "src/core/CMakeFiles/trel_core.dir/dynamic_reachability.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/dynamic_reachability.cc.o.d"
+  "/root/repo/src/core/interval.cc" "src/core/CMakeFiles/trel_core.dir/interval.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/interval.cc.o.d"
+  "/root/repo/src/core/labeling.cc" "src/core/CMakeFiles/trel_core.dir/labeling.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/labeling.cc.o.d"
+  "/root/repo/src/core/lattice_ops.cc" "src/core/CMakeFiles/trel_core.dir/lattice_ops.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/lattice_ops.cc.o.d"
+  "/root/repo/src/core/path_finder.cc" "src/core/CMakeFiles/trel_core.dir/path_finder.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/path_finder.cc.o.d"
+  "/root/repo/src/core/predecessor_index.cc" "src/core/CMakeFiles/trel_core.dir/predecessor_index.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/predecessor_index.cc.o.d"
+  "/root/repo/src/core/tree_cover.cc" "src/core/CMakeFiles/trel_core.dir/tree_cover.cc.o" "gcc" "src/core/CMakeFiles/trel_core.dir/tree_cover.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/trel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trel_core.dir/closure_index.cc.o"
+  "CMakeFiles/trel_core.dir/closure_index.cc.o.d"
+  "CMakeFiles/trel_core.dir/closure_stats.cc.o"
+  "CMakeFiles/trel_core.dir/closure_stats.cc.o.d"
+  "CMakeFiles/trel_core.dir/compressed_closure.cc.o"
+  "CMakeFiles/trel_core.dir/compressed_closure.cc.o.d"
+  "CMakeFiles/trel_core.dir/dynamic_closure.cc.o"
+  "CMakeFiles/trel_core.dir/dynamic_closure.cc.o.d"
+  "CMakeFiles/trel_core.dir/dynamic_reachability.cc.o"
+  "CMakeFiles/trel_core.dir/dynamic_reachability.cc.o.d"
+  "CMakeFiles/trel_core.dir/interval.cc.o"
+  "CMakeFiles/trel_core.dir/interval.cc.o.d"
+  "CMakeFiles/trel_core.dir/labeling.cc.o"
+  "CMakeFiles/trel_core.dir/labeling.cc.o.d"
+  "CMakeFiles/trel_core.dir/lattice_ops.cc.o"
+  "CMakeFiles/trel_core.dir/lattice_ops.cc.o.d"
+  "CMakeFiles/trel_core.dir/path_finder.cc.o"
+  "CMakeFiles/trel_core.dir/path_finder.cc.o.d"
+  "CMakeFiles/trel_core.dir/predecessor_index.cc.o"
+  "CMakeFiles/trel_core.dir/predecessor_index.cc.o.d"
+  "CMakeFiles/trel_core.dir/tree_cover.cc.o"
+  "CMakeFiles/trel_core.dir/tree_cover.cc.o.d"
+  "libtrel_core.a"
+  "libtrel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrel_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/trel_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/trel_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/families.cc" "src/graph/CMakeFiles/trel_graph.dir/families.cc.o" "gcc" "src/graph/CMakeFiles/trel_graph.dir/families.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/trel_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/trel_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/trel_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/trel_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/reachability.cc" "src/graph/CMakeFiles/trel_graph.dir/reachability.cc.o" "gcc" "src/graph/CMakeFiles/trel_graph.dir/reachability.cc.o.d"
+  "/root/repo/src/graph/scc.cc" "src/graph/CMakeFiles/trel_graph.dir/scc.cc.o" "gcc" "src/graph/CMakeFiles/trel_graph.dir/scc.cc.o.d"
+  "/root/repo/src/graph/topology.cc" "src/graph/CMakeFiles/trel_graph.dir/topology.cc.o" "gcc" "src/graph/CMakeFiles/trel_graph.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trel_graph.dir/digraph.cc.o"
+  "CMakeFiles/trel_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/trel_graph.dir/families.cc.o"
+  "CMakeFiles/trel_graph.dir/families.cc.o.d"
+  "CMakeFiles/trel_graph.dir/generators.cc.o"
+  "CMakeFiles/trel_graph.dir/generators.cc.o.d"
+  "CMakeFiles/trel_graph.dir/graph_io.cc.o"
+  "CMakeFiles/trel_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/trel_graph.dir/reachability.cc.o"
+  "CMakeFiles/trel_graph.dir/reachability.cc.o.d"
+  "CMakeFiles/trel_graph.dir/scc.cc.o"
+  "CMakeFiles/trel_graph.dir/scc.cc.o.d"
+  "CMakeFiles/trel_graph.dir/topology.cc.o"
+  "CMakeFiles/trel_graph.dir/topology.cc.o.d"
+  "libtrel_graph.a"
+  "libtrel_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trel_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

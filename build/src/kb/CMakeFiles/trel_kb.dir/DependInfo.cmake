@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/taxonomy.cc" "src/kb/CMakeFiles/trel_kb.dir/taxonomy.cc.o" "gcc" "src/kb/CMakeFiles/trel_kb.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/trel_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/trel_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trel_kb.dir/taxonomy.cc.o"
+  "CMakeFiles/trel_kb.dir/taxonomy.cc.o.d"
+  "libtrel_kb.a"
+  "libtrel_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trel_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/alpha.cc" "src/relational/CMakeFiles/trel_relational.dir/alpha.cc.o" "gcc" "src/relational/CMakeFiles/trel_relational.dir/alpha.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/relational/CMakeFiles/trel_relational.dir/csv.cc.o" "gcc" "src/relational/CMakeFiles/trel_relational.dir/csv.cc.o.d"
+  "/root/repo/src/relational/operators.cc" "src/relational/CMakeFiles/trel_relational.dir/operators.cc.o" "gcc" "src/relational/CMakeFiles/trel_relational.dir/operators.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/relational/CMakeFiles/trel_relational.dir/relation.cc.o" "gcc" "src/relational/CMakeFiles/trel_relational.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/trel_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

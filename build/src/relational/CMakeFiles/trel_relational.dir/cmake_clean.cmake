@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trel_relational.dir/alpha.cc.o"
+  "CMakeFiles/trel_relational.dir/alpha.cc.o.d"
+  "CMakeFiles/trel_relational.dir/csv.cc.o"
+  "CMakeFiles/trel_relational.dir/csv.cc.o.d"
+  "CMakeFiles/trel_relational.dir/operators.cc.o"
+  "CMakeFiles/trel_relational.dir/operators.cc.o.d"
+  "CMakeFiles/trel_relational.dir/relation.cc.o"
+  "CMakeFiles/trel_relational.dir/relation.cc.o.d"
+  "libtrel_relational.a"
+  "libtrel_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trel_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

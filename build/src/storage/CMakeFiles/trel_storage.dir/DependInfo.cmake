@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/trel_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/trel_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/closure_store.cc" "src/storage/CMakeFiles/trel_storage.dir/closure_store.cc.o" "gcc" "src/storage/CMakeFiles/trel_storage.dir/closure_store.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/storage/CMakeFiles/trel_storage.dir/page_store.cc.o" "gcc" "src/storage/CMakeFiles/trel_storage.dir/page_store.cc.o.d"
+  "/root/repo/src/storage/relation_file.cc" "src/storage/CMakeFiles/trel_storage.dir/relation_file.cc.o" "gcc" "src/storage/CMakeFiles/trel_storage.dir/relation_file.cc.o.d"
+  "/root/repo/src/storage/update_log.cc" "src/storage/CMakeFiles/trel_storage.dir/update_log.cc.o" "gcc" "src/storage/CMakeFiles/trel_storage.dir/update_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/trel_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trel_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/trel_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/trel_storage.dir/closure_store.cc.o"
+  "CMakeFiles/trel_storage.dir/closure_store.cc.o.d"
+  "CMakeFiles/trel_storage.dir/page_store.cc.o"
+  "CMakeFiles/trel_storage.dir/page_store.cc.o.d"
+  "CMakeFiles/trel_storage.dir/relation_file.cc.o"
+  "CMakeFiles/trel_storage.dir/relation_file.cc.o.d"
+  "CMakeFiles/trel_storage.dir/update_log.cc.o"
+  "CMakeFiles/trel_storage.dir/update_log.cc.o.d"
+  "libtrel_storage.a"
+  "libtrel_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trel_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_differential_test.dir/alpha_differential_test.cc.o"
+  "CMakeFiles/alpha_differential_test.dir/alpha_differential_test.cc.o.d"
+  "alpha_differential_test"
+  "alpha_differential_test.pdb"
+  "alpha_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_index_test.dir/closure_index_test.cc.o"
+  "CMakeFiles/closure_index_test.dir/closure_index_test.cc.o.d"
+  "closure_index_test"
+  "closure_index_test.pdb"
+  "closure_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

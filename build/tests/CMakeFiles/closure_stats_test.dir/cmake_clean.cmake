@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_stats_test.dir/closure_stats_test.cc.o"
+  "CMakeFiles/closure_stats_test.dir/closure_stats_test.cc.o.d"
+  "closure_stats_test"
+  "closure_stats_test.pdb"
+  "closure_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_closure_test.dir/compressed_closure_test.cc.o"
+  "CMakeFiles/compressed_closure_test.dir/compressed_closure_test.cc.o.d"
+  "compressed_closure_test"
+  "compressed_closure_test.pdb"
+  "compressed_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

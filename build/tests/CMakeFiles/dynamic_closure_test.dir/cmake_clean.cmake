@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_closure_test.dir/dynamic_closure_test.cc.o"
+  "CMakeFiles/dynamic_closure_test.dir/dynamic_closure_test.cc.o.d"
+  "dynamic_closure_test"
+  "dynamic_closure_test.pdb"
+  "dynamic_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_reachability_test.dir/dynamic_reachability_test.cc.o"
+  "CMakeFiles/dynamic_reachability_test.dir/dynamic_reachability_test.cc.o.d"
+  "dynamic_reachability_test"
+  "dynamic_reachability_test.pdb"
+  "dynamic_reachability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_reachability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_stress_test.dir/dynamic_stress_test.cc.o"
+  "CMakeFiles/dynamic_stress_test.dir/dynamic_stress_test.cc.o.d"
+  "dynamic_stress_test"
+  "dynamic_stress_test.pdb"
+  "dynamic_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

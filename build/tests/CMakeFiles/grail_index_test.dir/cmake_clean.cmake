@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grail_index_test.dir/grail_index_test.cc.o"
+  "CMakeFiles/grail_index_test.dir/grail_index_test.cc.o.d"
+  "grail_index_test"
+  "grail_index_test.pdb"
+  "grail_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grail_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

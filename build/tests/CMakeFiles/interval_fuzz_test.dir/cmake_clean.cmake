@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_fuzz_test.dir/interval_fuzz_test.cc.o"
+  "CMakeFiles/interval_fuzz_test.dir/interval_fuzz_test.cc.o.d"
+  "interval_fuzz_test"
+  "interval_fuzz_test.pdb"
+  "interval_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

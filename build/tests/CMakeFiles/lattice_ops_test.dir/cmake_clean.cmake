@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_ops_test.dir/lattice_ops_test.cc.o"
+  "CMakeFiles/lattice_ops_test.dir/lattice_ops_test.cc.o.d"
+  "lattice_ops_test"
+  "lattice_ops_test.pdb"
+  "lattice_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma4_test.dir/lemma4_test.cc.o"
+  "CMakeFiles/lemma4_test.dir/lemma4_test.cc.o.d"
+  "lemma4_test"
+  "lemma4_test.pdb"
+  "lemma4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

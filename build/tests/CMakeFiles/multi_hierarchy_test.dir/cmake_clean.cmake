@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_hierarchy_test.dir/multi_hierarchy_test.cc.o"
+  "CMakeFiles/multi_hierarchy_test.dir/multi_hierarchy_test.cc.o.d"
+  "multi_hierarchy_test"
+  "multi_hierarchy_test.pdb"
+  "multi_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_finder_test.dir/path_finder_test.cc.o"
+  "CMakeFiles/path_finder_test.dir/path_finder_test.cc.o.d"
+  "path_finder_test"
+  "path_finder_test.pdb"
+  "path_finder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

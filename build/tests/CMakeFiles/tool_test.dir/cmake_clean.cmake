@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_test.dir/tool_test.cc.o"
+  "CMakeFiles/tool_test.dir/tool_test.cc.o.d"
+  "tool_test"
+  "tool_test.pdb"
+  "tool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

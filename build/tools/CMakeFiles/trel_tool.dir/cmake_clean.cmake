@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trel_tool.dir/trel_tool.cc.o"
+  "CMakeFiles/trel_tool.dir/trel_tool.cc.o.d"
+  "trel_tool"
+  "trel_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trel_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
