@@ -1,0 +1,142 @@
+// Concurrent snapshot-query throughput: aggregate reachability QPS as
+// reader threads scale from 1 to 8 while a single writer keeps growing
+// the graph and publishing fresh snapshots.  Readers never lock — each
+// acquires a snapshot handle, runs a block of point queries against it,
+// then re-acquires — so aggregate throughput should scale with cores.
+//
+// The printed speedup is measured, not modeled: on a single-core host
+// all thread counts share one core and the ratio stays near 1.
+//
+// Usage: micro_concurrent_query [nodes] [seconds_per_config]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "graph/generators.h"
+#include "service/query_service.h"
+
+namespace trel {
+namespace {
+
+struct RunResult {
+  int64_t queries = 0;
+  double seconds = 0;
+  uint64_t epochs_published = 0;
+};
+
+// Readers hammer point queries against snapshot handles (re-acquired
+// every kBlock queries); the writer adds leaves and publishes as fast
+// as it can.  Returns aggregate numbers over `duration_seconds`.
+RunResult RunConfig(QueryService& service, int num_readers,
+                    double duration_seconds) {
+  constexpr int kBlock = 1024;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> hit_sink{0};  // Consumes results: no dead-code elim.
+  std::vector<int64_t> counts(num_readers, 0);
+
+  auto reader = [&](int id) {
+    Random rng(static_cast<uint64_t>(id) * 7919 + 1);
+    int64_t queries = 0;
+    int64_t hits = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snapshot = service.Snapshot();
+      const NodeId n = snapshot->NumNodes();
+      for (int i = 0; i < kBlock; ++i) {
+        const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+        const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+        if (snapshot->Reaches(u, v)) ++hits;
+      }
+      queries += kBlock;
+    }
+    counts[id] = queries;
+    hit_sink.fetch_add(hits, std::memory_order_relaxed);
+  };
+
+  const uint64_t epoch_before = service.Snapshot()->epoch;
+  std::vector<std::thread> threads;
+  threads.reserve(num_readers + 1);
+  for (int t = 0; t < num_readers; ++t) threads.emplace_back(reader, t);
+
+  std::thread writer([&] {
+    Random rng(99);
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int j = 0; j < 8; ++j) {
+        const NodeId parent = static_cast<NodeId>(
+            rng.Uniform(service.Snapshot()->NumNodes()));
+        (void)service.AddLeafUnder(parent);
+      }
+      service.Publish();
+    }
+  });
+
+  Stopwatch timer;
+  while (timer.ElapsedMicros() < static_cast<int64_t>(duration_seconds * 1e6)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  writer.join();
+
+  RunResult result;
+  result.seconds = static_cast<double>(timer.ElapsedMicros()) / 1e6;
+  for (int64_t c : counts) result.queries += c;
+  result.epochs_published = service.Snapshot()->epoch - epoch_before;
+  return result;
+}
+
+}  // namespace
+}  // namespace trel
+
+int main(int argc, char** argv) {
+  using namespace trel;
+  const int64_t nodes = argc > 1 ? std::atoll(argv[1]) : 100000;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 1.5;
+  if (nodes <= 0 || seconds <= 0) {
+    std::fprintf(stderr,
+                 "usage: micro_concurrent_query [nodes>0] [seconds>0]\n");
+    return 2;
+  }
+
+  std::printf("# micro_concurrent_query: %lld-node DAG, %.1fs per config, "
+              "%u hardware threads\n",
+              static_cast<long long>(nodes), seconds,
+              std::thread::hardware_concurrency());
+
+  ServiceOptions options;
+  options.num_workers = 0;          // Readers query snapshots directly.
+  options.stats_on_publish = false;  // Keep the writer's publish loop lean.
+  QueryService service(options);
+  {
+    Stopwatch timer;
+    Digraph graph = RandomDag(static_cast<NodeId>(nodes), 2.0, 8000);
+    Status status = service.Load(graph);
+    if (!status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("# load+index: %.2fs\n",
+                static_cast<double>(timer.ElapsedMicros()) / 1e6);
+  }
+
+  bench_util::Table table(
+      {"readers", "queries", "Mqps", "speedup_vs_1", "snapshots_published"});
+  double baseline_qps = 0;
+  for (int readers : {1, 2, 4, 8}) {
+    RunResult r = RunConfig(service, readers, seconds);
+    const double qps = static_cast<double>(r.queries) / r.seconds;
+    if (readers == 1) baseline_qps = qps;
+    table.AddRow({bench_util::Fmt(static_cast<int64_t>(readers)),
+                  bench_util::Fmt(r.queries), bench_util::Fmt(qps / 1e6),
+                  bench_util::Fmt(baseline_qps > 0 ? qps / baseline_qps : 0.0),
+                  bench_util::Fmt(static_cast<int64_t>(r.epochs_published))});
+  }
+  table.Print();
+  return 0;
+}

@@ -33,3 +33,5 @@ trel_add_bench(tbl_scaling)
 trel_add_bench(tbl_kb_workload)
 trel_add_microbench(micro_query)
 trel_add_microbench(micro_build)
+trel_add_bench(micro_concurrent_query)
+target_link_libraries(micro_concurrent_query PRIVATE trel_service)

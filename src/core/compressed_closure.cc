@@ -28,12 +28,20 @@ StatusOr<CompressedClosure> CompressedClosure::Build(
   return CompressedClosure(std::move(labels), std::move(cover));
 }
 
-void CompressedClosure::AppendNodesInRange(Label lo, Label hi,
+CompressedClosure CompressedClosure::FromParts(NodeLabels labels,
+                                               TreeCover tree_cover) {
+  TREL_CHECK_EQ(labels.postorder.size(), labels.intervals.size());
+  TREL_CHECK_EQ(labels.postorder.size(), tree_cover.parent.size());
+  return CompressedClosure(std::move(labels), std::move(tree_cover));
+}
+
+void CompressedClosure::AppendNodesInRange(Label lo, Label hi, Label skip,
                                            std::vector<NodeId>& out) const {
   auto it = std::lower_bound(
       by_postorder_.begin(), by_postorder_.end(), lo,
       [](const std::pair<Label, NodeId>& e, Label x) { return e.first < x; });
   for (; it != by_postorder_.end() && it->first <= hi; ++it) {
+    if (it->first == skip) continue;
     out.push_back(it->second);
   }
 }
@@ -43,24 +51,26 @@ std::vector<NodeId> CompressedClosure::Successors(NodeId u) const {
   std::vector<NodeId> result;
   // Interval-set members are an antichain sorted by lo with increasing hi;
   // consecutive members may still overlap, so advance a cursor to avoid
-  // double-listing.
+  // double-listing.  The node's own tree interval contains its own number;
+  // skipping it during enumeration (rather than erasing afterwards) keeps
+  // this O(output) instead of O(output) + a linear scan.
+  const Label self = labels_.postorder[u];
   Label cursor = std::numeric_limits<Label>::min();
   for (const Interval& interval : labels_.intervals[u].intervals()) {
     const Label lo = std::max(interval.lo, cursor);
     if (lo > interval.hi) continue;
-    AppendNodesInRange(lo, interval.hi, result);
+    AppendNodesInRange(lo, interval.hi, self, result);
+    if (interval.hi == std::numeric_limits<Label>::max()) break;
     cursor = interval.hi + 1;
   }
-  // The node's own tree interval contains its own number; drop it to match
-  // successor-list semantics.
-  auto self = std::find(result.begin(), result.end(), u);
-  if (self != result.end()) result.erase(self);
   return result;
 }
 
 int64_t CompressedClosure::CountSuccessors(NodeId u) const {
   TREL_CHECK(IsValidNode(u));
+  const Label self = labels_.postorder[u];
   int64_t count = 0;
+  bool self_counted = false;
   Label cursor = std::numeric_limits<Label>::min();
   for (const Interval& interval : labels_.intervals[u].intervals()) {
     const Label lo = std::max(interval.lo, cursor);
@@ -76,9 +86,13 @@ int64_t CompressedClosure::CountSuccessors(NodeId u) const {
           return x < e.first;
         });
     count += last - first;
+    // The cursor guarantees clipped ranges are disjoint, so u's own number
+    // is counted at most once across the loop.
+    if (lo <= self && self <= interval.hi) self_counted = true;
+    if (interval.hi == std::numeric_limits<Label>::max()) break;
     cursor = interval.hi + 1;
   }
-  return count - 1;  // Exclude u itself.
+  return self_counted ? count - 1 : count;
 }
 
 std::vector<NodeId> CompressedClosure::Predecessors(NodeId v) const {

@@ -31,10 +31,22 @@ struct ClosureOptions {
 // inputs, see TransitiveClosureIndex.
 class CompressedClosure {
  public:
+  // Empty closure over zero nodes; placeholder state (e.g. a query
+  // service before its first Load).
+  CompressedClosure() = default;
+
   // Compresses the closure of `graph`.  Fails with FailedPrecondition if
   // the graph is cyclic, InvalidArgument on bad options.
   static StatusOr<CompressedClosure> Build(const Digraph& graph,
                                            const ClosureOptions& options = {});
+
+  // Wraps an already-computed labeling without re-running tree-cover
+  // selection or interval propagation.  This is the cheap snapshot-export
+  // path: DynamicClosure hands over a copy of its current labels so a
+  // query service can publish an immutable snapshot in O(n log n) (the
+  // postorder sort) instead of a full rebuild.  `labels` and `tree_cover`
+  // must describe the same node set and come from a sound labeling.
+  static CompressedClosure FromParts(NodeLabels labels, TreeCover tree_cover);
 
   // True iff there is a directed path from `u` to `v` (every node reaches
   // itself).  One binary search over u's interval set.
@@ -82,8 +94,11 @@ class CompressedClosure {
  private:
   CompressedClosure(NodeLabels labels, TreeCover tree_cover);
 
-  // Nodes listed in the closed interval [lo, hi] of postorder numbers.
-  void AppendNodesInRange(Label lo, Label hi, std::vector<NodeId>& out) const;
+  // Nodes listed in the closed interval [lo, hi] of postorder numbers,
+  // except the node numbered `skip` (pass a number outside [lo, hi] to
+  // keep everything).
+  void AppendNodesInRange(Label lo, Label hi, Label skip,
+                          std::vector<NodeId>& out) const;
 
   NodeLabels labels_;
   TreeCover tree_cover_;

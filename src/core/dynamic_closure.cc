@@ -376,7 +376,9 @@ void DynamicClosure::Reoptimize() {
 
 int64_t DynamicClosure::CountSuccessors(NodeId u) const {
   TREL_CHECK(graph_.IsValidNode(u));
+  const Label self = labels_.postorder[u];
   int64_t count = 0;
+  bool self_counted = false;
   Label cursor = std::numeric_limits<Label>::min();
   for (const Interval& interval : labels_.intervals[u].intervals()) {
     const Label lo = std::max(interval.lo, cursor);
@@ -384,9 +386,12 @@ int64_t DynamicClosure::CountSuccessors(NodeId u) const {
     auto first = by_postorder_.lower_bound(lo);
     auto last = by_postorder_.upper_bound(interval.hi);
     count += std::distance(first, last);
+    // Clipped ranges are disjoint, so u's number is counted at most once.
+    if (lo <= self && self <= interval.hi) self_counted = true;
+    if (interval.hi == std::numeric_limits<Label>::max()) break;
     cursor = interval.hi + 1;
   }
-  return count - 1;  // Exclude u's own number.
+  return self_counted ? count - 1 : count;
 }
 
 std::vector<NodeId> DynamicClosure::Predecessors(NodeId v) const {
@@ -413,19 +418,32 @@ std::vector<NodeId> DynamicClosure::Predecessors(NodeId v) const {
 std::vector<NodeId> DynamicClosure::Successors(NodeId u) const {
   TREL_CHECK(graph_.IsValidNode(u));
   std::vector<NodeId> result;
+  // Skip u's own number during enumeration instead of erasing it after a
+  // linear scan (see CompressedClosure::Successors).
+  const Label self = labels_.postorder[u];
   Label cursor = std::numeric_limits<Label>::min();
   for (const Interval& interval : labels_.intervals[u].intervals()) {
     const Label lo = std::max(interval.lo, cursor);
     if (lo > interval.hi) continue;
     for (auto it = by_postorder_.lower_bound(lo);
          it != by_postorder_.end() && it->first <= interval.hi; ++it) {
+      if (it->first == self) continue;
       result.push_back(it->second);
     }
+    if (interval.hi == std::numeric_limits<Label>::max()) break;
     cursor = interval.hi + 1;
   }
-  auto self = std::find(result.begin(), result.end(), u);
-  if (self != result.end()) result.erase(self);
   return result;
+}
+
+CompressedClosure DynamicClosure::ExportClosure() const {
+  TreeCover cover;
+  cover.parent = tree_parent_;
+  cover.children = tree_children_;
+  for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
+    if (tree_parent_[v] == kNoNode) cover.roots.push_back(v);
+  }
+  return CompressedClosure::FromParts(labels_, std::move(cover));
 }
 
 

@@ -122,6 +122,13 @@ class DynamicClosure {
   // for an indexed alternative on static graphs).
   std::vector<NodeId> Predecessors(NodeId v) const;
 
+  // Copies the current labeling into an immutable CompressedClosure that
+  // answers exactly like this index does right now.  Costs one copy of
+  // the labels plus an O(n log n) postorder sort — no tree-cover or
+  // propagation work — so a query service can publish read-only snapshots
+  // frequently (see src/service/).
+  CompressedClosure ExportClosure() const;
+
   // True iff (from, to) is an arc of the current tree cover.
   bool IsTreeArc(NodeId from, NodeId to) const {
     TREL_CHECK(graph_.IsValidNode(from));

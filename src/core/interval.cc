@@ -69,7 +69,10 @@ int IntervalSet::MergeAdjacent() {
   merged.push_back(intervals_[0]);
   for (size_t k = 1; k < intervals_.size(); ++k) {
     Interval& last = merged.back();
-    if (intervals_[k].lo <= last.hi + 1) {
+    // Written as lo - 1 <= hi rather than lo <= hi + 1: members sort by
+    // strictly increasing lo, so lo - 1 cannot underflow for k >= 1, while
+    // hi + 1 would overflow when a member ends at the Label maximum.
+    if (intervals_[k].lo - 1 <= last.hi) {
       last.hi = std::max(last.hi, intervals_[k].hi);
       ++merges;
     } else {

@@ -1,0 +1,69 @@
+#include "service/metrics.h"
+
+#include <sstream>
+
+namespace trel {
+namespace {
+
+int BucketFor(int64_t micros) {
+  int bucket = 0;
+  while (bucket + 1 < ServiceMetrics::kLatencyBuckets &&
+         micros >= (int64_t{1} << (bucket + 1))) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void ServiceMetrics::RecordBatch(int64_t micros) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_micros_total_.fetch_add(micros, std::memory_order_relaxed);
+  histogram_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordPublish(int64_t micros) {
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  publish_micros_total_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+ServiceMetrics::View ServiceMetrics::Read() const {
+  View view;
+  view.reach_queries = reach_queries_.load(std::memory_order_relaxed);
+  view.successor_queries = successor_queries_.load(std::memory_order_relaxed);
+  view.batches = batches_.load(std::memory_order_relaxed);
+  view.batch_micros_total =
+      batch_micros_total_.load(std::memory_order_relaxed);
+  view.publishes = publishes_.load(std::memory_order_relaxed);
+  view.publish_micros_total =
+      publish_micros_total_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    view.batch_latency_histogram[i] =
+        histogram_[i].load(std::memory_order_relaxed);
+  }
+  return view;
+}
+
+std::string ServiceMetrics::View::ToString() const {
+  std::ostringstream out;
+  out << "epoch=" << current_epoch << " age_s=" << snapshot_age_seconds
+      << " nodes=" << snapshot_num_nodes
+      << " intervals=" << snapshot_total_intervals
+      << " reach_queries=" << reach_queries
+      << " successor_queries=" << successor_queries
+      << " batches=" << batches << " batch_us=" << batch_micros_total
+      << " publishes=" << publishes << " publish_us=" << publish_micros_total;
+  out << " latency_hist_us=[";
+  bool first = true;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    if (batch_latency_histogram[i] == 0) continue;
+    if (!first) out << " ";
+    out << "<" << (int64_t{1} << (i + 1)) << ":"
+        << batch_latency_histogram[i];
+    first = false;
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace trel

@@ -1,0 +1,63 @@
+#ifndef TREL_SERVICE_METRICS_H_
+#define TREL_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace trel {
+
+// Thread-safe counters for the query service.  All writes are relaxed
+// atomic increments — metrics never order anything, they only have to be
+// race-free and cheap enough to sit on the hot read path.
+class ServiceMetrics {
+ public:
+  // Batch latency histogram: bucket i counts batches that finished in
+  // [2^i, 2^(i+1)) microseconds (bucket 0 additionally catches < 1us,
+  // the last bucket everything slower).
+  static constexpr int kLatencyBuckets = 22;
+
+  // Plain-value copy of the counters, safe to read field by field.
+  struct View {
+    int64_t reach_queries = 0;
+    int64_t successor_queries = 0;
+    int64_t batches = 0;
+    int64_t batch_micros_total = 0;
+    int64_t publishes = 0;
+    int64_t publish_micros_total = 0;
+    std::array<int64_t, kLatencyBuckets> batch_latency_histogram{};
+    // Filled in by QueryService::Metrics() from the live snapshot.
+    uint64_t current_epoch = 0;
+    double snapshot_age_seconds = 0.0;
+    int64_t snapshot_total_intervals = 0;
+    int64_t snapshot_num_nodes = 0;
+
+    std::string ToString() const;
+  };
+
+  void RecordReachQueries(int64_t n) {
+    reach_queries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordSuccessorQueries(int64_t n) {
+    successor_queries_.fetch_add(n, std::memory_order_relaxed);
+  }
+  // One batch that served `queries` lookups in `micros` wall microseconds.
+  void RecordBatch(int64_t micros);
+  void RecordPublish(int64_t micros);
+
+  View Read() const;
+
+ private:
+  std::atomic<int64_t> reach_queries_{0};
+  std::atomic<int64_t> successor_queries_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> batch_micros_total_{0};
+  std::atomic<int64_t> publishes_{0};
+  std::atomic<int64_t> publish_micros_total_{0};
+  std::array<std::atomic<int64_t>, kLatencyBuckets> histogram_{};
+};
+
+}  // namespace trel
+
+#endif  // TREL_SERVICE_METRICS_H_

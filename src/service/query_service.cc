@@ -1,0 +1,200 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace trel {
+
+// --- WorkerPool ------------------------------------------------------------
+
+QueryService::WorkerPool::WorkerPool(int num_workers) {
+  threads_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void QueryService::WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void QueryService::WorkerPool::ParallelFor(
+    int64_t n, const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  const int64_t chunks =
+      std::min<int64_t>(n, static_cast<int64_t>(threads_.size()) + 1);
+  const int64_t chunk_size = (n + chunks - 1) / chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outstanding_ += chunks - 1;
+    for (int64_t c = 1; c < chunks; ++c) {
+      const int64_t begin = c * chunk_size;
+      const int64_t end = std::min(n, begin + chunk_size);
+      queue_.emplace_back([this, &body, begin, end] {
+        body(begin, end);
+        std::lock_guard<std::mutex> done_lock(mutex_);
+        if (--outstanding_ == 0) work_done_.notify_all();
+      });
+    }
+  }
+  work_ready_.notify_all();
+  // The calling thread takes the first chunk instead of sleeping.
+  body(0, std::min(n, chunk_size));
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+// --- QueryService ----------------------------------------------------------
+
+QueryService::QueryService(const ServiceOptions& options)
+    : options_(options), dynamic_(options.closure) {
+  TREL_CHECK_GE(options_.num_workers, 0);
+  if (options_.num_workers > 0) {
+    pool_ = std::make_unique<WorkerPool>(options_.num_workers);
+  }
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  epoch_ = static_cast<uint64_t>(-1);  // So the empty snapshot is epoch 0.
+  PublishLocked();
+}
+
+QueryService::~QueryService() = default;
+
+Status QueryService::Load(const Digraph& graph) {
+  TREL_ASSIGN_OR_RETURN(DynamicClosure built,
+                        DynamicClosure::Build(graph, options_.closure));
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  dynamic_ = std::move(built);
+  PublishLocked();
+  return Status::Ok();
+}
+
+StatusOr<NodeId> QueryService::AddLeafUnder(NodeId parent) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return dynamic_.AddLeafUnder(parent);
+}
+
+Status QueryService::AddArc(NodeId from, NodeId to) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return dynamic_.AddArc(from, to);
+}
+
+Status QueryService::RemoveArc(NodeId from, NodeId to) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return dynamic_.RemoveArc(from, to);
+}
+
+Status QueryService::Apply(
+    const std::function<Status(DynamicClosure&)>& fn) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return fn(dynamic_);
+}
+
+uint64_t QueryService::Publish() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return PublishLocked();
+}
+
+uint64_t QueryService::PublishLocked() {
+  Stopwatch timer;
+  auto snapshot = std::make_shared<ClosureSnapshot>();
+  snapshot->epoch = ++epoch_;
+  snapshot->closure = dynamic_.ExportClosure();
+  if (options_.stats_on_publish) {
+    snapshot->stats = ComputeClosureStats(dynamic_.graph(), snapshot->closure);
+  }
+  snapshot->created_at = std::chrono::steady_clock::now();
+  snapshot_.store(std::shared_ptr<const ClosureSnapshot>(std::move(snapshot)),
+                  std::memory_order_release);
+  metrics_.RecordPublish(timer.ElapsedMicros());
+  return epoch_;
+}
+
+bool QueryService::Reaches(NodeId u, NodeId v) const {
+  metrics_.RecordReachQueries(1);
+  return Snapshot()->Reaches(u, v);
+}
+
+std::vector<NodeId> QueryService::Successors(NodeId u) const {
+  metrics_.RecordSuccessorQueries(1);
+  return Snapshot()->Successors(u);
+}
+
+std::vector<uint8_t> QueryService::BatchReaches(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+  Stopwatch timer;
+  const int64_t n = static_cast<int64_t>(pairs.size());
+  std::shared_ptr<const ClosureSnapshot> snapshot = Snapshot();
+  std::vector<uint8_t> results(pairs.size());
+  const auto body = [&snapshot, &pairs, &results](int64_t begin,
+                                                  int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      results[i] =
+          snapshot->Reaches(pairs[i].first, pairs[i].second) ? 1 : 0;
+    }
+  };
+  if (pool_ == nullptr || n < options_.min_parallel_batch) {
+    body(0, n);
+  } else {
+    pool_->ParallelFor(n, body);
+  }
+  metrics_.RecordReachQueries(n);
+  metrics_.RecordBatch(timer.ElapsedMicros());
+  return results;
+}
+
+std::vector<std::vector<NodeId>> QueryService::BatchSuccessors(
+    const std::vector<NodeId>& nodes) const {
+  Stopwatch timer;
+  const int64_t n = static_cast<int64_t>(nodes.size());
+  std::shared_ptr<const ClosureSnapshot> snapshot = Snapshot();
+  std::vector<std::vector<NodeId>> results(nodes.size());
+  const auto body = [&snapshot, &nodes, &results](int64_t begin,
+                                                  int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      results[i] = snapshot->Successors(nodes[i]);
+    }
+  };
+  // Successor enumeration is output-sized, so parallelism pays off at
+  // much smaller batch sizes than point lookups.
+  if (pool_ == nullptr || n < std::max<int64_t>(options_.min_parallel_batch / 16, 2)) {
+    body(0, n);
+  } else {
+    pool_->ParallelFor(n, body);
+  }
+  metrics_.RecordSuccessorQueries(n);
+  metrics_.RecordBatch(timer.ElapsedMicros());
+  return results;
+}
+
+ServiceMetrics::View QueryService::Metrics() const {
+  ServiceMetrics::View view = metrics_.Read();
+  std::shared_ptr<const ClosureSnapshot> snapshot = Snapshot();
+  view.current_epoch = snapshot->epoch;
+  view.snapshot_age_seconds = snapshot->AgeSeconds();
+  view.snapshot_num_nodes = snapshot->NumNodes();
+  view.snapshot_total_intervals = snapshot->closure.TotalIntervals();
+  return view;
+}
+
+}  // namespace trel

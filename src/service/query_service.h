@@ -1,0 +1,161 @@
+#ifndef TREL_SERVICE_QUERY_SERVICE_H_
+#define TREL_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/dynamic_closure.h"
+#include "graph/digraph.h"
+#include "service/metrics.h"
+#include "service/snapshot.h"
+
+namespace trel {
+
+// Knobs for QueryService.
+struct ServiceOptions {
+  // Worker threads for the batch APIs.  0 disables the pool entirely
+  // (batches run on the calling thread); the calling thread always works
+  // alongside the pool, so fan-out is `num_workers + 1` wide.
+  int num_workers = 4;
+  // Batches smaller than this run inline — fan-out overhead (enqueue,
+  // wake, join) dwarfs the per-query work below it.
+  int64_t min_parallel_batch = 2048;
+  // Compute ClosureStats for every published snapshot.  One O(n + k)
+  // pass on the writer; turn off for very large graphs with frequent
+  // publishes.
+  bool stats_on_publish = true;
+  // Build options for the underlying index (gap numbering etc.).
+  ClosureOptions closure = DynamicClosure::DefaultOptions();
+};
+
+// Thread-safe, snapshot-based query front-end over the compressed
+// transitive closure — the paper's read path ("a lookup instead of a
+// traversal") made concurrently shareable.
+//
+// Concurrency contract:
+//   * SINGLE WRITER.  At most one thread at a time may call the writer
+//     API (Load / AddLeafUnder / AddArc / RemoveArc / Apply / Publish).
+//     A writer mutex serializes accidental overlap, but the intended
+//     deployment is one dedicated maintenance thread, as in the
+//     query-serving / index-maintenance split of modern reachability
+//     oracles.
+//   * ANY NUMBER OF READERS, any thread, no locks.  Readers resolve
+//     queries against the most recently *published* snapshot; the swap is
+//     one atomic shared_ptr store.  Updates are invisible until the
+//     writer calls Publish(), which is what makes every snapshot
+//     internally consistent (a half-propagated interval set can never be
+//     observed).
+//   * Snapshots are immutable and reference-counted: a reader holding a
+//     shared_ptr may keep using it for as long as it likes after newer
+//     epochs supersede it.
+class QueryService {
+ public:
+  explicit QueryService(const ServiceOptions& options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // --- Writer API (single writer) ----------------------------------------
+
+  // Replaces the index with a freshly built closure of `graph` and
+  // publishes it.  Fails if `graph` is cyclic (condense first; see
+  // TransitiveClosureIndex).
+  Status Load(const Digraph& graph);
+
+  // DynamicClosure updates, applied under the writer mutex.  Not visible
+  // to readers until Publish().
+  StatusOr<NodeId> AddLeafUnder(NodeId parent);
+  Status AddArc(NodeId from, NodeId to);
+  Status RemoveArc(NodeId from, NodeId to);
+
+  // Escape hatch for compound maintenance (e.g. RefineAbove + arcs as one
+  // unit): runs `fn` on the live index under the writer mutex.
+  Status Apply(const std::function<Status(DynamicClosure&)>& fn);
+
+  // Exports the writer's current state as an immutable snapshot and
+  // atomically swaps it in.  Returns the new epoch.
+  uint64_t Publish();
+
+  // --- Reader API (any thread, lock-free) --------------------------------
+
+  // The current snapshot.  Never null; epoch 0 before the first
+  // Load/Publish.  For query loops, hold the snapshot and query it
+  // directly (see ClosureSnapshot's note on refcount traffic).
+  std::shared_ptr<const ClosureSnapshot> Snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  // Single-shot conveniences against the current snapshot.
+  bool Reaches(NodeId u, NodeId v) const;
+  std::vector<NodeId> Successors(NodeId u) const;
+
+  // Batched lookups, fanned across the worker pool (plus the calling
+  // thread) for large batches.  The whole batch is answered from ONE
+  // snapshot, so results are mutually consistent even while the writer
+  // publishes concurrently.  Out-of-range ids follow snapshot semantics
+  // (unreachable / empty), never abort.
+  std::vector<uint8_t> BatchReaches(
+      const std::vector<std::pair<NodeId, NodeId>>& pairs) const;
+  std::vector<std::vector<NodeId>> BatchSuccessors(
+      const std::vector<NodeId>& nodes) const;
+
+  // Counter snapshot, with the epoch/age/size fields of the live index
+  // snapshot filled in.
+  ServiceMetrics::View Metrics() const;
+
+ private:
+  // Minimal fixed-size worker pool for batch fan-out.  Deliberately
+  // simple: one mutex-guarded queue, blocking ParallelFor.  The service's
+  // scaling story is the lock-free snapshot read path; the pool only
+  // spreads embarrassingly parallel batch chunks.
+  class WorkerPool {
+   public:
+    explicit WorkerPool(int num_workers);
+    ~WorkerPool();
+
+    int num_workers() const { return static_cast<int>(threads_.size()); }
+
+    // Runs body(begin, end) over a partition of [0, n) across the pool
+    // and the calling thread; returns when every chunk is done.
+    void ParallelFor(int64_t n,
+                     const std::function<void(int64_t, int64_t)>& body);
+
+   private:
+    void WorkerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable work_done_;
+    std::deque<std::function<void()>> queue_;
+    int64_t outstanding_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+  };
+
+  // Builds and swaps in a snapshot of `dynamic_`; writer mutex held.
+  uint64_t PublishLocked();
+
+  ServiceOptions options_;
+  mutable ServiceMetrics metrics_;
+
+  std::mutex writer_mutex_;
+  DynamicClosure dynamic_;  // Guarded by writer_mutex_.
+  uint64_t epoch_ = 0;      // Guarded by writer_mutex_.
+
+  std::atomic<std::shared_ptr<const ClosureSnapshot>> snapshot_;
+  std::unique_ptr<WorkerPool> pool_;  // Null when num_workers == 0.
+};
+
+}  // namespace trel
+
+#endif  // TREL_SERVICE_QUERY_SERVICE_H_

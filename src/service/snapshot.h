@@ -1,0 +1,64 @@
+#ifndef TREL_SERVICE_SNAPSHOT_H_
+#define TREL_SERVICE_SNAPSHOT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/closure_stats.h"
+#include "core/compressed_closure.h"
+
+namespace trel {
+
+// One immutable, internally consistent version of the reachability index.
+// QueryService's single writer publishes snapshots via atomic shared_ptr
+// swap; any number of readers may then query one concurrently without
+// synchronization because nothing here mutates after construction.
+//
+// Readers that issue many queries should grab the snapshot once and query
+// it directly rather than going through the service per query: the only
+// shared mutable state on the read path is the shared_ptr control block,
+// and touching it once per batch instead of once per query keeps reader
+// threads from bouncing that cache line.
+struct ClosureSnapshot {
+  // Monotonic publication counter: epoch e+1 replaced epoch e.  Epoch 0
+  // is the empty pre-Load index.
+  uint64_t epoch = 0;
+  // The queryable index, exported from the writer's DynamicClosure.
+  CompressedClosure closure;
+  // Interval-set statistics at publication time; default-initialized when
+  // ServiceOptions::stats_on_publish is off.
+  ClosureStats stats;
+  std::chrono::steady_clock::time_point created_at;
+
+  double AgeSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         created_at)
+        .count();
+  }
+
+  NodeId NumNodes() const { return closure.NumNodes(); }
+
+  // Snapshot semantics for node validity: ids the snapshot has never
+  // heard of (e.g. nodes added by the writer after publication) reach
+  // nothing and are reached by nothing, rather than being an error — a
+  // reader holding an old snapshot cannot know what ids exist now.
+  bool Reaches(NodeId u, NodeId v) const {
+    if (!closure.IsValidNode(u) || !closure.IsValidNode(v)) return false;
+    return closure.Reaches(u, v);
+  }
+
+  std::vector<NodeId> Successors(NodeId u) const {
+    if (!closure.IsValidNode(u)) return {};
+    return closure.Successors(u);
+  }
+
+  int64_t CountSuccessors(NodeId u) const {
+    if (!closure.IsValidNode(u)) return 0;
+    return closure.CountSuccessors(u);
+  }
+};
+
+}  // namespace trel
+
+#endif  // TREL_SERVICE_SNAPSHOT_H_

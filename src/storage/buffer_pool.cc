@@ -1,10 +1,34 @@
 #include "storage/buffer_pool.h"
 
+#include <iterator>
 #include <utility>
 
 #include "common/check.h"
 
 namespace trel {
+
+BufferPool::PageRef::PageRef(BufferPool* pool, Frame* frame)
+    : pool_(pool), frame_(frame) {
+  if (frame_->pins++ == 0) ++pool_->num_pinned_;
+}
+
+void BufferPool::PageRef::Release() {
+  if (frame_ == nullptr) return;
+  pool_->Unpin(frame_);
+  pool_ = nullptr;
+  frame_ = nullptr;
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  TREL_CHECK_GT(frame->pins, 0);
+  if (--frame->pins == 0) {
+    TREL_CHECK_GT(num_pinned_, 0u);
+    --num_pinned_;
+  }
+  // Any over-capacity residency accumulated while everything was pinned
+  // is trimmed by the next GetPage/PutPage (destructors stay fallible-
+  // operation free: eviction may have to write back a dirty page).
+}
 
 BufferPool::BufferPool(PageStore* store, size_t capacity)
     : store_(store), capacity_(capacity) {
@@ -14,23 +38,31 @@ BufferPool::BufferPool(PageStore* store, size_t capacity)
 
 Status BufferPool::EvictIfFull() {
   while (frames_.size() >= capacity_) {
-    Frame& victim = frames_.back();
-    if (victim.dirty) {
-      TREL_RETURN_IF_ERROR(store_->WritePage(victim.page_id, victim.data));
+    // Least-recently-used unpinned frame.
+    auto victim = frames_.end();
+    for (auto r = frames_.rbegin(); r != frames_.rend(); ++r) {
+      if (r->pins == 0) {
+        victim = std::next(r).base();
+        break;
+      }
     }
-    index_.erase(victim.page_id);
-    frames_.pop_back();
+    if (victim == frames_.end()) break;  // Everything pinned: over-allocate.
+    if (victim->dirty) {
+      TREL_RETURN_IF_ERROR(store_->WritePage(victim->page_id, victim->data));
+    }
+    index_.erase(victim->page_id);
+    frames_.erase(victim);
     ++stats_.evictions;
   }
   return Status::Ok();
 }
 
-StatusOr<const std::vector<uint8_t>*> BufferPool::GetPage(uint64_t page_id) {
+StatusOr<BufferPool::PageRef> BufferPool::GetPage(uint64_t page_id) {
   auto it = index_.find(page_id);
   if (it != index_.end()) {
     ++stats_.hits;
     frames_.splice(frames_.begin(), frames_, it->second);
-    return const_cast<const std::vector<uint8_t>*>(&frames_.front().data);
+    return PageRef(this, &frames_.front());
   }
   ++stats_.misses;
   TREL_RETURN_IF_ERROR(EvictIfFull());
@@ -39,7 +71,7 @@ StatusOr<const std::vector<uint8_t>*> BufferPool::GetPage(uint64_t page_id) {
   TREL_RETURN_IF_ERROR(store_->ReadPage(page_id, frame.data));
   frames_.push_front(std::move(frame));
   index_[page_id] = frames_.begin();
-  return const_cast<const std::vector<uint8_t>*>(&frames_.front().data);
+  return PageRef(this, &frames_.front());
 }
 
 Status BufferPool::PutPage(uint64_t page_id, std::vector<uint8_t> data) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/statusor.h"
@@ -23,16 +24,60 @@ class BufferPool {
     int64_t LogicalReads() const { return hits + misses; }
   };
 
+ private:
+  struct Frame;
+
+ public:
+  // RAII pin on a cached page.  While any PageRef to a page is alive the
+  // frame is excluded from eviction, so the referenced bytes stay valid
+  // across arbitrary intervening GetPage/PutPage calls — the earlier
+  // raw-pointer contract ("valid until the next call") made every caller
+  // that held a page across a second access a latent use-after-free.
+  // A PutPage to a pinned page still replaces its contents (the ref
+  // observes the new bytes); it never invalidates the ref.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          frame_(std::exchange(other.frame_, nullptr)) {}
+    PageRef& operator=(PageRef&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        frame_ = std::exchange(other.frame_, nullptr);
+      }
+      return *this;
+    }
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+    ~PageRef() { Release(); }
+
+    const std::vector<uint8_t>& data() const { return frame_->data; }
+    const std::vector<uint8_t>& operator*() const { return data(); }
+    const std::vector<uint8_t>* operator->() const { return &data(); }
+    uint64_t page_id() const { return frame_->page_id; }
+    bool valid() const { return frame_ != nullptr; }
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, Frame* frame);
+    void Release();
+
+    BufferPool* pool_ = nullptr;
+    Frame* frame_ = nullptr;
+  };
+
   // `capacity` = maximum resident pages; must be >= 1.  The pool does not
-  // own the store.
+  // own the store.  Pinned pages may push residency above `capacity`
+  // temporarily; eviction catches up as pins are released.
   BufferPool(PageStore* store, size_t capacity);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Returns a pointer to the cached page contents, valid until the next
-  // GetPage/PutPage call.
-  StatusOr<const std::vector<uint8_t>*> GetPage(uint64_t page_id);
+  // Returns a pinned reference to the cached page contents.
+  StatusOr<PageRef> GetPage(uint64_t page_id);
 
   // Write-back update: replaces the page in the cache and marks it dirty.
   Status PutPage(uint64_t page_id, std::vector<uint8_t> data);
@@ -45,22 +90,29 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   size_t page_size() const { return store_->page_size(); }
   size_t NumResident() const { return frames_.size(); }
+  // Pages currently protected from eviction by outstanding PageRefs.
+  size_t NumPinned() const { return num_pinned_; }
 
  private:
   struct Frame {
     uint64_t page_id;
     std::vector<uint8_t> data;
     bool dirty = false;
+    int pins = 0;
   };
 
-  // Evicts the least recently used frame if at capacity.
+  // Evicts least-recently-used unpinned frames while over capacity; a
+  // fully pinned pool is allowed to exceed capacity rather than fail.
   Status EvictIfFull();
+  void Unpin(Frame* frame);
 
   PageStore* store_;
   size_t capacity_;
-  // Most recently used at front.
+  // Most recently used at front.  std::list guarantees stable Frame
+  // addresses, which PageRef relies on.
   std::list<Frame> frames_;
   std::unordered_map<uint64_t, std::list<Frame>::iterator> index_;
+  size_t num_pinned_ = 0;
   Stats stats_;
 };
 

@@ -65,10 +65,10 @@ StatusOr<std::vector<uint8_t>> ReadBytes(BufferPool& pool, uint64_t offset,
     const uint64_t page_id = position / page_size;
     const uint64_t in_page = position % page_size;
     const uint64_t chunk = std::min(remaining, page_size - in_page);
-    TREL_ASSIGN_OR_RETURN(const std::vector<uint8_t>* data,
-                          pool.GetPage(page_id));
-    result.insert(result.end(), data->begin() + in_page,
-                  data->begin() + in_page + chunk);
+    TREL_ASSIGN_OR_RETURN(BufferPool::PageRef page, pool.GetPage(page_id));
+    const std::vector<uint8_t>& data = page.data();
+    result.insert(result.end(), data.begin() + in_page,
+                  data.begin() + in_page + chunk);
     position += chunk;
     remaining -= chunk;
   }

@@ -79,6 +79,73 @@ TEST(CompressedClosureTest, PredecessorsMatchGroundTruth) {
   }
 }
 
+// Overlapping antichain members ([1,5] then [3,9] is a valid sorted
+// antichain) and labels with gaps between assigned numbers are the two
+// regimes where naive range enumeration double-lists nodes or
+// mis-handles the self exclusion.  Build the closure directly from
+// synthetic parts so both regimes are pinned down exactly.
+TEST(CompressedClosureTest, SuccessorsWithOverlappingIntervalsAndGaps) {
+  // Four nodes with gap-style numbering (merge-adjacent labels leave
+  // holes like these after updates).
+  NodeLabels labels;
+  labels.postorder = {16, 32, 48, 64};
+  labels.gap = 16;
+  for (Label p : labels.postorder) {
+    labels.tree_interval.push_back({p, p});
+  }
+  labels.intervals.resize(4);
+  // Node 3 (number 64): overlapping members covering 16,32 twice and 48
+  // once, plus its own tree interval.
+  ASSERT_TRUE(labels.intervals[3].Insert({10, 35}));
+  ASSERT_TRUE(labels.intervals[3].Insert({30, 64}));
+  // Node 0..2: just their own numbers.
+  for (NodeId v = 0; v < 3; ++v) {
+    ASSERT_TRUE(labels.intervals[v].Insert({labels.postorder[v],
+                                            labels.postorder[v]}));
+  }
+  TreeCover cover;
+  cover.parent.assign(4, kNoNode);
+  cover.children.resize(4);
+  cover.roots = {0, 1, 2, 3};
+
+  CompressedClosure closure =
+      CompressedClosure::FromParts(std::move(labels), std::move(cover));
+  // Despite the overlap, each successor is listed exactly once and the
+  // node itself is excluded even though 64 sits inside [30, 64].
+  EXPECT_EQ(closure.Successors(3), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(closure.CountSuccessors(3), 3);
+  EXPECT_TRUE(closure.Reaches(3, 0));
+  EXPECT_FALSE(closure.Reaches(0, 3));
+  EXPECT_TRUE(closure.Successors(0).empty());
+  EXPECT_EQ(closure.CountSuccessors(0), 0);
+}
+
+// Successors and CountSuccessors must agree everywhere, across gap
+// numbering, reserve pads, and merge-adjacent labels (which produce the
+// widest intervals relative to the assigned numbers).
+TEST(CompressedClosureTest, CountSuccessorsConsistentAcrossLabelings) {
+  for (const auto& [gap, reserve, merge] :
+       std::vector<std::tuple<Label, Label, bool>>{
+           {1, 0, false}, {16, 0, false}, {16, 7, false}, {1, 0, true}}) {
+    Digraph graph = RandomDag(90, 2.5, 24);
+    ClosureOptions options;
+    options.labeling.gap = gap;
+    options.labeling.reserve = reserve;
+    options.labeling.merge_adjacent = merge;
+    auto closure = CompressedClosure::Build(graph, options);
+    ASSERT_TRUE(closure.ok());
+    ReachabilityMatrix matrix(graph);
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      std::vector<NodeId> got = closure->Successors(u);
+      EXPECT_EQ(closure->CountSuccessors(u),
+                static_cast<int64_t>(got.size()))
+          << "node " << u << " gap " << gap;
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, matrix.Successors(u)) << "node " << u << " gap " << gap;
+    }
+  }
+}
+
 TEST(CompressedClosureTest, StorageNeverExceedsFullClosure) {
   // Each closure pair costs one unit; each interval costs two.  The
   // compressed form can never lose to the uncompressed one by more than

@@ -84,6 +84,71 @@ TEST_P(IntervalFuzzTest, MergeAdjacentPreservesCoverageAndIsIdempotent) {
   EXPECT_TRUE(twice == merged);
 }
 
+// Interleaves Insert and MergeAdjacent in one long random sequence, over
+// a label universe that includes negatives and the INT64 boundaries.
+// MergeAdjacent only coalesces touching members, so point-coverage
+// agreement with the naive model must survive any interleaving; the
+// sorted-antichain structural invariants must hold after every step.
+TEST_P(IntervalFuzzTest, InterleavedInsertAndMergeMatchModel) {
+  Random rng(GetParam() + 2000);
+  IntervalSet set;
+  NaiveIntervalSet model;
+  constexpr Label kMax = std::numeric_limits<Label>::max();
+  constexpr Label kMin = std::numeric_limits<Label>::min();
+
+  // Probe points: the small universe, its negative mirror, and the
+  // extreme boundary neighborhoods.
+  std::vector<Label> probes;
+  for (Label x = -220; x <= 220; ++x) probes.push_back(x);
+  for (Label d = 0; d <= 4; ++d) {
+    probes.push_back(kMax - d);
+    probes.push_back(kMin + d);
+  }
+
+  auto random_interval = [&rng]() -> Interval {
+    switch (rng.Uniform(8)) {
+      case 0:  // Hugging the INT64 maximum (exercises hi == kMax).
+        return {kMax - static_cast<Label>(rng.Uniform(4)), kMax};
+      case 1: {  // Hugging the INT64 minimum.
+        const Label lo = kMin + static_cast<Label>(rng.Uniform(4));
+        return {lo, lo + static_cast<Label>(rng.Uniform(3))};
+      }
+      default: {  // Small universe straddling zero.
+        const Label lo = static_cast<Label>(rng.Uniform(400)) - 200;
+        return {lo, lo + static_cast<Label>(rng.Uniform(25))};
+      }
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    if (rng.Bernoulli(0.3)) {
+      set.MergeAdjacent();  // The model needs no merging: coverage-equal.
+    } else {
+      const Interval interval = random_interval();
+      set.Insert(interval);
+      model.Insert(interval);
+    }
+
+    // Structural invariants after *every* operation: sorted antichain
+    // (strictly increasing lo and hi), all members well-formed.
+    const auto& members = set.intervals();
+    for (size_t i = 0; i < members.size(); ++i) {
+      ASSERT_LE(members[i].lo, members[i].hi) << "step " << step;
+      if (i > 0) {
+        ASSERT_LT(members[i - 1].lo, members[i].lo) << "step " << step;
+        ASSERT_LT(members[i - 1].hi, members[i].hi) << "step " << step;
+      }
+    }
+
+    if (step % 40 == 39) {
+      for (Label x : probes) {
+        ASSERT_EQ(set.Contains(x), model.Contains(x))
+            << "x=" << x << " step=" << step;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalFuzzTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 

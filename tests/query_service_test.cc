@@ -1,0 +1,269 @@
+// QueryService: snapshot semantics, batch fan-out, and the concurrent
+// reader/writer contract.  The concurrency tests here are the TSan
+// targets run by tools/ci.sh.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "service/query_service.h"
+
+namespace trel {
+namespace {
+
+ServiceOptions SmallBatchOptions() {
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.min_parallel_batch = 8;  // Force the parallel path in tests.
+  return options;
+}
+
+TEST(QueryServiceTest, EmptyServiceAnswersNothing) {
+  QueryService service;
+  EXPECT_EQ(service.Snapshot()->epoch, 0u);
+  EXPECT_EQ(service.Snapshot()->NumNodes(), 0);
+  EXPECT_FALSE(service.Reaches(0, 0));
+  EXPECT_TRUE(service.Successors(0).empty());
+}
+
+TEST(QueryServiceTest, LoadedSnapshotMatchesGroundTruth) {
+  Digraph graph = RandomDag(120, 2.5, 77);
+  ReachabilityMatrix matrix(graph);
+  QueryService service;
+  ASSERT_TRUE(service.Load(graph).ok());
+  auto snapshot = service.Snapshot();
+  EXPECT_EQ(snapshot->epoch, 1u);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      ASSERT_EQ(snapshot->Reaches(u, v), matrix.Reaches(u, v))
+          << u << "->" << v;
+    }
+    std::vector<NodeId> successors = snapshot->Successors(u);
+    std::sort(successors.begin(), successors.end());
+    ASSERT_EQ(successors, matrix.Successors(u)) << "node " << u;
+  }
+  // Publication stats came along.
+  EXPECT_EQ(snapshot->stats.num_nodes, graph.NumNodes());
+  EXPECT_EQ(snapshot->stats.total_intervals,
+            snapshot->closure.TotalIntervals());
+}
+
+TEST(QueryServiceTest, LoadRejectsCyclicGraph) {
+  Digraph graph(2);
+  ASSERT_TRUE(graph.AddArc(0, 1).ok());
+  ASSERT_TRUE(graph.AddArc(1, 0).ok());
+  QueryService service;
+  EXPECT_FALSE(service.Load(graph).ok());
+  EXPECT_EQ(service.Snapshot()->epoch, 0u);  // Failed load publishes nothing.
+}
+
+TEST(QueryServiceTest, BatchReachesMatchesSingles) {
+  Digraph graph = RandomDag(200, 2.0, 78);
+  QueryService service(SmallBatchOptions());
+  ASSERT_TRUE(service.Load(graph).ok());
+  auto snapshot = service.Snapshot();
+
+  Random rng(5);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 5000; ++i) {
+    // Include out-of-range ids: snapshot semantics, not aborts.
+    pairs.emplace_back(static_cast<NodeId>(rng.Uniform(220)),
+                       static_cast<NodeId>(rng.Uniform(220)));
+  }
+  std::vector<uint8_t> got = service.BatchReaches(pairs);
+  ASSERT_EQ(got.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(got[i] != 0, snapshot->Reaches(pairs[i].first, pairs[i].second))
+        << pairs[i].first << "->" << pairs[i].second;
+  }
+}
+
+TEST(QueryServiceTest, BatchSuccessorsMatchesSingles) {
+  Digraph graph = RandomDag(150, 2.0, 79);
+  QueryService service(SmallBatchOptions());
+  ASSERT_TRUE(service.Load(graph).ok());
+  auto snapshot = service.Snapshot();
+
+  std::vector<NodeId> nodes;
+  for (NodeId u = -5; u < 160; ++u) nodes.push_back(u);
+  std::vector<std::vector<NodeId>> got = service.BatchSuccessors(nodes);
+  ASSERT_EQ(got.size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    ASSERT_EQ(got[i], snapshot->Successors(nodes[i])) << "node " << nodes[i];
+  }
+}
+
+TEST(QueryServiceTest, UpdatesInvisibleUntilPublish) {
+  QueryService service;
+  auto root = service.AddLeafUnder(kNoNode);
+  ASSERT_TRUE(root.ok());
+  auto child = service.AddLeafUnder(root.value());
+  ASSERT_TRUE(child.ok());
+
+  // Readers still see the empty epoch-0 snapshot.
+  EXPECT_EQ(service.Snapshot()->NumNodes(), 0);
+  EXPECT_FALSE(service.Reaches(root.value(), child.value()));
+
+  auto old_snapshot = service.Snapshot();
+  EXPECT_EQ(service.Publish(), 1u);
+  EXPECT_TRUE(service.Reaches(root.value(), child.value()));
+  EXPECT_FALSE(service.Reaches(child.value(), root.value()));
+
+  // The superseded snapshot is still alive and unchanged for its holder.
+  EXPECT_EQ(old_snapshot->epoch, 0u);
+  EXPECT_EQ(old_snapshot->NumNodes(), 0);
+}
+
+TEST(QueryServiceTest, ApplyRunsCompoundUpdates) {
+  Digraph graph = RandomDag(40, 1.5, 80);
+  QueryService service;
+  ASSERT_TRUE(service.Load(graph).ok());
+  ASSERT_TRUE(service
+                  .Apply([](DynamicClosure& dynamic) {
+                    TREL_ASSIGN_OR_RETURN(NodeId leaf,
+                                          dynamic.AddLeafUnder(0));
+                    return dynamic.AddArc(1, leaf);
+                  })
+                  .ok());
+  service.Publish();
+  auto snapshot = service.Snapshot();
+  const NodeId leaf = snapshot->NumNodes() - 1;
+  EXPECT_TRUE(snapshot->Reaches(0, leaf));
+  EXPECT_TRUE(snapshot->Reaches(1, leaf));
+}
+
+TEST(QueryServiceTest, MetricsCountQueriesAndPublishes) {
+  Digraph graph = RandomDag(50, 2.0, 81);
+  QueryService service(SmallBatchOptions());
+  ASSERT_TRUE(service.Load(graph).ok());
+  (void)service.Reaches(0, 1);
+  (void)service.BatchReaches({{0, 1}, {1, 2}, {2, 3}});
+  (void)service.BatchSuccessors({0, 1});
+  service.Publish();
+
+  ServiceMetrics::View view = service.Metrics();
+  EXPECT_EQ(view.reach_queries, 4);
+  EXPECT_EQ(view.successor_queries, 2);
+  EXPECT_EQ(view.batches, 2);
+  EXPECT_EQ(view.publishes, 3);  // Construction + Load + explicit Publish.
+  EXPECT_EQ(view.current_epoch, 2u);
+  EXPECT_EQ(view.snapshot_num_nodes, 50);
+  EXPECT_GE(view.snapshot_age_seconds, 0.0);
+  EXPECT_FALSE(view.ToString().empty());
+  int64_t histogram_total = 0;
+  for (int64_t bucket : view.batch_latency_histogram) {
+    histogram_total += bucket;
+  }
+  EXPECT_EQ(histogram_total, view.batches);
+}
+
+// --- Concurrency (TSan targets) --------------------------------------------
+
+// Readers hammer single queries, batches, and snapshot handles while one
+// writer grows the graph and publishes every few updates.  Each reader
+// checks invariants that hold for *every* consistent snapshot:
+// monotonically non-decreasing epochs, reflexive reachability, batch
+// answers consistent with the snapshot they were served from.
+TEST(QueryServiceConcurrencyTest, ReadersNeverSeeTornState) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.min_parallel_batch = 64;
+  options.stats_on_publish = false;  // Keep the publish loop tight.
+  QueryService service(options);
+  ASSERT_TRUE(service.Load(RandomDag(300, 2.0, 91)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> reads_done{0};
+
+  auto reader = [&](uint64_t seed) {
+    Random rng(seed);
+    uint64_t last_epoch = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snapshot = service.Snapshot();
+      ASSERT_GE(snapshot->epoch, last_epoch);
+      last_epoch = snapshot->epoch;
+      const NodeId n = snapshot->NumNodes();
+      ASSERT_GE(n, 300);
+      // Reflexivity on the snapshot's own node universe.
+      const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+      ASSERT_TRUE(snapshot->Reaches(u, u));
+      // A batch is served from one snapshot: answers must agree with a
+      // direct query against a snapshot taken before the batch (only
+      // false->true transitions are possible as the graph only grows, and
+      // within one snapshot answers are fixed).
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      for (int i = 0; i < 128; ++i) {
+        pairs.emplace_back(static_cast<NodeId>(rng.Uniform(n)),
+                           static_cast<NodeId>(rng.Uniform(n)));
+      }
+      std::vector<uint8_t> batch = service.BatchReaches(pairs);
+      auto after = service.Snapshot();
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        const bool before_ok =
+            snapshot->Reaches(pairs[i].first, pairs[i].second);
+        const bool after_ok = after->Reaches(pairs[i].first, pairs[i].second);
+        // Growth-only workload: reachability is monotone across epochs.
+        if (before_ok) {
+          ASSERT_TRUE(batch[i] != 0);
+        }
+        if (!after_ok) {
+          ASSERT_TRUE(batch[i] == 0);
+        }
+      }
+      reads_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back(reader, static_cast<uint64_t>(t + 1));
+  }
+
+  // Writer: grow the DAG (leaves + arcs), publish every few updates.
+  Random rng(17);
+  for (int round = 0; round < 40; ++round) {
+    for (int j = 0; j < 5; ++j) {
+      const NodeId parent = static_cast<NodeId>(
+          rng.Uniform(static_cast<uint64_t>(300 + round * 5 + j)));
+      ASSERT_TRUE(service.AddLeafUnder(parent).ok());
+    }
+    // Occasional non-tree arc; duplicates/cycles are fine to reject.
+    (void)service.AddArc(static_cast<NodeId>(rng.Uniform(100)),
+                         static_cast<NodeId>(300 + rng.Uniform(40)));
+    service.Publish();
+  }
+
+  // Let readers observe the final state, then stop.
+  while (reads_done.load(std::memory_order_relaxed) < 50) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GE(service.Metrics().current_epoch, 41u);
+}
+
+// The destructor must cleanly drain the worker pool even with batches
+// in flight right up to the end.
+TEST(QueryServiceConcurrencyTest, DestructionWithBusyPoolIsClean) {
+  for (int round = 0; round < 3; ++round) {
+    QueryService service(SmallBatchOptions());
+    ASSERT_TRUE(service.Load(RandomDag(100, 2.0, 92)).ok());
+    std::vector<std::pair<NodeId, NodeId>> pairs(512, {0, 99});
+    std::thread reader([&service, &pairs] {
+      for (int i = 0; i < 20; ++i) (void)service.BatchReaches(pairs);
+    });
+    reader.join();
+  }
+}
+
+}  // namespace
+}  // namespace trel

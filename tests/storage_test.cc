@@ -94,6 +94,82 @@ TEST(BufferPoolTest, WriteBackOnEviction) {
   EXPECT_EQ(read, data);
 }
 
+// Regression test for the pre-PageRef contract, under which GetPage's
+// result was a raw pointer "valid until the next GetPage/PutPage call":
+// holding page 0 while touching enough other pages to fill the pool made
+// the old code evict (destroy) page 0's frame and left the caller reading
+// freed memory.  With pinning, the held page survives arbitrary
+// intervening traffic.
+TEST(BufferPoolTest, PinnedPageSurvivesEvictionPressure) {
+  auto store = PageStore::Open(TempPath("pin.db"), 256);
+  ASSERT_TRUE(store.ok());
+  const uint64_t kPages = 6;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    store->AllocatePage();
+    std::vector<uint8_t> data(256, static_cast<uint8_t>(0x10 + p));
+    ASSERT_TRUE(store->WritePage(p, data).ok());
+  }
+
+  BufferPool pool(&store.value(), 2);
+  auto held = pool.GetPage(0);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(pool.NumPinned(), 1u);
+
+  // Old behavior: the second of these would evict page 0's frame.
+  for (uint64_t p = 1; p < kPages; ++p) {
+    auto other = pool.GetPage(p);
+    ASSERT_TRUE(other.ok());
+    EXPECT_EQ(other->data(), std::vector<uint8_t>(256, 0x10 + p));
+  }
+
+  // The pinned page is still resident with its original contents.
+  EXPECT_EQ(held->data(), std::vector<uint8_t>(256, 0x10));
+  EXPECT_EQ(held->page_id(), 0u);
+  {
+    // And re-getting it is a hit, not a re-read.
+    const int64_t hits_before = pool.stats().hits;
+    ASSERT_TRUE(pool.GetPage(0).ok());
+    EXPECT_EQ(pool.stats().hits, hits_before + 1);
+  }
+}
+
+TEST(BufferPoolTest, FullyPinnedPoolOverflowsInsteadOfFailing) {
+  auto store = PageStore::Open(TempPath("pin_full.db"), 256);
+  ASSERT_TRUE(store.ok());
+  for (int p = 0; p < 4; ++p) store->AllocatePage();
+
+  BufferPool pool(&store.value(), 1);
+  auto a = pool.GetPage(0);
+  ASSERT_TRUE(a.ok());
+  {
+    auto b = pool.GetPage(1);  // Capacity 1, page 0 pinned: over-allocate.
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(pool.NumResident(), 2u);
+    EXPECT_EQ(pool.NumPinned(), 2u);
+  }
+  EXPECT_EQ(pool.NumPinned(), 1u);
+  // The next access trims the unpinned overflow back under capacity...
+  ASSERT_TRUE(pool.GetPage(2).ok());
+  EXPECT_EQ(pool.NumResident(), 2u);  // Pinned page 0 + page 2.
+  // ...and once the last pin drops, the pool shrinks to capacity again.
+  a = BufferPool::PageRef();
+  EXPECT_EQ(pool.NumPinned(), 0u);
+  ASSERT_TRUE(pool.GetPage(3).ok());
+  EXPECT_EQ(pool.NumResident(), 1u);
+}
+
+TEST(BufferPoolTest, PutPageToPinnedPageUpdatesThroughRef) {
+  auto store = PageStore::Open(TempPath("pin_put.db"), 256);
+  ASSERT_TRUE(store.ok());
+  store->AllocatePage();
+  BufferPool pool(&store.value(), 2);
+  auto held = pool.GetPage(0);
+  ASSERT_TRUE(held.ok());
+  std::vector<uint8_t> update(256, 0xEE);
+  ASSERT_TRUE(pool.PutPage(0, update).ok());
+  EXPECT_EQ(held->data(), update);  // Ref observes the new contents.
+}
+
 TEST(BufferPoolTest, FlushWritesDirtyPages) {
   auto store = PageStore::Open(TempPath("flush.db"), 256);
   ASSERT_TRUE(store.ok());

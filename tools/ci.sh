@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# CI driver: tier-1 verification plus sanitizer passes.
+#
+#   tools/ci.sh            # tier-1 + ASan/UBSan tests + TSan service tests
+#   tools/ci.sh --tier1    # tier-1 only (plain build + full ctest)
+#
+# Sanitizer builds use the TREL_SANITIZE cache option from the top-level
+# CMakeLists and live in their own build trees so they never disturb the
+# primary build/ directory.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+tier1() {
+  # Mirrors the ROADMAP tier-1 verify command exactly.
+  run cmake -B build -S .
+  run cmake --build build -j "${JOBS}"
+  (cd build && run ctest --output-on-failure -j "${JOBS}")
+}
+
+asan_ubsan() {
+  run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTREL_SANITIZE=address,undefined
+  run cmake --build build-asan -j "${JOBS}"
+  # Serial on purpose: the ToolTest subprocess pipeline is flaky when two
+  # ASan process trees compete for memory on small hosts.
+  (cd build-asan && run ctest --output-on-failure)
+}
+
+tsan_service() {
+  run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTREL_SANITIZE=thread
+  run cmake --build build-tsan -j "${JOBS}" --target query_service_test
+  # tools/tsan.supp: known libstdc++ atomic<shared_ptr> internal report.
+  run env TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+    ./build-tsan/tests/query_service_test
+}
+
+if [[ "${1:-}" == "--tier1" ]]; then
+  tier1
+else
+  tier1
+  asan_ubsan
+  tsan_service
+fi
+
+echo "==> ci.sh: all requested stages passed"
