@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 #include <string>
 #include <vector>
@@ -44,6 +45,30 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// CI smoke mode: when the TREL_BENCH_SMOKE environment variable is set
+// (to anything but "0"), bench binaries shrink their problem sizes and
+// durations to near-nothing so a CI job can execute every binary
+// end-to-end as a does-it-run check, not a measurement.
+inline bool SmokeMode() {
+  const char* env = std::getenv("TREL_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// Caps a problem size in smoke mode; identity otherwise.
+inline int64_t ScaleN(int64_t n, int64_t smoke_cap = 200) {
+  return SmokeMode() ? std::min(n, smoke_cap) : n;
+}
+
+// Caps a duration (seconds) in smoke mode; identity otherwise.
+inline double ScaleSeconds(double seconds, double smoke_cap = 0.05) {
+  return SmokeMode() ? std::min(seconds, smoke_cap) : seconds;
+}
+
+// Caps an iteration/repetition count in smoke mode; identity otherwise.
+inline int64_t ScaleReps(int64_t reps, int64_t smoke_cap = 2) {
+  return SmokeMode() ? std::min(reps, smoke_cap) : reps;
+}
 
 inline std::string Fmt(int64_t value) { return std::to_string(value); }
 

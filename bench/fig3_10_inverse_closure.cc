@@ -17,8 +17,8 @@ int main() {
   using namespace trel;
   using bench_util::Fmt;
 
-  const NodeId kNodes = 1000;
-  const int kSeeds = 3;
+  const NodeId kNodes = static_cast<NodeId>(bench_util::ScaleN(1000));
+  const int kSeeds = static_cast<int>(bench_util::ScaleReps(3, 1));
 
   std::printf("Figure 3.10: inverse closure vs compressed closure (n=%d)\n\n",
               kNodes);

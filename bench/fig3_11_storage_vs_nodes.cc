@@ -23,7 +23,11 @@ int main() {
               kDegree);
   bench_util::Table table({"nodes", "graph", "closure", "compressed",
                            "closure/graph", "compressed/graph"});
-  for (NodeId n : {100, 200, 500, 1000, 2000, 4000}) {
+  const std::vector<NodeId> sizes =
+      bench_util::SmokeMode()
+          ? std::vector<NodeId>{100, 200}
+          : std::vector<NodeId>{100, 200, 500, 1000, 2000, 4000};
+  for (NodeId n : sizes) {
     double graph_units = 0, closure_units = 0, compressed_units = 0;
     for (int seed = 0; seed < kSeeds; ++seed) {
       Digraph graph = RandomDag(n, kDegree, 3000 + seed);

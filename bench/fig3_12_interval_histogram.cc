@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
   PrintHistogram(histogram, total6);
 
   // Sampled for n=8 (the paper's size).
-  const int64_t samples = argc > 1 ? std::atoll(argv[1]) : 200000;
+  const int64_t samples =
+      argc > 1 ? std::atoll(argv[1]) : bench_util::ScaleN(200000, 2000);
   histogram.clear();
   for (int64_t s = 0; s < samples; ++s) {
     ++histogram[IntervalCount(

@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "baselines/chain_cover.h"
+#include "bench/bench_util.h"
 #include "core/compressed_closure.h"
 #include "core/tree_cover.h"
 #include "graph/generators.h"
@@ -13,6 +16,16 @@
 namespace trel {
 namespace {
 
+// Full-size args normally; one tiny fixed-iteration shape in CI smoke
+// mode (see bench_util::SmokeMode).
+void BuildSizes(benchmark::internal::Benchmark* b) {
+  if (bench_util::SmokeMode()) {
+    b->Arg(200)->Iterations(5);
+    return;
+  }
+  b->Arg(500)->Arg(1000)->Arg(2000);
+}
+
 void BM_BuildCompressedOptimal(benchmark::State& state) {
   Digraph graph = RandomDag(static_cast<NodeId>(state.range(0)), 2.0, 8100);
   for (auto _ : state) {
@@ -20,7 +33,7 @@ void BM_BuildCompressedOptimal(benchmark::State& state) {
     benchmark::DoNotOptimize(closure);
   }
 }
-BENCHMARK(BM_BuildCompressedOptimal)->Arg(500)->Arg(1000)->Arg(2000);
+BENCHMARK(BM_BuildCompressedOptimal)->Apply(BuildSizes);
 
 void BM_BuildCompressedDfsCover(benchmark::State& state) {
   Digraph graph = RandomDag(static_cast<NodeId>(state.range(0)), 2.0, 8100);
@@ -31,7 +44,7 @@ void BM_BuildCompressedDfsCover(benchmark::State& state) {
     benchmark::DoNotOptimize(closure);
   }
 }
-BENCHMARK(BM_BuildCompressedDfsCover)->Arg(500)->Arg(1000)->Arg(2000);
+BENCHMARK(BM_BuildCompressedDfsCover)->Apply(BuildSizes);
 
 void BM_BuildFullClosureMatrix(benchmark::State& state) {
   Digraph graph = RandomDag(static_cast<NodeId>(state.range(0)), 2.0, 8100);
@@ -40,7 +53,7 @@ void BM_BuildFullClosureMatrix(benchmark::State& state) {
     benchmark::DoNotOptimize(matrix);
   }
 }
-BENCHMARK(BM_BuildFullClosureMatrix)->Arg(500)->Arg(1000)->Arg(2000);
+BENCHMARK(BM_BuildFullClosureMatrix)->Apply(BuildSizes);
 
 void BM_BuildChainCoverGreedy(benchmark::State& state) {
   Digraph graph = RandomDag(static_cast<NodeId>(state.range(0)), 2.0, 8100);
@@ -49,7 +62,14 @@ void BM_BuildChainCoverGreedy(benchmark::State& state) {
     benchmark::DoNotOptimize(cover);
   }
 }
-BENCHMARK(BM_BuildChainCoverGreedy)->Arg(500)->Arg(1000);
+BENCHMARK(BM_BuildChainCoverGreedy)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      if (bench_util::SmokeMode()) {
+        b->Arg(200)->Iterations(5);
+        return;
+      }
+      b->Arg(500)->Arg(1000);
+    });
 
 }  // namespace
 }  // namespace trel

@@ -7,7 +7,12 @@
 // The printed speedup is measured, not modeled: on a single-core host
 // all thread counts share one core and the ratio stays near 1.
 //
-// Usage: micro_concurrent_query [nodes] [seconds_per_config]
+// A second section measures publish latency with delta publication on vs
+// off: 10-arc update batches against a large DAG, where a delta publish
+// ships only the dirty nodes (see DESIGN.md §4c) and a full publish
+// re-exports the whole labeling.
+//
+// Usage: micro_concurrent_query [nodes] [seconds_per_config] [publish_nodes]
 
 #include <atomic>
 #include <chrono>
@@ -91,16 +96,67 @@ RunResult RunConfig(QueryService& service, int num_readers,
   return result;
 }
 
+struct PublishResult {
+  int publishes = 0;
+  double mean_micros = 0;
+  double mean_delta_entries = 0;
+};
+
+// Applies `batches` update batches of `arcs_per_batch` random arcs each,
+// publishing after every batch, and returns the mean wall-clock publish
+// latency.  The same seed is used for both modes so they replay the same
+// arc sequence.
+PublishResult RunPublishConfig(NodeId nodes, bool delta_publish, int batches,
+                               int arcs_per_batch) {
+  ServiceOptions options;
+  options.num_workers = 0;
+  options.stats_on_publish = false;
+  options.delta_publish = delta_publish;
+  options.max_delta_publishes = batches + 1;  // No forced fulls mid-run.
+  QueryService service(options);
+  Status status = service.Load(RandomDag(nodes, 2.0, 8200));
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.message().c_str());
+    std::exit(1);
+  }
+
+  Random rng(51);
+  PublishResult result;
+  int64_t total_micros = 0;
+  int64_t total_entries = 0;
+  for (int b = 0; b < batches; ++b) {
+    int added = 0;
+    while (added < arcs_per_batch) {
+      const NodeId u = static_cast<NodeId>(rng.Uniform(nodes));
+      const NodeId v = static_cast<NodeId>(rng.Uniform(nodes));
+      if (service.AddArc(u, v).ok()) ++added;  // Cycles/dups re-rolled.
+    }
+    Stopwatch watch;
+    service.Publish();
+    total_micros += watch.ElapsedMicros();
+    total_entries += service.Snapshot()->delta_entries;
+  }
+  result.publishes = batches;
+  result.mean_micros = static_cast<double>(total_micros) / batches;
+  result.mean_delta_entries = static_cast<double>(total_entries) / batches;
+  return result;
+}
+
 }  // namespace
 }  // namespace trel
 
 int main(int argc, char** argv) {
   using namespace trel;
-  const int64_t nodes = argc > 1 ? std::atoll(argv[1]) : 100000;
-  const double seconds = argc > 2 ? std::atof(argv[2]) : 1.5;
-  if (nodes <= 0 || seconds <= 0) {
+  const int64_t nodes =
+      argc > 1 ? std::atoll(argv[1]) : bench_util::ScaleN(100000);
+  const double seconds =
+      argc > 2 ? std::atof(argv[2]) : bench_util::ScaleSeconds(1.5);
+  const int64_t publish_nodes =
+      argc > 3 ? std::atoll(argv[3]) : bench_util::ScaleN(50000);
+  if (nodes <= 0 || seconds <= 0 || publish_nodes <= 0) {
     std::fprintf(stderr,
-                 "usage: micro_concurrent_query [nodes>0] [seconds>0]\n");
+                 "usage: micro_concurrent_query [nodes>0] [seconds>0] "
+                 "[publish_nodes>0]\n");
     return 2;
   }
 
@@ -128,7 +184,10 @@ int main(int argc, char** argv) {
   bench_util::Table table(
       {"readers", "queries", "Mqps", "speedup_vs_1", "snapshots_published"});
   double baseline_qps = 0;
-  for (int readers : {1, 2, 4, 8}) {
+  const std::vector<int> reader_counts =
+      bench_util::SmokeMode() ? std::vector<int>{1, 2}
+                              : std::vector<int>{1, 2, 4, 8};
+  for (int readers : reader_counts) {
     RunResult r = RunConfig(service, readers, seconds);
     const double qps = static_cast<double>(r.queries) / r.seconds;
     if (readers == 1) baseline_qps = qps;
@@ -138,5 +197,31 @@ int main(int argc, char** argv) {
                   bench_util::Fmt(static_cast<int64_t>(r.epochs_published))});
   }
   table.Print();
+
+  // --- Publish latency: full export vs delta overlay ----------------------
+  const int batches = static_cast<int>(bench_util::ScaleReps(30, 3));
+  const int arcs_per_batch = 10;
+  std::printf(
+      "\n# publish latency: %lld-node DAG, %d-arc update batches, "
+      "%d publishes per mode\n",
+      static_cast<long long>(publish_nodes), arcs_per_batch, batches);
+  PublishResult full = RunPublishConfig(static_cast<NodeId>(publish_nodes),
+                                        /*delta_publish=*/false, batches,
+                                        arcs_per_batch);
+  PublishResult delta = RunPublishConfig(static_cast<NodeId>(publish_nodes),
+                                         /*delta_publish=*/true, batches,
+                                         arcs_per_batch);
+  bench_util::Table publish_table(
+      {"mode", "publishes", "mean_us", "delta_entries_mean"});
+  publish_table.AddRow({"full", bench_util::Fmt(int64_t{full.publishes}),
+                        bench_util::Fmt(full.mean_micros),
+                        bench_util::Fmt(full.mean_delta_entries)});
+  publish_table.AddRow({"delta", bench_util::Fmt(int64_t{delta.publishes}),
+                        bench_util::Fmt(delta.mean_micros),
+                        bench_util::Fmt(delta.mean_delta_entries)});
+  publish_table.Print();
+  std::printf("full/delta publish speedup: %.1fx\n",
+              delta.mean_micros > 0 ? full.mean_micros / delta.mean_micros
+                                    : 0.0);
   return 0;
 }

@@ -3,8 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "baselines/chain_cover.h"
 #include "baselines/full_closure.h"
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "core/compressed_closure.h"
 #include "graph/generators.h"
@@ -15,6 +18,19 @@ namespace {
 
 Digraph BenchGraph(int64_t nodes, double degree) {
   return RandomDag(static_cast<NodeId>(nodes), degree, 8000);
+}
+
+// Registers `full_args` normally; in smoke mode registers only
+// `smoke_args` for a fixed handful of iterations so CI can execute the
+// binary end-to-end as a does-it-run check.
+void SmokeOrFull(benchmark::internal::Benchmark* b,
+                 const std::vector<std::vector<int64_t>>& full_args,
+                 const std::vector<int64_t>& smoke_args) {
+  if (bench_util::SmokeMode()) {
+    b->Args(smoke_args)->Iterations(20);
+    return;
+  }
+  for (const auto& args : full_args) b->Args(args);
 }
 
 // Args: {nodes, degree}.  Degree matters a lot for the DFS baseline and
@@ -31,7 +47,9 @@ void BM_ReachesCompressed(benchmark::State& state) {
     benchmark::DoNotOptimize(closure->Reaches(u, v));
   }
 }
-BENCHMARK(BM_ReachesCompressed)->Args({1000, 2})->Args({1000, 8})->Args({10000, 2});
+BENCHMARK(BM_ReachesCompressed)->Apply([](benchmark::internal::Benchmark* b) {
+  SmokeOrFull(b, {{1000, 2}, {1000, 8}, {10000, 2}}, {200, 2});
+});
 
 void BM_ReachesFullClosure(benchmark::State& state) {
   Digraph graph = BenchGraph(state.range(0), 2.0);
@@ -44,7 +62,9 @@ void BM_ReachesFullClosure(benchmark::State& state) {
     benchmark::DoNotOptimize(closure.Reaches(u, v));
   }
 }
-BENCHMARK(BM_ReachesFullClosure)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_ReachesFullClosure)->Apply([](benchmark::internal::Benchmark* b) {
+  SmokeOrFull(b, {{1000}, {10000}}, {200});
+});
 
 void BM_ReachesChainCover(benchmark::State& state) {
   Digraph graph = BenchGraph(state.range(0), 2.0);
@@ -57,7 +77,9 @@ void BM_ReachesChainCover(benchmark::State& state) {
     benchmark::DoNotOptimize(cover->Reaches(u, v));
   }
 }
-BENCHMARK(BM_ReachesChainCover)->Arg(1000);
+BENCHMARK(BM_ReachesChainCover)->Apply([](benchmark::internal::Benchmark* b) {
+  SmokeOrFull(b, {{1000}}, {200});
+});
 
 void BM_ReachesDfsTraversal(benchmark::State& state) {
   Digraph graph = BenchGraph(state.range(0), static_cast<double>(state.range(1)));
@@ -69,7 +91,9 @@ void BM_ReachesDfsTraversal(benchmark::State& state) {
     benchmark::DoNotOptimize(DfsReaches(graph, u, v));
   }
 }
-BENCHMARK(BM_ReachesDfsTraversal)->Args({1000, 2})->Args({1000, 8})->Args({10000, 2});
+BENCHMARK(BM_ReachesDfsTraversal)->Apply([](benchmark::internal::Benchmark* b) {
+  SmokeOrFull(b, {{1000, 2}, {1000, 8}, {10000, 2}}, {200, 2});
+});
 
 void BM_SuccessorsCompressed(benchmark::State& state) {
   Digraph graph = BenchGraph(state.range(0), 2.0);
@@ -81,7 +105,10 @@ void BM_SuccessorsCompressed(benchmark::State& state) {
     benchmark::DoNotOptimize(closure->Successors(u));
   }
 }
-BENCHMARK(BM_SuccessorsCompressed)->Arg(1000);
+BENCHMARK(BM_SuccessorsCompressed)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      SmokeOrFull(b, {{1000}}, {200});
+    });
 
 void BM_SuccessorsDfs(benchmark::State& state) {
   Digraph graph = BenchGraph(state.range(0), 2.0);
@@ -92,7 +119,9 @@ void BM_SuccessorsDfs(benchmark::State& state) {
     benchmark::DoNotOptimize(DfsReachableSet(graph, u));
   }
 }
-BENCHMARK(BM_SuccessorsDfs)->Arg(1000);
+BENCHMARK(BM_SuccessorsDfs)->Apply([](benchmark::internal::Benchmark* b) {
+  SmokeOrFull(b, {{1000}}, {200});
+});
 
 }  // namespace
 }  // namespace trel

@@ -32,12 +32,14 @@ int main() {
                       static_cast<double>(closure->TotalIntervals()))});
   };
 
-  add_row("random_d1", RandomDag(500, 1.0, 5001));
-  add_row("random_d2", RandomDag(500, 2.0, 5002));
-  add_row("random_d4", RandomDag(500, 4.0, 5003));
-  add_row("random_d8", RandomDag(500, 8.0, 5004));
-  add_row("tree_random", RandomTree(500, 5005));
-  add_row("tree_binary", CompleteTree(2, 8));
+  const NodeId kN = static_cast<NodeId>(bench_util::ScaleN(500));
+  add_row("random_d1", RandomDag(kN, 1.0, 5001));
+  add_row("random_d2", RandomDag(kN, 2.0, 5002));
+  add_row("random_d4", RandomDag(kN, 4.0, 5003));
+  add_row("random_d8", RandomDag(kN, 8.0, 5004));
+  add_row("tree_random", RandomTree(kN, 5005));
+  add_row("tree_binary",
+          CompleteTree(2, bench_util::SmokeMode() ? 6 : 8));
   add_row("layered", LayeredDag(10, 20, 0.15, 5006));
   add_row("bipartite", CompleteBipartite(20, 20));
 

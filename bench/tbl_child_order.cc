@@ -25,7 +25,10 @@ int main() {
       ChildOrder::kInsertion, ChildOrder::kBySubtreeSizeAsc,
       ChildOrder::kBySubtreeSizeDesc, ChildOrder::kByNodeId};
 
-  for (NodeId n : {300, 1000}) {
+  const std::vector<NodeId> sizes = bench_util::SmokeMode()
+                                        ? std::vector<NodeId>{100, 200}
+                                        : std::vector<NodeId>{300, 1000};
+  for (NodeId n : sizes) {
     for (double degree : {2.0, 4.0, 8.0}) {
       int64_t unmerged = 0;
       int64_t merged[4] = {0, 0, 0, 0};

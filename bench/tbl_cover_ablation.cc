@@ -18,7 +18,10 @@ int main() {
               kSeeds);
   bench_util::Table table({"nodes", "degree", "optimal", "dfs",
                            "first_parent", "random", "worst/optimal"});
-  for (NodeId n : {200, 500, 1000}) {
+  const std::vector<NodeId> sizes = bench_util::SmokeMode()
+                                        ? std::vector<NodeId>{100, 200}
+                                        : std::vector<NodeId>{200, 500, 1000};
+  for (NodeId n : sizes) {
     for (double degree : {1.0, 2.0, 4.0, 8.0}) {
       int64_t totals[4] = {0, 0, 0, 0};
       const TreeCoverStrategy strategies[4] = {

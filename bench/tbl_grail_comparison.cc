@@ -17,8 +17,8 @@ int main() {
   using namespace trel;
   using bench_util::Fmt;
 
-  const NodeId kNodes = 2000;
-  const int kQueries = 20000;
+  const NodeId kNodes = static_cast<NodeId>(bench_util::ScaleN(2000));
+  const int kQueries = static_cast<int>(bench_util::ScaleN(20000, 1000));
 
   std::printf(
       "Exact interval compression (1989) vs GRAIL-style labeling "

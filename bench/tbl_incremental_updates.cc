@@ -37,7 +37,10 @@ int main() {
   bench_util::Table table({"nodes", "add_leaf", "add_arc", "remove_arc",
                            "refine", "rebuild"});
 
-  for (NodeId n : {200, 500, 1000, 2000}) {
+  const std::vector<NodeId> sizes =
+      bench_util::SmokeMode() ? std::vector<NodeId>{100, 200}
+                              : std::vector<NodeId>{200, 500, 1000, 2000};
+  for (NodeId n : sizes) {
     Digraph graph = RandomDag(n, 2.0, 6000 + n);
 
     auto built = DynamicClosure::Build(graph);

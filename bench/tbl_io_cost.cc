@@ -26,8 +26,8 @@ int main() {
   using namespace trel;
   using bench_util::Fmt;
 
-  const NodeId kNodes = 1000;
-  const int kQueries = 300;
+  const NodeId kNodes = static_cast<NodeId>(bench_util::ScaleN(1000));
+  const int kQueries = static_cast<int>(bench_util::ScaleN(300, 50));
   const size_t kPoolPages = 8;
 
   std::printf(

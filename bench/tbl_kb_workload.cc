@@ -60,8 +60,8 @@ std::vector<WorkloadOp> MakeWorkload(NodeId initial_nodes, int num_ops,
 int main() {
   using bench_util::Fmt;
 
-  const NodeId kInitial = 2000;
-  const int kOps = 200000;
+  const NodeId kInitial = static_cast<NodeId>(bench_util::ScaleN(2000));
+  const int kOps = static_cast<int>(bench_util::ScaleN(200000, 2000));
 
   std::printf(
       "KR workload: %d initial concepts, %d ops (98%% subsumption queries, "

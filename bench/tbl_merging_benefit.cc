@@ -15,7 +15,10 @@ int main() {
   std::printf("Adjacent-interval merging benefit (paper: usually <5%%)\n\n");
   bench_util::Table table(
       {"nodes", "degree", "intervals", "merged", "reduction%"});
-  for (NodeId n : {200, 500, 1000}) {
+  const std::vector<NodeId> sizes = bench_util::SmokeMode()
+                                        ? std::vector<NodeId>{100, 200}
+                                        : std::vector<NodeId>{200, 500, 1000};
+  for (NodeId n : sizes) {
     for (double degree : {1.0, 2.0, 4.0, 8.0}) {
       int64_t plain_total = 0, merged_total = 0;
       for (int seed = 0; seed < 3; ++seed) {

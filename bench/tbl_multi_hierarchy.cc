@@ -23,7 +23,10 @@ int main() {
   bench_util::Table table({"nodes", "degree", "hierarchies", "mh_storage",
                            "tree_storage", "closure_pairs", "missed_pairs",
                            "missed%"});
-  for (NodeId n : {100, 300}) {
+  const std::vector<NodeId> sizes = bench_util::SmokeMode()
+                                        ? std::vector<NodeId>{100, 200}
+                                        : std::vector<NodeId>{100, 300};
+  for (NodeId n : sizes) {
     for (double degree : {1.0, 2.0, 4.0}) {
       Digraph graph = RandomDag(n, degree, 9100);
       auto multi = MultiHierarchyLabeling::Build(graph);

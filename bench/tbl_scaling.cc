@@ -18,7 +18,11 @@ int main() {
   std::printf("Scaling (degree 2 random DAGs)\n\n");
   bench_util::Table table({"nodes", "strategy", "build_ms", "intervals",
                            "ivls/node"});
-  for (NodeId n : {1000, 5000, 10000, 50000, 100000}) {
+  const std::vector<NodeId> sizes =
+      bench_util::SmokeMode()
+          ? std::vector<NodeId>{100, 200}
+          : std::vector<NodeId>{1000, 5000, 10000, 50000, 100000};
+  for (NodeId n : sizes) {
     Digraph graph = RandomDag(n, 2.0, 11000);
     for (TreeCoverStrategy strategy :
          {TreeCoverStrategy::kOptimal, TreeCoverStrategy::kDfs}) {

@@ -53,7 +53,7 @@ int main() {
   Must(kb.SetProperty("part", "inspection-interval", "5y"));
   Must(kb.SetProperty("engine-part", "inspection-interval", "1y"));
   Must(kb.SetProperty("turbine-blade", "inspection-interval", "100h"));
-  for (const std::string& concept_name :
+  for (const char* concept_name :
        {"wing-spar", "fuel-pump", "turbine-blade", "titanium-fastener"}) {
     std::cout << concept_name << " inspection interval: "
               << MustValue(kb.LookupProperty(concept_name,

@@ -16,9 +16,9 @@ int main() {
 
   // A little module-dependency DAG:
   //        0 (app)
-  //       /  \
+  //       /  \ .
   //  1 (ui)  2 (api)
-  //      \   /   \
+  //      \   /   \ .
   //     3 (core) 4 (net)
   //        \     /
   //       5 (base)

@@ -33,6 +33,12 @@ ClosureStats ComputeClosureStats(const Digraph& graph,
                                  int histogram_buckets) {
   TREL_CHECK_GE(histogram_buckets, 2);
   TREL_CHECK_EQ(graph.NumNodes(), closure.NumNodes());
+  // Depth statistics walk the tree cover, which only describes the shared
+  // base layer of a WithDelta overlay snapshot; stats are a full-export
+  // affair (QueryService refreshes them on full publishes only).
+  TREL_CHECK_EQ(closure.NumNodes(), closure.tree_cover().NumNodes())
+      << "ComputeClosureStats requires a full-export closure, not a "
+         "WithDelta overlay";
   ClosureStats stats;
   stats.num_nodes = graph.NumNodes();
   stats.num_arcs = graph.NumArcs();

@@ -8,13 +8,36 @@
 
 namespace trel {
 
-CompressedClosure::CompressedClosure(NodeLabels labels, TreeCover tree_cover)
-    : labels_(std::move(labels)), tree_cover_(std::move(tree_cover)) {
-  by_postorder_.reserve(labels_.postorder.size());
-  for (NodeId v = 0; v < static_cast<NodeId>(labels_.postorder.size()); ++v) {
-    by_postorder_.emplace_back(labels_.postorder[v], v);
+namespace {
+
+// Comparators for binary searches over (postorder, node) directories.
+bool EntryBelow(const std::pair<Label, NodeId>& e, Label x) {
+  return e.first < x;
+}
+bool AboveEntry(Label x, const std::pair<Label, NodeId>& e) {
+  return x < e.first;
+}
+
+}  // namespace
+
+CompressedClosure::CompressedClosure()
+    : labels_(std::make_shared<const NodeLabels>()),
+      tree_cover_(std::make_shared<const TreeCover>()),
+      by_postorder_(
+          std::make_shared<const std::vector<std::pair<Label, NodeId>>>()) {}
+
+CompressedClosure::CompressedClosure(NodeLabels labels, TreeCover tree_cover) {
+  num_nodes_ = static_cast<NodeId>(labels.postorder.size());
+  total_intervals_ = labels.TotalIntervals();
+  auto directory = std::make_shared<std::vector<std::pair<Label, NodeId>>>();
+  directory->reserve(labels.postorder.size());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    directory->emplace_back(labels.postorder[v], v);
   }
-  std::sort(by_postorder_.begin(), by_postorder_.end());
+  std::sort(directory->begin(), directory->end());
+  by_postorder_ = std::move(directory);
+  labels_ = std::make_shared<const NodeLabels>(std::move(labels));
+  tree_cover_ = std::make_shared<const TreeCover>(std::move(tree_cover));
 }
 
 StatusOr<CompressedClosure> CompressedClosure::Build(
@@ -35,15 +58,123 @@ CompressedClosure CompressedClosure::FromParts(NodeLabels labels,
   return CompressedClosure(std::move(labels), std::move(tree_cover));
 }
 
+CompressedClosure CompressedClosure::WithDelta(const CompressedClosure& base,
+                                               const ClosureDelta& delta) {
+  TREL_CHECK_GE(delta.num_nodes, base.num_nodes_)
+      << "node ids are never recycled; a shrinking universe means the delta "
+         "came from a different index lineage";
+  CompressedClosure result;
+  result.labels_ = base.labels_;
+  result.tree_cover_ = base.tree_cover_;
+  result.by_postorder_ = base.by_postorder_;
+  result.overlay_ = base.overlay_;
+  result.num_nodes_ = delta.num_nodes;
+
+  const NodeId base_layer_nodes =
+      static_cast<NodeId>(base.labels_->postorder.size());
+  int64_t total = base.total_intervals_;
+  NodeId prev = kNoNode;
+  NodeId new_nodes_seen = 0;
+  for (const NodeLabelDelta& entry : delta.entries) {
+    TREL_CHECK_GT(entry.node, prev) << "delta entries must be sorted by node";
+    TREL_CHECK_LT(entry.node, delta.num_nodes);
+    prev = entry.node;
+    if (entry.node >= base.num_nodes_) ++new_nodes_seen;
+    // Adjust the interval total by what this entry replaces: a previous
+    // overlay entry, a base-layer label, or nothing (new node).
+    int64_t replaced = 0;
+    auto it = result.overlay_.find(entry.node);
+    if (it != result.overlay_.end()) {
+      replaced = it->second.intervals.size();
+      it->second = OverlayEntry{entry.postorder, entry.tree_interval,
+                                entry.intervals};
+    } else {
+      if (entry.node < base_layer_nodes) {
+        replaced = base.labels_->intervals[entry.node].size();
+      }
+      result.overlay_.emplace(
+          entry.node, OverlayEntry{entry.postorder, entry.tree_interval,
+                                   entry.intervals});
+    }
+    total += entry.intervals.size() - replaced;
+  }
+  TREL_CHECK_EQ(new_nodes_seen, delta.num_nodes - base.num_nodes_)
+      << "every node added since the base export must appear in the delta";
+  result.total_intervals_ = total;
+  result.ReindexOverlay();
+  return result;
+}
+
+void CompressedClosure::ReindexOverlay() {
+  overlay_by_postorder_.clear();
+  stale_labels_.clear();
+  overlay_by_postorder_.reserve(overlay_.size());
+  const NodeId base_layer_nodes =
+      static_cast<NodeId>(labels_->postorder.size());
+  for (const auto& [node, entry] : overlay_) {
+    overlay_by_postorder_.emplace_back(entry.postorder, node);
+    if (node < base_layer_nodes) {
+      stale_labels_.push_back(labels_->postorder[node]);
+    }
+  }
+  std::sort(overlay_by_postorder_.begin(), overlay_by_postorder_.end());
+  std::sort(stale_labels_.begin(), stale_labels_.end());
+}
+
 void CompressedClosure::AppendNodesInRange(Label lo, Label hi, Label skip,
                                            std::vector<NodeId>& out) const {
-  auto it = std::lower_bound(
-      by_postorder_.begin(), by_postorder_.end(), lo,
-      [](const std::pair<Label, NodeId>& e, Label x) { return e.first < x; });
-  for (; it != by_postorder_.end() && it->first <= hi; ++it) {
-    if (it->first == skip) continue;
-    out.push_back(it->second);
+  const auto& base = *by_postorder_;
+  auto base_it = std::lower_bound(base.begin(), base.end(), lo, EntryBelow);
+  auto stale_it =
+      std::lower_bound(stale_labels_.begin(), stale_labels_.end(), lo);
+  auto over_it = std::lower_bound(overlay_by_postorder_.begin(),
+                                  overlay_by_postorder_.end(), lo, EntryBelow);
+  // Skip base entries whose number the overlay superseded.  Both runs are
+  // sorted, so the stale cursor only ever moves forward.
+  auto skip_stale = [&] {
+    while (base_it != base.end() && base_it->first <= hi) {
+      while (stale_it != stale_labels_.end() && *stale_it < base_it->first) {
+        ++stale_it;
+      }
+      if (stale_it != stale_labels_.end() && *stale_it == base_it->first) {
+        ++base_it;
+        continue;
+      }
+      break;
+    }
+  };
+  skip_stale();
+  for (;;) {
+    const bool base_ok = base_it != base.end() && base_it->first <= hi;
+    const bool over_ok = over_it != overlay_by_postorder_.end() &&
+                         over_it->first <= hi;
+    if (!base_ok && !over_ok) break;
+    if (base_ok && (!over_ok || base_it->first < over_it->first)) {
+      if (base_it->first != skip) out.push_back(base_it->second);
+      ++base_it;
+      skip_stale();
+    } else {
+      if (over_it->first != skip) out.push_back(over_it->second);
+      ++over_it;
+    }
   }
+}
+
+int64_t CompressedClosure::CountNodesInRange(Label lo, Label hi) const {
+  const auto& base = *by_postorder_;
+  int64_t count =
+      std::upper_bound(base.begin(), base.end(), hi, AboveEntry) -
+      std::lower_bound(base.begin(), base.end(), lo, EntryBelow);
+  if (!overlay_.empty()) {
+    count -=
+        std::upper_bound(stale_labels_.begin(), stale_labels_.end(), hi) -
+        std::lower_bound(stale_labels_.begin(), stale_labels_.end(), lo);
+    count += std::upper_bound(overlay_by_postorder_.begin(),
+                              overlay_by_postorder_.end(), hi, AboveEntry) -
+             std::lower_bound(overlay_by_postorder_.begin(),
+                              overlay_by_postorder_.end(), lo, EntryBelow);
+  }
+  return count;
 }
 
 std::vector<NodeId> CompressedClosure::Successors(NodeId u) const {
@@ -54,9 +185,9 @@ std::vector<NodeId> CompressedClosure::Successors(NodeId u) const {
   // double-listing.  The node's own tree interval contains its own number;
   // skipping it during enumeration (rather than erasing afterwards) keeps
   // this O(output) instead of O(output) + a linear scan.
-  const Label self = labels_.postorder[u];
+  const Label self = EffectivePostorder(u);
   Label cursor = std::numeric_limits<Label>::min();
-  for (const Interval& interval : labels_.intervals[u].intervals()) {
+  for (const Interval& interval : EffectiveIntervals(u).intervals()) {
     const Label lo = std::max(interval.lo, cursor);
     if (lo > interval.hi) continue;
     AppendNodesInRange(lo, interval.hi, self, result);
@@ -68,24 +199,14 @@ std::vector<NodeId> CompressedClosure::Successors(NodeId u) const {
 
 int64_t CompressedClosure::CountSuccessors(NodeId u) const {
   TREL_CHECK(IsValidNode(u));
-  const Label self = labels_.postorder[u];
+  const Label self = EffectivePostorder(u);
   int64_t count = 0;
   bool self_counted = false;
   Label cursor = std::numeric_limits<Label>::min();
-  for (const Interval& interval : labels_.intervals[u].intervals()) {
+  for (const Interval& interval : EffectiveIntervals(u).intervals()) {
     const Label lo = std::max(interval.lo, cursor);
     if (lo > interval.hi) continue;
-    auto first = std::lower_bound(
-        by_postorder_.begin(), by_postorder_.end(), lo,
-        [](const std::pair<Label, NodeId>& e, Label x) {
-          return e.first < x;
-        });
-    auto last = std::upper_bound(
-        by_postorder_.begin(), by_postorder_.end(), interval.hi,
-        [](Label x, const std::pair<Label, NodeId>& e) {
-          return x < e.first;
-        });
-    count += last - first;
+    count += CountNodesInRange(lo, interval.hi);
     // The cursor guarantees clipped ranges are disjoint, so u's own number
     // is counted at most once across the loop.
     if (lo <= self && self <= interval.hi) self_counted = true;
@@ -98,9 +219,9 @@ int64_t CompressedClosure::CountSuccessors(NodeId u) const {
 std::vector<NodeId> CompressedClosure::Predecessors(NodeId v) const {
   TREL_CHECK(IsValidNode(v));
   std::vector<NodeId> result;
-  const Label target = labels_.postorder[v];
+  const Label target = EffectivePostorder(v);
   for (NodeId u = 0; u < NumNodes(); ++u) {
-    if (u != v && labels_.intervals[u].Contains(target)) result.push_back(u);
+    if (u != v && EffectiveIntervals(u).Contains(target)) result.push_back(u);
   }
   return result;
 }

@@ -2,6 +2,9 @@
 #define TREL_CORE_COMPRESSED_CLOSURE_H_
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/statusor.h"
@@ -29,11 +32,20 @@ struct ClosureOptions {
 // queries cost output-size log-factors.  For a mutable index supporting
 // the Section 4 incremental updates, see DynamicClosure; for cyclic
 // inputs, see TransitiveClosureIndex.
+//
+// Storage comes in two layers.  A *base* layer (per-node labels plus the
+// sorted postorder directory) is held through shared_ptr and never
+// mutated, so closures built from one another via WithDelta() share it.
+// An optional *overlay* holds the label entries that differ from the
+// base; it is empty for closures built by Build()/FromParts().  Queries
+// consult the overlay first, so an overlay closure answers exactly like a
+// from-scratch export of the same labeling — only cheaper to construct
+// (O(|overlay| log |overlay|) instead of O(n log n)).
 class CompressedClosure {
  public:
   // Empty closure over zero nodes; placeholder state (e.g. a query
   // service before its first Load).
-  CompressedClosure() = default;
+  CompressedClosure();
 
   // Compresses the closure of `graph`.  Fails with FailedPrecondition if
   // the graph is cyclic, InvalidArgument on bad options.
@@ -48,13 +60,26 @@ class CompressedClosure {
   // must describe the same node set and come from a sound labeling.
   static CompressedClosure FromParts(NodeLabels labels, TreeCover tree_cover);
 
+  // Copy-on-write overlay constructor: a closure that answers exactly
+  // like a full export of the labeling `delta` was taken from, built in
+  // O(|overlay| log |overlay|) by sharing every unchanged node's storage
+  // with `base`.  `delta` must come from the same index lineage as `base`
+  // (same node ids, monotone node count) and list every node that changed
+  // since `base` was exported — DynamicClosure::ExportDelta() guarantees
+  // both.  Chaining is flattened: building from an overlay closure merges
+  // the accumulated overlay, so lookups never walk a chain; publishers
+  // bound the overlay's growth by forcing a periodic full export (see
+  // ServiceOptions::max_delta_publishes).
+  static CompressedClosure WithDelta(const CompressedClosure& base,
+                                     const ClosureDelta& delta);
+
   // True iff there is a directed path from `u` to `v` (every node reaches
   // itself).  One binary search over u's interval set.
   bool Reaches(NodeId u, NodeId v) const {
     TREL_CHECK(IsValidNode(u));
     TREL_CHECK(IsValidNode(v));
     if (u == v) return true;
-    return labels_.intervals[u].Contains(labels_.postorder[v]);
+    return EffectiveIntervals(u).Contains(EffectivePostorder(v));
   }
 
   // All nodes reachable from `u`, excluding `u` itself, in ascending
@@ -70,40 +95,91 @@ class CompressedClosure {
   // them.
   int64_t CountSuccessors(NodeId u) const;
 
-  NodeId NumNodes() const {
-    return static_cast<NodeId>(labels_.postorder.size());
-  }
+  NodeId NumNodes() const { return num_nodes_; }
   bool IsValidNode(NodeId v) const { return v >= 0 && v < NumNodes(); }
 
   // The paper's storage measures.
-  int64_t TotalIntervals() const { return labels_.TotalIntervals(); }
-  int64_t StorageUnits() const { return labels_.StorageUnits(); }
+  int64_t TotalIntervals() const { return total_intervals_; }
+  int64_t StorageUnits() const { return 2 * total_intervals_; }
+
+  // Number of nodes whose labels live in the overlay rather than the
+  // shared base (0 for full exports).  Grows monotonically along a
+  // WithDelta chain until the next full export.
+  int64_t OverlayNodeCount() const {
+    return static_cast<int64_t>(overlay_.size());
+  }
+  bool IsOverlay() const { return !overlay_.empty(); }
 
   // Introspection (used by tests, benches, and the dynamic index).
-  const NodeLabels& labels() const { return labels_; }
-  const TreeCover& tree_cover() const { return tree_cover_; }
+  // `labels()` and `tree_cover()` expose the shared *base* layer: exact
+  // for full exports, stale for overlaid nodes of a WithDelta closure
+  // (use PostorderOf/IntervalsOf for overlay-aware per-node access).
+  const NodeLabels& labels() const { return *labels_; }
+  const TreeCover& tree_cover() const { return *tree_cover_; }
   Label PostorderOf(NodeId v) const {
     TREL_CHECK(IsValidNode(v));
-    return labels_.postorder[v];
+    return EffectivePostorder(v);
   }
   const IntervalSet& IntervalsOf(NodeId v) const {
     TREL_CHECK(IsValidNode(v));
-    return labels_.intervals[v];
+    return EffectiveIntervals(v);
   }
 
  private:
+  // One overlaid node's label state (mirrors NodeLabelDelta minus the id).
+  struct OverlayEntry {
+    Label postorder;
+    Interval tree_interval;
+    IntervalSet intervals;
+  };
+
   CompressedClosure(NodeLabels labels, TreeCover tree_cover);
+
+  const IntervalSet& EffectiveIntervals(NodeId v) const {
+    if (!overlay_.empty()) {
+      auto it = overlay_.find(v);
+      if (it != overlay_.end()) return it->second.intervals;
+    }
+    return labels_->intervals[v];
+  }
+  Label EffectivePostorder(NodeId v) const {
+    if (!overlay_.empty()) {
+      auto it = overlay_.find(v);
+      if (it != overlay_.end()) return it->second.postorder;
+    }
+    return labels_->postorder[v];
+  }
+
+  // Rebuilds overlay_by_postorder_ and stale_labels_ from overlay_, and
+  // recounts total_intervals_ from `base_total` plus overlay adjustments.
+  void ReindexOverlay();
 
   // Nodes listed in the closed interval [lo, hi] of postorder numbers,
   // except the node numbered `skip` (pass a number outside [lo, hi] to
-  // keep everything).
+  // keep everything).  Merges the base directory (minus stale entries)
+  // with the overlay directory, ascending.
   void AppendNodesInRange(Label lo, Label hi, Label skip,
                           std::vector<NodeId>& out) const;
+  // Number of assigned postorder numbers in [lo, hi]; pure binary search.
+  int64_t CountNodesInRange(Label lo, Label hi) const;
 
-  NodeLabels labels_;
-  TreeCover tree_cover_;
+  // --- Shared base layer (immutable once built, never overlaid) ---------
+  std::shared_ptr<const NodeLabels> labels_;
+  std::shared_ptr<const TreeCover> tree_cover_;
   // (postorder number, node) sorted by number, for range enumeration.
-  std::vector<std::pair<Label, NodeId>> by_postorder_;
+  std::shared_ptr<const std::vector<std::pair<Label, NodeId>>> by_postorder_;
+
+  // --- Overlay layer (empty for full exports) ---------------------------
+  // Changed/new nodes and their current labels.
+  std::unordered_map<NodeId, OverlayEntry> overlay_;
+  // (postorder number, node) over overlay_ members, sorted by number.
+  std::vector<std::pair<Label, NodeId>> overlay_by_postorder_;
+  // Base postorder numbers superseded by the overlay (sorted); base
+  // directory entries carrying these numbers are skipped.
+  std::vector<Label> stale_labels_;
+
+  NodeId num_nodes_ = 0;
+  int64_t total_intervals_ = 0;
 };
 
 }  // namespace trel

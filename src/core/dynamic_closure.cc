@@ -54,6 +54,41 @@ void DynamicClosure::AdoptCover(const TreeCover& cover, NodeLabels labels) {
   for (NodeId v = 0; v < n; ++v) {
     by_postorder_[labels_.postorder[v]] = v;
   }
+  // Wholesale relabeling: every node's exported state may have moved.
+  MarkAllDirty();
+}
+
+void DynamicClosure::MarkDirty(NodeId v) {
+  if (!dirty_flag_[v]) {
+    dirty_flag_[v] = true;
+    dirty_list_.push_back(v);
+  }
+}
+
+void DynamicClosure::MarkAllDirty() {
+  const NodeId n = graph_.NumNodes();
+  dirty_flag_.assign(n, true);
+  dirty_list_.resize(n);
+  for (NodeId v = 0; v < n; ++v) dirty_list_[v] = v;
+}
+
+void DynamicClosure::MarkClean() {
+  for (NodeId v : dirty_list_) dirty_flag_[v] = false;
+  dirty_list_.clear();
+}
+
+ClosureDelta DynamicClosure::ExportDelta() {
+  ClosureDelta delta;
+  delta.num_nodes = graph_.NumNodes();
+  std::sort(dirty_list_.begin(), dirty_list_.end());
+  delta.entries.reserve(dirty_list_.size());
+  for (NodeId v : dirty_list_) {
+    delta.entries.push_back(NodeLabelDelta{v, labels_.postorder[v],
+                                           labels_.tree_interval[v],
+                                           labels_.intervals[v]});
+  }
+  MarkClean();
+  return delta;
 }
 
 void DynamicClosure::GrowNodeState() {
@@ -67,6 +102,8 @@ void DynamicClosure::GrowNodeState() {
   // re-grant full pools.
   reserve_remaining_.push_back(0);
   is_refined_.push_back(false);
+  dirty_flag_.push_back(false);
+  MarkDirty(static_cast<NodeId>(labels_.postorder.size()) - 1);
 }
 
 Label DynamicClosure::MaxAssigned() const {
@@ -161,6 +198,7 @@ void DynamicClosure::PropagateIntoPredecessors(
     // (they inherited v's set when their arcs were processed) and need no
     // visit.
     if (!changed) continue;
+    MarkDirty(v);
     for (NodeId p : graph_.InNeighbors(v)) {
       if (!processed[p]) stack.push_back(p);
     }
@@ -349,6 +387,9 @@ void DynamicClosure::RepropagateAll() {
   std::vector<NodeId> reverse_topo(topo.value().rbegin(),
                                    topo.value().rend());
   PropagateIntervals(graph_, reverse_topo, labels_, &reserve_remaining_);
+  // Interval sets were rewritten from scratch (and the caller may have
+  // renumbered a detached subtree first); treat everything as changed.
+  MarkAllDirty();
 }
 
 void DynamicClosure::Renumber() {
@@ -604,6 +645,9 @@ StatusOr<DynamicClosure> DynamicClosure::Load(std::istream& in) {
       !GetI64(in, closure.stats_.propagation_node_visits)) {
     return InvalidArgumentError("truncated stats record");
   }
+  // A restarted process has no snapshot to be a delta base; everything is
+  // dirty until the first full export.
+  closure.MarkAllDirty();
   return closure;
 }
 

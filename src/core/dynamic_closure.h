@@ -126,8 +126,35 @@ class DynamicClosure {
   // answers exactly like this index does right now.  Costs one copy of
   // the labels plus an O(n log n) postorder sort — no tree-cover or
   // propagation work — so a query service can publish read-only snapshots
-  // frequently (see src/service/).
+  // frequently (see src/service/).  Does not touch the dirty set; a
+  // publisher that treats this export as its new delta base must call
+  // MarkClean() alongside it.
   CompressedClosure ExportClosure() const;
+
+  // --- Delta export (dirty tracking) --------------------------------------
+  //
+  // The index tracks which nodes' exported state (postorder number, tree
+  // interval, or interval set) changed since the dirty set was last
+  // cleared.  The set is a sound overapproximation: a node whose labels
+  // changed is always in it; maintenance that rewrites labels wholesale
+  // (Renumber, Reoptimize, deletions' re-propagation) marks every node.
+
+  // Number of nodes currently dirty.  Publishers compare this against
+  // NumNodes() to decide between ExportDelta and a full ExportClosure.
+  int64_t DirtyCount() const {
+    return static_cast<int64_t>(dirty_list_.size());
+  }
+
+  // Drains the dirty set into per-node label entries, sorted by node id,
+  // suitable for CompressedClosure::WithDelta against any snapshot
+  // exported at the time the dirty set was last cleared.  O(d log d + d·k)
+  // for d dirty nodes with k intervals each.  Clears the dirty set: the
+  // caller owns making the resulting snapshot the new baseline.
+  ClosureDelta ExportDelta();
+
+  // Declares the current state fully exported (empties the dirty set).
+  // Call after a full ExportClosure() that becomes the new delta base.
+  void MarkClean();
 
   // True iff (from, to) is an arc of the current tree cover.
   bool IsTreeArc(NodeId from, NodeId to) const {
@@ -148,8 +175,11 @@ class DynamicClosure {
   const Stats& stats() const { return stats_; }
 
  private:
-  // Creates label slots for a freshly added graph node.
+  // Creates label slots for a freshly added graph node and marks it dirty.
   void GrowNodeState();
+  // Dirty-set maintenance (see ExportDelta).
+  void MarkDirty(NodeId v);
+  void MarkAllDirty();
   // Largest assigned postorder number (0 when empty).
   Label MaxAssigned() const;
   // Assigned number strictly below `x`, or 0.
@@ -175,6 +205,10 @@ class DynamicClosure {
   int64_t num_refined_ = 0;
   // Assigned postorder number -> node.
   std::map<Label, NodeId> by_postorder_;
+  // Dirty set for ExportDelta: dirty_flag_[v] iff v is in dirty_list_
+  // (the flag dedups, the list keeps draining O(dirty) not O(n)).
+  std::vector<bool> dirty_flag_;
+  std::vector<NodeId> dirty_list_;
   Stats stats_;
 };
 

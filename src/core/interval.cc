@@ -63,12 +63,11 @@ bool IntervalSet::SubsumesInterval(const Interval& interval) const {
 
 int IntervalSet::MergeAdjacent() {
   if (intervals_.size() < 2) return 0;
+  // In-place compaction: intervals_[0..out] is the merged prefix.
   int merges = 0;
-  std::vector<Interval> merged;
-  merged.reserve(intervals_.size());
-  merged.push_back(intervals_[0]);
+  size_t out = 0;
   for (size_t k = 1; k < intervals_.size(); ++k) {
-    Interval& last = merged.back();
+    Interval& last = intervals_[out];
     // Written as lo - 1 <= hi rather than lo <= hi + 1: members sort by
     // strictly increasing lo, so lo - 1 cannot underflow for k >= 1, while
     // hi + 1 would overflow when a member ends at the Label maximum.
@@ -76,10 +75,10 @@ int IntervalSet::MergeAdjacent() {
       last.hi = std::max(last.hi, intervals_[k].hi);
       ++merges;
     } else {
-      merged.push_back(intervals_[k]);
+      intervals_[++out] = intervals_[k];
     }
   }
-  intervals_ = std::move(merged);
+  intervals_.resize(out + 1);
   return merges;
 }
 

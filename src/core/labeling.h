@@ -65,6 +65,28 @@ struct NodeLabels {
 StatusOr<NodeLabels> BuildLabels(const Digraph& graph, const TreeCover& cover,
                                  const LabelingOptions& options = {});
 
+// One node's complete label state, as shipped in a ClosureDelta.
+struct NodeLabelDelta {
+  NodeId node = kNoNode;
+  Label postorder = 0;
+  Interval tree_interval{0, 0};
+  IntervalSet intervals;
+};
+
+// The label entries that changed since the last export, plus the node
+// universe they belong to.  Produced by DynamicClosure::ExportDelta() and
+// consumed by CompressedClosure::WithDelta(): every node whose postorder
+// number or interval set differs from the base snapshot — including every
+// node created since — must have an entry, and entries are sorted by node
+// id.  Nodes absent from `entries` are guaranteed unchanged, which is what
+// lets the overlay snapshot share their storage with the base.
+struct ClosureDelta {
+  // Total node count at export time (>= the base snapshot's count; node
+  // ids are never recycled within one index lineage).
+  NodeId num_nodes = 0;
+  std::vector<NodeLabelDelta> entries;
+};
+
 // Propagation only: recomputes intervals[] from tree_interval[] and the
 // arcs, reusing the existing postorder numbering.  `reverse_topo` must be
 // a reverse topological order of `graph`.  A node's tree interval is

@@ -5,10 +5,11 @@
 namespace trel {
 namespace {
 
-int BucketFor(int64_t micros) {
+// Power-of-two bucket index for a non-negative value, clamped to
+// [0, buckets).
+int BucketFor(int64_t value, int buckets) {
   int bucket = 0;
-  while (bucket + 1 < ServiceMetrics::kLatencyBuckets &&
-         micros >= (int64_t{1} << (bucket + 1))) {
+  while (bucket + 1 < buckets && value >= (int64_t{1} << (bucket + 1))) {
     ++bucket;
   }
   return bucket;
@@ -19,12 +20,21 @@ int BucketFor(int64_t micros) {
 void ServiceMetrics::RecordBatch(int64_t micros) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_micros_total_.fetch_add(micros, std::memory_order_relaxed);
-  histogram_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  histogram_[BucketFor(micros, kLatencyBuckets)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
-void ServiceMetrics::RecordPublish(int64_t micros) {
-  publishes_.fetch_add(1, std::memory_order_relaxed);
-  publish_micros_total_.fetch_add(micros, std::memory_order_relaxed);
+void ServiceMetrics::RecordPublishFull(int64_t micros) {
+  publishes_full_.fetch_add(1, std::memory_order_relaxed);
+  publish_full_micros_total_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordPublishDelta(int64_t micros, int64_t delta_nodes) {
+  publishes_delta_.fetch_add(1, std::memory_order_relaxed);
+  publish_delta_micros_total_.fetch_add(micros, std::memory_order_relaxed);
+  delta_nodes_total_.fetch_add(delta_nodes, std::memory_order_relaxed);
+  delta_histogram_[BucketFor(delta_nodes, kDeltaNodeBuckets)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 ServiceMetrics::View ServiceMetrics::Read() const {
@@ -34,12 +44,23 @@ ServiceMetrics::View ServiceMetrics::Read() const {
   view.batches = batches_.load(std::memory_order_relaxed);
   view.batch_micros_total =
       batch_micros_total_.load(std::memory_order_relaxed);
-  view.publishes = publishes_.load(std::memory_order_relaxed);
+  view.publishes_full = publishes_full_.load(std::memory_order_relaxed);
+  view.publishes_delta = publishes_delta_.load(std::memory_order_relaxed);
+  view.publishes = view.publishes_full + view.publishes_delta;
+  view.publish_full_micros_total =
+      publish_full_micros_total_.load(std::memory_order_relaxed);
+  view.publish_delta_micros_total =
+      publish_delta_micros_total_.load(std::memory_order_relaxed);
   view.publish_micros_total =
-      publish_micros_total_.load(std::memory_order_relaxed);
+      view.publish_full_micros_total + view.publish_delta_micros_total;
+  view.delta_nodes_total = delta_nodes_total_.load(std::memory_order_relaxed);
   for (int i = 0; i < kLatencyBuckets; ++i) {
     view.batch_latency_histogram[i] =
         histogram_[i].load(std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kDeltaNodeBuckets; ++i) {
+    view.delta_nodes_histogram[i] =
+        delta_histogram_[i].load(std::memory_order_relaxed);
   }
   return view;
 }
@@ -49,10 +70,15 @@ std::string ServiceMetrics::View::ToString() const {
   out << "epoch=" << current_epoch << " age_s=" << snapshot_age_seconds
       << " nodes=" << snapshot_num_nodes
       << " intervals=" << snapshot_total_intervals
+      << " overlay_nodes=" << snapshot_overlay_nodes
       << " reach_queries=" << reach_queries
       << " successor_queries=" << successor_queries
       << " batches=" << batches << " batch_us=" << batch_micros_total
-      << " publishes=" << publishes << " publish_us=" << publish_micros_total;
+      << " publishes=" << publishes << " (full=" << publishes_full
+      << " delta=" << publishes_delta << ")"
+      << " publish_us=" << publish_micros_total << " (full="
+      << publish_full_micros_total << " delta=" << publish_delta_micros_total
+      << ") delta_nodes=" << delta_nodes_total;
   out << " latency_hist_us=[";
   bool first = true;
   for (int i = 0; i < kLatencyBuckets; ++i) {
@@ -60,6 +86,14 @@ std::string ServiceMetrics::View::ToString() const {
     if (!first) out << " ";
     out << "<" << (int64_t{1} << (i + 1)) << ":"
         << batch_latency_histogram[i];
+    first = false;
+  }
+  out << "] delta_nodes_hist=[";
+  first = true;
+  for (int i = 0; i < kDeltaNodeBuckets; ++i) {
+    if (delta_nodes_histogram[i] == 0) continue;
+    if (!first) out << " ";
+    out << "<" << (int64_t{1} << (i + 1)) << ":" << delta_nodes_histogram[i];
     first = false;
   }
   out << "]";

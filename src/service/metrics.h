@@ -17,6 +17,10 @@ class ServiceMetrics {
   // [2^i, 2^(i+1)) microseconds (bucket 0 additionally catches < 1us,
   // the last bucket everything slower).
   static constexpr int kLatencyBuckets = 22;
+  // Delta-size histogram: bucket i counts delta publishes that shipped
+  // [2^i, 2^(i+1)) changed node entries (bucket 0 additionally catches
+  // empty deltas, the last bucket everything larger).
+  static constexpr int kDeltaNodeBuckets = 24;
 
   // Plain-value copy of the counters, safe to read field by field.
   struct View {
@@ -24,14 +28,23 @@ class ServiceMetrics {
     int64_t successor_queries = 0;
     int64_t batches = 0;
     int64_t batch_micros_total = 0;
+    // Publishes split by export kind; `publishes` is their sum.
     int64_t publishes = 0;
+    int64_t publishes_full = 0;
+    int64_t publishes_delta = 0;
     int64_t publish_micros_total = 0;
+    int64_t publish_full_micros_total = 0;
+    int64_t publish_delta_micros_total = 0;
+    // Changed-node entries shipped across all delta publishes.
+    int64_t delta_nodes_total = 0;
     std::array<int64_t, kLatencyBuckets> batch_latency_histogram{};
+    std::array<int64_t, kDeltaNodeBuckets> delta_nodes_histogram{};
     // Filled in by QueryService::Metrics() from the live snapshot.
     uint64_t current_epoch = 0;
     double snapshot_age_seconds = 0.0;
     int64_t snapshot_total_intervals = 0;
     int64_t snapshot_num_nodes = 0;
+    int64_t snapshot_overlay_nodes = 0;
 
     std::string ToString() const;
   };
@@ -44,7 +57,10 @@ class ServiceMetrics {
   }
   // One batch that served `queries` lookups in `micros` wall microseconds.
   void RecordBatch(int64_t micros);
-  void RecordPublish(int64_t micros);
+  // One publish that re-exported the entire labeling.
+  void RecordPublishFull(int64_t micros);
+  // One publish that shipped `delta_nodes` changed entries as an overlay.
+  void RecordPublishDelta(int64_t micros, int64_t delta_nodes);
 
   View Read() const;
 
@@ -53,9 +69,13 @@ class ServiceMetrics {
   std::atomic<int64_t> successor_queries_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> batch_micros_total_{0};
-  std::atomic<int64_t> publishes_{0};
-  std::atomic<int64_t> publish_micros_total_{0};
+  std::atomic<int64_t> publishes_full_{0};
+  std::atomic<int64_t> publishes_delta_{0};
+  std::atomic<int64_t> publish_full_micros_total_{0};
+  std::atomic<int64_t> publish_delta_micros_total_{0};
+  std::atomic<int64_t> delta_nodes_total_{0};
   std::array<std::atomic<int64_t>, kLatencyBuckets> histogram_{};
+  std::array<std::atomic<int64_t>, kDeltaNodeBuckets> delta_histogram_{};
 };
 
 }  // namespace trel

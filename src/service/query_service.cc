@@ -85,6 +85,9 @@ Status QueryService::Load(const Digraph& graph) {
                         DynamicClosure::Build(graph, options_.closure));
   std::lock_guard<std::mutex> lock(writer_mutex_);
   dynamic_ = std::move(built);
+  // A fresh index is a new lineage: the previous snapshot's node ids mean
+  // nothing to it, so it can never serve as a delta base.
+  force_full_publish_ = true;
   PublishLocked();
   return Status::Ok();
 }
@@ -117,16 +120,47 @@ uint64_t QueryService::Publish() {
 
 uint64_t QueryService::PublishLocked() {
   Stopwatch timer;
+  std::shared_ptr<const ClosureSnapshot> base =
+      snapshot_.load(std::memory_order_acquire);
   auto snapshot = std::make_shared<ClosureSnapshot>();
   snapshot->epoch = ++epoch_;
-  snapshot->closure = dynamic_.ExportClosure();
-  if (options_.stats_on_publish) {
-    snapshot->stats = ComputeClosureStats(dynamic_.graph(), snapshot->closure);
+
+  const NodeId num_nodes = dynamic_.NumNodes();
+  const int64_t dirty = dynamic_.DirtyCount();
+  const bool use_delta =
+      options_.delta_publish && !force_full_publish_ && base != nullptr &&
+      delta_publishes_since_full_ < options_.max_delta_publishes &&
+      static_cast<double>(dirty) <=
+          options_.max_delta_dirty_fraction * static_cast<double>(num_nodes);
+  if (use_delta) {
+    ClosureDelta delta = dynamic_.ExportDelta();
+    snapshot->closure = CompressedClosure::WithDelta(base->closure, delta);
+    // Recomputing stats is O(n) — exactly the cost a delta publish exists
+    // to avoid — so carry the base's forward (see snapshot.h).
+    snapshot->stats = base->stats;
+    snapshot->delta_publish = true;
+    snapshot->delta_entries = static_cast<int64_t>(delta.entries.size());
+    ++delta_publishes_since_full_;
+  } else {
+    snapshot->closure = dynamic_.ExportClosure();
+    // The full export captured every node, so the dirty set is settled.
+    dynamic_.MarkClean();
+    if (options_.stats_on_publish) {
+      snapshot->stats =
+          ComputeClosureStats(dynamic_.graph(), snapshot->closure);
+    }
+    delta_publishes_since_full_ = 0;
+    force_full_publish_ = false;
   }
   snapshot->created_at = std::chrono::steady_clock::now();
+  const int64_t delta_entries = snapshot->delta_entries;
   snapshot_.store(std::shared_ptr<const ClosureSnapshot>(std::move(snapshot)),
                   std::memory_order_release);
-  metrics_.RecordPublish(timer.ElapsedMicros());
+  if (use_delta) {
+    metrics_.RecordPublishDelta(timer.ElapsedMicros(), delta_entries);
+  } else {
+    metrics_.RecordPublishFull(timer.ElapsedMicros());
+  }
   return epoch_;
 }
 
@@ -194,6 +228,7 @@ ServiceMetrics::View QueryService::Metrics() const {
   view.snapshot_age_seconds = snapshot->AgeSeconds();
   view.snapshot_num_nodes = snapshot->NumNodes();
   view.snapshot_total_intervals = snapshot->closure.TotalIntervals();
+  view.snapshot_overlay_nodes = snapshot->closure.OverlayNodeCount();
   return view;
 }
 

@@ -29,10 +29,24 @@ struct ServiceOptions {
   // Batches smaller than this run inline — fan-out overhead (enqueue,
   // wake, join) dwarfs the per-query work below it.
   int64_t min_parallel_batch = 2048;
-  // Compute ClosureStats for every published snapshot.  One O(n + k)
-  // pass on the writer; turn off for very large graphs with frequent
-  // publishes.
+  // Compute ClosureStats for every *full* publish.  One O(n + k) pass on
+  // the writer; turn off for very large graphs with frequent publishes.
+  // Delta publishes never recompute stats (they carry the base's
+  // forward) — that pass is exactly the cost they exist to avoid.
   bool stats_on_publish = true;
+  // Publish copy-on-write delta snapshots (CompressedClosure::WithDelta)
+  // when the update batch touched few nodes, making publish cost
+  // proportional to the batch instead of the graph.  Off = every publish
+  // is a full export (the pre-delta behavior).
+  bool delta_publish = true;
+  // Force a full export after this many consecutive delta publishes,
+  // bounding the accumulated overlay (and the memory pinned in the shared
+  // base snapshot) regardless of workload.  Must be >= 1.
+  int max_delta_publishes = 32;
+  // Fall back to a full export when more than this fraction of all nodes
+  // is dirty — at that point the overlay would cost more to query than a
+  // fresh base, and exporting it is no cheaper.
+  double max_delta_dirty_fraction = 0.5;
   // Build options for the underlying index (gap numbering etc.).
   ClosureOptions closure = DynamicClosure::DefaultOptions();
 };
@@ -143,6 +157,8 @@ class QueryService {
   };
 
   // Builds and swaps in a snapshot of `dynamic_`; writer mutex held.
+  // Chooses between a full export and a WithDelta overlay publish (see
+  // ServiceOptions::delta_publish and DESIGN.md §4c).
   uint64_t PublishLocked();
 
   ServiceOptions options_;
@@ -151,6 +167,11 @@ class QueryService {
   std::mutex writer_mutex_;
   DynamicClosure dynamic_;  // Guarded by writer_mutex_.
   uint64_t epoch_ = 0;      // Guarded by writer_mutex_.
+  // Delta publishes since the last full export; guarded by writer_mutex_.
+  int delta_publishes_since_full_ = 0;
+  // Set when the previous snapshot cannot serve as a delta base (initial
+  // state, or Load() swapped in a new index lineage).
+  bool force_full_publish_ = true;  // Guarded by writer_mutex_.
 
   std::atomic<std::shared_ptr<const ClosureSnapshot>> snapshot_;
   std::unique_ptr<WorkerPool> pool_;  // Null when num_workers == 0.

@@ -26,9 +26,18 @@ struct ClosureSnapshot {
   uint64_t epoch = 0;
   // The queryable index, exported from the writer's DynamicClosure.
   CompressedClosure closure;
-  // Interval-set statistics at publication time; default-initialized when
-  // ServiceOptions::stats_on_publish is off.
+  // Interval-set statistics; default-initialized when
+  // ServiceOptions::stats_on_publish is off.  Refreshed on *full*
+  // publishes only — a delta publish carries its base's stats forward
+  // (recomputing them is O(n), exactly the cost delta publication avoids),
+  // so on delta snapshots they describe the last full export.
   ClosureStats stats;
+  // Delta provenance: true when this snapshot was built as a
+  // copy-on-write overlay over the previous one, with the number of
+  // changed per-node entries the publish shipped.  Full exports leave
+  // both at their defaults.
+  bool delta_publish = false;
+  int64_t delta_entries = 0;
   std::chrono::steady_clock::time_point created_at;
 
   double AgeSeconds() const {

@@ -1,0 +1,303 @@
+// Delta snapshot publication: CompressedClosure::WithDelta overlays must
+// be indistinguishable from from-scratch ExportClosure() snapshots on
+// every query surface, across randomized interleaved update batches, and
+// QueryService's full-vs-delta publish policy must follow its knobs.
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/compressed_closure.h"
+#include "core/dynamic_closure.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "service/query_service.h"
+
+namespace trel {
+namespace {
+
+// Asserts that `got` (typically an overlay chain) answers exactly like
+// `want` (a from-scratch export of the same labeling): reachability,
+// enumeration, counting, and the storage measure all agree.
+void ExpectSameAnswers(const CompressedClosure& got,
+                       const CompressedClosure& want) {
+  ASSERT_EQ(got.NumNodes(), want.NumNodes());
+  ASSERT_EQ(got.TotalIntervals(), want.TotalIntervals());
+  for (NodeId u = 0; u < want.NumNodes(); ++u) {
+    ASSERT_EQ(got.PostorderOf(u), want.PostorderOf(u)) << "node " << u;
+    for (NodeId v = 0; v < want.NumNodes(); ++v) {
+      ASSERT_EQ(got.Reaches(u, v), want.Reaches(u, v)) << u << "->" << v;
+    }
+    ASSERT_EQ(got.Successors(u), want.Successors(u)) << "node " << u;
+    ASSERT_EQ(got.CountSuccessors(u), want.CountSuccessors(u)) << "node " << u;
+    ASSERT_EQ(got.Predecessors(u), want.Predecessors(u)) << "node " << u;
+  }
+}
+
+TEST(DeltaSnapshotTest, SingleDeltaMatchesFullExport) {
+  auto dyn = DynamicClosure::Build(RandomDag(80, 2.0, 41));
+  ASSERT_TRUE(dyn.ok());
+  CompressedClosure base = dyn->ExportClosure();
+  dyn->MarkClean();
+
+  ASSERT_TRUE(dyn->AddLeafUnder(3).ok());
+  ASSERT_TRUE(dyn->AddArc(0, 79).ok() || true);  // Cycle rejection is fine.
+  EXPECT_GT(dyn->DirtyCount(), 0);
+
+  ClosureDelta delta = dyn->ExportDelta();
+  EXPECT_EQ(dyn->DirtyCount(), 0);  // Export drained the dirty set.
+  CompressedClosure overlay = CompressedClosure::WithDelta(base, delta);
+  ExpectSameAnswers(overlay, dyn->ExportClosure());
+}
+
+TEST(DeltaSnapshotTest, EmptyDeltaIsExact) {
+  auto dyn = DynamicClosure::Build(RandomDag(50, 2.0, 42));
+  ASSERT_TRUE(dyn.ok());
+  CompressedClosure base = dyn->ExportClosure();
+  dyn->MarkClean();
+  ClosureDelta delta = dyn->ExportDelta();
+  EXPECT_TRUE(delta.entries.empty());
+  CompressedClosure overlay = CompressedClosure::WithDelta(base, delta);
+  EXPECT_FALSE(overlay.IsOverlay());
+  ExpectSameAnswers(overlay, base);
+}
+
+// The tentpole equivalence test: a long chain of WithDelta publishes over
+// randomized interleaved AddArc / AddLeafUnder / RemoveArc batches must
+// track a from-scratch export at every step, and ground truth every few
+// batches.
+TEST(DeltaSnapshotTest, RandomizedInterleavedBatchesMatchFullExport) {
+  Random rng(123);
+  DynamicClosure dyn;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(dyn.AddLeafUnder(kNoNode).ok());
+  }
+  CompressedClosure snapshot = dyn.ExportClosure();
+  dyn.MarkClean();
+
+  for (int batch = 0; batch < 40; ++batch) {
+    const int batch_size = 1 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < batch_size; ++i) {
+      const NodeId n = dyn.NumNodes();
+      const uint64_t op = rng.Uniform(10);
+      if (op < 4) {
+        const NodeId parent =
+            op == 0 ? kNoNode : static_cast<NodeId>(rng.Uniform(n));
+        ASSERT_TRUE(dyn.AddLeafUnder(parent).ok());
+      } else if (op < 8) {
+        const NodeId a = static_cast<NodeId>(rng.Uniform(n));
+        const NodeId b = static_cast<NodeId>(rng.Uniform(n));
+        Status s = dyn.AddArc(a, b);
+        ASSERT_TRUE(s.ok() || s.code() == StatusCode::kInvalidArgument ||
+                    s.code() == StatusCode::kAlreadyExists);
+      } else {
+        auto arcs = dyn.graph().Arcs();
+        if (!arcs.empty()) {
+          const auto& [a, b] = arcs[rng.Uniform(arcs.size())];
+          ASSERT_TRUE(dyn.RemoveArc(a, b).ok());
+        }
+      }
+    }
+    ClosureDelta delta = dyn.ExportDelta();
+    snapshot = CompressedClosure::WithDelta(snapshot, delta);
+    ExpectSameAnswers(snapshot, dyn.ExportClosure());
+    if (batch % 8 == 7) {
+      ReachabilityMatrix truth(dyn.graph());
+      for (NodeId u = 0; u < dyn.NumNodes(); ++u) {
+        for (NodeId v = 0; v < dyn.NumNodes(); ++v) {
+          ASSERT_EQ(snapshot.Reaches(u, v), truth.Reaches(u, v))
+              << u << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(DeltaSnapshotTest, OverlaySharesBaseStorageAndLeavesBaseUntouched) {
+  auto dyn = DynamicClosure::Build(RandomDag(200, 2.0, 43));
+  ASSERT_TRUE(dyn.ok());
+  CompressedClosure base = dyn->ExportClosure();
+  dyn->MarkClean();
+  const int64_t base_intervals = base.TotalIntervals();
+  const bool base_reach = base.Reaches(0, 199);
+
+  ASSERT_TRUE(dyn->AddLeafUnder(0).ok());
+  ClosureDelta delta = dyn->ExportDelta();
+  ASSERT_FALSE(delta.entries.empty());
+  ASSERT_LT(static_cast<NodeId>(delta.entries.size()), 200);
+
+  CompressedClosure overlay = CompressedClosure::WithDelta(base, delta);
+  EXPECT_TRUE(overlay.IsOverlay());
+  EXPECT_EQ(overlay.OverlayNodeCount(),
+            static_cast<int64_t>(delta.entries.size()));
+  // The base layer is shared by reference, not copied.
+  EXPECT_EQ(&overlay.labels(), &base.labels());
+  EXPECT_EQ(&overlay.tree_cover(), &base.tree_cover());
+  EXPECT_EQ(overlay.NumNodes(), 201);
+
+  // Chained deltas flatten onto the same base.
+  ASSERT_TRUE(dyn->AddLeafUnder(1).ok());
+  CompressedClosure chained =
+      CompressedClosure::WithDelta(overlay, dyn->ExportDelta());
+  EXPECT_EQ(&chained.labels(), &base.labels());
+  EXPECT_GE(chained.OverlayNodeCount(), overlay.OverlayNodeCount());
+  ExpectSameAnswers(chained, dyn->ExportClosure());
+
+  // The base snapshot is immutable: earlier answers did not move.
+  EXPECT_EQ(base.NumNodes(), 200);
+  EXPECT_EQ(base.TotalIntervals(), base_intervals);
+  EXPECT_EQ(base.Reaches(0, 199), base_reach);
+}
+
+// RemoveArc re-propagates labels wholesale, which must surface as an
+// everything-dirty delta that still reconstructs exact answers.
+TEST(DeltaSnapshotTest, RemovalBatchesStayExactThroughDeltaChain) {
+  auto dyn = DynamicClosure::Build(RandomDag(60, 2.5, 44));
+  ASSERT_TRUE(dyn.ok());
+  CompressedClosure snapshot = dyn->ExportClosure();
+  dyn->MarkClean();
+
+  Random rng(7);
+  for (int round = 0; round < 10; ++round) {
+    auto arcs = dyn->graph().Arcs();
+    ASSERT_FALSE(arcs.empty());
+    const auto& [a, b] = arcs[rng.Uniform(arcs.size())];
+    ASSERT_TRUE(dyn->RemoveArc(a, b).ok());
+    snapshot = CompressedClosure::WithDelta(snapshot, dyn->ExportDelta());
+    ExpectSameAnswers(snapshot, dyn->ExportClosure());
+  }
+}
+
+// --- QueryService publish policy -------------------------------------------
+
+ServiceOptions SerialOptions() {
+  ServiceOptions options;
+  options.num_workers = 0;
+  return options;
+}
+
+TEST(DeltaSnapshotTest, ServiceForcesFullExportEveryK) {
+  ServiceOptions options = SerialOptions();
+  options.max_delta_publishes = 4;
+  QueryService service(options);
+  ASSERT_TRUE(service.Load(RandomDag(300, 2.0, 45)).ok());
+
+  // Construction and Load are new-lineage publishes: always full.
+  ServiceMetrics::View view = service.Metrics();
+  EXPECT_EQ(view.publishes_full, 2);
+  EXPECT_EQ(view.publishes_delta, 0);
+
+  Random rng(11);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        service.AddLeafUnder(static_cast<NodeId>(rng.Uniform(300))).ok());
+    service.Publish();
+  }
+  view = service.Metrics();
+  // Of the 12 explicit publishes, every 5th (the one after 4 consecutive
+  // deltas) is forced full: publishes 5 and 10.
+  EXPECT_EQ(view.publishes_full, 4);
+  EXPECT_EQ(view.publishes_delta, 10);
+  EXPECT_EQ(view.publishes, 14);
+  EXPECT_GT(view.delta_nodes_total, 0);
+  int64_t histogram_total = 0;
+  for (int64_t bucket : view.delta_nodes_histogram) histogram_total += bucket;
+  EXPECT_EQ(histogram_total, view.publishes_delta);
+
+  // The live snapshot (publish 12) rode the delta path and says so.
+  auto snapshot = service.Snapshot();
+  EXPECT_TRUE(snapshot->delta_publish);
+  EXPECT_GT(snapshot->delta_entries, 0);
+  EXPECT_GT(view.snapshot_overlay_nodes, 0);
+
+  // Delta snapshots answer exactly like the ground truth of the live
+  // graph.
+  Digraph graph;
+  ASSERT_TRUE(service
+                  .Apply([&graph](DynamicClosure& dynamic) {
+                    graph = dynamic.graph();
+                    return Status::Ok();
+                  })
+                  .ok());
+  ReachabilityMatrix truth(graph);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      ASSERT_EQ(snapshot->Reaches(u, v), truth.Reaches(u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(DeltaSnapshotTest, ServiceDeltaDisabledAlwaysExportsFull) {
+  ServiceOptions options = SerialOptions();
+  options.delta_publish = false;
+  QueryService service(options);
+  ASSERT_TRUE(service.Load(RandomDag(100, 2.0, 46)).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service.AddLeafUnder(0).ok());
+    service.Publish();
+  }
+  ServiceMetrics::View view = service.Metrics();
+  EXPECT_EQ(view.publishes_delta, 0);
+  EXPECT_EQ(view.publishes_full, 7);
+  EXPECT_FALSE(service.Snapshot()->delta_publish);
+  EXPECT_EQ(view.snapshot_overlay_nodes, 0);
+}
+
+TEST(DeltaSnapshotTest, ServiceFallsBackToFullWhenMostNodesDirty) {
+  ServiceOptions options = SerialOptions();
+  options.max_delta_dirty_fraction = 0.5;
+  QueryService service(options);
+  ASSERT_TRUE(service.Load(RandomDag(40, 2.0, 47)).ok());
+  // Removing an arc re-propagates (and dirties) every node, pushing the
+  // dirty fraction past the threshold: the publish must go full.
+  ASSERT_TRUE(service
+                  .Apply([](DynamicClosure& dynamic) {
+                    auto arcs = dynamic.graph().Arcs();
+                    const auto& [a, b] = arcs.front();
+                    return dynamic.RemoveArc(a, b);
+                  })
+                  .ok());
+  service.Publish();
+  ServiceMetrics::View view = service.Metrics();
+  EXPECT_EQ(view.publishes_full, 3);
+  EXPECT_EQ(view.publishes_delta, 0);
+}
+
+TEST(DeltaSnapshotTest, ServiceLoadForcesFullPublish) {
+  ServiceOptions options = SerialOptions();
+  QueryService service(options);
+  ASSERT_TRUE(service.Load(RandomDag(100, 2.0, 48)).ok());
+  ASSERT_TRUE(service.AddLeafUnder(0).ok());
+  service.Publish();
+  EXPECT_TRUE(service.Snapshot()->delta_publish);
+
+  // A new index lineage can never ride on the previous snapshot.
+  ASSERT_TRUE(service.Load(RandomDag(120, 2.0, 49)).ok());
+  EXPECT_FALSE(service.Snapshot()->delta_publish);
+  EXPECT_EQ(service.Snapshot()->NumNodes(), 120);
+  ServiceMetrics::View view = service.Metrics();
+  EXPECT_EQ(view.snapshot_overlay_nodes, 0);
+}
+
+TEST(DeltaSnapshotTest, DeltaPublishCarriesBaseStatsForward) {
+  ServiceOptions options = SerialOptions();
+  QueryService service(options);
+  ASSERT_TRUE(service.Load(RandomDag(150, 2.0, 50)).ok());
+  const ClosureStats full_stats = service.Snapshot()->stats;
+  EXPECT_EQ(full_stats.num_nodes, 150);
+
+  ASSERT_TRUE(service.AddLeafUnder(0).ok());
+  service.Publish();
+  auto snapshot = service.Snapshot();
+  ASSERT_TRUE(snapshot->delta_publish);
+  EXPECT_EQ(snapshot->NumNodes(), 151);
+  // Stats describe the last *full* export, by design (see snapshot.h).
+  EXPECT_EQ(snapshot->stats.num_nodes, full_stats.num_nodes);
+  EXPECT_EQ(snapshot->stats.total_intervals, full_stats.total_intervals);
+}
+
+}  // namespace
+}  // namespace trel

@@ -36,7 +36,7 @@ TEST(LabelingTest, TreeGetsOneIntervalPerNode) {
 
 TEST(LabelingTest, TreeIntervalIsLowestDescendantToOwnPostorder) {
   //        0
-  //      / | \
+  //      / | \ .
   //     1  2  3
   //        |
   //        4

@@ -48,7 +48,7 @@ TEST(BidirectionalClosureTest, PredecessorsMatchScanBaseline) {
 
 TEST(LatticeOpsTest, DiamondLca) {
   //    0
-  //   / \
+  //   / \ .
   //  1   2
   //   \ /
   //    3
@@ -104,7 +104,9 @@ TEST(LatticeOpsTest, RandomizedLcaInvariants) {
         }
         for (NodeId a : lca) {
           for (NodeId b : lca) {
-            if (a != b) EXPECT_FALSE(matrix.Reaches(a, b));
+            if (a != b) {
+              EXPECT_FALSE(matrix.Reaches(a, b));
+            }
           }
         }
         // Completeness: every common ancestor reaches some LCA member.

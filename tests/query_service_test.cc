@@ -251,6 +251,79 @@ TEST(QueryServiceConcurrencyTest, ReadersNeverSeeTornState) {
   EXPECT_GE(service.Metrics().current_epoch, 41u);
 }
 
+// Readers pin old snapshots across many delta publishes.  The shared
+// base layer must stay alive for as long as any pinned overlay references
+// it — including across forced full exports that retire the writer's
+// current base — and a pinned snapshot's answers must never drift while
+// overlays accumulate on top of it.
+TEST(QueryServiceConcurrencyTest, ReadersHoldSnapshotsAcrossDeltaPublishes) {
+  ServiceOptions options;
+  options.num_workers = 0;
+  options.stats_on_publish = false;  // Keep the publish loop tight.
+  options.max_delta_publishes = 8;   // Retire bases mid-run.
+  QueryService service(options);
+  ASSERT_TRUE(service.Load(RandomDag(400, 2.0, 93)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> rounds_done{0};
+
+  auto reader = [&](uint64_t seed) {
+    Random rng(seed);
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Pin one snapshot and record some of its answers.
+      auto pinned = service.Snapshot();
+      const NodeId n = pinned->NumNodes();
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      std::vector<uint8_t> expected;
+      for (int i = 0; i < 32; ++i) {
+        pairs.emplace_back(static_cast<NodeId>(rng.Uniform(n)),
+                           static_cast<NodeId>(rng.Uniform(n)));
+        expected.push_back(
+            pinned->Reaches(pairs.back().first, pairs.back().second) ? 1 : 0);
+      }
+      // Hold the snapshot across many concurrent publishes: everything
+      // about it is frozen.
+      for (int probe = 0; probe < 20; ++probe) {
+        ASSERT_EQ(pinned->NumNodes(), n);
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          ASSERT_EQ(pinned->Reaches(pairs[i].first, pairs[i].second) ? 1 : 0,
+                    expected[i]);
+        }
+        std::this_thread::yield();
+      }
+      rounds_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back(reader, static_cast<uint64_t>(t + 101));
+  }
+
+  // Writer: one-leaf batches keep the dirty set tiny, so nearly every
+  // publish rides the delta path (every 9th is a forced full export).
+  Random rng(29);
+  NodeId num_nodes = 400;
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_TRUE(
+        service
+            .AddLeafUnder(static_cast<NodeId>(rng.Uniform(num_nodes)))
+            .ok());
+    ++num_nodes;
+    service.Publish();
+  }
+
+  while (rounds_done.load(std::memory_order_relaxed) < 9) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  ServiceMetrics::View view = service.Metrics();
+  EXPECT_GT(view.publishes_delta, 0);
+  EXPECT_GT(view.publishes_full, 1);  // Forced full exports happened.
+}
+
 // The destructor must cleanly drain the worker pool even with batches
 // in flight right up to the end.
 TEST(QueryServiceConcurrencyTest, DestructionWithBusyPoolIsClean) {

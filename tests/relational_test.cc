@@ -143,7 +143,9 @@ TEST(AlphaTest, CompressionBeatsTheMaterializedViewOnDenseGraphs) {
   const int64_t n = 60;
   for (int64_t i = 0; i + 1 < n; ++i) {
     ASSERT_TRUE(base.Append({i, i + 1}).ok());
-    if (i + 2 < n) ASSERT_TRUE(base.Append({i, i + 2}).ok());
+    if (i + 2 < n) {
+      ASSERT_TRUE(base.Append({i, i + 2}).ok());
+    }
   }
   auto alpha = AlphaOperator::Build(base, "s", "d");
   ASSERT_TRUE(alpha.ok());

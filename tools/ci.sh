@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
-# CI driver: tier-1 verification plus sanitizer passes.
+# CI driver: tier-1 verification, sanitizer passes, and a bench smoke run.
 #
-#   tools/ci.sh            # tier-1 + ASan/UBSan tests + TSan service tests
-#   tools/ci.sh --tier1    # tier-1 only (plain build + full ctest)
+#   tools/ci.sh                # tier-1 + ASan/UBSan tests + TSan service tests
+#   tools/ci.sh --tier1        # plain build + full ctest (the ROADMAP gate)
+#   tools/ci.sh --asan         # ASan/UBSan build + full ctest
+#   tools/ci.sh --tsan         # TSan build + concurrent service tests
+#   tools/ci.sh --bench-smoke  # run every bench binary at tiny sizes
+#
+# Stages may be combined (e.g. `tools/ci.sh --tier1 --bench-smoke`).
+# Extra configure flags for all stages can be passed via TREL_CMAKE_FLAGS
+# (e.g. TREL_CMAKE_FLAGS="-DTREL_WERROR=ON" as the CI workflow does).
 #
 # Sanitizer builds use the TREL_SANITIZE cache option from the top-level
 # CMakeLists and live in their own build trees so they never disturb the
@@ -11,7 +18,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="${JOBS:-$(nproc)}"
+# `nproc` is a GNU coreutils tool; fall back to POSIX getconf (macOS,
+# minimal containers) and finally to 2.
+if command -v nproc >/dev/null 2>&1; then
+  default_jobs="$(nproc)"
+else
+  default_jobs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)"
+fi
+JOBS="${JOBS:-${default_jobs}}"
+
+# Word-splitting of TREL_CMAKE_FLAGS is intentional: it carries zero or
+# more -D flags.
+# shellcheck disable=SC2206
+EXTRA_CMAKE_FLAGS=(${TREL_CMAKE_FLAGS:-})
 
 run() {
   echo "==> $*"
@@ -20,14 +39,14 @@ run() {
 
 tier1() {
   # Mirrors the ROADMAP tier-1 verify command exactly.
-  run cmake -B build -S .
+  run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
   run cmake --build build -j "${JOBS}"
   (cd build && run ctest --output-on-failure -j "${JOBS}")
 }
 
 asan_ubsan() {
   run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DTREL_SANITIZE=address,undefined
+    -DTREL_SANITIZE=address,undefined "${EXTRA_CMAKE_FLAGS[@]}"
   run cmake --build build-asan -j "${JOBS}"
   # Serial on purpose: the ToolTest subprocess pipeline is flaky when two
   # ASan process trees compete for memory on small hosts.
@@ -36,19 +55,47 @@ asan_ubsan() {
 
 tsan_service() {
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DTREL_SANITIZE=thread
+    -DTREL_SANITIZE=thread "${EXTRA_CMAKE_FLAGS[@]}"
   run cmake --build build-tsan -j "${JOBS}" --target query_service_test
   # tools/tsan.supp: known libstdc++ atomic<shared_ptr> internal report.
   run env TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
     ./build-tsan/tests/query_service_test
 }
 
-if [[ "${1:-}" == "--tier1" ]]; then
-  tier1
+bench_smoke() {
+  # Executes every bench binary end-to-end at tiny sizes (TREL_BENCH_SMOKE
+  # caps problem sizes at n<=200 inside the binaries) as a does-it-run
+  # check, so bench code can't rot between perf-measurement sessions.
+  run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
+  run cmake --build build -j "${JOBS}"
+  local binary
+  for binary in build/bench/*; do
+    [[ -f "${binary}" && -x "${binary}" ]] || continue
+    run env TREL_BENCH_SMOKE=1 "${binary}" > /dev/null
+  done
+}
+
+if [[ $# -eq 0 ]]; then
+  stages=(tier1 asan_ubsan tsan_service)
 else
-  tier1
-  asan_ubsan
-  tsan_service
+  stages=()
+  for arg in "$@"; do
+    case "${arg}" in
+      --tier1) stages+=(tier1) ;;
+      --asan) stages+=(asan_ubsan) ;;
+      --tsan) stages+=(tsan_service) ;;
+      --bench-smoke) stages+=(bench_smoke) ;;
+      *)
+        echo "unknown stage: ${arg}" >&2
+        echo "usage: tools/ci.sh [--tier1] [--asan] [--tsan] [--bench-smoke]" >&2
+        exit 2
+        ;;
+    esac
+  done
 fi
+
+for stage in "${stages[@]}"; do
+  "${stage}"
+done
 
 echo "==> ci.sh: all requested stages passed"
