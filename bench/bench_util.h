@@ -41,6 +41,9 @@ class Table {
     for (const auto& row : rows_) print_row(row);
   }
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
@@ -77,6 +80,167 @@ inline std::string Fmt(double value, int decimals = 2) {
   std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
   return buffer;
 }
+
+// --- Machine-readable output (BENCH_<name>.json) ---------------------------
+//
+// Every bench can mirror its report into a small JSON file so the perf
+// trajectory is tracked across PRs instead of living in terminal
+// scrollback.  Emission is opt-in via the TREL_BENCH_JSON environment
+// variable: unset or "0" disables it, "1" writes BENCH_<name>.json into
+// the working directory, and any other value is treated as the output
+// directory.  CI sets it during the bench smoke stage and uploads the
+// files as artifacts.
+
+inline const char* JsonOutputDir() {
+  const char* env = std::getenv("TREL_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0' || (env[0] == '0' && env[1] == '\0')) {
+    return nullptr;
+  }
+  if (env[0] == '1' && env[1] == '\0') return ".";
+  return env;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Ordered key -> scalar map rendered as one JSON object.  Values are
+// stored pre-rendered so numbers stay unquoted.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value) {
+    // append() instead of operator+ chains throughout: GCC 12's -Wrestrict
+    // false-positives on the latter (see PR 2's notes on TREL_WERROR).
+    std::string quoted;
+    quoted.append(1, '"').append(JsonEscape(value)).append(1, '"');
+    fields_.emplace_back(key, std::move(quoted));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  JsonObject& Set(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JsonObject& Set(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    fields_.emplace_back(key, buffer);
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out.append(", ");
+      out.append(1, '"')
+          .append(JsonEscape(fields_[i].first))
+          .append("\": ")
+          .append(fields_[i].second);
+    }
+    out.append("}");
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// One bench binary's machine-readable report: a config object (problem
+// sizes, mode flags) plus an array of result rows (one per measured
+// configuration, with µs/op and throughput fields as applicable).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  JsonObject& config() { return config_; }
+  JsonObject& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Copies a printed table into rows keyed by header (cells that parse
+  // cleanly as numbers are emitted unquoted).
+  void AddTable(const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+    for (const auto& row : rows) {
+      JsonObject& obj = AddRow();
+      for (size_t c = 0; c < row.size() && c < headers.size(); ++c) {
+        char* end = nullptr;
+        const double num = std::strtod(row[c].c_str(), &end);
+        if (end != row[c].c_str() && *end == '\0') {
+          obj.Set(headers[c], num);
+        } else {
+          obj.Set(headers[c], row[c]);
+        }
+      }
+    }
+  }
+
+  // Writes BENCH_<name>.json when TREL_BENCH_JSON enables emission.
+  // Returns false (after a perror-style message) on I/O failure so CI can
+  // distinguish "disabled" from "broken".
+  bool WriteIfEnabled() const {
+    const char* dir = JsonOutputDir();
+    if (dir == nullptr) return true;
+    std::string path(dir);
+    path.append("/BENCH_").append(name_).append(".json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_util: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string out = "{\"bench\": \"";
+    out.append(JsonEscape(name_))
+        .append("\", \"config\": ")
+        .append(config_.Render())
+        .append(", \"rows\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out.append(", ");
+      out.append(rows_[i].Render());
+    }
+    out.append("]}\n");
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (!ok) std::fprintf(stderr, "bench_util: short write to %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string name_;
+  JsonObject config_;
+  std::vector<JsonObject> rows_;
+};
 
 }  // namespace bench_util
 }  // namespace trel

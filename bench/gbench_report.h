@@ -1,0 +1,63 @@
+#ifndef TREL_BENCH_GBENCH_REPORT_H_
+#define TREL_BENCH_GBENCH_REPORT_H_
+
+// JSON bridge for the google-benchmark binaries: a ConsoleReporter
+// subclass that mirrors every completed run into a bench_util::BenchReport
+// row (name, iterations, µs/op, ops/s), so micro benches emit the same
+// BENCH_<name>.json files as the manual table benches.  Console output is
+// unchanged — the subclass forwards to the base after capturing.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace trel {
+namespace bench_util {
+
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      JsonObject& row = report_->AddRow();
+      row.Set("name", run.benchmark_name());
+      row.Set("iterations", static_cast<int64_t>(run.iterations));
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.Set("us_per_op", run.real_accumulated_time * 1e6 / iters);
+      row.Set("ops_per_sec", run.real_accumulated_time > 0
+                                 ? iters / run.real_accumulated_time
+                                 : 0.0);
+      row.Set("cpu_us_per_op", run.cpu_accumulated_time * 1e6 / iters);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
+// Drop-in replacement for BENCHMARK_MAIN()'s body: runs the registered
+// benchmarks with a capturing reporter and writes BENCH_<name>.json when
+// TREL_BENCH_JSON is set.  Returns the process exit code.
+inline int RunBenchmarksWithJson(const std::string& bench_name, int argc,
+                                 char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchReport report(bench_name);
+  report.config().Set("smoke", SmokeMode());
+  JsonCapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.WriteIfEnabled() ? 0 : 1;
+}
+
+}  // namespace bench_util
+}  // namespace trel
+
+#endif  // TREL_BENCH_GBENCH_REPORT_H_

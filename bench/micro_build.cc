@@ -8,6 +8,7 @@
 
 #include "baselines/chain_cover.h"
 #include "bench/bench_util.h"
+#include "bench/gbench_report.h"
 #include "core/compressed_closure.h"
 #include "core/tree_cover.h"
 #include "graph/generators.h"
@@ -74,4 +75,6 @@ BENCHMARK(BM_BuildChainCoverGreedy)
 }  // namespace
 }  // namespace trel
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return trel::bench_util::RunBenchmarksWithJson("micro_build", argc, argv);
+}

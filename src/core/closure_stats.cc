@@ -14,7 +14,8 @@ std::string ClosureStats::ToString() const {
      << num_tree_arcs << " tree, " << (num_arcs - num_tree_arcs)
      << " non-tree), roots " << num_roots << "\n";
   os << "intervals " << total_intervals << " (storage " << storage_units
-     << "), avg/node " << avg_intervals_per_node << ", max/node "
+     << ", arena " << arena_bytes << " bytes), avg/node "
+     << avg_intervals_per_node << ", max/node "
      << max_intervals_per_node << ", single-interval nodes "
      << 100.0 * single_interval_fraction << "%\n";
   os << "tree depth max " << tree_depth_max << ", avg " << tree_depth_avg
@@ -69,7 +70,7 @@ ClosureStats ComputeClosureStats(const Digraph& graph,
     stats.tree_depth_max = std::max<int64_t>(stats.tree_depth_max, depth[v]);
     depth_sum += depth[v];
 
-    const int64_t k = closure.IntervalsOf(v).size();
+    const int64_t k = closure.IntervalCountOf(v);
     stats.total_intervals += k;
     stats.max_intervals_per_node = std::max(stats.max_intervals_per_node, k);
     if (k == 1) ++single_interval_nodes;
@@ -79,6 +80,7 @@ ClosureStats ComputeClosureStats(const Digraph& graph,
   }
 
   stats.storage_units = 2 * stats.total_intervals;
+  stats.arena_bytes = closure.ArenaByteSize();
   if (stats.num_nodes > 0) {
     stats.avg_intervals_per_node =
         static_cast<double>(stats.total_intervals) / stats.num_nodes;

@@ -21,6 +21,10 @@ struct ClosureStats {
 
   int64_t total_intervals = 0;
   int64_t storage_units = 0;  // 2 * total_intervals (paper's measure).
+  // Bytes held by the closure's flat query arena (slots + Eytzinger
+  // extras + filters + directory) — the machine-level counterpart of the
+  // paper's abstract storage-unit measure.
+  int64_t arena_bytes = 0;
   int64_t max_intervals_per_node = 0;
   double avg_intervals_per_node = 0.0;
   // interval_histogram[k] = number of nodes carrying exactly k intervals,

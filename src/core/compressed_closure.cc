@@ -10,7 +10,8 @@ namespace trel {
 
 namespace {
 
-// Comparators for binary searches over (postorder, node) directories.
+// Comparator for binary searches over the overlay (postorder, node)
+// directory.
 bool EntryBelow(const std::pair<Label, NodeId>& e, Label x) {
   return e.first < x;
 }
@@ -18,25 +19,36 @@ bool AboveEntry(Label x, const std::pair<Label, NodeId>& e) {
   return x < e.first;
 }
 
+// Batches at or above this size build a source-grouping permutation;
+// below it the sort would cost more than the grouped run reuse saves.
+constexpr int64_t kBatchGroupThreshold = 256;
+
+// How many queries ahead the batch kernel prefetches slot lines.
+constexpr int64_t kBatchPrefetchDistance = 8;
+
 }  // namespace
 
 CompressedClosure::CompressedClosure()
     : labels_(std::make_shared<const NodeLabels>()),
       tree_cover_(std::make_shared<const TreeCover>()),
-      by_postorder_(
-          std::make_shared<const std::vector<std::pair<Label, NodeId>>>()) {}
+      arena_(std::make_shared<const LabelArena>()) {}
 
-CompressedClosure::CompressedClosure(NodeLabels labels, TreeCover tree_cover) {
+CompressedClosure::CompressedClosure(
+    const NodeLabels& labels, std::shared_ptr<const NodeLabels> retained,
+    TreeCover tree_cover, ExportHints hints) {
   num_nodes_ = static_cast<NodeId>(labels.postorder.size());
-  total_intervals_ = labels.TotalIntervals();
-  auto directory = std::make_shared<std::vector<std::pair<Label, NodeId>>>();
-  directory->reserve(labels.postorder.size());
-  for (NodeId v = 0; v < num_nodes_; ++v) {
-    directory->emplace_back(labels.postorder[v], v);
+  auto arena = std::make_shared<LabelArena>(BuildLabelArena(
+      labels, std::move(hints.sorted_directory), hints.runner));
+  // The interval total falls out of the arena shape: every non-empty
+  // first plus each slot's extras (extras.size() would overcount — runs
+  // carry a summary slot).
+  total_intervals_ = 0;
+  for (const LabelArena::NodeSlot& slot : arena->slots) {
+    total_intervals_ += (slot.first.lo <= slot.first.hi ? 1 : 0) +
+                        static_cast<int64_t>(slot.extra_count);
   }
-  std::sort(directory->begin(), directory->end());
-  by_postorder_ = std::move(directory);
-  labels_ = std::make_shared<const NodeLabels>(std::move(labels));
+  arena_ = std::move(arena);
+  labels_ = std::move(retained);
   tree_cover_ = std::make_shared<const TreeCover>(std::move(tree_cover));
 }
 
@@ -48,14 +60,36 @@ StatusOr<CompressedClosure> CompressedClosure::Build(
   ReorderChildren(cover, options.child_order);
   TREL_ASSIGN_OR_RETURN(NodeLabels labels,
                         BuildLabels(graph, cover, options.labeling));
-  return CompressedClosure(std::move(labels), std::move(cover));
+  auto owned = std::make_shared<const NodeLabels>(std::move(labels));
+  return CompressedClosure(*owned, owned, std::move(cover), {});
 }
 
 CompressedClosure CompressedClosure::FromParts(NodeLabels labels,
                                                TreeCover tree_cover) {
+  return FromParts(std::move(labels), std::move(tree_cover), {});
+}
+
+CompressedClosure CompressedClosure::FromParts(NodeLabels labels,
+                                               TreeCover tree_cover,
+                                               ExportHints hints) {
   TREL_CHECK_EQ(labels.postorder.size(), labels.intervals.size());
   TREL_CHECK_EQ(labels.postorder.size(), tree_cover.parent.size());
-  return CompressedClosure(std::move(labels), std::move(tree_cover));
+  auto owned = std::make_shared<const NodeLabels>(std::move(labels));
+  return CompressedClosure(*owned, owned, std::move(tree_cover),
+                           std::move(hints));
+}
+
+CompressedClosure CompressedClosure::FromPartsQueryOnly(
+    const NodeLabels& labels, TreeCover tree_cover) {
+  return FromPartsQueryOnly(labels, std::move(tree_cover), ExportHints());
+}
+
+CompressedClosure CompressedClosure::FromPartsQueryOnly(
+    const NodeLabels& labels, TreeCover tree_cover, ExportHints hints) {
+  TREL_CHECK_EQ(labels.postorder.size(), labels.intervals.size());
+  TREL_CHECK_EQ(labels.postorder.size(), tree_cover.parent.size());
+  return CompressedClosure(labels, std::make_shared<const NodeLabels>(),
+                           std::move(tree_cover), std::move(hints));
 }
 
 CompressedClosure CompressedClosure::WithDelta(const CompressedClosure& base,
@@ -66,12 +100,11 @@ CompressedClosure CompressedClosure::WithDelta(const CompressedClosure& base,
   CompressedClosure result;
   result.labels_ = base.labels_;
   result.tree_cover_ = base.tree_cover_;
-  result.by_postorder_ = base.by_postorder_;
+  result.arena_ = base.arena_;
   result.overlay_ = base.overlay_;
   result.num_nodes_ = delta.num_nodes;
 
-  const NodeId base_layer_nodes =
-      static_cast<NodeId>(base.labels_->postorder.size());
+  const NodeId base_layer_nodes = base.arena_->num_nodes();
   int64_t total = base.total_intervals_;
   NodeId prev = kNoNode;
   NodeId new_nodes_seen = 0;
@@ -90,7 +123,7 @@ CompressedClosure CompressedClosure::WithDelta(const CompressedClosure& base,
                                 entry.intervals};
     } else {
       if (entry.node < base_layer_nodes) {
-        replaced = base.labels_->intervals[entry.node].size();
+        replaced = base.arena_->IntervalCount(entry.node);
       }
       result.overlay_.emplace(
           entry.node, OverlayEntry{entry.postorder, entry.tree_interval,
@@ -109,22 +142,127 @@ void CompressedClosure::ReindexOverlay() {
   overlay_by_postorder_.clear();
   stale_labels_.clear();
   overlay_by_postorder_.reserve(overlay_.size());
-  const NodeId base_layer_nodes =
-      static_cast<NodeId>(labels_->postorder.size());
+  overlay_member_.assign(static_cast<size_t>(num_nodes_), 0);
+  const NodeId base_layer_nodes = arena_->num_nodes();
   for (const auto& [node, entry] : overlay_) {
+    overlay_member_[node] = 1;
     overlay_by_postorder_.emplace_back(entry.postorder, node);
     if (node < base_layer_nodes) {
-      stale_labels_.push_back(labels_->postorder[node]);
+      stale_labels_.push_back(arena_->slots[node].postorder);
     }
   }
   std::sort(overlay_by_postorder_.begin(), overlay_by_postorder_.end());
   std::sort(stale_labels_.begin(), stale_labels_.end());
 }
 
+bool CompressedClosure::ReachesWithOverlay(NodeId u, NodeId v) const {
+  const Label target = EffectivePostorder(v);
+  const EffectiveLabel source = EffectiveLabelOf(u);
+  if (source.overlay_intervals != nullptr) {
+    return source.overlay_intervals->Contains(target);
+  }
+  return arena_->Contains(u, target);
+}
+
+void CompressedClosure::BatchReaches(const std::pair<NodeId, NodeId>* pairs,
+                                     int64_t n, uint8_t* out) const {
+  if (n <= 0) return;
+  const uint32_t num = static_cast<uint32_t>(num_nodes_);
+  // One unsigned compare covers both negative ids and ids past the end.
+  const auto valid = [num](NodeId id) {
+    return static_cast<uint32_t>(id) < num;
+  };
+  if (!overlay_.empty()) {
+    // Overlay snapshots take the per-query path; their hash probes are
+    // already gated by the overlay_member_ byte array.
+    for (int64_t i = 0; i < n; ++i) {
+      const auto [u, v] = pairs[i];
+      out[i] = valid(u) && valid(v) && (u == v || ReachesWithOverlay(u, v))
+                   ? 1
+                   : 0;
+    }
+    return;
+  }
+
+  const LabelArena& arena = *arena_;
+  const LabelArena::NodeSlot* slots = arena.slots.data();
+  const auto answer = [&](const LabelArena::NodeSlot& source, NodeId u,
+                          NodeId v) -> uint8_t {
+    if (!valid(v)) return 0;
+    if (u == v) return 1;
+    const Label x = slots[v].postorder;
+    if (x < source.first.lo) return 0;
+    if (x <= source.first.hi) return 1;
+    return arena.Contains(u, x) ? 1 : 0;
+  };
+
+  if (n >= kBatchGroupThreshold) {
+    // Group by source: every query in a group shares one resolved slot
+    // (and, for multi-interval sources, one hot extras run).
+    std::vector<uint32_t> order(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return pairs[a].first < pairs[b].first;
+    });
+    int64_t i = 0;
+    while (i < n) {
+      const NodeId u = pairs[order[i]].first;
+      int64_t j = i;
+      while (j < n && pairs[order[j]].first == u) ++j;
+      if (!valid(u)) {
+        for (int64_t k = i; k < j; ++k) out[order[k]] = 0;
+        i = j;
+        continue;
+      }
+      arena.PrefetchSource(u);
+      const LabelArena::NodeSlot source = slots[u];
+      for (int64_t k = i; k < j; ++k) {
+        if (k + kBatchPrefetchDistance < n) {
+          const NodeId pv = pairs[order[k + kBatchPrefetchDistance]].second;
+          if (valid(pv)) __builtin_prefetch(slots + pv);
+        }
+        out[order[k]] = answer(source, u, pairs[order[k]].second);
+      }
+      i = j;
+    }
+    return;
+  }
+
+  for (int64_t i = 0; i < n; ++i) {
+    if (i + kBatchPrefetchDistance < n) {
+      const auto& ahead = pairs[i + kBatchPrefetchDistance];
+      if (valid(ahead.first)) {
+        __builtin_prefetch(slots + ahead.first);
+        arena.PrefetchSource(ahead.first);
+      }
+      if (valid(ahead.second)) __builtin_prefetch(slots + ahead.second);
+    }
+    const auto [u, v] = pairs[i];
+    out[i] = valid(u) ? answer(slots[u], u, v) : 0;
+  }
+}
+
 void CompressedClosure::AppendNodesInRange(Label lo, Label hi, Label skip,
                                            std::vector<NodeId>& out) const {
-  const auto& base = *by_postorder_;
-  auto base_it = std::lower_bound(base.begin(), base.end(), lo, EntryBelow);
+  const LabelArena& arena = *arena_;
+  int64_t base_it = arena.DirLowerBound(lo);
+  const int64_t base_end = static_cast<int64_t>(arena.dir_labels.size());
+  if (overlay_.empty()) {
+    // Full export: the directory run [lo, hi] is contiguous — bulk-copy
+    // it, splitting around the (unique) skip label if present.
+    const int64_t end = arena.DirUpperBound(hi);
+    const NodeId* nodes = arena.dir_nodes.data();
+    if (lo <= skip && skip <= hi) {
+      const int64_t s = arena.DirLowerBound(skip);
+      if (s < end && arena.dir_labels[s] == skip) {
+        out.insert(out.end(), nodes + base_it, nodes + s);
+        out.insert(out.end(), nodes + s + 1, nodes + end);
+        return;
+      }
+    }
+    out.insert(out.end(), nodes + base_it, nodes + end);
+    return;
+  }
   auto stale_it =
       std::lower_bound(stale_labels_.begin(), stale_labels_.end(), lo);
   auto over_it = std::lower_bound(overlay_by_postorder_.begin(),
@@ -132,11 +270,13 @@ void CompressedClosure::AppendNodesInRange(Label lo, Label hi, Label skip,
   // Skip base entries whose number the overlay superseded.  Both runs are
   // sorted, so the stale cursor only ever moves forward.
   auto skip_stale = [&] {
-    while (base_it != base.end() && base_it->first <= hi) {
-      while (stale_it != stale_labels_.end() && *stale_it < base_it->first) {
+    while (base_it < base_end && arena.dir_labels[base_it] <= hi) {
+      while (stale_it != stale_labels_.end() &&
+             *stale_it < arena.dir_labels[base_it]) {
         ++stale_it;
       }
-      if (stale_it != stale_labels_.end() && *stale_it == base_it->first) {
+      if (stale_it != stale_labels_.end() &&
+          *stale_it == arena.dir_labels[base_it]) {
         ++base_it;
         continue;
       }
@@ -145,12 +285,14 @@ void CompressedClosure::AppendNodesInRange(Label lo, Label hi, Label skip,
   };
   skip_stale();
   for (;;) {
-    const bool base_ok = base_it != base.end() && base_it->first <= hi;
+    const bool base_ok = base_it < base_end && arena.dir_labels[base_it] <= hi;
     const bool over_ok = over_it != overlay_by_postorder_.end() &&
                          over_it->first <= hi;
     if (!base_ok && !over_ok) break;
-    if (base_ok && (!over_ok || base_it->first < over_it->first)) {
-      if (base_it->first != skip) out.push_back(base_it->second);
+    if (base_ok && (!over_ok || arena.dir_labels[base_it] < over_it->first)) {
+      if (arena.dir_labels[base_it] != skip) {
+        out.push_back(arena.dir_nodes[base_it]);
+      }
       ++base_it;
       skip_stale();
     } else {
@@ -161,10 +303,8 @@ void CompressedClosure::AppendNodesInRange(Label lo, Label hi, Label skip,
 }
 
 int64_t CompressedClosure::CountNodesInRange(Label lo, Label hi) const {
-  const auto& base = *by_postorder_;
-  int64_t count =
-      std::upper_bound(base.begin(), base.end(), hi, AboveEntry) -
-      std::lower_bound(base.begin(), base.end(), lo, EntryBelow);
+  const LabelArena& arena = *arena_;
+  int64_t count = arena.DirUpperBound(hi) - arena.DirLowerBound(lo);
   if (!overlay_.empty()) {
     count -=
         std::upper_bound(stale_labels_.begin(), stale_labels_.end(), hi) -
@@ -177,6 +317,29 @@ int64_t CompressedClosure::CountNodesInRange(Label lo, Label hi) const {
   return count;
 }
 
+namespace {
+
+// Applies `visit` (returning false to stop) to a node's effective
+// intervals in ascending (lo, hi) order: the overlay IntervalSet when the
+// node is overlaid, else the arena's inline first interval followed by an
+// in-order walk of its Eytzinger extras run.
+template <typename Fn>
+void VisitEffectiveIntervals(const LabelArena& arena, NodeId u,
+                             const IntervalSet* overlay_intervals,
+                             Fn&& visit) {
+  if (overlay_intervals != nullptr) {
+    for (const Interval& interval : overlay_intervals->intervals()) {
+      if (!visit(interval)) return;
+    }
+    return;
+  }
+  const LabelArena::NodeSlot& slot = arena.slots[u];
+  if (slot.first.lo <= slot.first.hi && !visit(slot.first)) return;
+  arena.ForEachExtra(u, visit);
+}
+
+}  // namespace
+
 std::vector<NodeId> CompressedClosure::Successors(NodeId u) const {
   TREL_CHECK(IsValidNode(u));
   std::vector<NodeId> result;
@@ -185,34 +348,40 @@ std::vector<NodeId> CompressedClosure::Successors(NodeId u) const {
   // double-listing.  The node's own tree interval contains its own number;
   // skipping it during enumeration (rather than erasing afterwards) keeps
   // this O(output) instead of O(output) + a linear scan.
-  const Label self = EffectivePostorder(u);
+  const EffectiveLabel eff = EffectiveLabelOf(u);
+  const Label self = eff.postorder;
   Label cursor = std::numeric_limits<Label>::min();
-  for (const Interval& interval : EffectiveIntervals(u).intervals()) {
-    const Label lo = std::max(interval.lo, cursor);
-    if (lo > interval.hi) continue;
-    AppendNodesInRange(lo, interval.hi, self, result);
-    if (interval.hi == std::numeric_limits<Label>::max()) break;
-    cursor = interval.hi + 1;
-  }
+  VisitEffectiveIntervals(
+      *arena_, u, eff.overlay_intervals, [&](const Interval& interval) {
+        const Label lo = std::max(interval.lo, cursor);
+        if (lo > interval.hi) return true;
+        AppendNodesInRange(lo, interval.hi, self, result);
+        if (interval.hi == std::numeric_limits<Label>::max()) return false;
+        cursor = interval.hi + 1;
+        return true;
+      });
   return result;
 }
 
 int64_t CompressedClosure::CountSuccessors(NodeId u) const {
   TREL_CHECK(IsValidNode(u));
-  const Label self = EffectivePostorder(u);
+  const EffectiveLabel eff = EffectiveLabelOf(u);
+  const Label self = eff.postorder;
   int64_t count = 0;
   bool self_counted = false;
   Label cursor = std::numeric_limits<Label>::min();
-  for (const Interval& interval : EffectiveIntervals(u).intervals()) {
-    const Label lo = std::max(interval.lo, cursor);
-    if (lo > interval.hi) continue;
-    count += CountNodesInRange(lo, interval.hi);
-    // The cursor guarantees clipped ranges are disjoint, so u's own number
-    // is counted at most once across the loop.
-    if (lo <= self && self <= interval.hi) self_counted = true;
-    if (interval.hi == std::numeric_limits<Label>::max()) break;
-    cursor = interval.hi + 1;
-  }
+  VisitEffectiveIntervals(
+      *arena_, u, eff.overlay_intervals, [&](const Interval& interval) {
+        const Label lo = std::max(interval.lo, cursor);
+        if (lo > interval.hi) return true;
+        count += CountNodesInRange(lo, interval.hi);
+        // The cursor guarantees clipped ranges are disjoint, so u's own
+        // number is counted at most once across the loop.
+        if (lo <= self && self <= interval.hi) self_counted = true;
+        if (interval.hi == std::numeric_limits<Label>::max()) return false;
+        cursor = interval.hi + 1;
+        return true;
+      });
   return self_counted ? count - 1 : count;
 }
 
@@ -220,8 +389,25 @@ std::vector<NodeId> CompressedClosure::Predecessors(NodeId v) const {
   TREL_CHECK(IsValidNode(v));
   std::vector<NodeId> result;
   const Label target = EffectivePostorder(v);
+  const LabelArena& arena = *arena_;
+  if (overlay_.empty()) {
+    // One linear sweep of the slot array; extras are only consulted for
+    // the minority of nodes whose first interval ends below the target.
+    const NodeId n = arena.num_nodes();
+    for (NodeId u = 0; u < n; ++u) {
+      if (u != v && arena.Contains(u, target)) result.push_back(u);
+    }
+    return result;
+  }
   for (NodeId u = 0; u < NumNodes(); ++u) {
-    if (u != v && EffectiveIntervals(u).Contains(target)) result.push_back(u);
+    if (u == v) continue;
+    if (overlay_member_[u] != 0) {
+      if (overlay_.find(u)->second.intervals.Contains(target)) {
+        result.push_back(u);
+      }
+    } else if (arena.Contains(u, target)) {
+      result.push_back(u);
+    }
   }
   return result;
 }

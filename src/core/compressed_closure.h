@@ -9,6 +9,7 @@
 
 #include "common/statusor.h"
 #include "core/interval.h"
+#include "core/label_arena.h"
 #include "core/labeling.h"
 #include "core/tree_cover.h"
 #include "graph/digraph.h"
@@ -33,9 +34,16 @@ struct ClosureOptions {
 // the Section 4 incremental updates, see DynamicClosure; for cyclic
 // inputs, see TransitiveClosureIndex.
 //
-// Storage comes in two layers.  A *base* layer (per-node labels plus the
-// sorted postorder directory) is held through shared_ptr and never
-// mutated, so closures built from one another via WithDelta() share it.
+// Storage comes in two layers.  A *base* layer is held through shared_ptr
+// and never mutated, so closures built from one another via WithDelta()
+// share it.  It has two synchronized representations:
+//   * a flat LabelArena — per-node slots with the first interval inline,
+//     one contiguous array for the remaining intervals, and the sorted
+//     postorder directory as parallel flat arrays.  Every query path
+//     (Reaches, Successors, Predecessors, the batch kernels) reads only
+//     the arena; see label_arena.h for the layout rationale.
+//   * the original per-node NodeLabels, kept for structural introspection
+//     (labels(), IntervalsOf() returning IntervalSet&, serialization).
 // An optional *overlay* holds the label entries that differ from the
 // base; it is empty for closures built by Build()/FromParts().  Queries
 // consult the overlay first, so an overlay closure answers exactly like a
@@ -43,6 +51,15 @@ struct ClosureOptions {
 // (O(|overlay| log |overlay|) instead of O(n log n)).
 class CompressedClosure {
  public:
+  // Optional accelerators for FromParts, used by the snapshot-export
+  // path: a pre-sorted (postorder, node) directory skips the export's
+  // O(n log n) sort (DynamicClosure maintains one as a by-postorder map),
+  // and a ParallelRunner shards the arena build across a worker pool.
+  struct ExportHints {
+    std::vector<std::pair<Label, NodeId>> sorted_directory;
+    const ParallelRunner* runner = nullptr;
+  };
+
   // Empty closure over zero nodes; placeholder state (e.g. a query
   // service before its first Load).
   CompressedClosure();
@@ -56,39 +73,78 @@ class CompressedClosure {
   // selection or interval propagation.  This is the cheap snapshot-export
   // path: DynamicClosure hands over a copy of its current labels so a
   // query service can publish an immutable snapshot in O(n log n) (the
-  // postorder sort) instead of a full rebuild.  `labels` and `tree_cover`
-  // must describe the same node set and come from a sound labeling.
+  // postorder sort — O(n) when hints carry a pre-sorted directory)
+  // instead of a full rebuild.  `labels` and `tree_cover` must describe
+  // the same node set and come from a sound labeling.
   static CompressedClosure FromParts(NodeLabels labels, TreeCover tree_cover);
+  static CompressedClosure FromParts(NodeLabels labels, TreeCover tree_cover,
+                                     ExportHints hints);
+
+  // Query-only variant: builds the flat arena by READING `labels` without
+  // retaining a per-node copy (labels()/IntervalsOf() are then
+  // unavailable — see HasLabels()).  Every query answers identically to
+  // FromParts on the same inputs, but the export skips the deep copy of
+  // the per-node IntervalSets — on publish-heavy services that copy (one
+  // heap allocation per node) dominates export time.  Serialization needs
+  // the per-node sets, so persist FromParts closures, not these.
+  static CompressedClosure FromPartsQueryOnly(const NodeLabels& labels,
+                                              TreeCover tree_cover);
+  static CompressedClosure FromPartsQueryOnly(const NodeLabels& labels,
+                                              TreeCover tree_cover,
+                                              ExportHints hints);
 
   // Copy-on-write overlay constructor: a closure that answers exactly
   // like a full export of the labeling `delta` was taken from, built in
-  // O(|overlay| log |overlay|) by sharing every unchanged node's storage
-  // with `base`.  `delta` must come from the same index lineage as `base`
-  // (same node ids, monotone node count) and list every node that changed
-  // since `base` was exported — DynamicClosure::ExportDelta() guarantees
-  // both.  Chaining is flattened: building from an overlay closure merges
-  // the accumulated overlay, so lookups never walk a chain; publishers
-  // bound the overlay's growth by forcing a periodic full export (see
-  // ServiceOptions::max_delta_publishes).
+  // O(|overlay| log |overlay| + n) by sharing every unchanged node's
+  // storage with `base`.  `delta` must come from the same index lineage
+  // as `base` (same node ids, monotone node count) and list every node
+  // that changed since `base` was exported — DynamicClosure::ExportDelta()
+  // guarantees both.  Chaining is flattened: building from an overlay
+  // closure merges the accumulated overlay, so lookups never walk a
+  // chain; publishers bound the overlay's growth by forcing a periodic
+  // full export (see ServiceOptions::max_delta_publishes).
   static CompressedClosure WithDelta(const CompressedClosure& base,
                                      const ClosureDelta& delta);
 
   // True iff there is a directed path from `u` to `v` (every node reaches
-  // itself).  One binary search over u's interval set.
+  // itself).  Two flat array loads in the common case: u's slot (which
+  // inlines its first interval) and v's slot (for the postorder number).
   bool Reaches(NodeId u, NodeId v) const {
     TREL_CHECK(IsValidNode(u));
     TREL_CHECK(IsValidNode(v));
     if (u == v) return true;
-    return EffectiveIntervals(u).Contains(EffectivePostorder(v));
+    if (overlay_.empty()) {
+      // Warm u's filter line while v's slot load resolves.
+      arena_->PrefetchSource(u);
+      return arena_->Contains(u, arena_->slots[v].postorder);
+    }
+    return ReachesWithOverlay(u, v);
+  }
+
+  // Batch point lookups over one consistent closure.  Queries are grouped
+  // by source node so each group's interval run is resolved once and
+  // binary-searched per target; upcoming slot loads are software-
+  // prefetched.  Unlike Reaches, out-of-range ids answer 0 rather than
+  // aborting (snapshot semantics — the service's batch path feeds ids
+  // readers took from other epochs).  `out` must have room for `n`.
+  void BatchReaches(const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                    uint8_t* out) const;
+  std::vector<uint8_t> BatchReaches(
+      const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+    std::vector<uint8_t> out(pairs.size());
+    BatchReaches(pairs.data(), static_cast<int64_t>(pairs.size()), out.data());
+    return out;
   }
 
   // All nodes reachable from `u`, excluding `u` itself, in ascending
-  // postorder-number order.
+  // postorder-number order.  Walks the flat directory: one bulk copy per
+  // interval on full exports.
   std::vector<NodeId> Successors(NodeId u) const;
 
-  // All nodes that reach `v`, excluding `v` itself.  O(total intervals)
-  // scan; the structure is optimized for forward queries, matching the
-  // paper's successor-list framing.
+  // All nodes that reach `v`, excluding `v` itself.  One linear sweep of
+  // the arena's slot array (sequential, prefetch-friendly); the structure
+  // is optimized for forward queries, matching the paper's successor-list
+  // framing.
   std::vector<NodeId> Predecessors(NodeId v) const;
 
   // Number of successors of `u` (excluding `u`), without materializing
@@ -111,11 +167,23 @@ class CompressedClosure {
   bool IsOverlay() const { return !overlay_.empty(); }
 
   // Introspection (used by tests, benches, and the dynamic index).
-  // `labels()` and `tree_cover()` expose the shared *base* layer: exact
-  // for full exports, stale for overlaid nodes of a WithDelta closure
-  // (use PostorderOf/IntervalsOf for overlay-aware per-node access).
+  // `labels()`, `tree_cover()`, and `arena()` expose the shared *base*
+  // layer: exact for full exports, stale for overlaid nodes of a
+  // WithDelta closure (use PostorderOf/IntervalsOf for overlay-aware
+  // per-node access).
+  //
+  // False iff this closure (or the base of its WithDelta chain) was
+  // exported with FromPartsQueryOnly: labels() is then empty and
+  // IntervalsOf() aborts; every query API works regardless.
+  bool HasLabels() const {
+    return labels_->postorder.size() ==
+           static_cast<size_t>(arena_->num_nodes());
+  }
   const NodeLabels& labels() const { return *labels_; }
   const TreeCover& tree_cover() const { return *tree_cover_; }
+  const LabelArena& arena() const { return *arena_; }
+  // Bytes pinned by the flat arena (slots + extras + directory).
+  int64_t ArenaByteSize() const { return arena_->ByteSize(); }
   Label PostorderOf(NodeId v) const {
     TREL_CHECK(IsValidNode(v));
     return EffectivePostorder(v);
@@ -123,6 +191,14 @@ class CompressedClosure {
   const IntervalSet& IntervalsOf(NodeId v) const {
     TREL_CHECK(IsValidNode(v));
     return EffectiveIntervals(v);
+  }
+  // Overlay-aware interval count without touching per-node heap storage.
+  int64_t IntervalCountOf(NodeId v) const {
+    TREL_CHECK(IsValidNode(v));
+    if (!overlay_.empty() && overlay_member_[v] != 0) {
+      return overlay_.find(v)->second.intervals.size();
+    }
+    return arena_->IntervalCount(v);
   }
 
  private:
@@ -133,31 +209,59 @@ class CompressedClosure {
     IntervalSet intervals;
   };
 
-  CompressedClosure(NodeLabels labels, TreeCover tree_cover);
+  // A node's postorder number plus where its intervals live, resolved
+  // with AT MOST ONE overlay probe (the old EffectiveIntervals +
+  // EffectivePostorder pair cost two `overlay_.find`s per node).
+  struct EffectiveLabel {
+    Label postorder;
+    // Non-null iff the node's intervals live in the overlay; otherwise
+    // they are the arena run of the node.
+    const IntervalSet* overlay_intervals;
+  };
+
+  // Builds the arena by reading `labels`; `retained` is what labels_
+  // keeps afterwards — the same data for FromParts, an empty set for
+  // FromPartsQueryOnly.
+  CompressedClosure(const NodeLabels& labels,
+                    std::shared_ptr<const NodeLabels> retained,
+                    TreeCover tree_cover, ExportHints hints);
+
+  EffectiveLabel EffectiveLabelOf(NodeId v) const {
+    if (!overlay_.empty() && overlay_member_[v] != 0) {
+      const OverlayEntry& entry = overlay_.find(v)->second;
+      return {entry.postorder, &entry.intervals};
+    }
+    return {arena_->slots[v].postorder, nullptr};
+  }
 
   const IntervalSet& EffectiveIntervals(NodeId v) const {
-    if (!overlay_.empty()) {
-      auto it = overlay_.find(v);
-      if (it != overlay_.end()) return it->second.intervals;
+    if (!overlay_.empty() && overlay_member_[v] != 0) {
+      return overlay_.find(v)->second.intervals;
     }
+    TREL_CHECK(HasLabels())
+        << "per-node IntervalSets were dropped by FromPartsQueryOnly; use "
+           "IntervalCountOf/queries, or export with FromParts";
     return labels_->intervals[v];
   }
   Label EffectivePostorder(NodeId v) const {
-    if (!overlay_.empty()) {
-      auto it = overlay_.find(v);
-      if (it != overlay_.end()) return it->second.postorder;
+    if (!overlay_.empty() && overlay_member_[v] != 0) {
+      return overlay_.find(v)->second.postorder;
     }
-    return labels_->postorder[v];
+    return arena_->slots[v].postorder;
   }
 
-  // Rebuilds overlay_by_postorder_ and stale_labels_ from overlay_, and
-  // recounts total_intervals_ from `base_total` plus overlay adjustments.
+  // Overlay-aware slow path behind Reaches' arena fast path.
+  bool ReachesWithOverlay(NodeId u, NodeId v) const;
+
+  // Rebuilds overlay_by_postorder_, stale_labels_, and overlay_member_
+  // from overlay_.
   void ReindexOverlay();
 
   // Nodes listed in the closed interval [lo, hi] of postorder numbers,
   // except the node numbered `skip` (pass a number outside [lo, hi] to
-  // keep everything).  Merges the base directory (minus stale entries)
-  // with the overlay directory, ascending.
+  // keep everything).  Full exports bulk-copy directory runs; overlays
+  // merge the base directory (minus stale entries) with the overlay
+  // directory, ascending.
   void AppendNodesInRange(Label lo, Label hi, Label skip,
                           std::vector<NodeId>& out) const;
   // Number of assigned postorder numbers in [lo, hi]; pure binary search.
@@ -166,8 +270,8 @@ class CompressedClosure {
   // --- Shared base layer (immutable once built, never overlaid) ---------
   std::shared_ptr<const NodeLabels> labels_;
   std::shared_ptr<const TreeCover> tree_cover_;
-  // (postorder number, node) sorted by number, for range enumeration.
-  std::shared_ptr<const std::vector<std::pair<Label, NodeId>>> by_postorder_;
+  // Flat query-path storage mirroring labels_ (see label_arena.h).
+  std::shared_ptr<const LabelArena> arena_;
 
   // --- Overlay layer (empty for full exports) ---------------------------
   // Changed/new nodes and their current labels.
@@ -177,6 +281,10 @@ class CompressedClosure {
   // Base postorder numbers superseded by the overlay (sorted); base
   // directory entries carrying these numbers are skipped.
   std::vector<Label> stale_labels_;
+  // overlay_member_[v] != 0 iff v has an overlay_ entry: one O(1) flat
+  // load gates the hash probe, so queries touching only base nodes do no
+  // probing at all.  Sized num_nodes_; empty when the overlay is empty.
+  std::vector<uint8_t> overlay_member_;
 
   NodeId num_nodes_ = 0;
   int64_t total_intervals_ = 0;

@@ -477,14 +477,32 @@ std::vector<NodeId> DynamicClosure::Successors(NodeId u) const {
   return result;
 }
 
-CompressedClosure DynamicClosure::ExportClosure() const {
+CompressedClosure DynamicClosure::ExportClosure(const ParallelRunner* runner,
+                                                bool retain_labels) const {
   TreeCover cover;
   cover.parent = tree_parent_;
   cover.children = tree_children_;
   for (NodeId v = 0; v < graph_.NumNodes(); ++v) {
     if (tree_parent_[v] == kNoNode) cover.roots.push_back(v);
   }
-  return CompressedClosure::FromParts(labels_, std::move(cover));
+  // by_postorder_ already orders (number, node) ascending, so the export
+  // can hand the arena builder a ready-made directory and skip its
+  // O(n log n) sort.
+  CompressedClosure::ExportHints hints;
+  hints.runner = runner;
+  hints.sorted_directory.reserve(by_postorder_.size());
+  for (const auto& [number, node] : by_postorder_) {
+    hints.sorted_directory.emplace_back(number, node);
+  }
+  if (!retain_labels) {
+    // Build the arena straight off this index's labels — no per-node
+    // IntervalSet deep copy.  The snapshot answers queries but cannot
+    // hand back labels() or serve as a WithDelta base for re-export.
+    return CompressedClosure::FromPartsQueryOnly(labels_, std::move(cover),
+                                                 std::move(hints));
+  }
+  return CompressedClosure::FromParts(labels_, std::move(cover),
+                                      std::move(hints));
 }
 
 

@@ -1,0 +1,202 @@
+#include "core/label_arena.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace trel {
+
+namespace {
+
+// Below this node count the arena builds serially even when a runner is
+// available: fan-out costs (enqueue, wake, join) exceed the copy work.
+constexpr int64_t kParallelBuildFloor = 1 << 14;
+
+// Shard count for the parallel directory sort.  Fixed rather than derived
+// from the runner's width (the runner interface deliberately hides it);
+// the merge cascade below is log2(kSortShards) passes.
+constexpr int64_t kSortShards = 8;
+
+constexpr int64_t kFilterBuckets = LabelArena::kFilterWords * 64;
+
+// Writes sorted[0..k) into out[1..k] in Eytzinger (BFS) order: the
+// in-order traversal of the implicit tree rooted at 1 visits ascending.
+void FillEytzinger(const Interval* sorted, uint32_t k, Interval* out,
+                   uint32_t i, uint32_t& pos) {
+  if (i > k) return;
+  FillEytzinger(sorted, k, out, 2 * i, pos);
+  out[i] = sorted[pos++];
+  FillEytzinger(sorted, k, out, 2 * i + 1, pos);
+}
+
+}  // namespace
+
+int64_t LabelArena::DirLowerBound(Label x) const {
+  return std::lower_bound(dir_labels.begin(), dir_labels.end(), x) -
+         dir_labels.begin();
+}
+
+int64_t LabelArena::DirUpperBound(Label x) const {
+  return std::upper_bound(dir_labels.begin(), dir_labels.end(), x) -
+         dir_labels.begin();
+}
+
+int64_t LabelArena::ByteSize() const {
+  return static_cast<int64_t>(slots.size() * sizeof(NodeSlot) +
+                              extras.size() * sizeof(Interval) +
+                              filters.size() * sizeof(uint64_t) +
+                              dir_labels.size() * sizeof(Label) +
+                              dir_nodes.size() * sizeof(NodeId));
+}
+
+LabelArena BuildLabelArena(const NodeLabels& labels,
+                           std::vector<std::pair<Label, NodeId>> sorted_directory,
+                           const ParallelRunner* runner) {
+  const int64_t n = static_cast<int64_t>(labels.postorder.size());
+  TREL_CHECK_EQ(labels.postorder.size(), labels.intervals.size());
+  LabelArena arena;
+  if (n == 0) return arena;
+
+  const bool parallel = runner != nullptr && n >= kParallelBuildFloor;
+  const auto for_range =
+      [&](int64_t count, const std::function<void(int64_t, int64_t)>& body) {
+        if (parallel) {
+          (*runner)(count, body);
+        } else {
+          body(0, count);
+        }
+      };
+
+  // Filter bucket scale: the largest assigned postorder number must land
+  // in the last bucket or below.  Labels are nonnegative (postorder
+  // numbering starts at 1; gap numbering only stretches upward).
+  Label max_label = 0;
+  for (int64_t v = 0; v < n; ++v) {
+    TREL_CHECK_GE(labels.postorder[v], 0)
+        << "filter bucketing requires nonnegative postorder numbers";
+    max_label = std::max(max_label, labels.postorder[v]);
+  }
+  while ((max_label >> arena.filter_shift) >= kFilterBuckets) {
+    ++arena.filter_shift;
+  }
+
+  // Pass 1: per-node extras run sizes, then a serial prefix sum into
+  // begin offsets.  A k-interval node (k > 1) gets a run of k slots:
+  // summary at index 0, the k-1 extras as the Eytzinger tree at 1..k-1.
+  // The counts pass touches every IntervalSet header once — the only
+  // pointer-chasing the arena ever does again.
+  std::vector<uint32_t> extra_begin(static_cast<size_t>(n) + 1, 0);
+  for_range(n, [&](int64_t begin, int64_t end) {
+    for (int64_t v = begin; v < end; ++v) {
+      const int64_t k = labels.intervals[v].size();
+      extra_begin[v + 1] = k > 1 ? static_cast<uint32_t>(k) : 0;
+    }
+  });
+  for (int64_t v = 0; v < n; ++v) {
+    const uint64_t sum =
+        static_cast<uint64_t>(extra_begin[v]) + extra_begin[v + 1];
+    TREL_CHECK_LE(sum, std::numeric_limits<uint32_t>::max())
+        << "arena extras exceed the 32-bit slot offset";
+    extra_begin[v + 1] = static_cast<uint32_t>(sum);
+  }
+
+  // Pass 2: fill slots, the per-node Eytzinger runs, and the coverage
+  // filters.  Disjoint writes per node, so the pass shards cleanly.
+  arena.slots.resize(n);
+  arena.extras.resize(extra_begin[n], Interval{1, 0});
+  arena.filters.assign(static_cast<size_t>(n) * LabelArena::kFilterWords, 0);
+  const int shift = arena.filter_shift;
+  for_range(n, [&](int64_t begin, int64_t end) {
+    for (int64_t v = begin; v < end; ++v) {
+      const std::vector<Interval>& set = labels.intervals[v].intervals();
+      LabelArena::NodeSlot slot;
+      slot.postorder = labels.postorder[v];
+      slot.extra_begin = extra_begin[v];
+      if (!set.empty()) {
+        slot.first = set[0];
+        slot.extra_count = static_cast<uint32_t>(set.size() - 1);
+      }
+      if (slot.extra_count > 0) {
+        TREL_CHECK_GE(set[1].lo, 0)
+            << "filter bucketing requires nonnegative interval endpoints";
+        Interval* out = arena.extras.data() + extra_begin[v];
+        uint32_t pos = 0;
+        FillEytzinger(set.data() + 1, slot.extra_count, out, 1, pos);
+        // Summary slot: the extras' min lo / max hi (sorted antichain:
+        // both endpoint sequences ascend), for the O(1) range reject.
+        out[0] = Interval{set[1].lo, set.back().hi};
+        uint64_t* words =
+            arena.filters.data() + static_cast<size_t>(v) * LabelArena::kFilterWords;
+        for (size_t i = 1; i < set.size(); ++i) {
+          const Label b_lo = set[i].lo >> shift;
+          const Label b_hi = std::min<Label>(set[i].hi >> shift,
+                                             kFilterBuckets - 1);
+          for (Label b = b_lo; b <= b_hi; ++b) {
+            words[b >> 6] |= uint64_t{1} << (b & 63);
+          }
+        }
+      }
+      arena.slots[v] = slot;
+    }
+  });
+
+  // Pass 3: the sorted postorder directory.  A caller-supplied directory
+  // (DynamicClosure's by-postorder map) skips the sort entirely; else
+  // sort here — sharded with a merge cascade when a runner is available.
+  if (sorted_directory.empty()) {
+    sorted_directory.resize(n);
+    for_range(n, [&](int64_t begin, int64_t end) {
+      for (int64_t v = begin; v < end; ++v) {
+        sorted_directory[v] = {labels.postorder[v], static_cast<NodeId>(v)};
+      }
+    });
+    if (parallel) {
+      const int64_t shard = (n + kSortShards - 1) / kSortShards;
+      (*runner)(kSortShards, [&](int64_t sb, int64_t se) {
+        for (int64_t s = sb; s < se; ++s) {
+          const int64_t lo = s * shard;
+          if (lo >= n) break;
+          std::sort(sorted_directory.begin() + lo,
+                    sorted_directory.begin() + std::min(n, lo + shard));
+        }
+      });
+      for (int64_t width = shard; width < n; width *= 2) {
+        const int64_t merges = (n + 2 * width - 1) / (2 * width);
+        (*runner)(merges, [&](int64_t mb, int64_t me) {
+          for (int64_t m = mb; m < me; ++m) {
+            const int64_t lo = m * 2 * width;
+            const int64_t mid = std::min(n, lo + width);
+            const int64_t hi = std::min(n, lo + 2 * width);
+            if (mid < hi) {
+              std::inplace_merge(sorted_directory.begin() + lo,
+                                 sorted_directory.begin() + mid,
+                                 sorted_directory.begin() + hi);
+            }
+          }
+        });
+      }
+    } else {
+      std::sort(sorted_directory.begin(), sorted_directory.end());
+    }
+  } else {
+    TREL_CHECK_EQ(static_cast<int64_t>(sorted_directory.size()), n)
+        << "sorted_directory must cover every node";
+    TREL_CHECK(std::is_sorted(sorted_directory.begin(),
+                              sorted_directory.end()))
+        << "sorted_directory must be sorted by postorder number";
+  }
+
+  // Pass 4: split the directory into structure-of-arrays form.
+  arena.dir_labels.resize(n);
+  arena.dir_nodes.resize(n);
+  for_range(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      arena.dir_labels[i] = sorted_directory[i].first;
+      arena.dir_nodes[i] = sorted_directory[i].second;
+    }
+  });
+  return arena;
+}
+
+}  // namespace trel

@@ -71,6 +71,7 @@ std::string ServiceMetrics::View::ToString() const {
       << " nodes=" << snapshot_num_nodes
       << " intervals=" << snapshot_total_intervals
       << " overlay_nodes=" << snapshot_overlay_nodes
+      << " arena_bytes=" << snapshot_arena_bytes
       << " reach_queries=" << reach_queries
       << " successor_queries=" << successor_queries
       << " batches=" << batches << " batch_us=" << batch_micros_total

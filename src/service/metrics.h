@@ -45,6 +45,9 @@ class ServiceMetrics {
     int64_t snapshot_total_intervals = 0;
     int64_t snapshot_num_nodes = 0;
     int64_t snapshot_overlay_nodes = 0;
+    // Bytes pinned by the snapshot's flat query arena (shared across
+    // delta snapshots, so overlay epochs report their base's arena).
+    int64_t snapshot_arena_bytes = 0;
 
     std::string ToString() const;
   };

@@ -142,7 +142,20 @@ uint64_t QueryService::PublishLocked() {
     snapshot->delta_entries = static_cast<int64_t>(delta.entries.size());
     ++delta_publishes_since_full_;
   } else {
-    snapshot->closure = dynamic_.ExportClosure();
+    if (pool_ != nullptr) {
+      // Shard the arena build of the full export across the worker pool
+      // (readers keep querying the old snapshot; the pool only blocks
+      // batch queries, which share it).
+      const ParallelRunner runner =
+          [this](int64_t n, const std::function<void(int64_t, int64_t)>& body) {
+            pool_->ParallelFor(n, body);
+          };
+      snapshot->closure =
+          dynamic_.ExportClosure(&runner, /*retain_labels=*/false);
+    } else {
+      snapshot->closure =
+          dynamic_.ExportClosure(nullptr, /*retain_labels=*/false);
+    }
     // The full export captured every node, so the dirty set is settled.
     dynamic_.MarkClean();
     if (options_.stats_on_publish) {
@@ -180,12 +193,13 @@ std::vector<uint8_t> QueryService::BatchReaches(
   const int64_t n = static_cast<int64_t>(pairs.size());
   std::shared_ptr<const ClosureSnapshot> snapshot = Snapshot();
   std::vector<uint8_t> results(pairs.size());
+  // Each chunk runs the core batch kernel (source-grouping + prefetch)
+  // rather than per-element snapshot->Reaches; the kernel's id handling
+  // matches snapshot semantics (unknown ids answer false).
   const auto body = [&snapshot, &pairs, &results](int64_t begin,
                                                   int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      results[i] =
-          snapshot->Reaches(pairs[i].first, pairs[i].second) ? 1 : 0;
-    }
+    snapshot->closure.BatchReaches(pairs.data() + begin, end - begin,
+                                   results.data() + begin);
   };
   if (pool_ == nullptr || n < options_.min_parallel_batch) {
     body(0, n);
@@ -229,6 +243,7 @@ ServiceMetrics::View QueryService::Metrics() const {
   view.snapshot_num_nodes = snapshot->NumNodes();
   view.snapshot_total_intervals = snapshot->closure.TotalIntervals();
   view.snapshot_overlay_nodes = snapshot->closure.OverlayNodeCount();
+  view.snapshot_arena_bytes = snapshot->closure.ArenaByteSize();
   return view;
 }
 

@@ -1,0 +1,317 @@
+// Differential fuzz suite for the flat LabelArena query path: every
+// query the arena answers (Reaches, BatchReaches, Successors,
+// CountSuccessors, Predecessors) must agree with a naive per-node
+// IntervalSet reference evaluated over the same labeling, across
+// randomized DAGs, gap-numbered labelings, query-only exports, and
+// WithDelta overlay chains.  The reference never touches the arena —
+// it reads NodeLabels directly — so a layout bug anywhere in the arena
+// (Eytzinger runs, coverage filters, directory) trips it.
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compressed_closure.h"
+#include "core/dynamic_closure.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+
+namespace trel {
+namespace {
+
+// Answers every query shape straight off the per-node labels, the way
+// the paper defines them: u reaches v iff some interval of u contains
+// v's postorder number.
+class ReferenceClosure {
+ public:
+  explicit ReferenceClosure(const NodeLabels& labels) : labels_(labels) {}
+
+  bool Reaches(NodeId u, NodeId v) const {
+    return u == v || labels_.intervals[u].Contains(labels_.postorder[v]);
+  }
+
+  // Ascending postorder-number order, matching the closure's contract.
+  std::vector<NodeId> Successors(NodeId u) const {
+    std::vector<NodeId> out;
+    for (NodeId w = 0; w < NumNodes(); ++w) {
+      if (w != u && labels_.intervals[u].Contains(labels_.postorder[w])) {
+        out.push_back(w);
+      }
+    }
+    std::sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+      return labels_.postorder[a] < labels_.postorder[b];
+    });
+    return out;
+  }
+
+  // Ascending node id, matching the closure's arena sweep.
+  std::vector<NodeId> Predecessors(NodeId v) const {
+    std::vector<NodeId> out;
+    for (NodeId u = 0; u < NumNodes(); ++u) {
+      if (u != v && labels_.intervals[u].Contains(labels_.postorder[v])) {
+        out.push_back(u);
+      }
+    }
+    return out;
+  }
+
+  NodeId NumNodes() const {
+    return static_cast<NodeId>(labels_.postorder.size());
+  }
+
+ private:
+  const NodeLabels& labels_;
+};
+
+// Every query shape, all pairs, closure vs reference.
+void ExpectMatchesReference(const CompressedClosure& closure,
+                            const ReferenceClosure& ref,
+                            const char* what) {
+  ASSERT_EQ(closure.NumNodes(), ref.NumNodes()) << what;
+  const NodeId n = closure.NumNodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(closure.Reaches(u, v), ref.Reaches(u, v))
+          << what << " Reaches " << u << "->" << v;
+    }
+    const std::vector<NodeId> succ = ref.Successors(u);
+    ASSERT_EQ(closure.Successors(u), succ) << what << " Successors " << u;
+    ASSERT_EQ(closure.CountSuccessors(u), static_cast<int64_t>(succ.size()))
+        << what << " CountSuccessors " << u;
+    ASSERT_EQ(closure.Predecessors(u), ref.Predecessors(u))
+        << what << " Predecessors " << u;
+  }
+}
+
+// Random pairs including out-of-range ids and duplicates on purpose,
+// large enough to cross the grouped-kernel threshold.
+std::vector<std::pair<NodeId, NodeId>> FuzzPairs(NodeId n, uint64_t seed,
+                                                 int64_t count) {
+  Random rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(count);
+  for (int64_t i = 0; i < count; ++i) {
+    // Draw from [-2, n+1] so invalid ids show up on both sides.
+    const NodeId u = static_cast<NodeId>(rng.Uniform(n + 4)) - 2;
+    const NodeId v = static_cast<NodeId>(rng.Uniform(n + 4)) - 2;
+    pairs.emplace_back(u, v);
+  }
+  return pairs;
+}
+
+// BatchReaches snapshot semantics: invalid ids answer 0, never abort.
+void ExpectBatchMatchesReference(const CompressedClosure& closure,
+                                 const ReferenceClosure& ref, uint64_t seed,
+                                 const char* what) {
+  const NodeId n = closure.NumNodes();
+  // 2048 pairs exercises the grouped kernel; 64 the per-query path.
+  for (const int64_t count : {int64_t{64}, int64_t{2048}}) {
+    const auto pairs = FuzzPairs(n, seed, count);
+    const std::vector<uint8_t> got = closure.BatchReaches(pairs);
+    ASSERT_EQ(static_cast<int64_t>(got.size()), count) << what;
+    for (int64_t i = 0; i < count; ++i) {
+      const auto [u, v] = pairs[i];
+      const bool valid = closure.IsValidNode(u) && closure.IsValidNode(v);
+      const uint8_t expected = valid && ref.Reaches(u, v) ? 1 : 0;
+      ASSERT_EQ(got[i], expected)
+          << what << " batch[" << count << "] " << u << "->" << v;
+    }
+  }
+}
+
+class ArenaDifferentialTest : public ::testing::TestWithParam<
+                                  std::tuple<int, double, Label, uint64_t>> {};
+
+// The core property: a closure built over a randomized DAG — with and
+// without postorder gaps — answers exactly like the IntervalSet
+// reference over its own labels.
+TEST_P(ArenaDifferentialTest, ArenaAgreesWithIntervalSetReference) {
+  const auto& [nodes, degree, gap, seed] = GetParam();
+  const Digraph graph = RandomDag(nodes, degree, seed);
+
+  ClosureOptions options;
+  options.labeling.gap = gap;
+  options.labeling.reserve = gap > 4 ? 3 : 0;
+  auto built = CompressedClosure::Build(graph, options);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+
+  const ReferenceClosure ref(built->labels());
+  ExpectMatchesReference(*built, ref, "build");
+  ExpectBatchMatchesReference(*built, ref, seed * 31 + 7, "build");
+
+  // Cross-check the labeling itself against DFS ground truth, so a
+  // labeling bug can't hide behind a reference evaluated on the same
+  // (broken) labels.
+  const ReachabilityMatrix truth(graph);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      ASSERT_EQ(built->Reaches(u, v), truth.Reaches(u, v))
+          << "ground truth " << u << "->" << v;
+    }
+  }
+}
+
+// FromPartsQueryOnly must be query-for-query identical to FromParts on
+// the same labeling, while dropping the per-node storage.
+TEST_P(ArenaDifferentialTest, QueryOnlyExportAgrees) {
+  const auto& [nodes, degree, gap, seed] = GetParam();
+  const Digraph graph = RandomDag(nodes, degree, seed);
+  ClosureOptions options;
+  options.labeling.gap = gap;
+  auto built = CompressedClosure::Build(graph, options);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+
+  NodeLabels labels = built->labels();
+  TreeCover cover = built->tree_cover();
+  const CompressedClosure query_only =
+      CompressedClosure::FromPartsQueryOnly(labels, cover);
+  EXPECT_FALSE(query_only.HasLabels());
+  EXPECT_TRUE(built->HasLabels());
+  EXPECT_EQ(query_only.TotalIntervals(), built->TotalIntervals());
+
+  const ReferenceClosure ref(labels);
+  ExpectMatchesReference(query_only, ref, "query_only");
+  ExpectBatchMatchesReference(query_only, ref, seed * 17 + 3, "query_only");
+  for (NodeId v = 0; v < query_only.NumNodes(); ++v) {
+    ASSERT_EQ(query_only.IntervalCountOf(v), labels.intervals[v].size())
+        << "IntervalCountOf " << v;
+    ASSERT_EQ(query_only.PostorderOf(v), labels.postorder[v])
+        << "PostorderOf " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ArenaDifferentialTest,
+    ::testing::Values(
+        // (nodes, avg degree, postorder gap, seed)
+        std::make_tuple(90, 1.5, Label{1}, uint64_t{11}),
+        std::make_tuple(90, 1.5, Label{1}, uint64_t{12}),
+        std::make_tuple(60, 5.0, Label{1}, uint64_t{13}),   // interval-heavy
+        std::make_tuple(90, 2.0, Label{64}, uint64_t{14}),  // gap-numbered
+        std::make_tuple(60, 4.0, Label{64}, uint64_t{15}),
+        std::make_tuple(120, 0.8, Label{7}, uint64_t{16})),  // forest-like
+    [](const ::testing::TestParamInfo<std::tuple<int, double, Label, uint64_t>>&
+           info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_gap" +
+             std::to_string(std::get<2>(info.param)) + "_seed" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// A chain of WithDelta overlays over a mutating index must keep
+// answering like (a) the IntervalSet reference over the index's current
+// labels and (b) DFS ground truth on the current graph — for overlays
+// based on both full and query-only exports.
+TEST(ArenaOverlayDifferentialTest, OverlayChainAgreesWithReference) {
+  for (const bool query_only_base : {false, true}) {
+    auto dynamic = DynamicClosure::Build(RandomDag(60, 1.5, 21));
+    ASSERT_TRUE(dynamic.ok());
+
+    CompressedClosure snapshot = dynamic->ExportClosure(
+        /*runner=*/nullptr, /*retain_labels=*/!query_only_base);
+    dynamic->MarkClean();
+
+    Random rng(97);
+    for (int round = 0; round < 6; ++round) {
+      // Mutate: a few random arcs plus the occasional new leaf, so the
+      // delta carries both relabeled and brand-new nodes.
+      for (int i = 0; i < 5; ++i) {
+        const NodeId u =
+            static_cast<NodeId>(rng.Uniform(dynamic->NumNodes()));
+        const NodeId v =
+            static_cast<NodeId>(rng.Uniform(dynamic->NumNodes()));
+        (void)dynamic->AddArc(u, v);  // Cycles/duplicates are fine to drop.
+      }
+      ASSERT_TRUE(dynamic
+                      ->AddLeafUnder(static_cast<NodeId>(
+                          rng.Uniform(dynamic->NumNodes())))
+                      .ok());
+
+      ClosureDelta delta = dynamic->ExportDelta();
+      snapshot = CompressedClosure::WithDelta(snapshot, delta);
+      ASSERT_TRUE(snapshot.IsOverlay());
+
+      // Reference labels come from a fresh full export of the same index
+      // state; the overlay must agree with them query for query.
+      const CompressedClosure full = dynamic->ExportClosure();
+      const ReferenceClosure ref(full.labels());
+      ExpectMatchesReference(
+          snapshot, ref, query_only_base ? "overlay(query-only)" : "overlay");
+      ExpectBatchMatchesReference(snapshot, ref, 400 + round,
+                                  "overlay batch");
+
+      const ReachabilityMatrix truth(dynamic->graph());
+      for (NodeId u = 0; u < dynamic->NumNodes(); ++u) {
+        for (NodeId v = 0; v < dynamic->NumNodes(); ++v) {
+          ASSERT_EQ(snapshot.Reaches(u, v), truth.Reaches(u, v))
+              << "overlay ground truth " << u << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+// Sharding the arena build across threads must produce the identical
+// arena, byte for byte: same slots, extras (Eytzinger runs + summaries),
+// coverage filters, and directory.
+TEST(ArenaParallelBuildTest, ParallelBuildIsDeterministic) {
+  // Above kParallelBuildFloor (1 << 14) so the runner actually shards.
+  const Digraph graph = RandomDag(20000, 2.0, 31);
+  auto built = CompressedClosure::Build(graph);
+  ASSERT_TRUE(built.ok());
+  NodeLabels labels = built->labels();
+  TreeCover cover = built->tree_cover();
+
+  const ParallelRunner runner =
+      [](int64_t count, const std::function<void(int64_t, int64_t)>& body) {
+        constexpr int kThreads = 4;
+        const int64_t chunk = (count + kThreads - 1) / kThreads;
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+          const int64_t begin = t * chunk;
+          const int64_t end = std::min<int64_t>(count, begin + chunk);
+          if (begin >= end) break;
+          threads.emplace_back([&body, begin, end] { body(begin, end); });
+        }
+        for (std::thread& t : threads) t.join();
+      };
+
+  CompressedClosure::ExportHints hints;
+  hints.runner = &runner;
+  const CompressedClosure sharded =
+      CompressedClosure::FromPartsQueryOnly(labels, cover, std::move(hints));
+  const CompressedClosure serial =
+      CompressedClosure::FromPartsQueryOnly(labels, cover);
+
+  const LabelArena& a = sharded.arena();
+  const LabelArena& b = serial.arena();
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.extras.size(), b.extras.size());
+  EXPECT_EQ(std::memcmp(a.slots.data(), b.slots.data(),
+                        a.slots.size() * sizeof(LabelArena::NodeSlot)),
+            0);
+  EXPECT_EQ(std::memcmp(a.extras.data(), b.extras.data(),
+                        a.extras.size() * sizeof(Interval)),
+            0);
+  EXPECT_EQ(a.filters, b.filters);
+  EXPECT_EQ(a.dir_labels, b.dir_labels);
+  EXPECT_EQ(a.dir_nodes, b.dir_nodes);
+
+  // Spot-check queries on the sharded build against the reference.
+  const ReferenceClosure ref(labels);
+  Random rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(sharded.NumNodes()));
+    const NodeId v = static_cast<NodeId>(rng.Uniform(sharded.NumNodes()));
+    ASSERT_EQ(sharded.Reaches(u, v), ref.Reaches(u, v))
+        << "sharded " << u << "->" << v;
+  }
+}
+
+}  // namespace
+}  // namespace trel

@@ -5,7 +5,9 @@
 #   tools/ci.sh --tier1        # plain build + full ctest (the ROADMAP gate)
 #   tools/ci.sh --asan         # ASan/UBSan build + full ctest
 #   tools/ci.sh --tsan         # TSan build + concurrent service tests
-#   tools/ci.sh --bench-smoke  # run every bench binary at tiny sizes
+#   tools/ci.sh --bench-smoke  # run every bench binary at tiny sizes,
+#                              # collecting BENCH_*.json into build/bench-json
+#   tools/ci.sh --arena-fuzz   # arena differential fuzz under ASan/UBSan
 #
 # Stages may be combined (e.g. `tools/ci.sh --tier1 --bench-smoke`).
 # Extra configure flags for all stages can be passed via TREL_CMAKE_FLAGS
@@ -66,13 +68,37 @@ bench_smoke() {
   # Executes every bench binary end-to-end at tiny sizes (TREL_BENCH_SMOKE
   # caps problem sizes at n<=200 inside the binaries) as a does-it-run
   # check, so bench code can't rot between perf-measurement sessions.
+  # TREL_BENCH_JSON makes each bench drop its machine-readable
+  # BENCH_<name>.json into build/bench-json (the CI workflow uploads the
+  # directory as an artifact); a bench that crashes mid-emission fails
+  # the loop, and a run that produces no JSON at all fails the stage.
   run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
   run cmake --build build -j "${JOBS}"
+  local json_dir="build/bench-json"
+  rm -rf "${json_dir}"
+  mkdir -p "${json_dir}"
   local binary
   for binary in build/bench/*; do
     [[ -f "${binary}" && -x "${binary}" ]] || continue
-    run env TREL_BENCH_SMOKE=1 "${binary}" > /dev/null
+    run env TREL_BENCH_SMOKE=1 TREL_BENCH_JSON="${json_dir}" \
+      "${binary}" > /dev/null
   done
+  if ! compgen -G "${json_dir}/BENCH_*.json" > /dev/null; then
+    echo "bench smoke produced no BENCH_*.json in ${json_dir}" >&2
+    exit 1
+  fi
+  run ls "${json_dir}"
+}
+
+arena_fuzz() {
+  # Differential fuzz of the flat query arena under ASan/UBSan: the
+  # randomized DAG / gap-labeling / overlay-chain suite is the one most
+  # likely to surface an out-of-bounds read in the Eytzinger runs or
+  # coverage filters, so it gets a dedicated sanitized entry point.
+  run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTREL_SANITIZE=address,undefined "${EXTRA_CMAKE_FLAGS[@]}"
+  run cmake --build build-asan -j "${JOBS}" --target arena_differential_test
+  run ./build-asan/tests/arena_differential_test
 }
 
 if [[ $# -eq 0 ]]; then
@@ -85,9 +111,11 @@ else
       --asan) stages+=(asan_ubsan) ;;
       --tsan) stages+=(tsan_service) ;;
       --bench-smoke) stages+=(bench_smoke) ;;
+      --arena-fuzz) stages+=(arena_fuzz) ;;
       *)
         echo "unknown stage: ${arg}" >&2
-        echo "usage: tools/ci.sh [--tier1] [--asan] [--tsan] [--bench-smoke]" >&2
+        echo "usage: tools/ci.sh [--tier1] [--asan] [--tsan] [--bench-smoke]" \
+          "[--arena-fuzz]" >&2
         exit 2
         ;;
     esac
