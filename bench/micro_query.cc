@@ -56,6 +56,41 @@ BENCHMARK(BM_ReachesCompressed)->Apply([](benchmark::internal::Benchmark* b) {
   SmokeOrFull(b, {{1000, 2}, {1000, 8}, {10000, 2}, {50000, 4}}, {200, 2});
 });
 
+// Args: {nodes, degree, batch_size}.  One iteration answers the whole
+// batch; ops are individual lookups so ops/s compares directly with the
+// single-query benchmarks above.  The pair set is fixed across
+// iterations (regenerating it would time the RNG, not the kernel).
+void BM_BatchReachesCompressed(benchmark::State& state) {
+  Digraph graph =
+      BenchGraph(state.range(0), static_cast<double>(state.range(1)));
+  auto closure = CompressedClosure::Build(graph);
+  Random rng(1);
+  const NodeId n = graph.NumNodes();
+  const int64_t batch = state.range(2);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(batch);
+  for (int64_t i = 0; i < batch; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.Uniform(n)),
+                       static_cast<NodeId>(rng.Uniform(n)));
+  }
+  std::vector<uint8_t> out(batch);
+  for (auto _ : state) {
+    closure->BatchReaches(pairs.data(), batch, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchReachesCompressed)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      // {50000, 4, 4096} is the acceptance configuration for the SIMD
+      // batch-engine work; the small and large batch sizes bracket the
+      // grouped-kernel threshold.
+      SmokeOrFull(b,
+                  {{50000, 4, 128}, {50000, 4, 4096}, {50000, 4, 65536}},
+                  {200, 2, 128});
+    });
+
 void BM_ReachesFullClosure(benchmark::State& state) {
   Digraph graph = BenchGraph(state.range(0), 2.0);
   FullClosure closure(graph);

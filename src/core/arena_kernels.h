@@ -1,0 +1,105 @@
+#ifndef TREL_CORE_ARENA_KERNELS_H_
+#define TREL_CORE_ARENA_KERNELS_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "core/label_arena.h"
+#include "core/simd_dispatch.h"
+
+namespace trel {
+
+// Tallies from one batch-kernel invocation.  Accumulated in plain locals
+// inside the kernel (never atomically on the hot path) and published to
+// ServiceMetrics by the query service afterwards.
+struct BatchKernelStats {
+  // Queries decided by slots alone: invalid ids, u == v, the target
+  // number hitting (or falling below) the source's inline first interval,
+  // or a source with no extras.
+  int64_t fast_path = 0;
+  // Queries killed by the source's coverage filter (single-bit test).
+  int64_t filter_rejects = 0;
+  // Queries killed wholesale by a one-shot 512-bit group filter test
+  // (runs of equal sources; see the batch engine).
+  int64_t group_rejects = 0;
+  // Queries that had to search an extras run (vector scan or descent).
+  int64_t extras_searches = 0;
+
+  BatchKernelStats& operator+=(const BatchKernelStats& o) {
+    fast_path += o.fast_path;
+    filter_rejects += o.filter_rejects;
+    group_rejects += o.group_rejects;
+    extras_searches += o.extras_searches;
+    return *this;
+  }
+};
+
+// Function table for the arena's vector-specializable query kernels.
+// One table per SimdLevel, each defined in an isolated TU compiled with
+// exactly that level's flags (arena_kernels_{scalar,sse,avx2}.cc); the
+// process picks a table once at startup via simd_dispatch.h.  Every
+// level computes bit-identical answers — levels differ only in how the
+// compare work is issued.
+struct ArenaKernels {
+  SimdLevel level;
+  const char* name;
+
+  // True iff some interval of the extras run `base[0..count]` contains
+  // `x` (summary interval at base[0], Eytzinger tree at 1..count — see
+  // label_arena.h).  Called only after the coverage filter passed.
+  // Short runs are scanned with wide compares; long runs descend the
+  // Eytzinger tree.
+  bool (*extras_contains)(const Interval* base, uint32_t count, Label x);
+
+  // 512-bit any-intersection test over one node's coverage-filter line:
+  // (filter[i] & mask[i]) != 0 for some i in [0, kFilterWords).
+  bool (*filter_intersects)(const uint64_t* filter, const uint64_t* mask);
+
+  // Software-pipelined batch point-lookup engine over an overlay-free
+  // arena.  Snapshot semantics: out-of-range ids answer 0.  `stats` may
+  // be null.
+  void (*batch_reaches)(const LabelArena& arena,
+                        const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                        uint8_t* out, BatchKernelStats* stats);
+};
+
+// The hot single-query membership probe: same fast path as
+// LabelArena::Contains (inline first-interval test, then the one-bit
+// coverage-filter reject), with the extras search routed through the
+// dispatched kernel so short runs get the vector scan.  The indirect
+// call only happens on the minority of probes that survive the filter.
+inline bool ArenaContains(const LabelArena& arena, const ArenaKernels& kernels,
+                          NodeId u, Label x) {
+  const LabelArena::NodeSlot& s = arena.slots[u];
+  if (x < s.first.lo) return false;  // Antichain: every lo is >= first.lo.
+  if (x <= s.first.hi) return true;
+  if (s.extra_count == 0) return false;
+  const Interval* base = arena.extras.data() + s.extra_begin;
+  __builtin_prefetch(base);
+  const uint64_t b = static_cast<uint64_t>(x) >> arena.filter_shift;
+  if (b >= static_cast<uint64_t>(LabelArena::kFilterWords) * 64) return false;
+  if (((arena.filters[u * LabelArena::kFilterWords + (b >> 6)] >> (b & 63)) &
+       1) == 0) {
+    return false;
+  }
+  // Summary reject inline (the kernel re-checks it — one compare on an
+  // already-hot line) so filter false positives above the extras' range
+  // skip the indirect call entirely, matching the pre-dispatch cost.
+  if (x > base[0].hi || x < base[0].lo) return false;
+  if (s.extra_count <= 4) {
+    // A cold single probe into a short run is latency-bound, not
+    // throughput-bound: the branch-free scalar scan finishes before a
+    // vector kernel's set1/broadcast setup would, and skips the
+    // indirect call.  Batch probes still take the vector path.
+    bool hit = false;
+    for (uint32_t i = 1; i <= s.extra_count; ++i) {
+      hit |= (base[i].lo <= x) & (x <= base[i].hi);
+    }
+    return hit;
+  }
+  return kernels.extras_contains(base, s.extra_count, x);
+}
+
+}  // namespace trel
+
+#endif  // TREL_CORE_ARENA_KERNELS_H_

@@ -1,0 +1,34 @@
+// AVX2 arena kernels.  This TU (and only this TU) is compiled with
+// -mavx2 on x86 (see CMakeLists.txt); when the target lacks the ISA
+// entirely — non-x86, or a toolchain that refuses the flag — the table
+// degrades to the scalar one and the dispatcher reports the level it
+// actually got.
+
+#include "core/simd_dispatch.h"
+
+#if defined(__AVX2__)
+
+#define TREL_KERNEL_VARIANT 2
+#include "core/arena_kernels_impl.h"
+
+namespace trel {
+
+const ArenaKernels& Avx2ArenaKernels() {
+  static const ArenaKernels kTable{SimdLevel::kAvx2, "avx2",
+                                   &KernelExtrasContains,
+                                   &KernelFilterIntersects,
+                                   &KernelBatchReaches};
+  return kTable;
+}
+
+}  // namespace trel
+
+#else  // !defined(__AVX2__)
+
+namespace trel {
+
+const ArenaKernels& Avx2ArenaKernels() { return ScalarArenaKernels(); }
+
+}  // namespace trel
+
+#endif

@@ -1,0 +1,429 @@
+// Implementation body for one arena-kernel translation unit.  NOT a
+// normal header: arena_kernels_{scalar,sse,avx2}.cc each define
+// TREL_KERNEL_VARIANT (0 = portable scalar, 1 = SSE4.2, 2 = AVX2) and
+// include this file exactly once; the TU is compiled with that level's
+// vector flags (see src/core/CMakeLists.txt), so the intrinsics below
+// never leak into commonly-compiled objects.  Every variant computes
+// bit-identical answers — they differ only in how the compare work of
+// short-run scans and 512-bit filter tests is issued, and the batch
+// engine's pipeline structure is shared verbatim.
+
+#ifndef TREL_KERNEL_VARIANT
+#error "arena_kernels_impl.h must be included with TREL_KERNEL_VARIANT set"
+#endif
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "core/arena_kernels.h"
+#include "core/label_arena.h"
+
+#if TREL_KERNEL_VARIANT >= 1
+#include <immintrin.h>
+#endif
+
+namespace trel {
+namespace {
+
+// Extras runs at or below this length are scanned linearly (wide
+// compares cover the whole run in a handful of instructions, with no
+// dependent-load chain); longer runs descend the Eytzinger tree.  Sized
+// per variant to roughly two cache lines of vector work.
+#if TREL_KERNEL_VARIANT == 2
+constexpr uint32_t kLinearScanMax = 32;
+#elif TREL_KERNEL_VARIANT == 1
+constexpr uint32_t kLinearScanMax = 16;
+#else
+constexpr uint32_t kLinearScanMax = 4;
+#endif
+
+// True iff some interval of a[0..k) contains x.  Order-independent, so
+// it works directly on the Eytzinger-permuted run.
+#if TREL_KERNEL_VARIANT == 2
+
+inline bool LinearScanHit(const Interval* a, uint32_t k, Label x) {
+  const __m256i xv = _mm256_set1_epi64x(x);
+  unsigned hits = 0;
+  uint32_t i = 0;
+  // One 256-bit lane holds two 16-byte intervals [lo0 hi0 lo1 hi1].  A
+  // lane is "bad" when its bound excludes x: lo > x for even lanes,
+  // x > hi for odd lanes; an interval hits iff both of its lanes are
+  // good.  Two registers (4 intervals) per iteration.
+  for (; i + 4 <= k; i += 4) {
+    const __m256i p0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i p1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 2));
+    const __m256d bad0 =
+        _mm256_blend_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(p0, xv)),
+                        _mm256_castsi256_pd(_mm256_cmpgt_epi64(xv, p0)), 0xA);
+    const __m256d bad1 =
+        _mm256_blend_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(p1, xv)),
+                        _mm256_castsi256_pd(_mm256_cmpgt_epi64(xv, p1)), 0xA);
+    const unsigned good0 = ~static_cast<unsigned>(_mm256_movemask_pd(bad0));
+    const unsigned good1 = ~static_cast<unsigned>(_mm256_movemask_pd(bad1));
+    hits |= (good0 & (good0 >> 1) & 0x5u) | (good1 & (good1 >> 1) & 0x5u);
+  }
+  for (; i + 2 <= k; i += 2) {
+    const __m256i p =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256d bad =
+        _mm256_blend_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(p, xv)),
+                        _mm256_castsi256_pd(_mm256_cmpgt_epi64(xv, p)), 0xA);
+    const unsigned good = ~static_cast<unsigned>(_mm256_movemask_pd(bad));
+    hits |= good & (good >> 1) & 0x5u;
+  }
+  if (hits != 0) return true;
+  return i < k && a[i].lo <= x && x <= a[i].hi;
+}
+
+inline bool FilterIntersectsImpl(const uint64_t* filter,
+                                 const uint64_t* mask) {
+  const __m256i a0 = _mm256_and_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(filter)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask)));
+  const __m256i a1 = _mm256_and_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(filter + 4)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + 4)));
+  const __m256i any = _mm256_or_si256(a0, a1);
+  return _mm256_testz_si256(any, any) == 0;
+}
+
+#elif TREL_KERNEL_VARIANT == 1
+
+inline bool LinearScanHit(const Interval* a, uint32_t k, Label x) {
+  const __m128i xv = _mm_set1_epi64x(x);
+  unsigned hits = 0;
+  // One 128-bit lane holds one interval [lo hi]; the interval hits iff
+  // neither lane excludes x (lo > x / x > hi).  Two intervals per
+  // iteration to keep the compare ports busy.
+  uint32_t i = 0;
+  for (; i + 2 <= k; i += 2) {
+    const __m128i p0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i p1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i + 1));
+    const __m128d bad0 =
+        _mm_blend_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(p0, xv)),
+                     _mm_castsi128_pd(_mm_cmpgt_epi64(xv, p0)), 0x2);
+    const __m128d bad1 =
+        _mm_blend_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(p1, xv)),
+                     _mm_castsi128_pd(_mm_cmpgt_epi64(xv, p1)), 0x2);
+    hits |= static_cast<unsigned>(_mm_movemask_pd(bad0) == 0) |
+            static_cast<unsigned>(_mm_movemask_pd(bad1) == 0);
+  }
+  if (hits != 0) return true;
+  return i < k && a[i].lo <= x && x <= a[i].hi;
+}
+
+inline bool FilterIntersectsImpl(const uint64_t* filter,
+                                 const uint64_t* mask) {
+  __m128i any = _mm_setzero_si128();
+  for (int w = 0; w < 8; w += 2) {
+    any = _mm_or_si128(
+        any, _mm_and_si128(
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(filter + w)),
+                 _mm_loadu_si128(reinterpret_cast<const __m128i*>(mask + w))));
+  }
+  return _mm_testz_si128(any, any) == 0;
+}
+
+#else  // scalar
+
+inline bool LinearScanHit(const Interval* a, uint32_t k, Label x) {
+  // Branch-free accumulate: short runs mispredict badly under random
+  // probes, and the compiler can unroll this form.
+  unsigned hit = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    hit |= static_cast<unsigned>(a[i].lo <= x) &
+           static_cast<unsigned>(x <= a[i].hi);
+  }
+  return hit != 0;
+}
+
+inline bool FilterIntersectsImpl(const uint64_t* filter,
+                                 const uint64_t* mask) {
+  uint64_t any = 0;
+  for (int w = 0; w < 8; ++w) any |= filter[w] & mask[w];
+  return any != 0;
+}
+
+#endif  // TREL_KERNEL_VARIANT
+
+// The PR 3 descent, unchanged: smallest hi >= x decides via its lo
+// (antichain invariant), grandchildren prefetched along the way.
+inline bool EytzingerDescent(const Interval* base, uint32_t k, Label x) {
+  uint32_t i = 1, cand = 0;
+  while (i <= k) {
+    __builtin_prefetch(base + 4 * static_cast<size_t>(i));
+    if (base[i].hi >= x) {
+      cand = i;
+      i = 2 * i;
+    } else {
+      i = 2 * i + 1;
+    }
+  }
+  return cand != 0 && base[cand].lo <= x;
+}
+
+bool KernelExtrasContains(const Interval* base, uint32_t count, Label x) {
+  // Summary reject (base[0] = {min lo, max hi} of the run).
+  if (x < base[0].lo || x > base[0].hi) return false;
+  if (count <= kLinearScanMax) return LinearScanHit(base + 1, count, x);
+  return EytzingerDescent(base, count, x);
+}
+
+bool KernelFilterIntersects(const uint64_t* filter, const uint64_t* mask) {
+  return FilterIntersectsImpl(filter, mask);
+}
+
+// --- Software-pipelined batch engine ---------------------------------------
+//
+// Three stages, kept K queries apart so the dependent cache misses of
+// different queries overlap instead of serializing:
+//   A. kPrefetchDistance ahead of the resolve point, issue prefetches
+//      for the source slot, the source's filter line, and the target
+//      slot (independent loads — no use yet).
+//   B. at the resolve point the slot lines have usually arrived: decide
+//      invalid / self / first-interval / no-extras queries outright and
+//      kill most of the rest with the one-bit coverage-filter test.
+//   C. survivors (filter hits) are *queued* behind a prefetch of their
+//      extras run; once kMaxPending have accumulated, short runs are
+//      answered with one vector scan each and long runs descend their
+//      Eytzinger trees in lockstep — every live descent advances one
+//      level per round, so K dependent misses are in flight at once.
+//
+// Runs of >= kGroupMin consecutive queries sharing a source take a
+// grouped path instead: the source slot is resolved once, the
+// undecided targets' buckets are accumulated into a 512-bit mask, and a
+// single whole-line filter intersection test rejects the entire group's
+// extras work when no target bucket overlaps the source's coverage.
+
+constexpr int64_t kPrefetchDistance = 8;
+constexpr int kMaxPending = 8;
+constexpr int64_t kGroupMin = 16;
+constexpr int64_t kGroupMax = 256;
+
+void KernelBatchReaches(const LabelArena& arena,
+                        const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                        uint8_t* out, BatchKernelStats* stats_out) {
+  BatchKernelStats stats;
+  const LabelArena::NodeSlot* slots = arena.slots.data();
+  const Interval* extras = arena.extras.data();
+  const uint64_t* filters = arena.filters.data();
+  const uint32_t num = static_cast<uint32_t>(arena.num_nodes());
+  const int shift = arena.filter_shift;
+  constexpr uint64_t kBuckets =
+      static_cast<uint64_t>(LabelArena::kFilterWords) * 64;
+  const auto valid = [num](NodeId id) {
+    return static_cast<uint32_t>(id) < num;
+  };
+
+  struct Pending {
+    const Interval* base;
+    uint32_t count;
+    Label x;
+    int64_t idx;
+  };
+  Pending pend[kMaxPending];
+  int np = 0;
+
+  struct Descent {
+    const Interval* base;
+    uint32_t i;
+    uint32_t cand;
+    uint32_t k;
+    Label x;
+    int64_t idx;
+  };
+
+  const auto flush = [&] {
+    Descent live[kMaxPending];
+    int nl = 0;
+    for (int p = 0; p < np; ++p) {
+      const Pending& q = pend[p];
+      ++stats.extras_searches;
+      if (q.x < q.base[0].lo || q.x > q.base[0].hi) {
+        out[q.idx] = 0;  // Summary reject.
+        continue;
+      }
+      if (q.count <= kLinearScanMax) {
+        out[q.idx] = LinearScanHit(q.base + 1, q.count, q.x) ? 1 : 0;
+        continue;
+      }
+      live[nl++] = Descent{q.base, 1, 0, q.count, q.x, q.idx};
+    }
+    np = 0;
+    // Lockstep descents: one level per query per round.
+    while (nl > 0) {
+      int p = 0;
+      while (p < nl) {
+        Descent& d = live[p];
+        if (d.i <= d.k) {
+          __builtin_prefetch(d.base + 4 * static_cast<size_t>(d.i));
+          if (d.base[d.i].hi >= d.x) {
+            d.cand = d.i;
+            d.i = 2 * d.i;
+          } else {
+            d.i = 2 * d.i + 1;
+          }
+          ++p;
+        } else {
+          out[d.idx] = (d.cand != 0 && d.base[d.cand].lo <= d.x) ? 1 : 0;
+          live[p] = live[--nl];  // Retire; recheck the swapped-in entry.
+        }
+      }
+    }
+  };
+
+  int64_t i = 0;
+  while (i < n) {
+    const NodeId u = pairs[i].first;
+    int64_t j = i + 1;
+    if (valid(u)) {
+      const int64_t cap = std::min<int64_t>(n, i + kGroupMax);
+      while (j < cap && pairs[j].first == u) ++j;
+    }
+
+    if (j - i >= kGroupMin) {
+      flush();
+      const LabelArena::NodeSlot s = slots[u];
+      const uint64_t* filter =
+          filters + static_cast<size_t>(u) * LabelArena::kFilterWords;
+      __builtin_prefetch(filter);
+      uint64_t mask[LabelArena::kFilterWords] = {};
+      int64_t undecided_idx[kGroupMax];
+      Label undecided_x[kGroupMax];
+      int64_t nu = 0;
+      for (int64_t q = i; q < j; ++q) {
+        if (q + kPrefetchDistance < j) {
+          const NodeId ahead = pairs[q + kPrefetchDistance].second;
+          if (valid(ahead)) __builtin_prefetch(slots + ahead);
+        }
+        const NodeId v = pairs[q].second;
+        if (!valid(v)) {
+          out[q] = 0;
+          ++stats.fast_path;
+          continue;
+        }
+        if (u == v) {
+          out[q] = 1;
+          ++stats.fast_path;
+          continue;
+        }
+        const Label x = slots[v].postorder;
+        if (x < s.first.lo) {
+          out[q] = 0;
+          ++stats.fast_path;
+          continue;
+        }
+        if (x <= s.first.hi) {
+          out[q] = 1;
+          ++stats.fast_path;
+          continue;
+        }
+        if (s.extra_count == 0) {
+          out[q] = 0;
+          ++stats.fast_path;
+          continue;
+        }
+        const uint64_t b = static_cast<uint64_t>(x) >> shift;
+        if (b >= kBuckets) {
+          out[q] = 0;
+          ++stats.filter_rejects;
+          continue;
+        }
+        mask[b >> 6] |= uint64_t{1} << (b & 63);
+        undecided_idx[nu] = q;
+        undecided_x[nu] = x;
+        ++nu;
+      }
+      if (nu > 0) {
+        if (!KernelFilterIntersects(filter, mask)) {
+          for (int64_t q = 0; q < nu; ++q) out[undecided_idx[q]] = 0;
+          stats.group_rejects += nu;
+        } else {
+          const Interval* base = extras + s.extra_begin;
+          for (int64_t q = 0; q < nu; ++q) {
+            const Label x = undecided_x[q];
+            const uint64_t b = static_cast<uint64_t>(x) >> shift;
+            if (((filter[b >> 6] >> (b & 63)) & 1) == 0) {
+              out[undecided_idx[q]] = 0;
+              ++stats.filter_rejects;
+              continue;
+            }
+            ++stats.extras_searches;
+            out[undecided_idx[q]] =
+                KernelExtrasContains(base, s.extra_count, x) ? 1 : 0;
+          }
+        }
+      }
+      i = j;
+      continue;
+    }
+
+    for (; i < j; ++i) {
+      // Stage A.
+      if (i + kPrefetchDistance < n) {
+        const auto& ahead = pairs[i + kPrefetchDistance];
+        if (valid(ahead.first)) {
+          __builtin_prefetch(slots + ahead.first);
+          __builtin_prefetch(filters + static_cast<size_t>(ahead.first) *
+                                           LabelArena::kFilterWords);
+        }
+        if (valid(ahead.second)) __builtin_prefetch(slots + ahead.second);
+      }
+      // Stage B.
+      const NodeId uu = pairs[i].first;
+      const NodeId v = pairs[i].second;
+      if (!valid(uu) || !valid(v)) {
+        out[i] = 0;
+        ++stats.fast_path;
+        continue;
+      }
+      if (uu == v) {
+        out[i] = 1;
+        ++stats.fast_path;
+        continue;
+      }
+      const LabelArena::NodeSlot& s = slots[uu];
+      const Label x = slots[v].postorder;
+      if (x < s.first.lo) {
+        out[i] = 0;
+        ++stats.fast_path;
+        continue;
+      }
+      if (x <= s.first.hi) {
+        out[i] = 1;
+        ++stats.fast_path;
+        continue;
+      }
+      if (s.extra_count == 0) {
+        out[i] = 0;
+        ++stats.fast_path;
+        continue;
+      }
+      const uint64_t b = static_cast<uint64_t>(x) >> shift;
+      if (b >= kBuckets ||
+          ((filters[static_cast<size_t>(uu) * LabelArena::kFilterWords +
+                    (b >> 6)] >>
+            (b & 63)) &
+           1) == 0) {
+        out[i] = 0;
+        ++stats.filter_rejects;
+        continue;
+      }
+      // Stage C.
+      const Interval* base = extras + s.extra_begin;
+      __builtin_prefetch(base);
+      pend[np++] = Pending{base, s.extra_count, x, i};
+      if (np == kMaxPending) flush();
+    }
+  }
+  flush();
+  if (stats_out != nullptr) *stats_out += stats;
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,19 @@
+// Portable scalar arena kernels: the reference implementation every
+// vector level must match bit-for-bit, and the fallback table on hosts
+// (or targets) without SSE4.2.  Compiled with the project's baseline
+// flags only — no vector ISA.
+
+#define TREL_KERNEL_VARIANT 0
+#include "core/arena_kernels_impl.h"
+
+namespace trel {
+
+const ArenaKernels& ScalarArenaKernels() {
+  static const ArenaKernels kTable{SimdLevel::kScalar, "scalar",
+                                   &KernelExtrasContains,
+                                   &KernelFilterIntersects,
+                                   &KernelBatchReaches};
+  return kTable;
+}
+
+}  // namespace trel

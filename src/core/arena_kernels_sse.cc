@@ -1,0 +1,34 @@
+// SSE4.2 arena kernels.  This TU (and only this TU) is compiled with
+// -msse4.2 on x86 (see CMakeLists.txt); when the target lacks the ISA
+// entirely — non-x86, or a toolchain that refuses the flag — the table
+// degrades to the scalar one and the dispatcher reports the level it
+// actually got.
+
+#include "core/simd_dispatch.h"
+
+#if defined(__SSE4_2__)
+
+#define TREL_KERNEL_VARIANT 1
+#include "core/arena_kernels_impl.h"
+
+namespace trel {
+
+const ArenaKernels& SseArenaKernels() {
+  static const ArenaKernels kTable{SimdLevel::kSse, "sse",
+                                   &KernelExtrasContains,
+                                   &KernelFilterIntersects,
+                                   &KernelBatchReaches};
+  return kTable;
+}
+
+}  // namespace trel
+
+#else  // !defined(__SSE4_2__)
+
+namespace trel {
+
+const ArenaKernels& SseArenaKernels() { return ScalarArenaKernels(); }
+
+}  // namespace trel
+
+#endif

@@ -19,13 +19,6 @@ bool AboveEntry(Label x, const std::pair<Label, NodeId>& e) {
   return x < e.first;
 }
 
-// Batches at or above this size build a source-grouping permutation;
-// below it the sort would cost more than the grouped run reuse saves.
-constexpr int64_t kBatchGroupThreshold = 256;
-
-// How many queries ahead the batch kernel prefetches slot lines.
-constexpr int64_t kBatchPrefetchDistance = 8;
-
 }  // namespace
 
 CompressedClosure::CompressedClosure()
@@ -161,20 +154,21 @@ bool CompressedClosure::ReachesWithOverlay(NodeId u, NodeId v) const {
   if (source.overlay_intervals != nullptr) {
     return source.overlay_intervals->Contains(target);
   }
-  return arena_->Contains(u, target);
+  return ArenaContains(*arena_, *kernels_, u, target);
 }
 
 void CompressedClosure::BatchReaches(const std::pair<NodeId, NodeId>* pairs,
-                                     int64_t n, uint8_t* out) const {
+                                     int64_t n, uint8_t* out,
+                                     BatchKernelStats* stats) const {
   if (n <= 0) return;
-  const uint32_t num = static_cast<uint32_t>(num_nodes_);
-  // One unsigned compare covers both negative ids and ids past the end.
-  const auto valid = [num](NodeId id) {
-    return static_cast<uint32_t>(id) < num;
-  };
   if (!overlay_.empty()) {
     // Overlay snapshots take the per-query path; their hash probes are
     // already gated by the overlay_member_ byte array.
+    const uint32_t num = static_cast<uint32_t>(num_nodes_);
+    // One unsigned compare covers both negative ids and ids past the end.
+    const auto valid = [num](NodeId id) {
+      return static_cast<uint32_t>(id) < num;
+    };
     for (int64_t i = 0; i < n; ++i) {
       const auto [u, v] = pairs[i];
       out[i] = valid(u) && valid(v) && (u == v || ReachesWithOverlay(u, v))
@@ -183,63 +177,9 @@ void CompressedClosure::BatchReaches(const std::pair<NodeId, NodeId>* pairs,
     }
     return;
   }
-
-  const LabelArena& arena = *arena_;
-  const LabelArena::NodeSlot* slots = arena.slots.data();
-  const auto answer = [&](const LabelArena::NodeSlot& source, NodeId u,
-                          NodeId v) -> uint8_t {
-    if (!valid(v)) return 0;
-    if (u == v) return 1;
-    const Label x = slots[v].postorder;
-    if (x < source.first.lo) return 0;
-    if (x <= source.first.hi) return 1;
-    return arena.Contains(u, x) ? 1 : 0;
-  };
-
-  if (n >= kBatchGroupThreshold) {
-    // Group by source: every query in a group shares one resolved slot
-    // (and, for multi-interval sources, one hot extras run).
-    std::vector<uint32_t> order(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
-    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-      return pairs[a].first < pairs[b].first;
-    });
-    int64_t i = 0;
-    while (i < n) {
-      const NodeId u = pairs[order[i]].first;
-      int64_t j = i;
-      while (j < n && pairs[order[j]].first == u) ++j;
-      if (!valid(u)) {
-        for (int64_t k = i; k < j; ++k) out[order[k]] = 0;
-        i = j;
-        continue;
-      }
-      arena.PrefetchSource(u);
-      const LabelArena::NodeSlot source = slots[u];
-      for (int64_t k = i; k < j; ++k) {
-        if (k + kBatchPrefetchDistance < n) {
-          const NodeId pv = pairs[order[k + kBatchPrefetchDistance]].second;
-          if (valid(pv)) __builtin_prefetch(slots + pv);
-        }
-        out[order[k]] = answer(source, u, pairs[order[k]].second);
-      }
-      i = j;
-    }
-    return;
-  }
-
-  for (int64_t i = 0; i < n; ++i) {
-    if (i + kBatchPrefetchDistance < n) {
-      const auto& ahead = pairs[i + kBatchPrefetchDistance];
-      if (valid(ahead.first)) {
-        __builtin_prefetch(slots + ahead.first);
-        arena.PrefetchSource(ahead.first);
-      }
-      if (valid(ahead.second)) __builtin_prefetch(slots + ahead.second);
-    }
-    const auto [u, v] = pairs[i];
-    out[i] = valid(u) ? answer(slots[u], u, v) : 0;
-  }
+  // Overlay-free: the whole batch goes through the dispatched
+  // software-pipelined kernel (the arena covers all num_nodes_ ids).
+  kernels_->batch_reaches(*arena_, pairs, n, out, stats);
 }
 
 void CompressedClosure::AppendNodesInRange(Label lo, Label hi, Label skip,
@@ -395,7 +335,9 @@ std::vector<NodeId> CompressedClosure::Predecessors(NodeId v) const {
     // the minority of nodes whose first interval ends below the target.
     const NodeId n = arena.num_nodes();
     for (NodeId u = 0; u < n; ++u) {
-      if (u != v && arena.Contains(u, target)) result.push_back(u);
+      if (u != v && ArenaContains(arena, *kernels_, u, target)) {
+        result.push_back(u);
+      }
     }
     return result;
   }
@@ -405,7 +347,7 @@ std::vector<NodeId> CompressedClosure::Predecessors(NodeId v) const {
       if (overlay_.find(u)->second.intervals.Contains(target)) {
         result.push_back(u);
       }
-    } else if (arena.Contains(u, target)) {
+    } else if (ArenaContains(arena, *kernels_, u, target)) {
       result.push_back(u);
     }
   }

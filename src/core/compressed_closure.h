@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "core/arena_kernels.h"
 #include "core/interval.h"
 #include "core/label_arena.h"
 #include "core/labeling.h"
@@ -116,19 +117,26 @@ class CompressedClosure {
     if (overlay_.empty()) {
       // Warm u's filter line while v's slot load resolves.
       arena_->PrefetchSource(u);
-      return arena_->Contains(u, arena_->slots[v].postorder);
+      return ArenaContains(*arena_, *kernels_, u, arena_->slots[v].postorder);
     }
     return ReachesWithOverlay(u, v);
   }
 
-  // Batch point lookups over one consistent closure.  Queries are grouped
-  // by source node so each group's interval run is resolved once and
-  // binary-searched per target; upcoming slot loads are software-
-  // prefetched.  Unlike Reaches, out-of-range ids answer 0 rather than
-  // aborting (snapshot semantics — the service's batch path feeds ids
-  // readers took from other epochs).  `out` must have room for `n`.
+  // Batch point lookups over one consistent closure, answered by the
+  // dispatched software-pipelined kernel (see arena_kernels.h): slot and
+  // filter prefetches run several queries ahead of the resolve point,
+  // runs of equal sources share one 512-bit group filter test, and
+  // surviving descents interleave so their misses overlap.  Unlike
+  // Reaches, out-of-range ids answer 0 rather than aborting (snapshot
+  // semantics — the service's batch path feeds ids readers took from
+  // other epochs).  `out` must have room for `n`; `stats`, when non-null,
+  // accumulates kernel tallies for service metrics.
   void BatchReaches(const std::pair<NodeId, NodeId>* pairs, int64_t n,
-                    uint8_t* out) const;
+                    uint8_t* out, BatchKernelStats* stats) const;
+  void BatchReaches(const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                    uint8_t* out) const {
+    BatchReaches(pairs, n, out, nullptr);
+  }
   std::vector<uint8_t> BatchReaches(
       const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
     std::vector<uint8_t> out(pairs.size());
@@ -272,6 +280,10 @@ class CompressedClosure {
   std::shared_ptr<const TreeCover> tree_cover_;
   // Flat query-path storage mirroring labels_ (see label_arena.h).
   std::shared_ptr<const LabelArena> arena_;
+  // Process-wide dispatched kernel table (never null); resolved once at
+  // first use, so every closure in the process probes with the same ISA
+  // level.  See simd_dispatch.h.
+  const ArenaKernels* kernels_ = &ActiveKernels();
 
   // --- Overlay layer (empty for full exports) ---------------------------
   // Changed/new nodes and their current labels.

@@ -144,7 +144,26 @@ struct LabelArena {
   bool ForEachExtra(NodeId u, Fn&& fn) const {
     const NodeSlot& s = slots[u];
     if (s.extra_count == 0) return true;
-    return InOrder(extras.data() + s.extra_begin, s.extra_count, 1, fn);
+    const Interval* base = extras.data() + s.extra_begin;
+    const uint32_t k = s.extra_count;
+    // Iterative in-order walk of the implicit tree.  The explicit stack
+    // holds the ancestors whose left subtree is still in progress, so
+    // memory use is bounded by the tree height (< 33 levels for any
+    // uint32 count) instead of one call frame per interval — dense nodes
+    // with tens of thousands of extras used to overflow the stack here.
+    uint32_t stack[33];
+    int top = 0;
+    uint32_t i = 1;
+    while (i <= k || top > 0) {
+      while (i <= k) {
+        stack[top++] = i;
+        i = 2 * i;
+      }
+      const uint32_t node = stack[--top];
+      if (!fn(base[node])) return false;
+      i = 2 * node + 1;
+    }
+    return true;
   }
 
   // Directory binary searches: index of the first entry with label >= x /
@@ -155,15 +174,6 @@ struct LabelArena {
 
   // Bytes held by the flat arrays (capacity is trimmed at build time).
   int64_t ByteSize() const;
-
- private:
-  template <typename Fn>
-  static bool InOrder(const Interval* base, uint32_t k, uint32_t i, Fn&& fn) {
-    if (i > k) return true;
-    if (!InOrder(base, k, 2 * i, fn)) return false;
-    if (!fn(base[i])) return false;
-    return InOrder(base, k, 2 * i + 1, fn);
-  }
 };
 
 // Builds the arena for `labels`.

@@ -37,6 +37,16 @@ void ServiceMetrics::RecordPublishDelta(int64_t micros, int64_t delta_nodes) {
       1, std::memory_order_relaxed);
 }
 
+void ServiceMetrics::RecordBatchKernel(const BatchKernelStats& stats) {
+  batch_fast_path_.fetch_add(stats.fast_path, std::memory_order_relaxed);
+  batch_filter_rejects_.fetch_add(stats.filter_rejects,
+                                  std::memory_order_relaxed);
+  batch_group_rejects_.fetch_add(stats.group_rejects,
+                                 std::memory_order_relaxed);
+  batch_extras_searches_.fetch_add(stats.extras_searches,
+                                   std::memory_order_relaxed);
+}
+
 ServiceMetrics::View ServiceMetrics::Read() const {
   View view;
   view.reach_queries = reach_queries_.load(std::memory_order_relaxed);
@@ -54,6 +64,13 @@ ServiceMetrics::View ServiceMetrics::Read() const {
   view.publish_micros_total =
       view.publish_full_micros_total + view.publish_delta_micros_total;
   view.delta_nodes_total = delta_nodes_total_.load(std::memory_order_relaxed);
+  view.batch_fast_path = batch_fast_path_.load(std::memory_order_relaxed);
+  view.batch_filter_rejects =
+      batch_filter_rejects_.load(std::memory_order_relaxed);
+  view.batch_group_rejects =
+      batch_group_rejects_.load(std::memory_order_relaxed);
+  view.batch_extras_searches =
+      batch_extras_searches_.load(std::memory_order_relaxed);
   for (int i = 0; i < kLatencyBuckets; ++i) {
     view.batch_latency_histogram[i] =
         histogram_[i].load(std::memory_order_relaxed);
@@ -72,9 +89,14 @@ std::string ServiceMetrics::View::ToString() const {
       << " intervals=" << snapshot_total_intervals
       << " overlay_nodes=" << snapshot_overlay_nodes
       << " arena_bytes=" << snapshot_arena_bytes
+      << " simd=" << simd_level_name
       << " reach_queries=" << reach_queries
       << " successor_queries=" << successor_queries
       << " batches=" << batches << " batch_us=" << batch_micros_total
+      << " batch_kernel=[fast=" << batch_fast_path
+      << " filter_rej=" << batch_filter_rejects
+      << " group_rej=" << batch_group_rejects
+      << " extras=" << batch_extras_searches << "]"
       << " publishes=" << publishes << " (full=" << publishes_full
       << " delta=" << publishes_delta << ")"
       << " publish_us=" << publish_micros_total << " (full="

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/arena_kernels.h"
+
 namespace trel {
 
 // Thread-safe counters for the query service.  All writes are relaxed
@@ -39,6 +41,13 @@ class ServiceMetrics {
     int64_t delta_nodes_total = 0;
     std::array<int64_t, kLatencyBuckets> batch_latency_histogram{};
     std::array<int64_t, kDeltaNodeBuckets> delta_nodes_histogram{};
+    // Batch-kernel outcome counters (see BatchKernelStats): how many
+    // batched lookups were decided by slots alone, killed by a one-bit
+    // or whole-group coverage-filter test, or searched an extras run.
+    int64_t batch_fast_path = 0;
+    int64_t batch_filter_rejects = 0;
+    int64_t batch_group_rejects = 0;
+    int64_t batch_extras_searches = 0;
     // Filled in by QueryService::Metrics() from the live snapshot.
     uint64_t current_epoch = 0;
     double snapshot_age_seconds = 0.0;
@@ -48,6 +57,11 @@ class ServiceMetrics {
     // Bytes pinned by the snapshot's flat query arena (shared across
     // delta snapshots, so overlay epochs report their base's arena).
     int64_t snapshot_arena_bytes = 0;
+    // Dispatched arena-kernel ISA tier (gauge): numeric SimdLevel plus
+    // its name ("scalar"/"sse"/"avx2").  Process-wide, resolved once at
+    // startup — see core/simd_dispatch.h.
+    int simd_level = 0;
+    std::string simd_level_name = "scalar";
 
     std::string ToString() const;
   };
@@ -64,6 +78,9 @@ class ServiceMetrics {
   void RecordPublishFull(int64_t micros);
   // One publish that shipped `delta_nodes` changed entries as an overlay.
   void RecordPublishDelta(int64_t micros, int64_t delta_nodes);
+  // Folds one batch invocation's kernel tallies in (four relaxed adds —
+  // the kernel itself counts in plain locals).
+  void RecordBatchKernel(const BatchKernelStats& stats);
 
   View Read() const;
 
@@ -79,6 +96,10 @@ class ServiceMetrics {
   std::atomic<int64_t> delta_nodes_total_{0};
   std::array<std::atomic<int64_t>, kLatencyBuckets> histogram_{};
   std::array<std::atomic<int64_t>, kDeltaNodeBuckets> delta_histogram_{};
+  std::atomic<int64_t> batch_fast_path_{0};
+  std::atomic<int64_t> batch_filter_rejects_{0};
+  std::atomic<int64_t> batch_group_rejects_{0};
+  std::atomic<int64_t> batch_extras_searches_{0};
 };
 
 }  // namespace trel

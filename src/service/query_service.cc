@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "core/simd_dispatch.h"
 
 namespace trel {
 
@@ -193,13 +194,17 @@ std::vector<uint8_t> QueryService::BatchReaches(
   const int64_t n = static_cast<int64_t>(pairs.size());
   std::shared_ptr<const ClosureSnapshot> snapshot = Snapshot();
   std::vector<uint8_t> results(pairs.size());
-  // Each chunk runs the core batch kernel (source-grouping + prefetch)
-  // rather than per-element snapshot->Reaches; the kernel's id handling
-  // matches snapshot semantics (unknown ids answer false).
-  const auto body = [&snapshot, &pairs, &results](int64_t begin,
-                                                  int64_t end) {
+  // Each chunk runs the dispatched pipelined batch kernel rather than
+  // per-element snapshot->Reaches; the kernel's id handling matches
+  // snapshot semantics (unknown ids answer false).  Kernel tallies are
+  // accumulated per chunk in plain locals and folded into the shared
+  // counters once per chunk.
+  const auto body = [this, &snapshot, &pairs, &results](int64_t begin,
+                                                        int64_t end) {
+    BatchKernelStats stats;
     snapshot->closure.BatchReaches(pairs.data() + begin, end - begin,
-                                   results.data() + begin);
+                                   results.data() + begin, &stats);
+    metrics_.RecordBatchKernel(stats);
   };
   if (pool_ == nullptr || n < options_.min_parallel_batch) {
     body(0, n);
@@ -244,6 +249,8 @@ ServiceMetrics::View QueryService::Metrics() const {
   view.snapshot_total_intervals = snapshot->closure.TotalIntervals();
   view.snapshot_overlay_nodes = snapshot->closure.OverlayNodeCount();
   view.snapshot_arena_bytes = snapshot->closure.ArenaByteSize();
+  view.simd_level = static_cast<int>(ActiveSimdLevel());
+  view.simd_level_name = SimdLevelName(ActiveSimdLevel());
   return view;
 }
 

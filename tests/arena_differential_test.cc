@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -16,8 +17,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/arena_kernels.h"
 #include "core/compressed_closure.h"
 #include "core/dynamic_closure.h"
+#include "core/simd_dispatch.h"
 #include "common/random.h"
 #include "graph/generators.h"
 #include "graph/reachability.h"
@@ -89,18 +92,25 @@ void ExpectMatchesReference(const CompressedClosure& closure,
   }
 }
 
-// Random pairs including out-of-range ids and duplicates on purpose,
-// large enough to cross the grouped-kernel threshold.
+// Random pairs including out-of-range ids and duplicates on purpose.
+// One draw in five expands into a run of 16-47 queries sharing a source,
+// so the batch engine's grouped path (one 512-bit filter test per run)
+// gets fuzzed alongside the per-query pipeline.
 std::vector<std::pair<NodeId, NodeId>> FuzzPairs(NodeId n, uint64_t seed,
                                                  int64_t count) {
   Random rng(seed);
   std::vector<std::pair<NodeId, NodeId>> pairs;
   pairs.reserve(count);
-  for (int64_t i = 0; i < count; ++i) {
+  while (static_cast<int64_t>(pairs.size()) < count) {
     // Draw from [-2, n+1] so invalid ids show up on both sides.
     const NodeId u = static_cast<NodeId>(rng.Uniform(n + 4)) - 2;
-    const NodeId v = static_cast<NodeId>(rng.Uniform(n + 4)) - 2;
-    pairs.emplace_back(u, v);
+    const int64_t run =
+        rng.Uniform(5) == 0 ? 16 + static_cast<int64_t>(rng.Uniform(32)) : 1;
+    for (int64_t r = 0;
+         r < run && static_cast<int64_t>(pairs.size()) < count; ++r) {
+      const NodeId v = static_cast<NodeId>(rng.Uniform(n + 4)) - 2;
+      pairs.emplace_back(u, v);
+    }
   }
   return pairs;
 }
@@ -311,6 +321,186 @@ TEST(ArenaParallelBuildTest, ParallelBuildIsDeterministic) {
     ASSERT_EQ(sharded.Reaches(u, v), ref.Reaches(u, v))
         << "sharded " << u << "->" << v;
   }
+}
+
+// Kernel tables for every level this HOST can execute (the build always
+// contains all three TUs; higher tables exist but must not run here).
+std::vector<const ArenaKernels*> HostRunnableKernelTables() {
+  std::vector<const ArenaKernels*> tables = {&ScalarArenaKernels()};
+  const int top = static_cast<int>(HighestSupportedSimdLevel());
+  if (top >= static_cast<int>(SimdLevel::kSse)) {
+    tables.push_back(&SseArenaKernels());
+  }
+  if (top >= static_cast<int>(SimdLevel::kAvx2)) {
+    tables.push_back(&Avx2ArenaKernels());
+  }
+  return tables;
+}
+
+// Every dispatch level must answer bit-identically on the same arena —
+// the vector kernels are drop-in replacements, not approximations.
+// This compares the per-level tables directly (in one process), on top
+// of the TREL_SIMD-environment sweep ci.sh runs over this whole binary.
+TEST(SimdKernelEquivalenceTest, ExtrasAndFilterProbesMatchScalar) {
+  // Interval-heavy DAG so plenty of nodes carry extras runs of assorted
+  // lengths (vector-scan range and descent range both covered).
+  const Digraph graph = RandomDag(400, 5.0, 1234);
+  auto built = CompressedClosure::Build(graph);
+  ASSERT_TRUE(built.ok());
+  const LabelArena& arena = built->arena();
+  const ArenaKernels& scalar = ScalarArenaKernels();
+  const std::vector<const ArenaKernels*> tables = HostRunnableKernelTables();
+
+  int64_t runs_probed = 0;
+  for (NodeId u = 0; u < arena.num_nodes(); ++u) {
+    const LabelArena::NodeSlot& s = arena.slots[u];
+    if (s.extra_count == 0) continue;
+    ++runs_probed;
+    const Interval* base = arena.extras.data() + s.extra_begin;
+    for (NodeId v = 0; v < arena.num_nodes(); ++v) {
+      const Label p = arena.slots[v].postorder;
+      // The postorder itself plus both neighbors, so off-by-one bounds
+      // in the vector compares can't hide between assigned numbers.
+      for (const Label x : {p - 1, p, p + 1}) {
+        const bool want = scalar.extras_contains(base, s.extra_count, x);
+        for (const ArenaKernels* t : tables) {
+          ASSERT_EQ(t->extras_contains(base, s.extra_count, x), want)
+              << t->name << " extras u=" << u << " x=" << x;
+        }
+      }
+    }
+  }
+  ASSERT_GT(runs_probed, 0) << "graph produced no extras runs to probe";
+
+  Random rng(5);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng.Uniform(arena.num_nodes()));
+    const uint64_t* filter =
+        arena.filters.data() +
+        static_cast<size_t>(u) * LabelArena::kFilterWords;
+    uint64_t mask[LabelArena::kFilterWords] = {};
+    // Sparse masks: mostly-miss tests are the case the kernel exists for.
+    const int bits = 1 + static_cast<int>(rng.Uniform(8));
+    for (int b = 0; b < bits; ++b) {
+      const uint64_t bucket = rng.Uniform(LabelArena::kFilterWords * 64);
+      mask[bucket >> 6] |= uint64_t{1} << (bucket & 63);
+    }
+    const bool want = scalar.filter_intersects(filter, mask);
+    for (const ArenaKernels* t : tables) {
+      ASSERT_EQ(t->filter_intersects(filter, mask), want)
+          << t->name << " filter u=" << u << " trial=" << trial;
+    }
+  }
+}
+
+TEST(SimdKernelEquivalenceTest, BatchReachesMatchesScalarBitForBit) {
+  const Digraph graph = RandomDag(400, 5.0, 4321);
+  auto built = CompressedClosure::Build(graph);
+  ASSERT_TRUE(built.ok());
+  const LabelArena& arena = built->arena();
+  const ArenaKernels& scalar = ScalarArenaKernels();
+  const std::vector<const ArenaKernels*> tables = HostRunnableKernelTables();
+
+  for (const uint64_t seed : {uint64_t{1}, uint64_t{2}, uint64_t{3}}) {
+    const auto pairs = FuzzPairs(arena.num_nodes(), seed, 4096);
+    const int64_t n = static_cast<int64_t>(pairs.size());
+    std::vector<uint8_t> want(n);
+    BatchKernelStats want_stats;
+    scalar.batch_reaches(arena, pairs.data(), n, want.data(), &want_stats);
+    // Every query lands in exactly one tally.
+    ASSERT_EQ(want_stats.fast_path + want_stats.filter_rejects +
+                  want_stats.group_rejects + want_stats.extras_searches,
+              n);
+    for (const ArenaKernels* t : tables) {
+      std::vector<uint8_t> got(n);
+      BatchKernelStats stats;
+      t->batch_reaches(arena, pairs.data(), n, got.data(), &stats);
+      ASSERT_EQ(got, want) << t->name << " seed=" << seed;
+      // The pipeline/grouping control flow is level-independent, so the
+      // tallies must match exactly too, not just sum to n.
+      EXPECT_EQ(stats.fast_path, want_stats.fast_path) << t->name;
+      EXPECT_EQ(stats.filter_rejects, want_stats.filter_rejects) << t->name;
+      EXPECT_EQ(stats.group_rejects, want_stats.group_rejects) << t->name;
+      EXPECT_EQ(stats.extras_searches, want_stats.extras_searches) << t->name;
+    }
+  }
+}
+
+// Satellite regression test: a node with 10k+ intervals.  The recursive
+// in-order walk this replaces put one call frame on the stack per
+// interval; the iterative walk is bounded by tree height.  Also the
+// longest Eytzinger descents the suite exercises.
+TEST(ArenaDenseNodeTest, TenThousandExtraIntervals) {
+  constexpr NodeId kLeaves = 10001;
+  const NodeId n = kLeaves + 1;  // Node 0 is the dense source.
+  NodeLabels labels;
+  labels.postorder.resize(n);
+  labels.intervals.resize(n);
+  // Leaves own the even numbers 2..2*kLeaves; node 0 covers each leaf
+  // with its own single-point interval (odd numbers stay unassigned, so
+  // probes between members exercise descent misses).
+  for (NodeId v = 1; v <= kLeaves; ++v) {
+    labels.postorder[v] = 2 * static_cast<Label>(v);
+    labels.intervals[v].Insert({2 * static_cast<Label>(v),
+                                2 * static_cast<Label>(v)});
+  }
+  const Label self = 2 * static_cast<Label>(kLeaves) + 1;
+  labels.postorder[0] = self;
+  for (NodeId v = 1; v <= kLeaves; ++v) {
+    labels.intervals[0].Insert({2 * static_cast<Label>(v),
+                                2 * static_cast<Label>(v)});
+  }
+  labels.intervals[0].Insert({self, self});
+  TreeCover cover;
+  cover.parent.assign(n, kNoNode);
+  cover.children.resize(n);
+
+  const CompressedClosure closure =
+      CompressedClosure::FromPartsQueryOnly(labels, cover);
+  ASSERT_GT(closure.arena().slots[0].extra_count, 10000u);
+
+  // The in-order walk must visit all extras, ascending, without blowing
+  // the stack.
+  Label prev_hi = std::numeric_limits<Label>::min();
+  int64_t visited = 0;
+  closure.arena().ForEachExtra(0, [&](const Interval& interval) {
+    EXPECT_GT(interval.lo, prev_hi);
+    prev_hi = interval.hi;
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, closure.arena().slots[0].extra_count);
+
+  EXPECT_EQ(closure.CountSuccessors(0), static_cast<int64_t>(kLeaves));
+  const std::vector<NodeId> succ = closure.Successors(0);
+  ASSERT_EQ(succ.size(), static_cast<size_t>(kLeaves));
+  for (NodeId v = 1; v <= kLeaves; ++v) {
+    ASSERT_EQ(succ[v - 1], v);  // Ascending postorder == ascending id.
+  }
+  EXPECT_TRUE(closure.Reaches(0, 1));
+  EXPECT_TRUE(closure.Reaches(0, kLeaves));
+  EXPECT_TRUE(closure.Reaches(0, kLeaves / 2));
+  EXPECT_FALSE(closure.Reaches(1, 0));
+  EXPECT_FALSE(closure.Reaches(1, 2));
+
+  // Deep-descent probes across every host-runnable kernel level,
+  // including misses between members (odd numbers).
+  const LabelArena& arena = closure.arena();
+  const Interval* base = arena.extras.data() + arena.slots[0].extra_begin;
+  const uint32_t count = arena.slots[0].extra_count;
+  // (The [2, 2] interval is inline in the slot, so extras hold the even
+  // numbers 4..2*kLeaves plus the odd self number — probe below that.)
+  for (const ArenaKernels* t : HostRunnableKernelTables()) {
+    for (const Label x : {Label{4}, Label{3}, Label{9999}, Label{10000},
+                          2 * static_cast<Label>(kLeaves),
+                          2 * static_cast<Label>(kLeaves) - 1}) {
+      EXPECT_EQ(t->extras_contains(base, count, x), x % 2 == 0)
+          << t->name << " x=" << x;
+    }
+  }
+
+  const ReferenceClosure ref(labels);
+  ExpectBatchMatchesReference(closure, ref, 99, "dense");
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Compare bench JSON artifacts against committed baselines.
+
+The bench binaries write one ``BENCH_<name>.json`` per binary when
+``TREL_BENCH_JSON=<dir>`` is set (see bench/gbench_report.h and
+bench/bench_util.h).  This tool diffs a directory of fresh artifacts
+against a directory of committed baselines and fails on regressions of
+the *hot* metrics named in a manifest — everything else is reported but
+never fatal, so incidental rows don't flap CI.
+
+Usage:
+  tools/bench_diff.py --current build/bench-json \
+      --baselines bench/baselines/smoke \
+      --manifest bench/baselines/hot_metrics.json
+
+Manifest format::
+
+  {
+    "default_threshold": 0.15,
+    "hot": [
+      {"bench": "micro_query", "row": "BM_ReachesCompressed/200/2",
+       "metric": "us_per_op", "threshold": 0.60},
+      ...
+    ]
+  }
+
+``threshold`` is the allowed relative increase (metrics are
+lower-is-better unless the entry sets "direction": "higher").  Rows are
+matched by their "name" field, else by the tuple of non-numeric fields.
+A missing hot row or file is itself a failure (renames must update the
+manifest, not silently un-gate the job).  Set TREL_BENCH_DIFF_SKIP=1 to
+report without failing (escape hatch for hosts that don't match the
+committed baselines' machine).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    """Returns {row_key: row_dict} for one BENCH_*.json artifact."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        key = row.get("name")
+        if key is None:
+            key = "|".join(
+                f"{k}={v}"
+                for k, v in sorted(row.items())
+                if not isinstance(v, (int, float))
+            )
+        rows[key] = row
+    return rows
+
+
+def artifact_map(directory):
+    """Returns {bench_name: path} for BENCH_<name>.json files in a dir."""
+    out = {}
+    if not os.path.isdir(directory):
+        return out
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            out[entry[len("BENCH_"):-len(".json")]] = os.path.join(
+                directory, entry
+            )
+    return out
+
+
+def fmt_delta(base, cur):
+    if base == 0:
+        return "n/a"
+    return f"{(cur - base) / base:+.1%}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="directory of fresh BENCH_*.json artifacts")
+    parser.add_argument("--baselines", required=True,
+                        help="directory of committed baseline artifacts")
+    parser.add_argument("--manifest", required=True,
+                        help="hot-metrics manifest (JSON)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every matched row, not just hot ones")
+    args = parser.parse_args()
+
+    with open(args.manifest) as f:
+        manifest = json.load(f)
+    default_threshold = manifest.get("default_threshold", 0.15)
+
+    current = artifact_map(args.current)
+    baselines = artifact_map(args.baselines)
+
+    report_only = os.environ.get("TREL_BENCH_DIFF_SKIP") == "1"
+    failures = []
+
+    # Informational sweep over everything both sides have.
+    if args.verbose:
+        for bench in sorted(set(current) & set(baselines)):
+            cur_rows = load_rows(current[bench])
+            base_rows = load_rows(baselines[bench])
+            for key in sorted(set(cur_rows) & set(base_rows)):
+                cur, base = cur_rows[key], base_rows[key]
+                for metric, base_val in base.items():
+                    if not isinstance(base_val, (int, float)):
+                        continue
+                    cur_val = cur.get(metric)
+                    if not isinstance(cur_val, (int, float)):
+                        continue
+                    print(f"  {bench}:{key}:{metric} {base_val:g} -> "
+                          f"{cur_val:g} ({fmt_delta(base_val, cur_val)})")
+
+    # Gate the named hot metrics.
+    for entry in manifest.get("hot", []):
+        bench = entry["bench"]
+        row_key = entry["row"]
+        metric = entry["metric"]
+        threshold = entry.get("threshold", default_threshold)
+        higher_is_better = entry.get("direction") == "higher"
+        label = f"{bench}:{row_key}:{metric}"
+
+        if bench not in current:
+            failures.append(f"{label}: no current artifact BENCH_{bench}.json "
+                            f"in {args.current}")
+            continue
+        if bench not in baselines:
+            failures.append(f"{label}: no baseline artifact BENCH_{bench}.json"
+                            f" in {args.baselines}")
+            continue
+        cur_row = load_rows(current[bench]).get(row_key)
+        base_row = load_rows(baselines[bench]).get(row_key)
+        if cur_row is None or base_row is None:
+            failures.append(
+                f"{label}: row missing ({'current' if cur_row is None else 'baseline'});"
+                " update the manifest if the benchmark was renamed")
+            continue
+        cur_val = cur_row.get(metric)
+        base_val = base_row.get(metric)
+        if not isinstance(cur_val, (int, float)) or not isinstance(
+                base_val, (int, float)):
+            failures.append(f"{label}: metric missing or non-numeric")
+            continue
+
+        if higher_is_better:
+            regressed = cur_val < base_val * (1.0 - threshold)
+        else:
+            regressed = cur_val > base_val * (1.0 + threshold)
+        status = "REGRESSED" if regressed else "ok"
+        print(f"{status:>9}  {label}: {base_val:g} -> {cur_val:g} "
+              f"({fmt_delta(base_val, cur_val)}, allowed ±{threshold:.0%})")
+        if regressed:
+            failures.append(
+                f"{label}: {base_val:g} -> {cur_val:g} exceeds "
+                f"{threshold:.0%} threshold")
+
+    if failures:
+        print(f"\nbench_diff: {len(failures)} hot-metric failure(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        if report_only:
+            print("bench_diff: TREL_BENCH_DIFF_SKIP=1 set — reporting only",
+                  file=sys.stderr)
+            return 0
+        return 1
+    print("bench_diff: all hot metrics within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

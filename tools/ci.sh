@@ -6,8 +6,12 @@
 #   tools/ci.sh --asan         # ASan/UBSan build + full ctest
 #   tools/ci.sh --tsan         # TSan build + concurrent service tests
 #   tools/ci.sh --bench-smoke  # run every bench binary at tiny sizes,
-#                              # collecting BENCH_*.json into build/bench-json
-#   tools/ci.sh --arena-fuzz   # arena differential fuzz under ASan/UBSan
+#                              # collecting BENCH_*.json into build/bench-json,
+#                              # then gate hot metrics with tools/bench_diff.py
+#   tools/ci.sh --arena-fuzz   # arena differential fuzz under ASan/UBSan,
+#                              # repeated once per TREL_SIMD level
+#   tools/ci.sh --simd-matrix  # tier-1 test battery under each TREL_SIMD
+#                              # level the host can execute
 #
 # Stages may be combined (e.g. `tools/ci.sh --tier1 --bench-smoke`).
 # Extra configure flags for all stages can be passed via TREL_CMAKE_FLAGS
@@ -88,6 +92,47 @@ bench_smoke() {
     exit 1
   fi
   run ls "${json_dir}"
+  # Gate the named hot metrics against the committed smoke baselines.
+  # Smoke iteration counts are tiny, so the manifest carries generous
+  # per-row thresholds; TREL_BENCH_DIFF_SKIP=1 demotes failures to a
+  # report for hosts that don't resemble the baseline machine.
+  run python3 tools/bench_diff.py \
+    --current "${json_dir}" \
+    --baselines bench/baselines/smoke \
+    --manifest bench/baselines/hot_metrics.json
+}
+
+# Levels this host can execute, per the runtime dispatcher itself
+# (`trel_tool simd` prints "requested=... supported=<level> active=...").
+host_simd_levels() {
+  local tool="$1"
+  local supported
+  supported="$("${tool}" simd | sed -n 's/.*supported=\([a-z0-9]*\).*/\1/p')"
+  case "${supported}" in
+    avx2) echo "scalar sse avx2" ;;
+    sse) echo "scalar sse" ;;
+    *) echo "scalar" ;;
+  esac
+}
+
+simd_matrix() {
+  # Re-runs the dispatch-sensitive test battery once per executable
+  # TREL_SIMD level.  `trel_tool simd` exits nonzero if the dispatcher
+  # resolves to a level the host cannot execute or ignores an honorable
+  # request, so the matrix doubles as the dispatcher-soundness gate.
+  run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
+  run cmake --build build -j "${JOBS}" --target \
+    trel_tool simd_dispatch_test arena_differential_test \
+    compressed_closure_test query_service_test
+  local level
+  for level in $(host_simd_levels ./build/tools/trel_tool); do
+    echo "==> simd matrix: TREL_SIMD=${level}"
+    run env TREL_SIMD="${level}" ./build/tools/trel_tool simd
+    run env TREL_SIMD="${level}" ./build/tests/simd_dispatch_test
+    run env TREL_SIMD="${level}" ./build/tests/arena_differential_test
+    run env TREL_SIMD="${level}" ./build/tests/compressed_closure_test
+    run env TREL_SIMD="${level}" ./build/tests/query_service_test
+  done
 }
 
 arena_fuzz() {
@@ -97,8 +142,16 @@ arena_fuzz() {
   # coverage filters, so it gets a dedicated sanitized entry point.
   run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTREL_SANITIZE=address,undefined "${EXTRA_CMAKE_FLAGS[@]}"
-  run cmake --build build-asan -j "${JOBS}" --target arena_differential_test
-  run ./build-asan/tests/arena_differential_test
+  run cmake --build build-asan -j "${JOBS}" --target \
+    arena_differential_test trel_tool
+  # Loop every host-executable dispatch level: an out-of-bounds read in
+  # a vector scan or the pipelined batch engine only fires under the
+  # level that exercises that code path.
+  local level
+  for level in $(host_simd_levels ./build-asan/tools/trel_tool); do
+    echo "==> arena fuzz: TREL_SIMD=${level}"
+    run env TREL_SIMD="${level}" ./build-asan/tests/arena_differential_test
+  done
 }
 
 if [[ $# -eq 0 ]]; then
@@ -112,10 +165,11 @@ else
       --tsan) stages+=(tsan_service) ;;
       --bench-smoke) stages+=(bench_smoke) ;;
       --arena-fuzz) stages+=(arena_fuzz) ;;
+      --simd-matrix) stages+=(simd_matrix) ;;
       *)
         echo "unknown stage: ${arg}" >&2
         echo "usage: tools/ci.sh [--tier1] [--asan] [--tsan] [--bench-smoke]" \
-          "[--arena-fuzz]" >&2
+          "[--arena-fuzz] [--simd-matrix]" >&2
         exit 2
         ;;
     esac

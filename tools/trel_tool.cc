@@ -19,6 +19,7 @@
 #include "baselines/inverse_closure.h"
 #include "core/closure_stats.h"
 #include "core/compressed_closure.h"
+#include "core/simd_dispatch.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/reachability.h"
@@ -44,8 +45,38 @@ int Usage() {
       "  trel_tool query <closure.db> <from> <to>\n"
       "  trel_tool dot <graph.el>\n"
       "  trel_tool alpha <relation.csv> <src-col> <dst-col> <from> <to>\n"
-      "  trel_tool successors <relation.csv> <src-col> <dst-col> <from>\n");
+      "  trel_tool successors <relation.csv> <src-col> <dst-col> <from>\n"
+      "  trel_tool simd\n");
   return 2;
+}
+
+// Prints the SIMD dispatch state and verifies it is sound: the active
+// kernel level must never exceed what the host can execute, and a
+// TREL_SIMD request for a host-supported level must be honored exactly.
+// CI's --simd-matrix stage runs this under each level (see tools/ci.sh).
+int SimdInfo() {
+  const SimdLevel supported = HighestSupportedSimdLevel();
+  const SimdLevel requested = RequestedSimdLevel(supported);
+  const SimdLevel active = ActiveSimdLevel();
+  const char* env = std::getenv("TREL_SIMD");
+  std::printf("requested=%s supported=%s active=%s\n",
+              env != nullptr ? SimdLevelName(requested) : "auto",
+              SimdLevelName(supported), SimdLevelName(active));
+  if (static_cast<int>(active) > static_cast<int>(supported)) {
+    std::fprintf(stderr,
+                 "simd: dispatcher picked %s but the host only supports %s\n",
+                 SimdLevelName(active), SimdLevelName(supported));
+    return 1;
+  }
+  const SimdLevel expected =
+      static_cast<int>(requested) <= static_cast<int>(supported) ? requested
+                                                                 : supported;
+  if (active != expected) {
+    std::fprintf(stderr, "simd: dispatcher picked %s, expected %s\n",
+                 SimdLevelName(active), SimdLevelName(expected));
+    return 1;
+  }
+  return 0;
 }
 
 StatusOr<Digraph> LoadGraph(const std::string& path) {
@@ -250,5 +281,6 @@ int main(int argc, char** argv) {
   if (command == "successors" && argc == 6) {
     return Successors(argv[2], argv[3], argv[4], argv[5]);
   }
+  if (command == "simd" && argc == 2) return SimdInfo();
   return Usage();
 }
