@@ -35,3 +35,5 @@ trel_add_microbench(micro_query)
 trel_add_microbench(micro_build)
 trel_add_bench(micro_concurrent_query)
 target_link_libraries(micro_concurrent_query PRIVATE trel_service)
+trel_add_microbench(micro_obs_overhead)
+target_link_libraries(micro_obs_overhead PRIVATE trel_service)

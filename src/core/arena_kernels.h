@@ -9,6 +9,32 @@
 
 namespace trel {
 
+// How a single reachability probe was decided — the per-query analogue
+// of the BatchKernelStats tallies.  Values are stable across SimD levels
+// (the control flow that assigns them is shared by every kernel TU) and
+// fit the 3-bit field of an obs trace record.
+enum class ProbeTag : uint8_t {
+  kSlot = 0,          // decided by slots alone (invalid, self, first interval)
+  kFilterReject = 1,  // killed by the source's one-bit coverage-filter test
+  kGroupReject = 2,   // killed by a whole-group 512-bit filter test (batch)
+  kExtrasSearch = 3,  // searched an extras run (vector scan or descent)
+  kOverlay = 4,       // resolved against a WithDelta overlay entry
+};
+constexpr int kNumProbeTags = 5;
+
+// "slot" / "filter" / "group" / "extras" / "overlay".
+const char* ProbeTagName(ProbeTag tag);
+
+// Per-probe outcome detail filled by the traced query paths (sampled
+// queries only — the untraced hot paths never touch this).
+struct ProbeTrace {
+  ProbeTag tag = ProbeTag::kSlot;
+  // Intervals the probe actually compared against: the scan length for
+  // linear scans, the number of tree levels for Eytzinger descents, 1
+  // for a summary reject, 0 when the probe never reached the extras.
+  uint32_t extras_probes = 0;
+};
+
 // Tallies from one batch-kernel invocation.  Accumulated in plain locals
 // inside the kernel (never atomically on the hot path) and published to
 // ServiceMetrics by the query service afterwards.
@@ -61,6 +87,15 @@ struct ArenaKernels {
   void (*batch_reaches)(const LabelArena& arena,
                         const std::pair<NodeId, NodeId>* pairs, int64_t n,
                         uint8_t* out, BatchKernelStats* stats);
+
+  // Tagged twin of batch_reaches for sampled/traced batches: identical
+  // answers and stats, plus `tags[i]` = the ProbeTag that decided query
+  // i.  A separate instantiation (not a branch inside the hot engine) so
+  // the untraced path's codegen is untouched when tracing is off.
+  void (*batch_reaches_tagged)(const LabelArena& arena,
+                               const std::pair<NodeId, NodeId>* pairs,
+                               int64_t n, uint8_t* out,
+                               BatchKernelStats* stats, uint8_t* tags);
 };
 
 // The hot single-query membership probe: same fast path as
@@ -98,6 +133,56 @@ inline bool ArenaContains(const LabelArena& arena, const ArenaKernels& kernels,
     return hit;
   }
   return kernels.extras_contains(base, s.extra_count, x);
+}
+
+// Traced twin of ArenaContains for sampled queries: same answer (it
+// mirrors the scalar control flow, and every kernel level is
+// bit-identical to scalar by construction), plus the tag and probe count
+// for the trace record.  Never called on the untraced hot path, so it
+// favors clarity over pipelining.
+inline bool ArenaContainsTraced(const LabelArena& arena, NodeId u, Label x,
+                                ProbeTrace* trace) {
+  const LabelArena::NodeSlot& s = arena.slots[u];
+  trace->tag = ProbeTag::kSlot;
+  trace->extras_probes = 0;
+  if (x < s.first.lo) return false;
+  if (x <= s.first.hi) return true;
+  if (s.extra_count == 0) return false;
+  const uint64_t b = static_cast<uint64_t>(x) >> arena.filter_shift;
+  if (b >= static_cast<uint64_t>(LabelArena::kFilterWords) * 64 ||
+      ((arena.filters[u * LabelArena::kFilterWords + (b >> 6)] >> (b & 63)) &
+       1) == 0) {
+    trace->tag = ProbeTag::kFilterReject;
+    return false;
+  }
+  trace->tag = ProbeTag::kExtrasSearch;
+  const Interval* base = arena.extras.data() + s.extra_begin;
+  if (x > base[0].hi || x < base[0].lo) {
+    trace->extras_probes = 1;  // Summary reject: one compare.
+    return false;
+  }
+  const uint32_t k = s.extra_count;
+  if (k <= 4) {
+    trace->extras_probes = k;
+    bool hit = false;
+    for (uint32_t i = 1; i <= k; ++i) {
+      hit |= (base[i].lo <= x) & (x <= base[i].hi);
+    }
+    return hit;
+  }
+  // Eytzinger descent, counting levels touched.
+  uint32_t i = 1, cand = 0, probes = 0;
+  while (i <= k) {
+    ++probes;
+    if (base[i].hi >= x) {
+      cand = i;
+      i = 2 * i;
+    } else {
+      i = 2 * i + 1;
+    }
+  }
+  trace->extras_probes = probes;
+  return cand != 0 && base[cand].lo <= x;
 }
 
 }  // namespace trel

@@ -17,7 +17,8 @@ const ArenaKernels& Avx2ArenaKernels() {
   static const ArenaKernels kTable{SimdLevel::kAvx2, "avx2",
                                    &KernelExtrasContains,
                                    &KernelFilterIntersects,
-                                   &KernelBatchReaches};
+                                   &KernelBatchReaches,
+                                   &KernelBatchReachesTagged};
   return kTable;
 }
 

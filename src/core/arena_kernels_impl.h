@@ -199,15 +199,31 @@ bool KernelFilterIntersects(const uint64_t* filter, const uint64_t* mask) {
 // undecided targets' buckets are accumulated into a 512-bit mask, and a
 // single whole-line filter intersection test rejects the entire group's
 // extras work when no target bucket overlaps the source's coverage.
+//
+// Batches of <= kSmallBatchMax queries bypass the pipeline entirely: a
+// plain prefetch-ahead loop with immediate extras resolution.  At small
+// n the pending-queue/flush machinery and the grouped path's mask setup
+// cost more than the overlapped misses save (the PR 4 128-query
+// hot-cache regression), and a hot cache means there is little miss
+// latency to overlap in the first place.  The bypass shares this TU's
+// compare primitives, so answers stay bit-identical across levels; its
+// stats never include group_rejects (no grouping below the threshold).
+//
+// The engine is templated on kTagged: the tagged instantiation
+// additionally writes the deciding ProbeTag per query for the obs
+// tracer, the untagged one compiles to exactly the pre-tracing code.
 
 constexpr int64_t kPrefetchDistance = 8;
 constexpr int kMaxPending = 8;
 constexpr int64_t kGroupMin = 16;
 constexpr int64_t kGroupMax = 256;
+constexpr int64_t kSmallBatchMax = 192;
 
-void KernelBatchReaches(const LabelArena& arena,
-                        const std::pair<NodeId, NodeId>* pairs, int64_t n,
-                        uint8_t* out, BatchKernelStats* stats_out) {
+template <bool kTagged>
+void KernelBatchReachesImpl(const LabelArena& arena,
+                            const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                            uint8_t* out, BatchKernelStats* stats_out,
+                            uint8_t* tags) {
   BatchKernelStats stats;
   const LabelArena::NodeSlot* slots = arena.slots.data();
   const Interval* extras = arena.extras.data();
@@ -219,6 +235,71 @@ void KernelBatchReaches(const LabelArena& arena,
   const auto valid = [num](NodeId id) {
     return static_cast<uint32_t>(id) < num;
   };
+  const auto set_tag = [tags](int64_t idx, ProbeTag t) {
+    if constexpr (kTagged) {
+      tags[idx] = static_cast<uint8_t>(t);
+    } else {
+      (void)tags;
+      (void)idx;
+      (void)t;
+    }
+  };
+
+  if (n <= kSmallBatchMax) {
+    // Small-batch bypass: no pending queue, no grouping — resolve each
+    // query in order with the prefetcher running kPrefetchDistance ahead.
+    for (int64_t i = 0; i < n; ++i) {
+      if (i + kPrefetchDistance < n) {
+        const auto& ahead = pairs[i + kPrefetchDistance];
+        if (valid(ahead.first)) {
+          __builtin_prefetch(slots + ahead.first);
+          __builtin_prefetch(filters + static_cast<size_t>(ahead.first) *
+                                           LabelArena::kFilterWords);
+        }
+        if (valid(ahead.second)) __builtin_prefetch(slots + ahead.second);
+      }
+      const NodeId u = pairs[i].first;
+      const NodeId v = pairs[i].second;
+      if (!valid(u) || !valid(v)) {
+        out[i] = 0;
+        ++stats.fast_path;
+        set_tag(i, ProbeTag::kSlot);
+        continue;
+      }
+      if (u == v) {
+        out[i] = 1;
+        ++stats.fast_path;
+        set_tag(i, ProbeTag::kSlot);
+        continue;
+      }
+      const LabelArena::NodeSlot& s = slots[u];
+      const Label x = slots[v].postorder;
+      if (x < s.first.lo || x <= s.first.hi || s.extra_count == 0) {
+        out[i] = (x >= s.first.lo && x <= s.first.hi) ? 1 : 0;
+        ++stats.fast_path;
+        set_tag(i, ProbeTag::kSlot);
+        continue;
+      }
+      const uint64_t b = static_cast<uint64_t>(x) >> shift;
+      if (b >= kBuckets ||
+          ((filters[static_cast<size_t>(u) * LabelArena::kFilterWords +
+                    (b >> 6)] >>
+            (b & 63)) &
+           1) == 0) {
+        out[i] = 0;
+        ++stats.filter_rejects;
+        set_tag(i, ProbeTag::kFilterReject);
+        continue;
+      }
+      ++stats.extras_searches;
+      set_tag(i, ProbeTag::kExtrasSearch);
+      out[i] =
+          KernelExtrasContains(extras + s.extra_begin, s.extra_count, x) ? 1
+                                                                         : 0;
+    }
+    if (stats_out != nullptr) *stats_out += stats;
+    return;
+  }
 
   struct Pending {
     const Interval* base;
@@ -305,33 +386,39 @@ void KernelBatchReaches(const LabelArena& arena,
         if (!valid(v)) {
           out[q] = 0;
           ++stats.fast_path;
+          set_tag(q, ProbeTag::kSlot);
           continue;
         }
         if (u == v) {
           out[q] = 1;
           ++stats.fast_path;
+          set_tag(q, ProbeTag::kSlot);
           continue;
         }
         const Label x = slots[v].postorder;
         if (x < s.first.lo) {
           out[q] = 0;
           ++stats.fast_path;
+          set_tag(q, ProbeTag::kSlot);
           continue;
         }
         if (x <= s.first.hi) {
           out[q] = 1;
           ++stats.fast_path;
+          set_tag(q, ProbeTag::kSlot);
           continue;
         }
         if (s.extra_count == 0) {
           out[q] = 0;
           ++stats.fast_path;
+          set_tag(q, ProbeTag::kSlot);
           continue;
         }
         const uint64_t b = static_cast<uint64_t>(x) >> shift;
         if (b >= kBuckets) {
           out[q] = 0;
           ++stats.filter_rejects;
+          set_tag(q, ProbeTag::kFilterReject);
           continue;
         }
         mask[b >> 6] |= uint64_t{1} << (b & 63);
@@ -341,7 +428,10 @@ void KernelBatchReaches(const LabelArena& arena,
       }
       if (nu > 0) {
         if (!KernelFilterIntersects(filter, mask)) {
-          for (int64_t q = 0; q < nu; ++q) out[undecided_idx[q]] = 0;
+          for (int64_t q = 0; q < nu; ++q) {
+            out[undecided_idx[q]] = 0;
+            set_tag(undecided_idx[q], ProbeTag::kGroupReject);
+          }
           stats.group_rejects += nu;
         } else {
           const Interval* base = extras + s.extra_begin;
@@ -351,9 +441,11 @@ void KernelBatchReaches(const LabelArena& arena,
             if (((filter[b >> 6] >> (b & 63)) & 1) == 0) {
               out[undecided_idx[q]] = 0;
               ++stats.filter_rejects;
+              set_tag(undecided_idx[q], ProbeTag::kFilterReject);
               continue;
             }
             ++stats.extras_searches;
+            set_tag(undecided_idx[q], ProbeTag::kExtrasSearch);
             out[undecided_idx[q]] =
                 KernelExtrasContains(base, s.extra_count, x) ? 1 : 0;
           }
@@ -380,11 +472,13 @@ void KernelBatchReaches(const LabelArena& arena,
       if (!valid(uu) || !valid(v)) {
         out[i] = 0;
         ++stats.fast_path;
+        set_tag(i, ProbeTag::kSlot);
         continue;
       }
       if (uu == v) {
         out[i] = 1;
         ++stats.fast_path;
+        set_tag(i, ProbeTag::kSlot);
         continue;
       }
       const LabelArena::NodeSlot& s = slots[uu];
@@ -392,16 +486,19 @@ void KernelBatchReaches(const LabelArena& arena,
       if (x < s.first.lo) {
         out[i] = 0;
         ++stats.fast_path;
+        set_tag(i, ProbeTag::kSlot);
         continue;
       }
       if (x <= s.first.hi) {
         out[i] = 1;
         ++stats.fast_path;
+        set_tag(i, ProbeTag::kSlot);
         continue;
       }
       if (s.extra_count == 0) {
         out[i] = 0;
         ++stats.fast_path;
+        set_tag(i, ProbeTag::kSlot);
         continue;
       }
       const uint64_t b = static_cast<uint64_t>(x) >> shift;
@@ -412,17 +509,33 @@ void KernelBatchReaches(const LabelArena& arena,
            1) == 0) {
         out[i] = 0;
         ++stats.filter_rejects;
+        set_tag(i, ProbeTag::kFilterReject);
         continue;
       }
-      // Stage C.
+      // Stage C.  Tagged at enqueue: everything that reaches the pending
+      // queue counts as (and is tallied as) an extras search.
       const Interval* base = extras + s.extra_begin;
       __builtin_prefetch(base);
+      set_tag(i, ProbeTag::kExtrasSearch);
       pend[np++] = Pending{base, s.extra_count, x, i};
       if (np == kMaxPending) flush();
     }
   }
   flush();
   if (stats_out != nullptr) *stats_out += stats;
+}
+
+void KernelBatchReaches(const LabelArena& arena,
+                        const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                        uint8_t* out, BatchKernelStats* stats_out) {
+  KernelBatchReachesImpl<false>(arena, pairs, n, out, stats_out, nullptr);
+}
+
+void KernelBatchReachesTagged(const LabelArena& arena,
+                              const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                              uint8_t* out, BatchKernelStats* stats_out,
+                              uint8_t* tags) {
+  KernelBatchReachesImpl<true>(arena, pairs, n, out, stats_out, tags);
 }
 
 }  // namespace

@@ -12,7 +12,8 @@ const ArenaKernels& ScalarArenaKernels() {
   static const ArenaKernels kTable{SimdLevel::kScalar, "scalar",
                                    &KernelExtrasContains,
                                    &KernelFilterIntersects,
-                                   &KernelBatchReaches};
+                                   &KernelBatchReaches,
+                                   &KernelBatchReachesTagged};
   return kTable;
 }
 

@@ -17,7 +17,8 @@ const ArenaKernels& SseArenaKernels() {
   static const ArenaKernels kTable{SimdLevel::kSse, "sse",
                                    &KernelExtrasContains,
                                    &KernelFilterIntersects,
-                                   &KernelBatchReaches};
+                                   &KernelBatchReaches,
+                                   &KernelBatchReachesTagged};
   return kTable;
 }
 

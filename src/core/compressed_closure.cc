@@ -5,8 +5,25 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 
 namespace trel {
+
+const char* ProbeTagName(ProbeTag tag) {
+  switch (tag) {
+    case ProbeTag::kSlot:
+      return "slot";
+    case ProbeTag::kFilterReject:
+      return "filter";
+    case ProbeTag::kGroupReject:
+      return "group";
+    case ProbeTag::kExtrasSearch:
+      return "extras";
+    case ProbeTag::kOverlay:
+      return "overlay";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -30,8 +47,12 @@ CompressedClosure::CompressedClosure(
     const NodeLabels& labels, std::shared_ptr<const NodeLabels> retained,
     TreeCover tree_cover, ExportHints hints) {
   num_nodes_ = static_cast<NodeId>(labels.postorder.size());
+  Stopwatch arena_timer;
   auto arena = std::make_shared<LabelArena>(BuildLabelArena(
       labels, std::move(hints.sorted_directory), hints.runner));
+  if (hints.arena_micros != nullptr) {
+    *hints.arena_micros = arena_timer.ElapsedMicros();
+  }
   // The interval total falls out of the arena shape: every non-empty
   // first plus each slot's extras (extras.size() would overcount — runs
   // carry a summary slot).
@@ -180,6 +201,42 @@ void CompressedClosure::BatchReaches(const std::pair<NodeId, NodeId>* pairs,
   // Overlay-free: the whole batch goes through the dispatched
   // software-pipelined kernel (the arena covers all num_nodes_ ids).
   kernels_->batch_reaches(*arena_, pairs, n, out, stats);
+}
+
+bool CompressedClosure::ReachesTraced(NodeId u, NodeId v,
+                                      ProbeTrace* trace) const {
+  trace->tag = ProbeTag::kSlot;
+  trace->extras_probes = 0;
+  const uint32_t num = static_cast<uint32_t>(num_nodes_);
+  if (static_cast<uint32_t>(u) >= num || static_cast<uint32_t>(v) >= num) {
+    return false;
+  }
+  if (u == v) return true;
+  if (!overlay_.empty()) {
+    const Label target = EffectivePostorder(v);
+    const EffectiveLabel source = EffectiveLabelOf(u);
+    if (source.overlay_intervals != nullptr) {
+      trace->tag = ProbeTag::kOverlay;
+      return source.overlay_intervals->Contains(target);
+    }
+    return ArenaContainsTraced(*arena_, u, target, trace);
+  }
+  return ArenaContainsTraced(*arena_, u, arena_->slots[v].postorder, trace);
+}
+
+void CompressedClosure::BatchReachesTraced(
+    const std::pair<NodeId, NodeId>* pairs, int64_t n, uint8_t* out,
+    BatchKernelStats* stats, uint8_t* tags) const {
+  if (n <= 0) return;
+  if (!overlay_.empty()) {
+    for (int64_t i = 0; i < n; ++i) {
+      ProbeTrace trace;
+      out[i] = ReachesTraced(pairs[i].first, pairs[i].second, &trace) ? 1 : 0;
+      tags[i] = static_cast<uint8_t>(trace.tag);
+    }
+    return;
+  }
+  kernels_->batch_reaches_tagged(*arena_, pairs, n, out, stats, tags);
 }
 
 void CompressedClosure::AppendNodesInRange(Label lo, Label hi, Label skip,

@@ -59,6 +59,10 @@ class CompressedClosure {
   struct ExportHints {
     std::vector<std::pair<Label, NodeId>> sorted_directory;
     const ParallelRunner* runner = nullptr;
+    // When non-null, receives the arena-build portion of the export in
+    // microseconds (the obs publish spans split "export" from "arena
+    // build" with it).
+    int64_t* arena_micros = nullptr;
   };
 
   // Empty closure over zero nodes; placeholder state (e.g. a query
@@ -143,6 +147,19 @@ class CompressedClosure {
     BatchReaches(pairs.data(), static_cast<int64_t>(pairs.size()), out.data());
     return out;
   }
+
+  // Traced twins for the obs sampler: identical answers, plus how each
+  // probe was decided.  Both use snapshot semantics (out-of-range ids
+  // answer 0, tag kSlot) so the service can call them without
+  // pre-validating sampled queries.  Never on the untraced hot path.
+  bool ReachesTraced(NodeId u, NodeId v, ProbeTrace* trace) const;
+  // `tags[i]` receives the ProbeTag that decided query i.  Overlay
+  // snapshots take the per-query traced path (and, like BatchReaches,
+  // leave `stats` untouched); overlay-free batches go through the
+  // dispatched tagged kernel.
+  void BatchReachesTraced(const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                          uint8_t* out, BatchKernelStats* stats,
+                          uint8_t* tags) const;
 
   // All nodes reachable from `u`, excluding `u` itself, in ascending
   // postorder-number order.  Walks the flat directory: one bulk copy per

@@ -478,7 +478,8 @@ std::vector<NodeId> DynamicClosure::Successors(NodeId u) const {
 }
 
 CompressedClosure DynamicClosure::ExportClosure(const ParallelRunner* runner,
-                                                bool retain_labels) const {
+                                                bool retain_labels,
+                                                int64_t* arena_micros) const {
   TreeCover cover;
   cover.parent = tree_parent_;
   cover.children = tree_children_;
@@ -490,6 +491,7 @@ CompressedClosure DynamicClosure::ExportClosure(const ParallelRunner* runner,
   // O(n log n) sort.
   CompressedClosure::ExportHints hints;
   hints.runner = runner;
+  hints.arena_micros = arena_micros;
   hints.sorted_directory.reserve(by_postorder_.size());
   for (const auto& [number, node] : by_postorder_) {
     hints.sorted_directory.emplace_back(number, node);

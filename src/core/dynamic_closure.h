@@ -135,9 +135,11 @@ class DynamicClosure {
   // IntervalsOf are unavailable — see
   // CompressedClosure::FromPartsQueryOnly.  Does not touch the dirty set;
   // a publisher that treats this export as its new delta base must call
-  // MarkClean() alongside it.
+  // MarkClean() alongside it.  A non-null `arena_micros` receives the
+  // arena-build portion of the export time (obs publish spans).
   CompressedClosure ExportClosure(const ParallelRunner* runner = nullptr,
-                                  bool retain_labels = true) const;
+                                  bool retain_labels = true,
+                                  int64_t* arena_micros = nullptr) const;
 
   // --- Delta export (dirty tracking) --------------------------------------
   //

@@ -1,0 +1,24 @@
+#ifndef TREL_OBS_HISTOGRAM_H_
+#define TREL_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+
+namespace trel {
+
+// Power-of-two bucket index for a non-negative value, clamped to
+// [0, buckets): bucket i counts values in [2^i, 2^(i+1)), bucket 0
+// additionally catches [0, 2), and the last bucket everything larger.
+// Shared by ServiceMetrics and the obs span histograms so exposition can
+// render one consistent `le` boundary scheme (upper bound of bucket i is
+// 2^(i+1)).
+inline int PowerOfTwoBucket(int64_t value, int buckets) {
+  int bucket = 0;
+  while (bucket + 1 < buckets && value >= (int64_t{1} << (bucket + 1))) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace trel
+
+#endif  // TREL_OBS_HISTOGRAM_H_

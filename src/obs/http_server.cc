@@ -1,0 +1,150 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace trel {
+
+namespace {
+
+// `text/plain; version=0.0.4` is the Prometheus exposition content type;
+// it renders fine in a browser/curl for the human-oriented endpoints too.
+constexpr char kContentType[] = "text/plain; version=0.0.4; charset=utf-8";
+
+std::string BuildResponse(int code, const char* reason,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + kContentType +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                           MSG_NOSIGNAL
+#else
+                           0
+#endif
+    );
+    if (n <= 0) return;  // Peer went away; diagnostics port, drop it.
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+Status HttpServer::Start(int port) {
+  if (listen_fd_ >= 0) {
+    return Status(StatusCode::kFailedPrecondition, "server already started");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kInternal,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status(StatusCode::kInternal,
+                        std::string("bind: ") + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 16) != 0) {
+    const Status status(StatusCode::kInternal,
+                        std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status status(StatusCode::kInternal,
+                        std::string("getsockname: ") + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::ServeLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // Timeout (stop-flag check) or EINTR.
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // Bound the read: request line + headers; the handlers take no body.
+    timeval tv{/*tv_sec=*/2, /*tv_usec=*/0};
+    setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char buf[4096];
+    std::string request;
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < sizeof(buf)) {
+      const ssize_t n = recv(client, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<size_t>(n));
+    }
+    // Parse "GET <path> ..." from the request line; ignore query strings.
+    std::string path;
+    if (request.rfind("GET ", 0) == 0) {
+      const size_t path_begin = 4;
+      const size_t path_end = request.find_first_of(" ?\r\n", path_begin);
+      if (path_end != std::string::npos) {
+        path = request.substr(path_begin, path_end - path_begin);
+      }
+    }
+    if (path.empty()) {
+      SendAll(client, BuildResponse(400, "Bad Request", "bad request\n"));
+    } else {
+      const auto it = routes_.find(path);
+      if (it == routes_.end()) {
+        std::string body = "not found; endpoints:\n";
+        for (const auto& [route, handler] : routes_) {
+          body += "  " + route + "\n";
+        }
+        SendAll(client, BuildResponse(404, "Not Found", body));
+      } else {
+        SendAll(client, BuildResponse(200, "OK", it->second()));
+      }
+    }
+    close(client);
+  }
+}
+
+}  // namespace trel

@@ -1,0 +1,58 @@
+#ifndef TREL_OBS_HTTP_SERVER_H_
+#define TREL_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace trel {
+
+// Minimal single-threaded embedded HTTP/1.0 listener for the obs
+// exposition endpoints (/metricsz, /statusz, /tracez).  Deliberately
+// tiny: GET only, one request per connection, responses rendered by
+// registered handlers on the serving thread.  Binds 127.0.0.1 only —
+// this is a diagnostics port, not a public API; put a real proxy in
+// front for anything else.
+class HttpServer {
+ public:
+  // Returns the response body for one GET of the registered path.
+  using Handler = std::function<std::string()>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers `handler` for exact-match `path` (e.g. "/metricsz").
+  // Call before Start(); not thread-safe against the serving loop.
+  void Handle(std::string path, Handler handler);
+
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see
+  // port()) and starts the serving thread.
+  Status Start(int port);
+
+  // The bound port; valid after a successful Start().
+  int port() const { return port_; }
+
+  // Stops the serving thread and closes the socket.  Idempotent; also
+  // run by the destructor.
+  void Stop();
+
+ private:
+  void ServeLoop();
+
+  std::unordered_map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_OBS_HTTP_SERVER_H_

@@ -1,0 +1,98 @@
+#include "obs/prometheus.h"
+
+#include <sstream>
+
+namespace trel {
+
+namespace {
+
+void AppendSampleHead(std::string& out, std::string_view name,
+                      std::string_view labels) {
+  out.append(name);
+  if (!labels.empty()) {
+    out.push_back('{');
+    out.append(labels);
+    out.push_back('}');
+  }
+  out.push_back(' ');
+}
+
+}  // namespace
+
+void PrometheusText::Family(std::string_view name, std::string_view help,
+                            std::string_view type) {
+  out_.append("# HELP ");
+  out_.append(name);
+  out_.push_back(' ');
+  out_.append(help);
+  out_.push_back('\n');
+  out_.append("# TYPE ");
+  out_.append(name);
+  out_.push_back(' ');
+  out_.append(type);
+  out_.push_back('\n');
+}
+
+void PrometheusText::Sample(std::string_view name, std::string_view labels,
+                            int64_t value) {
+  AppendSampleHead(out_, name, labels);
+  out_.append(std::to_string(value));
+  out_.push_back('\n');
+}
+
+void PrometheusText::Sample(std::string_view name, std::string_view labels,
+                            double value) {
+  AppendSampleHead(out_, name, labels);
+  std::ostringstream v;
+  v << value;
+  out_.append(v.str());
+  out_.push_back('\n');
+}
+
+void PrometheusText::Histogram(std::string_view name, std::string_view labels,
+                               const int64_t* buckets, int num_buckets,
+                               int64_t sum) {
+  const std::string bucket_name = std::string(name) + "_bucket";
+  const std::string prefix =
+      labels.empty() ? std::string() : std::string(labels) + ",";
+  int64_t cumulative = 0;
+  for (int i = 0; i < num_buckets; ++i) {
+    cumulative += buckets[i];
+    // Bucket i holds [2^i, 2^(i+1)), so its inclusive upper bound label
+    // is le="2^(i+1)" (the last finite bucket is open-ended and folds
+    // into +Inf below).
+    if (i + 1 < num_buckets) {
+      Sample(bucket_name,
+             prefix + "le=\"" + std::to_string(int64_t{1} << (i + 1)) + "\"",
+             cumulative);
+    }
+  }
+  Sample(bucket_name, prefix + "le=\"+Inf\"", cumulative);
+  Sample(std::string(name) + "_sum", labels, sum);
+  Sample(std::string(name) + "_count", labels, cumulative);
+}
+
+std::string PrometheusText::Label(std::string_view key,
+                                  std::string_view value) {
+  std::string out(key);
+  out.append("=\"");
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace trel

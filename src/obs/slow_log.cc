@@ -1,0 +1,21 @@
+#include "obs/slow_log.h"
+
+namespace trel {
+
+SlowQueryLog::SlowQueryLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  entry.sequence = next_sequence_++;
+  recent_.push_back(entry);
+  if (recent_.size() > capacity_) recent_.pop_front();
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SlowQueryEntry>(recent_.begin(), recent_.end());
+}
+
+}  // namespace trel

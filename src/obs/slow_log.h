@@ -1,0 +1,68 @@
+#ifndef TREL_OBS_SLOW_LOG_H_
+#define TREL_OBS_SLOW_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/arena_kernels.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// One query (or batch) that exceeded the service's slow threshold.
+struct SlowQueryEntry {
+  // Admission order (monotone); assigned by the log.
+  uint64_t sequence = 0;
+  bool is_batch = false;
+  // For batches: the first pair of the batch (identification aid), with
+  // num_queries carrying the batch size.  For singles: the query itself.
+  NodeId source = 0;
+  NodeId target = 0;
+  int64_t num_queries = 1;
+  bool answer = false;
+  // How the probe was decided — singles only (batches report stats).
+  ProbeTag tag = ProbeTag::kSlot;
+  uint64_t epoch = 0;
+  int64_t micros = 0;
+  // Kernel tallies — batches only (zeros for singles).
+  BatchKernelStats stats;
+};
+
+// Always-on bounded deque of slow queries.  Unlike the sampled tracer
+// this path is taken only AFTER a query already blew a millisecond-scale
+// threshold, so a mutex here is invisible; the hot path never touches
+// the log (the threshold compare happens in the service, against a
+// timestamp it already took for metrics).
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 64);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  // Appends `entry` (its `sequence` is assigned by the log), evicting
+  // the oldest entry when full.
+  void Record(SlowQueryEntry entry);
+
+  // The retained entries, oldest first.
+  std::vector<SlowQueryEntry> Recent() const;
+
+  // Entries ever admitted (monotone counter, exposition-friendly).
+  int64_t TotalRecorded() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  uint64_t next_sequence_ = 0;  // Guarded by mutex_.
+  std::deque<SlowQueryEntry> recent_;  // Guarded by mutex_.
+  std::atomic<int64_t> total_{0};
+};
+
+}  // namespace trel
+
+#endif  // TREL_OBS_SLOW_LOG_H_

@@ -1,0 +1,50 @@
+#include "obs/span_log.h"
+
+#include "obs/histogram.h"
+
+namespace trel {
+
+const char* PublishPhaseName(PublishPhase phase) {
+  switch (phase) {
+    case PublishPhase::kDrain:
+      return "drain";
+    case PublishPhase::kExport:
+      return "export";
+    case PublishPhase::kArenaBuild:
+      return "arena_build";
+    case PublishPhase::kStats:
+      return "stats";
+    case PublishPhase::kSwap:
+      return "swap";
+  }
+  return "unknown";
+}
+
+SpanLog::SpanLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SpanLog::Record(const PublishSpan& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int kind = span.delta ? 1 : 0;
+  ++aggregate_.count[kind];
+  aggregate_.total_micros[kind] += span.total_micros;
+  for (int p = 0; p < kNumPublishPhases; ++p) {
+    aggregate_.phase_micros_total[kind][p] += span.phase_micros[p];
+    ++aggregate_.phase_histogram[kind][p]
+                                [PowerOfTwoBucket(span.phase_micros[p],
+                                                  kBuckets)];
+  }
+  recent_.push_back(span);
+  if (recent_.size() > capacity_) recent_.pop_front();
+}
+
+std::vector<PublishSpan> SpanLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<PublishSpan>(recent_.begin(), recent_.end());
+}
+
+SpanLog::Aggregate SpanLog::Read() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aggregate_;
+}
+
+}  // namespace trel

@@ -1,0 +1,75 @@
+#ifndef TREL_OBS_SPAN_LOG_H_
+#define TREL_OBS_SPAN_LOG_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace trel {
+
+// The named phases of one QueryService publish, in execution order.
+// Full publishes spend their time in export + arena_build (+ stats);
+// delta publishes in drain (ExportDelta) + export (WithDelta) and leave
+// the other phases at 0.  See DESIGN.md §5.
+enum class PublishPhase : int {
+  kDrain = 0,       // Dirty-set drain: ExportDelta (delta) / MarkClean (full).
+  kExport = 1,      // Label export minus the arena build; WithDelta for delta.
+  kArenaBuild = 2,  // Flat LabelArena construction (full publishes only).
+  kStats = 3,       // Optional ClosureStats pass (full publishes only).
+  kSwap = 4,        // The atomic snapshot pointer store.
+};
+constexpr int kNumPublishPhases = 5;
+
+// "drain" / "export" / "arena_build" / "stats" / "swap".
+const char* PublishPhaseName(PublishPhase phase);
+
+// One publish, decomposed into phases.  total_micros is the end-to-end
+// publish time; the phases need not sum exactly to it (loop overhead and
+// snapshot allocation sit between them).
+struct PublishSpan {
+  uint64_t epoch = 0;
+  bool delta = false;
+  int64_t total_micros = 0;
+  std::array<int64_t, kNumPublishPhases> phase_micros{};
+};
+
+// Bounded log of publish spans plus incrementally maintained per-phase
+// aggregates split full vs. delta.  Mutex-guarded: publishes are rare
+// (milliseconds apart at the fastest) and already serialized by the
+// service's writer mutex, so a lock here costs nothing measurable.
+class SpanLog {
+ public:
+  // Power-of-two phase-latency histogram width; bucket i counts phases
+  // that took [2^i, 2^(i+1)) microseconds (PowerOfTwoBucket semantics).
+  static constexpr int kBuckets = 22;
+
+  // Index 0 = full publishes, 1 = delta publishes.
+  struct Aggregate {
+    std::array<int64_t, 2> count{};
+    std::array<int64_t, 2> total_micros{};
+    std::array<std::array<int64_t, kNumPublishPhases>, 2> phase_micros_total{};
+    std::array<std::array<std::array<int64_t, kBuckets>, kNumPublishPhases>, 2>
+        phase_histogram{};
+  };
+
+  explicit SpanLog(size_t capacity = 128);
+
+  void Record(const PublishSpan& span);
+
+  // The most recent spans, oldest first (at most `capacity`).
+  std::vector<PublishSpan> Recent() const;
+
+  Aggregate Read() const;
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::deque<PublishSpan> recent_;  // Guarded by mutex_.
+  Aggregate aggregate_;             // Guarded by mutex_.
+};
+
+}  // namespace trel
+
+#endif  // TREL_OBS_SPAN_LOG_H_

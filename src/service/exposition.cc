@@ -1,0 +1,261 @@
+#include "service/exposition.h"
+
+#include <sstream>
+#include <string>
+
+#include "obs/prometheus.h"
+#include "service/query_service.h"
+
+namespace trel {
+
+namespace {
+
+constexpr const char* kKindNames[2] = {"full", "delta"};
+
+std::string KindPhaseLabels(int kind, int phase) {
+  return std::string("kind=\"") + kKindNames[kind] + "\",phase=\"" +
+         PublishPhaseName(static_cast<PublishPhase>(phase)) + "\"";
+}
+
+}  // namespace
+
+std::string RenderMetricsz(const ServiceMetrics::View& view,
+                           const QueryTracer* tracer, const SpanLog* spans,
+                           const SlowQueryLog* slow) {
+  PrometheusText out;
+
+  // --- ServiceMetrics counters -------------------------------------------
+  out.Family("trel_reach_queries_total",
+             "Point reachability lookups served (singles and batched).",
+             "counter");
+  out.Sample("trel_reach_queries_total", "", view.reach_queries);
+  out.Family("trel_successor_queries_total",
+             "Successor enumeration queries served.", "counter");
+  out.Sample("trel_successor_queries_total", "", view.successor_queries);
+  out.Family("trel_batches_total", "Batched query calls served.", "counter");
+  out.Sample("trel_batches_total", "", view.batches);
+  out.Family("trel_batch_micros_total",
+             "Wall microseconds spent inside batched query calls.",
+             "counter");
+  out.Sample("trel_batch_micros_total", "", view.batch_micros_total);
+  out.Family("trel_publishes_total",
+             "Snapshot publishes, split by export kind.", "counter");
+  out.Sample("trel_publishes_total", "kind=\"full\"", view.publishes_full);
+  out.Sample("trel_publishes_total", "kind=\"delta\"", view.publishes_delta);
+  out.Family("trel_publish_micros_total",
+             "Wall microseconds spent publishing, split by export kind.",
+             "counter");
+  out.Sample("trel_publish_micros_total", "kind=\"full\"",
+             view.publish_full_micros_total);
+  out.Sample("trel_publish_micros_total", "kind=\"delta\"",
+             view.publish_delta_micros_total);
+  out.Family("trel_delta_nodes_total",
+             "Changed-node entries shipped across all delta publishes.",
+             "counter");
+  out.Sample("trel_delta_nodes_total", "", view.delta_nodes_total);
+  out.Family("trel_batch_kernel_outcomes_total",
+             "Batched lookups by deciding path (see BatchKernelStats).",
+             "counter");
+  out.Sample("trel_batch_kernel_outcomes_total", "outcome=\"fast_path\"",
+             view.batch_fast_path);
+  out.Sample("trel_batch_kernel_outcomes_total", "outcome=\"filter_reject\"",
+             view.batch_filter_rejects);
+  out.Sample("trel_batch_kernel_outcomes_total", "outcome=\"group_reject\"",
+             view.batch_group_rejects);
+  out.Sample("trel_batch_kernel_outcomes_total", "outcome=\"extras_search\"",
+             view.batch_extras_searches);
+
+  // --- ServiceMetrics histograms -----------------------------------------
+  out.Family("trel_batch_latency_microseconds",
+             "Batched query call latency (power-of-two buckets).",
+             "histogram");
+  out.Histogram("trel_batch_latency_microseconds", "",
+                view.batch_latency_histogram.data(),
+                ServiceMetrics::kLatencyBuckets, view.batch_micros_total);
+  out.Family("trel_publish_delta_nodes",
+             "Changed-node entries per delta publish.", "histogram");
+  out.Histogram("trel_publish_delta_nodes", "",
+                view.delta_nodes_histogram.data(),
+                ServiceMetrics::kDeltaNodeBuckets, view.delta_nodes_total);
+
+  // --- Snapshot / dispatch gauges ----------------------------------------
+  out.Family("trel_snapshot_epoch", "Epoch of the live snapshot.", "gauge");
+  out.Sample("trel_snapshot_epoch", "",
+             static_cast<int64_t>(view.current_epoch));
+  out.Family("trel_snapshot_age_seconds",
+             "Monotonic-clock age of the live snapshot.", "gauge");
+  out.Sample("trel_snapshot_age_seconds", "", view.snapshot_age_seconds);
+  out.Family("trel_snapshot_nodes", "Nodes in the live snapshot.", "gauge");
+  out.Sample("trel_snapshot_nodes", "", view.snapshot_num_nodes);
+  out.Family("trel_snapshot_intervals",
+             "Compressed-closure intervals in the live snapshot.", "gauge");
+  out.Sample("trel_snapshot_intervals", "", view.snapshot_total_intervals);
+  out.Family("trel_snapshot_overlay_nodes",
+             "Overlaid (delta) nodes in the live snapshot.", "gauge");
+  out.Sample("trel_snapshot_overlay_nodes", "", view.snapshot_overlay_nodes);
+  out.Family("trel_snapshot_arena_bytes",
+             "Bytes pinned by the live snapshot's flat query arena.",
+             "gauge");
+  out.Sample("trel_snapshot_arena_bytes", "", view.snapshot_arena_bytes);
+  out.Family("trel_simd_level",
+             "Dispatched arena-kernel ISA tier (0=scalar,1=sse,2=avx2).",
+             "gauge");
+  out.Sample("trel_simd_level",
+             PrometheusText::Label("name", view.simd_level_name),
+             static_cast<int64_t>(view.simd_level));
+
+  // --- Publish-pipeline spans --------------------------------------------
+  if (spans != nullptr) {
+    const SpanLog::Aggregate agg = spans->Read();
+    out.Family("trel_publish_phase_micros_total",
+               "Wall microseconds per publish phase, split by export kind.",
+               "counter");
+    for (int kind = 0; kind < 2; ++kind) {
+      for (int phase = 0; phase < kNumPublishPhases; ++phase) {
+        out.Sample("trel_publish_phase_micros_total",
+                   KindPhaseLabels(kind, phase),
+                   agg.phase_micros_total[kind][phase]);
+      }
+    }
+    out.Family("trel_publish_phase_microseconds",
+               "Per-publish phase latency (power-of-two buckets).",
+               "histogram");
+    for (int kind = 0; kind < 2; ++kind) {
+      for (int phase = 0; phase < kNumPublishPhases; ++phase) {
+        out.Histogram("trel_publish_phase_microseconds",
+                      KindPhaseLabels(kind, phase),
+                      agg.phase_histogram[kind][phase].data(),
+                      SpanLog::kBuckets, agg.phase_micros_total[kind][phase]);
+      }
+    }
+  }
+
+  // --- Tracer summary -----------------------------------------------------
+  if (tracer != nullptr) {
+    out.Family("trel_trace_sample_period",
+               "Query-tracer sampling period (0 = off).", "gauge");
+    out.Sample("trel_trace_sample_period", "",
+               static_cast<int64_t>(tracer->sample_period()));
+    out.Family("trel_trace_sampled_total",
+               "Queries sampled into the tracer since startup.", "counter");
+    out.Sample("trel_trace_sampled_total", "",
+               static_cast<int64_t>(tracer->TotalSampled()));
+    out.Family("trel_trace_records_total",
+               "Sampled trace records by deciding probe path.", "counter");
+    const std::array<uint64_t, kNumProbeTags> tags = tracer->TagCounts();
+    for (int t = 0; t < kNumProbeTags; ++t) {
+      out.Sample(
+          "trel_trace_records_total",
+          PrometheusText::Label("tag",
+                                ProbeTagName(static_cast<ProbeTag>(t))),
+          static_cast<int64_t>(tags[t]));
+    }
+  }
+
+  // --- Slow-query log ------------------------------------------------------
+  if (slow != nullptr) {
+    out.Family("trel_slow_queries_total",
+               "Queries/batches admitted to the slow-query log.", "counter");
+    out.Sample("trel_slow_queries_total", "", slow->TotalRecorded());
+  }
+
+  return out.str();
+}
+
+std::string RenderStatusz(const ServiceMetrics::View& view,
+                          const SpanLog* spans) {
+  std::ostringstream out;
+  out << "trel query service status\n";
+  out << "epoch: " << view.current_epoch << "\n";
+  out << "snapshot_age_seconds: " << view.snapshot_age_seconds << "\n";
+  out << "nodes: " << view.snapshot_num_nodes
+      << "  intervals: " << view.snapshot_total_intervals
+      << "  overlay_nodes: " << view.snapshot_overlay_nodes << "\n";
+  out << "arena_bytes: " << view.snapshot_arena_bytes << "\n";
+  out << "simd: " << view.simd_level_name << " (level " << view.simd_level
+      << ")\n";
+  out << "queries: reach=" << view.reach_queries
+      << " successor=" << view.successor_queries
+      << " batches=" << view.batches << "\n";
+  out << "publishes: full=" << view.publishes_full
+      << " delta=" << view.publishes_delta
+      << " (us: full=" << view.publish_full_micros_total
+      << " delta=" << view.publish_delta_micros_total << ")\n";
+  if (spans != nullptr) {
+    const SpanLog::Aggregate agg = spans->Read();
+    for (int kind = 0; kind < 2; ++kind) {
+      if (agg.count[kind] == 0) continue;
+      out << "publish_phases_avg_us{" << kKindNames[kind] << "}:";
+      for (int phase = 0; phase < kNumPublishPhases; ++phase) {
+        out << " " << PublishPhaseName(static_cast<PublishPhase>(phase)) << "="
+            << agg.phase_micros_total[kind][phase] / agg.count[kind];
+      }
+      out << "\n";
+    }
+  }
+  // The raw counter line: /metricsz must agree with it field for field
+  // (the --obs CI stage scrapes both and diffs them on a quiescent
+  // server).
+  out << "metrics: " << view.ToString() << "\n";
+  return out.str();
+}
+
+std::string RenderTracez(const QueryTracer* tracer, const SlowQueryLog* slow) {
+  std::ostringstream out;
+  if (tracer != nullptr) {
+    out << "sample_period: " << tracer->sample_period() << "\n";
+    out << "sampled_total: " << tracer->TotalSampled() << "\n";
+    const std::array<uint64_t, kNumProbeTags> tags = tracer->TagCounts();
+    out << "tag_counts:";
+    for (int t = 0; t < kNumProbeTags; ++t) {
+      out << " " << ProbeTagName(static_cast<ProbeTag>(t)) << "=" << tags[t];
+    }
+    out << "\n";
+    const std::vector<TraceRecord> records = tracer->Drain();
+    out << "records: " << records.size() << " (oldest first)\n";
+    for (const TraceRecord& r : records) {
+      out << "seq=" << r.sequence << " epoch=" << r.epoch << " src=" << r.source
+          << " dst=" << r.target << " answer=" << (r.answer ? 1 : 0)
+          << " tag=" << ProbeTagName(r.tag) << " probes=" << r.extras_probes
+          << " nanos=" << r.nanos << " batch=" << (r.from_batch ? 1 : 0)
+          << "\n";
+    }
+  }
+  if (slow != nullptr) {
+    const std::vector<SlowQueryEntry> entries = slow->Recent();
+    out << "slow_queries: " << entries.size() << " (total admitted "
+        << slow->TotalRecorded() << ")\n";
+    for (const SlowQueryEntry& e : entries) {
+      out << "seq=" << e.sequence << " epoch=" << e.epoch
+          << (e.is_batch ? " batch" : " single") << " n=" << e.num_queries
+          << " first=(" << e.source << "," << e.target << ")"
+          << " us=" << e.micros;
+      if (e.is_batch) {
+        out << " stats[fast=" << e.stats.fast_path
+            << " filter=" << e.stats.filter_rejects
+            << " group=" << e.stats.group_rejects
+            << " extras=" << e.stats.extras_searches << "]";
+      } else {
+        out << " answer=" << (e.answer ? 1 : 0)
+            << " tag=" << ProbeTagName(e.tag);
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RenderMetricsz(const QueryService& service) {
+  return RenderMetricsz(service.Metrics(), &service.tracer(),
+                        &service.span_log(), &service.slow_log());
+}
+
+std::string RenderStatusz(const QueryService& service) {
+  return RenderStatusz(service.Metrics(), &service.span_log());
+}
+
+std::string RenderTracez(const QueryService& service) {
+  return RenderTracez(&service.tracer(), &service.slow_log());
+}
+
+}  // namespace trel

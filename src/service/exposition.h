@@ -1,0 +1,43 @@
+#ifndef TREL_SERVICE_EXPOSITION_H_
+#define TREL_SERVICE_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/slow_log.h"
+#include "obs/span_log.h"
+#include "obs/trace.h"
+#include "service/metrics.h"
+
+namespace trel {
+
+class QueryService;
+
+// Renders every ServiceMetrics counter and histogram, the publish-span
+// phase breakdown (split full vs. delta), and the tracer / slow-log
+// summaries as Prometheus text exposition format (version 0.0.4).  All
+// metric names carry the `trel_` prefix.  Null obs components are
+// omitted, so tools can render a bare counter view.
+std::string RenderMetricsz(const ServiceMetrics::View& view,
+                           const QueryTracer* tracer, const SpanLog* spans,
+                           const SlowQueryLog* slow);
+
+// Human-oriented one-page status: epoch / age / arena / SIMD gauges, the
+// publish mix with per-phase averages, and the raw
+// ServiceMetrics::View::ToString() line (machine-checkable against
+// /metricsz — the --obs CI stage diffs the two).
+std::string RenderStatusz(const ServiceMetrics::View& view,
+                          const SpanLog* spans);
+
+// The latest drained trace records plus the slow-query log, one line per
+// record, oldest first.
+std::string RenderTracez(const QueryTracer* tracer, const SlowQueryLog* slow);
+
+// Conveniences over a live service (current Metrics() view + its obs
+// components).
+std::string RenderMetricsz(const QueryService& service);
+std::string RenderStatusz(const QueryService& service);
+std::string RenderTracez(const QueryService& service);
+
+}  // namespace trel
+
+#endif  // TREL_SERVICE_EXPOSITION_H_

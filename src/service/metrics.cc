@@ -2,17 +2,15 @@
 
 #include <sstream>
 
+#include "obs/histogram.h"
+
 namespace trel {
 namespace {
 
-// Power-of-two bucket index for a non-negative value, clamped to
-// [0, buckets).
+// Shared power-of-two bucket math (obs/histogram.h) under the name the
+// recording code reads naturally.
 int BucketFor(int64_t value, int buckets) {
-  int bucket = 0;
-  while (bucket + 1 < buckets && value >= (int64_t{1} << (bucket + 1))) {
-    ++bucket;
-  }
-  return bucket;
+  return PowerOfTwoBucket(value, buckets);
 }
 
 }  // namespace

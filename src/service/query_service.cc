@@ -1,12 +1,21 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/simd_dispatch.h"
 
 namespace trel {
+
+namespace {
+
+// Upper bound on trace records emitted per sampled batch: enough to see
+// the outcome mix without one big batch flushing every ring.
+constexpr int64_t kMaxBatchTraceRecords = 32;
+
+}  // namespace
 
 // --- WorkerPool ------------------------------------------------------------
 
@@ -69,8 +78,15 @@ void QueryService::WorkerPool::ParallelFor(
 // --- QueryService ----------------------------------------------------------
 
 QueryService::QueryService(const ServiceOptions& options)
-    : options_(options), dynamic_(options.closure) {
+    : options_(options),
+      tracer_(options.trace_ring_capacity),
+      span_log_(options.span_log_capacity),
+      slow_log_(options.slow_log_capacity),
+      dynamic_(options.closure) {
   TREL_CHECK_GE(options_.num_workers, 0);
+  const uint32_t env_period = QueryTracer::PeriodFromEnv();
+  tracer_.SetSamplePeriod(env_period != 0 ? env_period
+                                          : options_.trace_sample_period);
   if (options_.num_workers > 0) {
     pool_ = std::make_unique<WorkerPool>(options_.num_workers);
   }
@@ -121,10 +137,12 @@ uint64_t QueryService::Publish() {
 
 uint64_t QueryService::PublishLocked() {
   Stopwatch timer;
+  PublishSpan span;
   std::shared_ptr<const ClosureSnapshot> base =
       snapshot_.load(std::memory_order_acquire);
   auto snapshot = std::make_shared<ClosureSnapshot>();
   snapshot->epoch = ++epoch_;
+  span.epoch = epoch_;
 
   const NodeId num_nodes = dynamic_.NumNodes();
   const int64_t dirty = dynamic_.DirtyCount();
@@ -133,9 +151,16 @@ uint64_t QueryService::PublishLocked() {
       delta_publishes_since_full_ < options_.max_delta_publishes &&
       static_cast<double>(dirty) <=
           options_.max_delta_dirty_fraction * static_cast<double>(num_nodes);
+  span.delta = use_delta;
+  Stopwatch phase;
   if (use_delta) {
     ClosureDelta delta = dynamic_.ExportDelta();
+    span.phase_micros[static_cast<int>(PublishPhase::kDrain)] =
+        phase.ElapsedMicros();
+    phase.Restart();
     snapshot->closure = CompressedClosure::WithDelta(base->closure, delta);
+    span.phase_micros[static_cast<int>(PublishPhase::kExport)] =
+        phase.ElapsedMicros();
     // Recomputing stats is O(n) — exactly the cost a delta publish exists
     // to avoid — so carry the base's forward (see snapshot.h).
     snapshot->stats = base->stats;
@@ -143,6 +168,7 @@ uint64_t QueryService::PublishLocked() {
     snapshot->delta_entries = static_cast<int64_t>(delta.entries.size());
     ++delta_publishes_since_full_;
   } else {
+    int64_t arena_micros = 0;
     if (pool_ != nullptr) {
       // Shard the arena build of the full export across the worker pool
       // (readers keep querying the old snapshot; the pool only blocks
@@ -151,36 +177,82 @@ uint64_t QueryService::PublishLocked() {
           [this](int64_t n, const std::function<void(int64_t, int64_t)>& body) {
             pool_->ParallelFor(n, body);
           };
-      snapshot->closure =
-          dynamic_.ExportClosure(&runner, /*retain_labels=*/false);
+      snapshot->closure = dynamic_.ExportClosure(
+          &runner, /*retain_labels=*/false, &arena_micros);
     } else {
-      snapshot->closure =
-          dynamic_.ExportClosure(nullptr, /*retain_labels=*/false);
+      snapshot->closure = dynamic_.ExportClosure(
+          nullptr, /*retain_labels=*/false, &arena_micros);
     }
+    // The export span is the label walk minus the arena construction the
+    // closure timed for us (§4d's build-time tradeoff, now measured).
+    span.phase_micros[static_cast<int>(PublishPhase::kExport)] =
+        std::max<int64_t>(0, phase.ElapsedMicros() - arena_micros);
+    span.phase_micros[static_cast<int>(PublishPhase::kArenaBuild)] =
+        arena_micros;
+    phase.Restart();
     // The full export captured every node, so the dirty set is settled.
     dynamic_.MarkClean();
+    span.phase_micros[static_cast<int>(PublishPhase::kDrain)] =
+        phase.ElapsedMicros();
+    phase.Restart();
     if (options_.stats_on_publish) {
       snapshot->stats =
           ComputeClosureStats(dynamic_.graph(), snapshot->closure);
+      span.phase_micros[static_cast<int>(PublishPhase::kStats)] =
+          phase.ElapsedMicros();
     }
     delta_publishes_since_full_ = 0;
     force_full_publish_ = false;
   }
   snapshot->created_at = std::chrono::steady_clock::now();
   const int64_t delta_entries = snapshot->delta_entries;
+  phase.Restart();
   snapshot_.store(std::shared_ptr<const ClosureSnapshot>(std::move(snapshot)),
                   std::memory_order_release);
+  span.phase_micros[static_cast<int>(PublishPhase::kSwap)] =
+      phase.ElapsedMicros();
+  span.total_micros = timer.ElapsedMicros();
+  span_log_.Record(span);
   if (use_delta) {
-    metrics_.RecordPublishDelta(timer.ElapsedMicros(), delta_entries);
+    metrics_.RecordPublishDelta(span.total_micros, delta_entries);
   } else {
-    metrics_.RecordPublishFull(timer.ElapsedMicros());
+    metrics_.RecordPublishFull(span.total_micros);
   }
   return epoch_;
 }
 
 bool QueryService::Reaches(NodeId u, NodeId v) const {
   metrics_.RecordReachQueries(1);
+  // With tracing off (the default) ShouldSample is one relaxed load and
+  // one never-taken branch — the whole per-query observability cost.
+  if (tracer_.ShouldSample()) return ReachesSampled(u, v);
   return Snapshot()->Reaches(u, v);
+}
+
+bool QueryService::ReachesSampled(NodeId u, NodeId v) const {
+  const auto start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const ClosureSnapshot> snapshot = Snapshot();
+  ProbeTrace trace;
+  const bool answer = snapshot->closure.ReachesTraced(u, v, &trace);
+  const uint64_t nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  tracer_.Record(u, v, answer, /*from_batch=*/false, trace.tag,
+                 trace.extras_probes, snapshot->epoch, nanos);
+  if (options_.slow_query_micros > 0 &&
+      nanos >= static_cast<uint64_t>(options_.slow_query_micros) * 1000) {
+    SlowQueryEntry entry;
+    entry.is_batch = false;
+    entry.source = u;
+    entry.target = v;
+    entry.answer = answer;
+    entry.tag = trace.tag;
+    entry.epoch = snapshot->epoch;
+    entry.micros = static_cast<int64_t>(nanos / 1000);
+    slow_log_.Record(entry);
+  }
+  return answer;
 }
 
 std::vector<NodeId> QueryService::Successors(NodeId u) const {
@@ -194,17 +266,44 @@ std::vector<uint8_t> QueryService::BatchReaches(
   const int64_t n = static_cast<int64_t>(pairs.size());
   std::shared_ptr<const ClosureSnapshot> snapshot = Snapshot();
   std::vector<uint8_t> results(pairs.size());
+  // Sampling is per batch: a sampled batch runs the tagged kernel twin
+  // (identical answers and stats) and later emits a bounded, evenly
+  // spaced selection of its per-query outcomes as trace records.
+  const bool sampled = n > 0 && tracer_.ShouldSample();
+  std::vector<uint8_t> tags;
+  if (sampled) tags.resize(pairs.size());
+  // Batch-wide kernel tallies for the slow log and sampled traces: four
+  // extra relaxed adds per CHUNK, the same cost class as the existing
+  // metrics fold.
+  struct {
+    std::atomic<int64_t> fast_path{0};
+    std::atomic<int64_t> filter_rejects{0};
+    std::atomic<int64_t> group_rejects{0};
+    std::atomic<int64_t> extras_searches{0};
+  } tally;
   // Each chunk runs the dispatched pipelined batch kernel rather than
   // per-element snapshot->Reaches; the kernel's id handling matches
   // snapshot semantics (unknown ids answer false).  Kernel tallies are
   // accumulated per chunk in plain locals and folded into the shared
   // counters once per chunk.
-  const auto body = [this, &snapshot, &pairs, &results](int64_t begin,
-                                                        int64_t end) {
+  const auto body = [&](int64_t begin, int64_t end) {
     BatchKernelStats stats;
-    snapshot->closure.BatchReaches(pairs.data() + begin, end - begin,
-                                   results.data() + begin, &stats);
+    if (sampled) {
+      snapshot->closure.BatchReachesTraced(pairs.data() + begin, end - begin,
+                                           results.data() + begin, &stats,
+                                           tags.data() + begin);
+    } else {
+      snapshot->closure.BatchReaches(pairs.data() + begin, end - begin,
+                                     results.data() + begin, &stats);
+    }
     metrics_.RecordBatchKernel(stats);
+    tally.fast_path.fetch_add(stats.fast_path, std::memory_order_relaxed);
+    tally.filter_rejects.fetch_add(stats.filter_rejects,
+                                   std::memory_order_relaxed);
+    tally.group_rejects.fetch_add(stats.group_rejects,
+                                  std::memory_order_relaxed);
+    tally.extras_searches.fetch_add(stats.extras_searches,
+                                    std::memory_order_relaxed);
   };
   if (pool_ == nullptr || n < options_.min_parallel_batch) {
     body(0, n);
@@ -212,7 +311,36 @@ std::vector<uint8_t> QueryService::BatchReaches(
     pool_->ParallelFor(n, body);
   }
   metrics_.RecordReachQueries(n);
-  metrics_.RecordBatch(timer.ElapsedMicros());
+  const int64_t micros = timer.ElapsedMicros();
+  metrics_.RecordBatch(micros);
+  if (sampled) {
+    const uint64_t per_query_nanos =
+        static_cast<uint64_t>(micros) * 1000 / static_cast<uint64_t>(n);
+    const int64_t stride = std::max<int64_t>(1, n / kMaxBatchTraceRecords);
+    for (int64_t i = 0; i < n; i += stride) {
+      tracer_.Record(pairs[i].first, pairs[i].second, results[i] != 0,
+                     /*from_batch=*/true, static_cast<ProbeTag>(tags[i]),
+                     /*extras_probes=*/0, snapshot->epoch, per_query_nanos);
+    }
+  }
+  if (options_.slow_batch_micros > 0 && n > 0 &&
+      micros >= options_.slow_batch_micros) {
+    SlowQueryEntry entry;
+    entry.is_batch = true;
+    entry.source = pairs[0].first;
+    entry.target = pairs[0].second;
+    entry.num_queries = n;
+    entry.epoch = snapshot->epoch;
+    entry.micros = micros;
+    entry.stats.fast_path = tally.fast_path.load(std::memory_order_relaxed);
+    entry.stats.filter_rejects =
+        tally.filter_rejects.load(std::memory_order_relaxed);
+    entry.stats.group_rejects =
+        tally.group_rejects.load(std::memory_order_relaxed);
+    entry.stats.extras_searches =
+        tally.extras_searches.load(std::memory_order_relaxed);
+    slow_log_.Record(entry);
+  }
   return results;
 }
 

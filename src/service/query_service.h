@@ -15,6 +15,9 @@
 #include "common/statusor.h"
 #include "core/dynamic_closure.h"
 #include "graph/digraph.h"
+#include "obs/slow_log.h"
+#include "obs/span_log.h"
+#include "obs/trace.h"
 #include "service/metrics.h"
 #include "service/snapshot.h"
 
@@ -49,6 +52,28 @@ struct ServiceOptions {
   double max_delta_dirty_fraction = 0.5;
   // Build options for the underlying index (gap numbering etc.).
   ClosureOptions closure = DynamicClosure::DefaultOptions();
+
+  // --- Observability (src/obs/, DESIGN.md §5) -----------------------------
+  // Sample 1-in-N queries into the lock-free tracer; 0 = off (the
+  // default — the hot path then pays one relaxed load + one branch).
+  // Rounded up to a power of two.  A nonzero TREL_TRACE_SAMPLE env value
+  // overrides this at construction.
+  uint32_t trace_sample_period = 0;
+  // Trace ring capacity per ring (16 rings; rounded up to a power of
+  // two), i.e. how many recent samples Drain() can return.
+  uint32_t trace_ring_capacity = QueryTracer::kDefaultRingCapacity;
+  // Batches slower than this land in the always-on slow-query log;
+  // 0 disables.  Batches are already timed for metrics, so this is one
+  // extra compare per batch.
+  int64_t slow_batch_micros = 100000;
+  // SAMPLED single queries slower than this land in the slow-query log;
+  // 0 disables.  Only sampled singles carry a timestamp (always-on
+  // per-query clock reads would blow the <1% tracing-off budget), so
+  // coverage follows the sampling period.
+  int64_t slow_query_micros = 10000;
+  // Bounded retention of the publish-span and slow-query logs.
+  size_t span_log_capacity = 128;
+  size_t slow_log_capacity = 64;
 };
 
 // Thread-safe, snapshot-based query front-end over the compressed
@@ -127,6 +152,16 @@ class QueryService {
   // snapshot filled in.
   ServiceMetrics::View Metrics() const;
 
+  // --- Observability (src/obs/, DESIGN.md §5) -----------------------------
+
+  // The sampled query tracer.  Mutable access so callers (tools, tests)
+  // can flip the sampling period on a live service.
+  QueryTracer& tracer() const { return tracer_; }
+  // Publish-pipeline spans, split full vs. delta per phase.
+  const SpanLog& span_log() const { return span_log_; }
+  // Queries/batches that exceeded the slow thresholds (always on).
+  const SlowQueryLog& slow_log() const { return slow_log_; }
+
  private:
   // Minimal fixed-size worker pool for batch fan-out.  Deliberately
   // simple: one mutex-guarded queue, blocking ParallelFor.  The service's
@@ -161,8 +196,14 @@ class QueryService {
   // ServiceOptions::delta_publish and DESIGN.md §4c).
   uint64_t PublishLocked();
 
+  // Cold traced twin of Reaches, taken only for sampled queries.
+  bool ReachesSampled(NodeId u, NodeId v) const;
+
   ServiceOptions options_;
   mutable ServiceMetrics metrics_;
+  mutable QueryTracer tracer_;
+  SpanLog span_log_;  // Written by the (single) publisher only.
+  mutable SlowQueryLog slow_log_;
 
   std::mutex writer_mutex_;
   DynamicClosure dynamic_;  // Guarded by writer_mutex_.

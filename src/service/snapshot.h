@@ -38,12 +38,22 @@ struct ClosureSnapshot {
   // both at their defaults.
   bool delta_publish = false;
   int64_t delta_entries = 0;
-  std::chrono::steady_clock::time_point created_at;
+  // Publication instant on the MONOTONIC clock, captured by the writer
+  // right before the atomic swap.  steady_clock by type so wall-clock
+  // adjustments (NTP steps, suspend fix-ups) can never yield negative
+  // ages; default-initialized to construction time so a snapshot that
+  // never went through PublishLocked still reports a sane age.
+  std::chrono::steady_clock::time_point created_at =
+      std::chrono::steady_clock::now();
 
   double AgeSeconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         created_at)
-        .count();
+    const double age = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - created_at)
+                           .count();
+    // Belt and braces: created_at is captured strictly before readers can
+    // see the snapshot, but clamp anyway so no exposition path ever
+    // reports a negative age.
+    return age < 0.0 ? 0.0 : age;
   }
 
   NodeId NumNodes() const { return closure.NumNodes(); }

@@ -8,6 +8,7 @@
 // (Eytzinger runs, coverage filters, directory) trips it.
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <limits>
 #include <thread>
@@ -422,6 +423,67 @@ TEST(SimdKernelEquivalenceTest, BatchReachesMatchesScalarBitForBit) {
       EXPECT_EQ(stats.filter_rejects, want_stats.filter_rejects) << t->name;
       EXPECT_EQ(stats.group_rejects, want_stats.group_rejects) << t->name;
       EXPECT_EQ(stats.extras_searches, want_stats.extras_searches) << t->name;
+    }
+  }
+}
+
+// The traced twin must behave like one more dispatch level: identical
+// answers AND identical per-query probe tags on every host-runnable
+// table, so a sampled trace means the same thing whatever ISA tier
+// served it.  (Small batches route through the bypass, large ones
+// through the grouped pipeline — both shapes are covered.)
+TEST(SimdKernelEquivalenceTest, TaggedBatchMatchesScalarBitForBit) {
+  const Digraph graph = RandomDag(400, 5.0, 2468);
+  auto built = CompressedClosure::Build(graph);
+  ASSERT_TRUE(built.ok());
+  const LabelArena& arena = built->arena();
+  const ArenaKernels& scalar = ScalarArenaKernels();
+  const std::vector<const ArenaKernels*> tables = HostRunnableKernelTables();
+
+  // 128 stays under the small-batch bypass threshold; 4096 engages the
+  // pipelined engine with grouping.
+  for (const int64_t count : {int64_t{128}, int64_t{4096}}) {
+    for (const uint64_t seed : {uint64_t{7}, uint64_t{8}}) {
+      const auto pairs = FuzzPairs(arena.num_nodes(), seed, count);
+      std::vector<uint8_t> want(count), want_tags(count);
+      BatchKernelStats want_stats;
+      scalar.batch_reaches_tagged(arena, pairs.data(), count, want.data(),
+                                  &want_stats, want_tags.data());
+      // Tagging must not change the answers relative to the untagged
+      // kernel...
+      std::vector<uint8_t> untagged(count);
+      scalar.batch_reaches(arena, pairs.data(), count, untagged.data(),
+                           nullptr);
+      ASSERT_EQ(want, untagged) << "count=" << count;
+      // ...and each tag must be a valid ProbeTag whose tallies sum to n.
+      std::array<int64_t, kNumProbeTags> tag_tally{};
+      for (int64_t i = 0; i < count; ++i) {
+        ASSERT_LT(want_tags[i], kNumProbeTags);
+        ++tag_tally[want_tags[i]];
+      }
+      EXPECT_EQ(tag_tally[static_cast<int>(ProbeTag::kSlot)],
+                want_stats.fast_path);
+      EXPECT_EQ(tag_tally[static_cast<int>(ProbeTag::kFilterReject)],
+                want_stats.filter_rejects);
+      EXPECT_EQ(tag_tally[static_cast<int>(ProbeTag::kGroupReject)],
+                want_stats.group_rejects);
+      EXPECT_EQ(tag_tally[static_cast<int>(ProbeTag::kExtrasSearch)],
+                want_stats.extras_searches);
+
+      for (const ArenaKernels* t : tables) {
+        std::vector<uint8_t> got(count), tags(count);
+        BatchKernelStats stats;
+        t->batch_reaches_tagged(arena, pairs.data(), count, got.data(),
+                                &stats, tags.data());
+        ASSERT_EQ(got, want) << t->name << " count=" << count;
+        ASSERT_EQ(tags, want_tags) << t->name << " count=" << count;
+        EXPECT_EQ(stats.fast_path, want_stats.fast_path) << t->name;
+        EXPECT_EQ(stats.filter_rejects, want_stats.filter_rejects)
+            << t->name;
+        EXPECT_EQ(stats.group_rejects, want_stats.group_rejects) << t->name;
+        EXPECT_EQ(stats.extras_searches, want_stats.extras_searches)
+            << t->name;
+      }
     }
   }
 }

@@ -12,6 +12,9 @@
 #                              # repeated once per TREL_SIMD level
 #   tools/ci.sh --simd-matrix  # tier-1 test battery under each TREL_SIMD
 #                              # level the host can execute
+#   tools/ci.sh --obs          # obs unit tests, live /metricsz–/statusz
+#                              # scrape validated by tools/obs_check.py,
+#                              # and the query tracer under TSan
 #
 # Stages may be combined (e.g. `tools/ci.sh --tier1 --bench-smoke`).
 # Extra configure flags for all stages can be passed via TREL_CMAKE_FLAGS
@@ -135,6 +138,59 @@ simd_matrix() {
   done
 }
 
+obs_stage() {
+  # Observability end-to-end: run the obs unit suite, then scrape a live
+  # exporter (trel_tool serve on an ephemeral port, warmed with
+  # deterministic traffic) and validate /metricsz, /statusz and /tracez
+  # with tools/obs_check.py — Prometheus well-formedness, histogram
+  # consistency, counter monotonicity, and field-for-field agreement of
+  # /metricsz with the ServiceMetrics::Read() line embedded in /statusz.
+  # Finally the lock-free tracer's concurrency tests rerun under TSan.
+  run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
+  run cmake --build build -j "${JOBS}" --target trel_tool obs_test
+  run ./build/tests/obs_test
+  local graph="build/obs-graph.el"
+  local serve_log="build/obs-serve.log"
+  echo "==> ./build/tools/trel_tool generate random 2000 3 17 > ${graph}"
+  ./build/tools/trel_tool generate random 2000 3 17 > "${graph}"
+  # Sampling on (1-in-64) so /tracez and the trace counters are
+  # non-trivial; port 0 = kernel-assigned, parsed back from the log.
+  env TREL_TRACE_SAMPLE=64 ./build/tools/trel_tool serve "${graph}" 0 60 \
+    > "${serve_log}" &
+  local serve_pid=$!
+  local port=""
+  local attempt
+  for attempt in $(seq 1 100); do
+    port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+      "${serve_log}")"
+    [[ -n "${port}" ]] && break
+    if ! kill -0 "${serve_pid}" 2>/dev/null; then
+      echo "obs: trel_tool serve exited before binding" >&2
+      cat "${serve_log}" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "obs: timed out waiting for serve to bind" >&2
+    cat "${serve_log}" >&2
+    kill "${serve_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  echo "==> obs: exporter listening on port ${port}"
+  local check_status=0
+  python3 tools/obs_check.py --port "${port}" || check_status=$?
+  kill "${serve_pid}" 2>/dev/null || true
+  wait "${serve_pid}" 2>/dev/null || true
+  [[ "${check_status}" -eq 0 ]] || exit "${check_status}"
+  # Tracer concurrency tests under TSan: writers race Drain by design.
+  run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTREL_SANITIZE=thread "${EXTRA_CMAKE_FLAGS[@]}"
+  run cmake --build build-tsan -j "${JOBS}" --target obs_test
+  run env TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+    ./build-tsan/tests/obs_test --gtest_filter='QueryTracerTest.*'
+}
+
 arena_fuzz() {
   # Differential fuzz of the flat query arena under ASan/UBSan: the
   # randomized DAG / gap-labeling / overlay-chain suite is the one most
@@ -166,10 +222,11 @@ else
       --bench-smoke) stages+=(bench_smoke) ;;
       --arena-fuzz) stages+=(arena_fuzz) ;;
       --simd-matrix) stages+=(simd_matrix) ;;
+      --obs) stages+=(obs_stage) ;;
       *)
         echo "unknown stage: ${arg}" >&2
         echo "usage: tools/ci.sh [--tier1] [--asan] [--tsan] [--bench-smoke]" \
-          "[--arena-fuzz] [--simd-matrix]" >&2
+          "[--arena-fuzz] [--simd-matrix] [--obs]" >&2
         exit 2
         ;;
     esac

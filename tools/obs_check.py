@@ -1,0 +1,314 @@
+#!/usr/bin/env python3
+"""Scrape a running trel_tool exporter and validate its output.
+
+The ``--obs`` CI stage starts ``trel_tool serve <graph> 0 <secs>`` (which
+warms the service with deterministic query traffic, prints the bound
+ephemeral port, then idles) and points this checker at it.  Because the
+server is quiescent while being scraped, the checks can be exact:
+
+  1. /metricsz parses as Prometheus text format 0.0.4: every sample
+     belongs to a family declared by exactly one ``# TYPE`` line, and
+     every value parses as a float.
+  2. Histograms are internally consistent: cumulative ``le`` buckets are
+     non-decreasing, the ``+Inf`` bucket equals ``_count``, and the
+     exporter's documented sum identities hold (batch latency sum ==
+     trel_batch_micros_total, per-phase publish sums == the matching
+     ``trel_publish_phase_micros_total`` counters, delta-node histogram
+     sum == trel_delta_nodes_total).
+  3. Counters are monotonic: a second scrape never shows a ``*_total``
+     sample below the first.
+  4. /metricsz agrees with ``ServiceMetrics::Read()``: the /statusz page
+     embeds the raw ``metrics: <View::ToString()>`` line, and every
+     field of it must match the corresponding /metricsz sample
+     (snapshot age excluded — it is the one field that moves on an idle
+     server).
+
+Usage:
+  tools/obs_check.py --port 8080 [--host 127.0.0.1]
+"""
+
+import argparse
+import re
+import sys
+import urllib.request
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+([^\s]+)$')
+
+# /statusz `metrics:` field -> /metricsz sample key (name + label string).
+STATUSZ_TO_METRICSZ = {
+    "epoch": "trel_snapshot_epoch",
+    "nodes": "trel_snapshot_nodes",
+    "intervals": "trel_snapshot_intervals",
+    "overlay_nodes": "trel_snapshot_overlay_nodes",
+    "arena_bytes": "trel_snapshot_arena_bytes",
+    "reach_queries": "trel_reach_queries_total",
+    "successor_queries": "trel_successor_queries_total",
+    "batches": "trel_batches_total",
+    "batch_us": "trel_batch_micros_total",
+    "delta_nodes": "trel_delta_nodes_total",
+    "publishes_full": 'trel_publishes_total{kind="full"}',
+    "publishes_delta": 'trel_publishes_total{kind="delta"}',
+    "publish_us_full": 'trel_publish_micros_total{kind="full"}',
+    "publish_us_delta": 'trel_publish_micros_total{kind="delta"}',
+    "kernel_fast": 'trel_batch_kernel_outcomes_total{outcome="fast_path"}',
+    "kernel_filter_rej":
+        'trel_batch_kernel_outcomes_total{outcome="filter_reject"}',
+    "kernel_group_rej":
+        'trel_batch_kernel_outcomes_total{outcome="group_reject"}',
+    "kernel_extras":
+        'trel_batch_kernel_outcomes_total{outcome="extras_search"}',
+}
+
+# Exporter sum identities: histogram ``_sum`` series that must equal a
+# counter sample on the same scrape.
+SUM_IDENTITIES = [
+    ("trel_batch_latency_microseconds_sum", "trel_batch_micros_total"),
+    ("trel_publish_delta_nodes_sum", "trel_delta_nodes_total"),
+]
+
+
+def fetch(host, port, path):
+    url = f"http://{host}:{port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        if resp.status != 200:
+            raise RuntimeError(f"GET {url} -> HTTP {resp.status}")
+        return resp.read().decode("utf-8")
+
+
+def parse_prometheus(text, errors):
+    """Returns (types, samples) where samples maps 'name{labels}' -> float."""
+    types = {}
+    samples = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"metricsz:{lineno}: malformed TYPE line")
+                continue
+            family, kind = parts[2], parts[3]
+            if family in types:
+                errors.append(f"metricsz:{lineno}: duplicate TYPE {family}")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"metricsz:{lineno}: unparseable sample {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            samples[name + labels] = float(value)
+        except ValueError:
+            errors.append(f"metricsz:{lineno}: non-numeric value {value!r}")
+            continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                family = name[:-len(suffix)]
+                break
+        if family not in types:
+            errors.append(
+                f"metricsz:{lineno}: sample {name} has no TYPE declaration")
+    return types, samples
+
+
+def strip_le(labels):
+    """Drops the le="..." pair; returns (group_labels, le_value)."""
+    inner = labels[1:-1]
+    keep = []
+    le = None
+    for pair in inner.split(","):
+        if pair.startswith("le="):
+            le = pair[len('le="'):-1]
+        elif pair:
+            keep.append(pair)
+    return "{" + ",".join(keep) + "}" if keep else "", le
+
+
+def check_histograms(types, samples, errors):
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        # Group bucket samples by their non-le label set.
+        groups = {}
+        prefix = family + "_bucket"
+        for key, value in samples.items():
+            if not key.startswith(prefix + "{"):
+                continue
+            group, le = strip_le(key[len(prefix):])
+            if le is None:
+                errors.append(f"{family}: bucket without le label: {key}")
+                continue
+            groups.setdefault(group, []).append((le, value))
+        if not groups:
+            errors.append(f"{family}: histogram has no _bucket samples")
+            continue
+        for group, buckets in groups.items():
+            finite = sorted(
+                ((float(le), v) for le, v in buckets if le != "+Inf"))
+            inf = [v for le, v in buckets if le == "+Inf"]
+            if len(inf) != 1:
+                errors.append(f"{family}{group}: expected one +Inf bucket")
+                continue
+            prev = 0.0
+            for le, v in finite:
+                if v < prev:
+                    errors.append(
+                        f"{family}{group}: bucket le={le:g} decreases "
+                        f"({v:g} < {prev:g})")
+                prev = v
+            if inf[0] < prev:
+                errors.append(f"{family}{group}: +Inf bucket below last "
+                              f"finite bucket")
+            count = samples.get(family + "_count" + group)
+            if count is None:
+                errors.append(f"{family}{group}: missing _count")
+            elif count != inf[0]:
+                errors.append(
+                    f"{family}{group}: _count {count:g} != +Inf bucket "
+                    f"{inf[0]:g}")
+            if samples.get(family + "_sum" + group) is None:
+                errors.append(f"{family}{group}: missing _sum")
+    for sum_key, counter_key in SUM_IDENTITIES:
+        if sum_key in samples and counter_key in samples:
+            if samples[sum_key] != samples[counter_key]:
+                errors.append(
+                    f"sum identity: {sum_key} {samples[sum_key]:g} != "
+                    f"{counter_key} {samples[counter_key]:g}")
+        else:
+            errors.append(f"sum identity: {sum_key} or {counter_key} absent")
+    # Per-phase publish histogram sums equal the per-phase counters.
+    phase_prefix = "trel_publish_phase_microseconds_sum{"
+    phase_sums = {k: v for k, v in samples.items()
+                  if k.startswith(phase_prefix)}
+    if not phase_sums:
+        errors.append("no trel_publish_phase_microseconds_sum series")
+    for key, value in phase_sums.items():
+        counter_key = key.replace("trel_publish_phase_microseconds_sum",
+                                  "trel_publish_phase_micros_total")
+        counter = samples.get(counter_key)
+        if counter is None:
+            errors.append(f"sum identity: {counter_key} absent")
+        elif counter != value:
+            errors.append(f"sum identity: {key} {value:g} != "
+                          f"{counter_key} {counter:g}")
+
+
+def parse_statusz_metrics_line(statusz, errors):
+    """Extracts View::ToString() fields from the /statusz `metrics:` line."""
+    line = None
+    for candidate in statusz.splitlines():
+        if candidate.startswith("metrics: "):
+            line = candidate[len("metrics: "):]
+            break
+    if line is None:
+        errors.append("statusz: no `metrics:` line")
+        return {}
+    fields = {}
+
+    def grab(pattern, name, group=1):
+        m = re.search(pattern, line)
+        if m is None:
+            errors.append(f"statusz metrics line: missing {name}")
+            return
+        fields[name] = float(m.group(group))
+
+    for name in ("epoch", "nodes", "intervals", "overlay_nodes",
+                 "arena_bytes", "reach_queries", "successor_queries",
+                 "batch_us"):
+        grab(rf"\b{name}=(\d+)", name)
+    grab(r"\bbatches=(\d+)", "batches")
+    grab(r" delta_nodes=(\d+)", "delta_nodes")
+    grab(r"batch_kernel=\[fast=(\d+) filter_rej=(\d+) group_rej=(\d+) "
+         r"extras=(\d+)\]", "kernel_fast", 1)
+    grab(r"batch_kernel=\[fast=(\d+) filter_rej=(\d+) group_rej=(\d+) "
+         r"extras=(\d+)\]", "kernel_filter_rej", 2)
+    grab(r"batch_kernel=\[fast=(\d+) filter_rej=(\d+) group_rej=(\d+) "
+         r"extras=(\d+)\]", "kernel_group_rej", 3)
+    grab(r"batch_kernel=\[fast=(\d+) filter_rej=(\d+) group_rej=(\d+) "
+         r"extras=(\d+)\]", "kernel_extras", 4)
+    grab(r"publishes=\d+ \(full=(\d+) delta=(\d+)\)", "publishes_full", 1)
+    grab(r"publishes=\d+ \(full=(\d+) delta=(\d+)\)", "publishes_delta", 2)
+    grab(r"publish_us=\d+ \(full=(\d+) delta=(\d+)\)", "publish_us_full", 1)
+    grab(r"publish_us=\d+ \(full=(\d+) delta=(\d+)\)", "publish_us_delta", 2)
+    return fields
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    args = parser.parse_args()
+
+    errors = []
+
+    first = fetch(args.host, args.port, "/metricsz")
+    statusz = fetch(args.host, args.port, "/statusz")
+    tracez = fetch(args.host, args.port, "/tracez")
+    second = fetch(args.host, args.port, "/metricsz")
+
+    types, samples = parse_prometheus(first, errors)
+    _, samples2 = parse_prometheus(second, [])
+    print(f"obs_check: {len(samples)} samples in {len(types)} families")
+
+    counters = [f for f, kind in types.items() if kind == "counter"]
+    if len(counters) < 8:
+        errors.append(f"only {len(counters)} counter families "
+                      f"(expected the full ServiceMetrics set)")
+    check_histograms(types, samples, errors)
+
+    # Counter monotonicity between the two scrapes.
+    for key, value in samples.items():
+        name = key.split("{", 1)[0]
+        family = name[:-len("_total")] if name.endswith("_total") else name
+        if types.get(name) == "counter" or types.get(family) == "counter" \
+                or name.endswith(("_bucket", "_count", "_sum")):
+            later = samples2.get(key)
+            if later is None:
+                errors.append(f"monotonicity: {key} vanished on re-scrape")
+            elif later < value:
+                errors.append(
+                    f"monotonicity: {key} went {value:g} -> {later:g}")
+
+    # /statusz `metrics:` line vs /metricsz samples, field for field.
+    fields = parse_statusz_metrics_line(statusz, errors)
+    for field, value in sorted(fields.items()):
+        key = STATUSZ_TO_METRICSZ.get(field)
+        if key is None:
+            continue
+        got = samples.get(key)
+        if got is None:
+            errors.append(f"agreement: /metricsz lacks {key}")
+        elif got != value:
+            errors.append(f"agreement: {key} = {got:g} but statusz "
+                          f"{field} = {value:g}")
+    if fields:
+        print(f"obs_check: statusz/metricsz agreement over "
+              f"{len(fields)} fields")
+
+    # The warmed server must show real traffic, or the checks above are
+    # vacuous.
+    for key in ("trel_reach_queries_total", "trel_batches_total",
+                'trel_publishes_total{kind="full"}',
+                'trel_publishes_total{kind="delta"}'):
+        if samples.get(key, 0) <= 0:
+            errors.append(f"warmup: {key} is zero — serve warmup broken")
+
+    if "sample_period:" not in tracez or "slow_queries:" not in tracez:
+        errors.append("tracez: missing sample_period/slow_queries sections")
+
+    if errors:
+        print(f"\nobs_check: {len(errors)} failure(s):", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print("obs_check: all exporter checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,15 @@
 //   trel_tool query <closure.db> <from> <to>
 //   trel_tool dot <graph.el>                                > graph.dot
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "baselines/chain_cover.h"
 #include "baselines/inverse_closure.h"
@@ -23,8 +27,11 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/reachability.h"
+#include "obs/http_server.h"
 #include "relational/alpha.h"
 #include "relational/csv.h"
+#include "service/exposition.h"
+#include "service/query_service.h"
 #include "storage/buffer_pool.h"
 #include "storage/closure_store.h"
 #include "storage/page_store.h"
@@ -46,7 +53,10 @@ int Usage() {
       "  trel_tool dot <graph.el>\n"
       "  trel_tool alpha <relation.csv> <src-col> <dst-col> <from> <to>\n"
       "  trel_tool successors <relation.csv> <src-col> <dst-col> <from>\n"
-      "  trel_tool simd\n");
+      "  trel_tool simd\n"
+      "  trel_tool metricsz <graph.el>\n"
+      "  trel_tool tracez <graph.el> [sample_period]\n"
+      "  trel_tool serve <graph.el> <port> [duration_s]\n");
   return 2;
 }
 
@@ -248,6 +258,101 @@ int Query(const std::string& db_path, NodeId from, NodeId to) {
   return result.value() ? 0 : 1;
 }
 
+int LoadService(const std::string& path, QueryService& service) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  Status loaded = service.Load(graph.value());
+  if (!loaded.ok()) {
+    std::cerr << loaded << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+// Deterministic pseudorandom traffic so the obs endpoints show live
+// counters: `singles` Reaches calls plus one BatchReaches of `batch_n`.
+void WarmupQueries(QueryService& service, int singles, int batch_n) {
+  const NodeId n = service.Snapshot()->NumNodes();
+  if (n <= 0) return;
+  uint64_t lcg = 0x2545F4914F6CDD1DULL;
+  auto next = [&lcg, n]() {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<NodeId>((lcg >> 33) % static_cast<uint64_t>(n));
+  };
+  for (int i = 0; i < singles; ++i) {
+    const NodeId u = next();
+    const NodeId v = next();
+    (void)service.Reaches(u, v);
+  }
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(batch_n);
+  for (int i = 0; i < batch_n; ++i) {
+    const NodeId u = next();
+    const NodeId v = next();
+    pairs.emplace_back(u, v);
+  }
+  (void)service.BatchReaches(pairs);
+}
+
+// The full warmup sequence behind metricsz / tracez / serve: traffic
+// against the initial full-export snapshot (which exercises the batch
+// kernel and its outcome counters), then one incremental publish (the
+// Load was a full export; this one qualifies for a delta, so the span
+// log carries both kinds), then a short second round against the overlay
+// snapshot.
+void WarmupService(QueryService& service) {
+  WarmupQueries(service, 256, 4096);
+  if (service.Snapshot()->NumNodes() > 0) {
+    auto leaf = service.AddLeafUnder(0);
+    if (leaf.ok()) service.Publish();
+  }
+  WarmupQueries(service, 32, 512);
+}
+
+int Metricsz(const std::string& path) {
+  QueryService service;
+  if (int rc = LoadService(path, service); rc != 0) return rc;
+  WarmupService(service);
+  std::cout << RenderMetricsz(service);
+  return 0;
+}
+
+int Tracez(const std::string& path, uint32_t sample_period) {
+  QueryService service;
+  if (int rc = LoadService(path, service); rc != 0) return rc;
+  service.tracer().SetSamplePeriod(sample_period == 0 ? 1 : sample_period);
+  WarmupService(service);
+  std::cout << RenderTracez(service);
+  return 0;
+}
+
+// Serves /metricsz, /statusz and /tracez on 127.0.0.1:<port> for
+// `duration_seconds`, then exits.  Prints the bound port (meaningful with
+// port 0 = ephemeral) on a single line once the listener is up, so
+// scripts can scrape it (see tools/ci.sh --obs).
+int Serve(const std::string& path, int port, int duration_seconds) {
+  QueryService service;
+  if (int rc = LoadService(path, service); rc != 0) return rc;
+  WarmupService(service);
+  HttpServer server;
+  server.Handle("/metricsz", [&service]() { return RenderMetricsz(service); });
+  server.Handle("/statusz", [&service]() { return RenderStatusz(service); });
+  server.Handle("/tracez", [&service]() { return RenderTracez(service); });
+  Status started = server.Start(port);
+  if (!started.ok()) {
+    std::cerr << started << "\n";
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::seconds(duration_seconds));
+  server.Stop();
+  return 0;
+}
+
 int Dot(const std::string& path) {
   auto graph = LoadGraph(path);
   if (!graph.ok()) {
@@ -282,5 +387,16 @@ int main(int argc, char** argv) {
     return Successors(argv[2], argv[3], argv[4], argv[5]);
   }
   if (command == "simd" && argc == 2) return SimdInfo();
+  if (command == "metricsz" && argc == 3) return Metricsz(argv[2]);
+  if (command == "tracez" && (argc == 3 || argc == 4)) {
+    return Tracez(argv[2],
+                  argc == 4
+                      ? static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10))
+                      : 1u);
+  }
+  if (command == "serve" && (argc == 4 || argc == 5)) {
+    return Serve(argv[2], std::atoi(argv[3]),
+                 argc == 5 ? std::atoi(argv[4]) : 30);
+  }
   return Usage();
 }
