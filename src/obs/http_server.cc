@@ -7,6 +7,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <utility>
 
@@ -28,7 +30,37 @@ std::string BuildResponse(int code, const char* reason,
   return out;
 }
 
-void SendAll(int fd, const std::string& data) {
+// A peer that disconnects mid-response must cost us an error counter,
+// never the process: send() into a closed socket raises SIGPIPE by
+// default, whose disposition is process death.  Three layers of defense,
+// best one the platform offers: MSG_NOSIGNAL per send (Linux),
+// SO_NOSIGPIPE per socket (BSD/macOS, see Start/accept), and a one-time
+// process-wide SIG_IGN where neither exists.
+#if !defined(MSG_NOSIGNAL) && !defined(SO_NOSIGPIPE)
+void IgnoreSigpipeOnce() {
+  static const bool ignored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)ignored;
+}
+#endif
+
+void SuppressSigpipe(int fd) {
+#if defined(SO_NOSIGPIPE)
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+#if !defined(MSG_NOSIGNAL) && !defined(SO_NOSIGPIPE)
+  IgnoreSigpipeOnce();
+#endif
+}
+
+// Returns false if the response could not be fully written (peer gone or
+// stalled past the send timeout).
+bool SendAll(int fd, const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = send(fd, data.data() + sent, data.size() - sent,
@@ -38,9 +70,19 @@ void SendAll(int fd, const std::string& data) {
                            0
 #endif
     );
-    if (n <= 0) return;  // Peer went away; diagnostics port, drop it.
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // Peer went away or send timeout; drop the rest.
+    }
     sent += static_cast<size_t>(n);
   }
+  return true;
+}
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -54,6 +96,10 @@ void HttpServer::Handle(std::string path, Handler handler) {
 Status HttpServer::Start(int port) {
   if (listen_fd_ >= 0) {
     return Status(StatusCode::kFailedPrecondition, "server already started");
+  }
+  if (options_.num_threads < 1 || options_.max_connections < 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  "num_threads and max_connections must be >= 1");
   }
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -72,7 +118,7 @@ Status HttpServer::Start(int port) {
     close(fd);
     return status;
   }
-  if (listen(fd, 16) != 0) {
+  if (listen(fd, 64) != 0) {
     const Status status(StatusCode::kInternal,
                         std::string("listen: ") + std::strerror(errno));
     close(fd);
@@ -89,37 +135,142 @@ Status HttpServer::Start(int port) {
   listen_fd_ = fd;
   port_ = ntohs(bound.sin_port);
   stopping_.store(false, std::memory_order_relaxed);
-  thread_ = std::thread([this] { ServeLoop(); });
+  workers_.reserve(options_.num_threads);
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
 
 void HttpServer::Stop() {
   stopping_.store(true, std::memory_order_relaxed);
-  if (thread_.joinable()) thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  {
+    // Workers are gone; close anything still queued without serving it.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : pending_) close(fd);
+    pending_.clear();
+  }
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
   }
 }
 
-void HttpServer::ServeLoop() {
+HttpServer::Stats HttpServer::stats() const {
+  Stats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.served_ok = served_ok_.load(std::memory_order_relaxed);
+  stats.not_found = not_found_.load(std::memory_order_relaxed);
+  stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  stats.too_large = too_large_.load(std::memory_order_relaxed);
+  stats.send_errors = send_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void HttpServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready <= 0) continue;  // Timeout (stop-flag check) or EINTR.
     const int client = accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    // Bound the read: request line + headers; the handlers take no body.
-    timeval tv{/*tv_sec=*/2, /*tv_usec=*/0};
-    setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    char buf[4096];
-    std::string request;
-    while (request.find("\r\n\r\n") == std::string::npos &&
-           request.size() < sizeof(buf)) {
-      const ssize_t n = recv(client, buf, sizeof(buf), 0);
-      if (n <= 0) break;
-      request.append(buf, static_cast<size_t>(n));
+    SuppressSigpipe(client);
+    // Shedding happens here, on the accept thread, so a full worker set
+    // turns into fast 503s instead of a growing queue.  The 503 itself
+    // is one small send into a fresh socket buffer — effectively
+    // nonblocking — so a slow client cannot stall accepting either.
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(client, BuildResponse(503, "Service Unavailable",
+                                    "overloaded; connection shed\n"));
+      close(client);
+      continue;
     }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.push_back(client);
+    }
+    work_ready_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopping_
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+    close(fd);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Writes are bounded per send; a consumer that keeps draining slowly
+  // still gets its response, one that stalls entirely forfeits it.
+  timeval send_tv{};
+  send_tv.tv_sec = options_.write_timeout_ms / 1000;
+  send_tv.tv_usec = (options_.write_timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
+
+  // Read the request under one TOTAL deadline: poll with the remaining
+  // budget before every recv, so trickled bytes never reset the clock
+  // (the slow-loris hole the single-threaded listener had).
+  const int64_t deadline_ms = NowMillis() + options_.request_deadline_ms;
+  std::string request;
+  bool timed_out = false;
+  bool oversized = false;
+  char buf[4096];
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    if (static_cast<int>(request.size()) > options_.max_request_bytes) {
+      oversized = true;
+      break;
+    }
+    const int64_t remaining = deadline_ms - NowMillis();
+    if (remaining <= 0) {
+      timed_out = true;
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) {
+      timed_out = true;
+      break;
+    }
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // Peer closed (or error) before the blank line.
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  std::string response;
+  if (timed_out) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    response = BuildResponse(408, "Request Timeout",
+                             "request not completed in time\n");
+  } else if (oversized) {
+    too_large_.fetch_add(1, std::memory_order_relaxed);
+    response = BuildResponse(431, "Request Header Fields Too Large",
+                             "request exceeds size cap\n");
+  } else {
     // Parse "GET <path> ..." from the request line; ignore query strings.
     std::string path;
     if (request.rfind("GET ", 0) == 0) {
@@ -130,20 +281,30 @@ void HttpServer::ServeLoop() {
       }
     }
     if (path.empty()) {
-      SendAll(client, BuildResponse(400, "Bad Request", "bad request\n"));
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      response = BuildResponse(400, "Bad Request", "bad request\n");
     } else {
       const auto it = routes_.find(path);
       if (it == routes_.end()) {
+        not_found_.fetch_add(1, std::memory_order_relaxed);
         std::string body = "not found; endpoints:\n";
         for (const auto& [route, handler] : routes_) {
           body += "  " + route + "\n";
         }
-        SendAll(client, BuildResponse(404, "Not Found", body));
+        response = BuildResponse(404, "Not Found", body);
       } else {
-        SendAll(client, BuildResponse(200, "OK", it->second()));
+        response = BuildResponse(200, "OK", it->second());
+        if (SendAll(fd, response)) {
+          served_ok_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          send_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
       }
     }
-    close(client);
+  }
+  if (!SendAll(fd, response)) {
+    send_errors_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

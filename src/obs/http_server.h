@@ -2,27 +2,73 @@
 #define TREL_OBS_HTTP_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 
 namespace trel {
 
-// Minimal single-threaded embedded HTTP/1.0 listener for the obs
-// exposition endpoints (/metricsz, /statusz, /tracez).  Deliberately
-// tiny: GET only, one request per connection, responses rendered by
-// registered handlers on the serving thread.  Binds 127.0.0.1 only —
-// this is a diagnostics port, not a public API; put a real proxy in
-// front for anything else.
+// Small embedded HTTP/1.0 listener for the obs exposition endpoints
+// (/metricsz, /statusz, /tracez).  Deliberately tiny — GET only, one
+// request per connection, responses rendered by registered handlers —
+// but hardened for hostile or merely slow clients: an accept loop feeds
+// a bounded set of worker threads, every connection gets a total
+// deadline and a request-size cap, and connections beyond the cap are
+// shed with a 503 instead of queuing unboundedly.  Binds 127.0.0.1
+// only — this is a diagnostics port, not a public API; put a real proxy
+// in front for anything else.
 class HttpServer {
  public:
   // Returns the response body for one GET of the registered path.
   using Handler = std::function<std::string()>;
 
+  struct Options {
+    // Worker threads answering requests.  One slow handler (or one slow
+    // reader draining a big response) occupies one worker, not the
+    // whole server.
+    int num_threads = 4;
+    // Connections alive at once (queued + in service).  Accepts past
+    // the cap are answered 503 on the accept thread and closed — load
+    // shedding, never unbounded queueing.
+    int max_connections = 32;
+    // Total per-connection budget for *reading* the request, covering
+    // every recv.  A client trickling one byte per poll interval (slow
+    // loris) is cut off with a 408 when the budget expires, no matter
+    // how many bytes it has dribbled.
+    int request_deadline_ms = 2000;
+    // Request line + headers cap; longer requests are answered 431 and
+    // closed.  The handlers take no body, so anything past a few header
+    // lines is garbage.
+    int max_request_bytes = 8192;
+    // Per-send timeout (SO_SNDTIMEO) while writing the response.  A
+    // slow consumer that keeps draining gets its whole response; one
+    // that stalls entirely forfeits the connection after this long.
+    int write_timeout_ms = 5000;
+  };
+
+  // Counters for everything the listener decided, readable while it
+  // serves.  Plain-value copy; take two and diff for rates.
+  struct Stats {
+    int64_t accepted = 0;        // Connections handed to workers.
+    int64_t shed = 0;            // 503s sent at the connection cap.
+    int64_t served_ok = 0;       // 200 responses completed.
+    int64_t not_found = 0;       // 404s.
+    int64_t bad_requests = 0;    // 400s (unparseable request line).
+    int64_t deadline_expired = 0;  // 408s (read budget exhausted).
+    int64_t too_large = 0;       // 431s (request-size cap).
+    int64_t send_errors = 0;     // Responses cut short by the peer.
+  };
+
   HttpServer() = default;
+  explicit HttpServer(const Options& options) : options_(options) {}
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -33,24 +79,49 @@ class HttpServer {
   void Handle(std::string path, Handler handler);
 
   // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see
-  // port()) and starts the serving thread.
+  // port()) and starts the accept thread plus the worker pool.
   Status Start(int port);
 
   // The bound port; valid after a successful Start().
   int port() const { return port_; }
 
-  // Stops the serving thread and closes the socket.  Idempotent; also
-  // run by the destructor.
+  // Stops the accept and worker threads and closes the socket.
+  // Idempotent; also run by the destructor.
   void Stop();
 
- private:
-  void ServeLoop();
+  Stats stats() const;
 
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  // Reads, routes and answers one connection, then closes it.
+  void ServeConnection(int fd);
+
+  Options options_;
   std::unordered_map<std::string, Handler> routes_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::thread thread_;
+
+  // Accepted fds waiting for a worker; guarded by mutex_.  Its length
+  // plus the in-service count is capped by Options::max_connections.
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<int> pending_;
+  // Connections accepted and not yet closed (queued or in service).
+  std::atomic<int> active_connections_{0};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> served_ok_{0};
+  std::atomic<int64_t> not_found_{0};
+  std::atomic<int64_t> bad_requests_{0};
+  std::atomic<int64_t> deadline_expired_{0};
+  std::atomic<int64_t> too_large_{0};
+  std::atomic<int64_t> send_errors_{0};
 };
 
 }  // namespace trel

@@ -38,6 +38,11 @@ std::string RenderMetricsz(const ServiceMetrics::View& view,
              "Wall microseconds spent inside batched query calls.",
              "counter");
   out.Sample("trel_batch_micros_total", "", view.batch_micros_total);
+  out.Family("trel_batches_rejected_total",
+             "Batches refused by admission control "
+             "(max_inflight_batches).",
+             "counter");
+  out.Sample("trel_batches_rejected_total", "", view.batches_rejected);
   out.Family("trel_publishes_total",
              "Snapshot publishes, split by export kind.", "counter");
   out.Sample("trel_publishes_total", "kind=\"full\"", view.publishes_full);
@@ -97,6 +102,10 @@ std::string RenderMetricsz(const ServiceMetrics::View& view,
              "Bytes pinned by the live snapshot's flat query arena.",
              "gauge");
   out.Sample("trel_snapshot_arena_bytes", "", view.snapshot_arena_bytes);
+  out.Family("trel_inflight_batches",
+             "Batch calls executing right now (admission-slot occupancy).",
+             "gauge");
+  out.Sample("trel_inflight_batches", "", view.inflight_batches);
   out.Family("trel_simd_level",
              "Dispatched arena-kernel ISA tier (0=scalar,1=sse,2=avx2).",
              "gauge");

@@ -52,6 +52,7 @@ ServiceMetrics::View ServiceMetrics::Read() const {
   view.batches = batches_.load(std::memory_order_relaxed);
   view.batch_micros_total =
       batch_micros_total_.load(std::memory_order_relaxed);
+  view.batches_rejected = batches_rejected_.load(std::memory_order_relaxed);
   view.publishes_full = publishes_full_.load(std::memory_order_relaxed);
   view.publishes_delta = publishes_delta_.load(std::memory_order_relaxed);
   view.publishes = view.publishes_full + view.publishes_delta;
@@ -91,6 +92,7 @@ std::string ServiceMetrics::View::ToString() const {
       << " reach_queries=" << reach_queries
       << " successor_queries=" << successor_queries
       << " batches=" << batches << " batch_us=" << batch_micros_total
+      << " batches_rejected=" << batches_rejected
       << " batch_kernel=[fast=" << batch_fast_path
       << " filter_rej=" << batch_filter_rejects
       << " group_rej=" << batch_group_rejects

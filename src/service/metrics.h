@@ -30,6 +30,9 @@ class ServiceMetrics {
     int64_t successor_queries = 0;
     int64_t batches = 0;
     int64_t batch_micros_total = 0;
+    // Batches refused by admission control (TryBatchReaches /
+    // TryBatchSuccessors with ServiceOptions::max_inflight_batches set).
+    int64_t batches_rejected = 0;
     // Publishes split by export kind; `publishes` is their sum.
     int64_t publishes = 0;
     int64_t publishes_full = 0;
@@ -50,6 +53,8 @@ class ServiceMetrics {
     int64_t batch_extras_searches = 0;
     // Filled in by QueryService::Metrics() from the live snapshot.
     uint64_t current_epoch = 0;
+    // Batches executing right now (gauge; filled by QueryService).
+    int64_t inflight_batches = 0;
     double snapshot_age_seconds = 0.0;
     int64_t snapshot_total_intervals = 0;
     int64_t snapshot_num_nodes = 0;
@@ -74,6 +79,10 @@ class ServiceMetrics {
   }
   // One batch that served `queries` lookups in `micros` wall microseconds.
   void RecordBatch(int64_t micros);
+  // One batch refused by admission control (never executed).
+  void RecordBatchRejected() {
+    batches_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
   // One publish that re-exported the entire labeling.
   void RecordPublishFull(int64_t micros);
   // One publish that shipped `delta_nodes` changed entries as an overlay.
@@ -89,6 +98,7 @@ class ServiceMetrics {
   std::atomic<int64_t> successor_queries_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> batch_micros_total_{0};
+  std::atomic<int64_t> batches_rejected_{0};
   std::atomic<int64_t> publishes_full_{0};
   std::atomic<int64_t> publishes_delta_{0};
   std::atomic<int64_t> publish_full_micros_total_{0};

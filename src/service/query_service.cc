@@ -260,7 +260,71 @@ std::vector<NodeId> QueryService::Successors(NodeId u) const {
   return Snapshot()->Successors(u);
 }
 
+// --- Batch admission ---------------------------------------------------------
+
+QueryService::ScopedBatchSlot::ScopedBatchSlot(const QueryService& service)
+    : service_(&service) {
+  service_->inflight_batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+QueryService::ScopedBatchSlot::~ScopedBatchSlot() {
+  if (service_ != nullptr) {
+    service_->inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+QueryService::ScopedBatchSlot::ScopedBatchSlot(ScopedBatchSlot&& other) noexcept
+    : service_(other.service_) {
+  other.service_ = nullptr;
+}
+
+bool QueryService::AdmitBatch() const {
+  // The caller has already taken its slot; reject when that pushed the
+  // occupancy past the limit.  fetch_add-then-check keeps the gate one
+  // relaxed RMW — two racing batches at the boundary can both see
+  // "over" and both shed, which is the safe direction under overload.
+  if (options_.max_inflight_batches <= 0) return true;
+  if (inflight_batches_.load(std::memory_order_relaxed) <=
+      options_.max_inflight_batches) {
+    return true;
+  }
+  metrics_.RecordBatchRejected();
+  return false;
+}
+
 std::vector<uint8_t> QueryService::BatchReaches(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+  const ScopedBatchSlot slot(*this);
+  return BatchReachesImpl(pairs);
+}
+
+StatusOr<std::vector<uint8_t>> QueryService::TryBatchReaches(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+  const ScopedBatchSlot slot(*this);
+  if (!AdmitBatch()) {
+    return Status(StatusCode::kResourceExhausted,
+                  "batch rejected: max_inflight_batches reached");
+  }
+  return BatchReachesImpl(pairs);
+}
+
+std::vector<std::vector<NodeId>> QueryService::BatchSuccessors(
+    const std::vector<NodeId>& nodes) const {
+  const ScopedBatchSlot slot(*this);
+  return BatchSuccessorsImpl(nodes);
+}
+
+StatusOr<std::vector<std::vector<NodeId>>> QueryService::TryBatchSuccessors(
+    const std::vector<NodeId>& nodes) const {
+  const ScopedBatchSlot slot(*this);
+  if (!AdmitBatch()) {
+    return Status(StatusCode::kResourceExhausted,
+                  "batch rejected: max_inflight_batches reached");
+  }
+  return BatchSuccessorsImpl(nodes);
+}
+
+std::vector<uint8_t> QueryService::BatchReachesImpl(
     const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
   Stopwatch timer;
   const int64_t n = static_cast<int64_t>(pairs.size());
@@ -344,7 +408,7 @@ std::vector<uint8_t> QueryService::BatchReaches(
   return results;
 }
 
-std::vector<std::vector<NodeId>> QueryService::BatchSuccessors(
+std::vector<std::vector<NodeId>> QueryService::BatchSuccessorsImpl(
     const std::vector<NodeId>& nodes) const {
   Stopwatch timer;
   const int64_t n = static_cast<int64_t>(nodes.size());
@@ -372,6 +436,7 @@ ServiceMetrics::View QueryService::Metrics() const {
   ServiceMetrics::View view = metrics_.Read();
   std::shared_ptr<const ClosureSnapshot> snapshot = Snapshot();
   view.current_epoch = snapshot->epoch;
+  view.inflight_batches = InflightBatches();
   view.snapshot_age_seconds = snapshot->AgeSeconds();
   view.snapshot_num_nodes = snapshot->NumNodes();
   view.snapshot_total_intervals = snapshot->closure.TotalIntervals();

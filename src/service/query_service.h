@@ -32,6 +32,14 @@ struct ServiceOptions {
   // Batches smaller than this run inline — fan-out overhead (enqueue,
   // wake, join) dwarfs the per-query work below it.
   int64_t min_parallel_batch = 2048;
+  // Admission control for the batch APIs: at most this many batches may
+  // execute at once through TryBatchReaches / TryBatchSuccessors; calls
+  // past the limit are rejected with kResourceExhausted (and counted in
+  // ServiceMetrics::batches_rejected) instead of piling onto the worker
+  // pool.  0 = unlimited (the default).  The non-Try entry points are
+  // never rejected — they are the embedded/trusted API — but they do
+  // occupy slots, so mixed traffic is gated coherently.
+  int64_t max_inflight_batches = 0;
   // Compute ClosureStats for every *full* publish.  One O(n + k) pass on
   // the writer; turn off for very large graphs with frequent publishes.
   // Delta publishes never recompute stats (they carry the base's
@@ -148,6 +156,43 @@ class QueryService {
   std::vector<std::vector<NodeId>> BatchSuccessors(
       const std::vector<NodeId>& nodes) const;
 
+  // Admission-controlled twins for serving-edge callers: when
+  // ServiceOptions::max_inflight_batches is set and that many batches
+  // are already executing, the call is rejected with kResourceExhausted
+  // — counted in ServiceMetrics, never silently dropped — so overload
+  // turns into fast, visible shedding instead of unbounded queueing.
+  // With the limit unset they behave exactly like the plain entry
+  // points.
+  StatusOr<std::vector<uint8_t>> TryBatchReaches(
+      const std::vector<std::pair<NodeId, NodeId>>& pairs) const;
+  StatusOr<std::vector<std::vector<NodeId>>> TryBatchSuccessors(
+      const std::vector<NodeId>& nodes) const;
+
+  // RAII occupancy of one batch-admission slot, held exactly as an
+  // executing batch holds one.  Maintenance code can drain batch
+  // traffic by acquiring slots up to the limit (new Try* batches then
+  // shed while singles keep flowing); tests pin the gate
+  // deterministically.  Acquisition always succeeds — slots are
+  // occupancy, not permits.
+  class ScopedBatchSlot {
+   public:
+    explicit ScopedBatchSlot(const QueryService& service);
+    ~ScopedBatchSlot();
+    ScopedBatchSlot(ScopedBatchSlot&& other) noexcept;
+    ScopedBatchSlot(const ScopedBatchSlot&) = delete;
+    ScopedBatchSlot& operator=(const ScopedBatchSlot&) = delete;
+    ScopedBatchSlot& operator=(ScopedBatchSlot&&) = delete;
+
+   private:
+    const QueryService* service_;
+  };
+  ScopedBatchSlot AcquireBatchSlot() const { return ScopedBatchSlot(*this); }
+
+  // Batches executing right now (plus any held ScopedBatchSlots).
+  int64_t InflightBatches() const {
+    return inflight_batches_.load(std::memory_order_relaxed);
+  }
+
   // Counter snapshot, with the epoch/age/size fields of the live index
   // snapshot filled in.
   ServiceMetrics::View Metrics() const;
@@ -199,6 +244,16 @@ class QueryService {
   // Cold traced twin of Reaches, taken only for sampled queries.
   bool ReachesSampled(NodeId u, NodeId v) const;
 
+  // Shared batch bodies; callers hold an inflight slot around them.
+  std::vector<uint8_t> BatchReachesImpl(
+      const std::vector<std::pair<NodeId, NodeId>>& pairs) const;
+  std::vector<std::vector<NodeId>> BatchSuccessorsImpl(
+      const std::vector<NodeId>& nodes) const;
+
+  // True (slot kept) if another batch may start; false (slot released,
+  // rejection counted) when the admission limit is hit.
+  bool AdmitBatch() const;
+
   ServiceOptions options_;
   mutable ServiceMetrics metrics_;
   mutable QueryTracer tracer_;
@@ -216,6 +271,8 @@ class QueryService {
 
   std::atomic<std::shared_ptr<const ClosureSnapshot>> snapshot_;
   std::unique_ptr<WorkerPool> pool_;  // Null when num_workers == 0.
+  // Batches (and ScopedBatchSlots) currently occupying admission slots.
+  mutable std::atomic<int64_t> inflight_batches_{0};
 };
 
 }  // namespace trel

@@ -78,6 +78,7 @@ TEST(ServiceMetricsViewTest, ToStringGolden) {
   view.successor_queries = 5;
   view.batches = 2;
   view.batch_micros_total = 300;
+  view.batches_rejected = 1;
   view.batch_fast_path = 50;
   view.batch_filter_rejects = 30;
   view.batch_group_rejects = 10;
@@ -95,7 +96,7 @@ TEST(ServiceMetricsViewTest, ToStringGolden) {
   EXPECT_EQ(view.ToString(),
             "epoch=3 age_s=0.5 nodes=10 intervals=12 overlay_nodes=1 "
             "arena_bytes=2048 simd=scalar reach_queries=100 "
-            "successor_queries=5 batches=2 batch_us=300 "
+            "successor_queries=5 batches=2 batch_us=300 batches_rejected=1 "
             "batch_kernel=[fast=50 filter_rej=30 group_rej=10 extras=10] "
             "publishes=3 (full=2 delta=1) publish_us=1020 (full=1000 "
             "delta=20) delta_nodes=4 latency_hist_us=[<512:2] "

@@ -165,6 +165,86 @@ TEST(QueryServiceTest, MetricsCountQueriesAndPublishes) {
   EXPECT_EQ(histogram_total, view.batches);
 }
 
+// --- Admission control ------------------------------------------------------
+
+TEST(QueryServiceAdmissionTest, RejectsAtLimitThenRecoversExactly) {
+  Digraph graph = RandomDag(80, 2.5, 33);
+  ReachabilityMatrix matrix(graph);
+  ServiceOptions options = SmallBatchOptions();
+  options.max_inflight_batches = 2;
+  QueryService service(options);
+  ASSERT_TRUE(service.Load(graph).ok());
+
+  const std::vector<std::pair<NodeId, NodeId>> pairs = {
+      {0, 40}, {3, 77}, {12, 12}, {60, 5}};
+  const std::vector<NodeId> nodes = {0, 7, 79};
+
+  // Pin the gate deterministically: with both slots occupied, every Try*
+  // batch takes the third slot and is shed.  (Timing-based occupancy
+  // would be flaky on a one-core CI box; slots are the ops drain hook.)
+  {
+    std::vector<QueryService::ScopedBatchSlot> pins;
+    pins.push_back(service.AcquireBatchSlot());
+    pins.push_back(service.AcquireBatchSlot());
+    EXPECT_EQ(service.InflightBatches(), 2);
+
+    auto rejected_reaches = service.TryBatchReaches(pairs);
+    ASSERT_FALSE(rejected_reaches.ok());
+    EXPECT_EQ(rejected_reaches.status().code(),
+              StatusCode::kResourceExhausted);
+    auto rejected_successors = service.TryBatchSuccessors(nodes);
+    ASSERT_FALSE(rejected_successors.ok());
+    EXPECT_EQ(rejected_successors.status().code(),
+              StatusCode::kResourceExhausted);
+
+    // Rejections are counted, never silently dropped...
+    ServiceMetrics::View view = service.Metrics();
+    EXPECT_EQ(view.batches_rejected, 2);
+    EXPECT_EQ(view.batches, 0);  // ...and never ran as batches.
+    EXPECT_EQ(view.inflight_batches, 2);
+
+    // The trusted (non-Try) entry points are never rejected, even with
+    // the gate pinned shut.
+    const std::vector<uint8_t> forced = service.BatchReaches(pairs);
+    ASSERT_EQ(forced.size(), pairs.size());
+  }
+
+  // Slots released: the same batches are admitted and answer exactly.
+  EXPECT_EQ(service.InflightBatches(), 0);
+  auto admitted_reaches = service.TryBatchReaches(pairs);
+  ASSERT_TRUE(admitted_reaches.ok());
+  ASSERT_EQ(admitted_reaches.value().size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(admitted_reaches.value()[i] != 0,
+              matrix.Reaches(pairs[i].first, pairs[i].second))
+        << pairs[i].first << "->" << pairs[i].second;
+  }
+  auto admitted_successors = service.TryBatchSuccessors(nodes);
+  ASSERT_TRUE(admitted_successors.ok());
+  ASSERT_EQ(admitted_successors.value().size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<NodeId> got = admitted_successors.value()[i];
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, matrix.Successors(nodes[i])) << "node " << nodes[i];
+  }
+  ServiceMetrics::View view = service.Metrics();
+  EXPECT_EQ(view.batches_rejected, 2);  // Unchanged by admitted traffic.
+  EXPECT_EQ(view.inflight_batches, 0);
+}
+
+TEST(QueryServiceAdmissionTest, UnlimitedByDefaultNeverRejects) {
+  Digraph graph = RandomDag(40, 2.0, 7);
+  QueryService service(SmallBatchOptions());  // max_inflight_batches = 0.
+  ASSERT_TRUE(service.Load(graph).ok());
+
+  std::vector<QueryService::ScopedBatchSlot> pins;
+  for (int i = 0; i < 16; ++i) pins.push_back(service.AcquireBatchSlot());
+  auto result = service.TryBatchReaches({{0, 1}, {2, 3}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(service.Metrics().batches_rejected, 0);
+}
+
 // --- Concurrency (TSan targets) --------------------------------------------
 
 // Readers hammer single queries, batches, and snapshot handles while one

@@ -28,9 +28,13 @@ Manifest format::
 lower-is-better unless the entry sets "direction": "higher").  Rows are
 matched by their "name" field, else by the tuple of non-numeric fields.
 A missing hot row or file is itself a failure (renames must update the
-manifest, not silently un-gate the job).  Set TREL_BENCH_DIFF_SKIP=1 to
-report without failing (escape hatch for hosts that don't match the
-committed baselines' machine).
+manifest, not silently un-gate the job), and so is ANY baseline
+artifact or row absent from the fresh output — a bench that stops
+emitting must fail loudly, never silently un-gate itself.  Extra
+current artifacts/rows are fine.  Set TREL_BENCH_DIFF_SKIP=1 to report
+without failing (escape hatch for hosts that don't match the committed
+baselines' machine).  tools/bench_diff_test.py self-tests these rules
+and runs in ci.sh --bench-smoke.
 """
 
 import argparse
@@ -96,6 +100,27 @@ def main():
 
     report_only = os.environ.get("TREL_BENCH_DIFF_SKIP") == "1"
     failures = []
+
+    # Completeness: every baseline artifact and every baseline row must
+    # still exist in the fresh output.  A bench binary that silently
+    # stopped emitting (dropped from the build, renamed, crashed before
+    # writing) would otherwise un-gate itself — missing data must be a
+    # hard failure, not an accidental pass.  Extra current artifacts and
+    # rows are fine (new benches land before their baselines).
+    for bench in sorted(baselines):
+        if bench not in current:
+            failures.append(
+                f"BENCH_{bench}.json: baseline exists but no current artifact"
+                f" in {args.current} — bench not run or no longer emitting;"
+                " delete the baseline if it was retired on purpose")
+            continue
+        cur_rows = load_rows(current[bench])
+        base_rows = load_rows(baselines[bench])
+        for key in sorted(set(base_rows) - set(cur_rows)):
+            failures.append(
+                f"{bench}:{key}: row in baseline but missing from current"
+                " output — renamed or dropped; regenerate the baseline if"
+                " intentional")
 
     # Informational sweep over everything both sides have.
     if args.verbose:

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Self-test for tools/bench_diff.py (run by ci.sh --bench-smoke).
+
+Exercises the gating rules end-to-end through the CLI: identical data
+passes, hot-metric regressions fail, and — the rule this guards hardest
+— baselines with no matching current artifact or row are a hard
+failure, never a silent pass.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIFF = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "bench_diff.py")
+
+BASELINE = {
+    "bench": "micro_fake",
+    "config": {"smoke": True},
+    "rows": [
+        {"name": "BM_Fast/100", "us_per_op": 1.0, "ops_per_sec": 1e6},
+        {"name": "BM_Slow/100", "us_per_op": 50.0, "ops_per_sec": 2e4},
+    ],
+}
+
+MANIFEST = {
+    "default_threshold": 0.15,
+    "hot": [
+        {"bench": "micro_fake", "row": "BM_Fast/100", "metric": "us_per_op",
+         "threshold": 0.5},
+    ],
+}
+
+
+def write_artifact(directory, doc):
+    path = os.path.join(directory, f"BENCH_{doc['bench']}.json")
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def run_diff(current, baselines, manifest_path, env_extra=None):
+    env = dict(os.environ)
+    env.pop("TREL_BENCH_DIFF_SKIP", None)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.run(
+        [sys.executable, BENCH_DIFF, "--current", current,
+         "--baselines", baselines, "--manifest", manifest_path],
+        capture_output=True, text=True, env=env)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def make_dirs(tmp, current_doc):
+    current = os.path.join(tmp, "current")
+    baselines = os.path.join(tmp, "baselines")
+    os.makedirs(current)
+    os.makedirs(baselines)
+    write_artifact(baselines, BASELINE)
+    if current_doc is not None:
+        write_artifact(current, current_doc)
+    manifest_path = os.path.join(tmp, "manifest.json")
+    with open(manifest_path, "w") as f:
+        json.dump(MANIFEST, f)
+    return current, baselines, manifest_path
+
+
+def expect(name, condition, detail):
+    if condition:
+        print(f"  ok: {name}")
+        return True
+    print(f"  FAIL: {name}: {detail}", file=sys.stderr)
+    return False
+
+
+def main():
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        cur, base, manifest = make_dirs(tmp, BASELINE)
+        code, out = run_diff(cur, base, manifest)
+        ok &= expect("identical data passes", code == 0, out)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        regressed = json.loads(json.dumps(BASELINE))
+        regressed["rows"][0]["us_per_op"] = 2.0  # > 0.5 threshold on 1.0.
+        cur, base, manifest = make_dirs(tmp, regressed)
+        code, out = run_diff(cur, base, manifest)
+        ok &= expect("hot regression fails", code == 1, out)
+        ok &= expect("hot regression is explained",
+                     "REGRESSED" in out and "BM_Fast/100" in out, out)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # The un-gating hole: current output missing one baseline ROW.
+        shrunk = json.loads(json.dumps(BASELINE))
+        del shrunk["rows"][1]  # BM_Slow/100 (not even a hot row).
+        cur, base, manifest = make_dirs(tmp, shrunk)
+        code, out = run_diff(cur, base, manifest)
+        ok &= expect("missing baseline row fails", code == 1, out)
+        ok &= expect("missing row names the row",
+                     "BM_Slow/100" in out and "missing" in out, out)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Whole artifact missing from the fresh output.
+        cur, base, manifest = make_dirs(tmp, None)
+        code, out = run_diff(cur, base, manifest)
+        ok &= expect("missing current artifact fails", code == 1, out)
+        ok &= expect("missing artifact names the file",
+                     "BENCH_micro_fake.json" in out, out)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # The escape hatch downgrades everything to report-only.
+        cur, base, manifest = make_dirs(tmp, None)
+        code, out = run_diff(cur, base, manifest,
+                             env_extra={"TREL_BENCH_DIFF_SKIP": "1"})
+        ok &= expect("SKIP=1 reports without failing", code == 0, out)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Extra current rows/artifacts are fine (new benches land first).
+        grown = json.loads(json.dumps(BASELINE))
+        grown["rows"].append({"name": "BM_New/100", "us_per_op": 3.0})
+        cur, base, manifest = make_dirs(tmp, grown)
+        extra = {"bench": "micro_extra", "config": {},
+                 "rows": [{"name": "BM_Only/1", "us_per_op": 1.0}]}
+        write_artifact(cur, extra)
+        code, out = run_diff(cur, base, manifest)
+        ok &= expect("extra current rows/artifacts pass", code == 0, out)
+
+    if not ok:
+        print("bench_diff_test: FAILED", file=sys.stderr)
+        return 1
+    print("bench_diff_test: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@
 #   tools/ci.sh --obs          # obs unit tests, live /metricsz–/statusz
 #                              # scrape validated by tools/obs_check.py,
 #                              # and the query tracer under TSan
+#   tools/ci.sh --soak         # bounded serving-edge soak: delta-publish
+#                              # storm under open-loop load + slow scrapes,
+#                              # failing on p99 drift or bad responses
+#                              # (TREL_SOAK_SMOKE=1 shrinks it for CI)
 #
 # Stages may be combined (e.g. `tools/ci.sh --tier1 --bench-smoke`).
 # Extra configure flags for all stages can be passed via TREL_CMAKE_FLAGS
@@ -81,6 +85,9 @@ bench_smoke() {
   # the loop, and a run that produces no JSON at all fails the stage.
   run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
   run cmake --build build -j "${JOBS}"
+  # The diff tool gates this stage, so its own rules are self-tested
+  # first — in particular "missing baseline data is a hard failure".
+  run python3 tools/bench_diff_test.py
   local json_dir="build/bench-json"
   rm -rf "${json_dir}"
   mkdir -p "${json_dir}"
@@ -89,6 +96,12 @@ bench_smoke() {
     [[ -f "${binary}" && -x "${binary}" ]] || continue
     run env TREL_BENCH_SMOKE=1 TREL_BENCH_JSON="${json_dir}" \
       "${binary}" > /dev/null
+  done
+  # The open-loop load harness emits artifacts through the same pipe.
+  local scenario
+  for scenario in zipf_single batch_mix update_storm; do
+    run env TREL_BENCH_SMOKE=1 TREL_BENCH_JSON="${json_dir}" \
+      ./build/tools/loadgen --scenario="${scenario}" > /dev/null
   done
   if ! compgen -G "${json_dir}/BENCH_*.json" > /dev/null; then
     echo "bench smoke produced no BENCH_*.json in ${json_dir}" >&2
@@ -191,6 +204,31 @@ obs_stage() {
     ./build-tsan/tests/obs_test --gtest_filter='QueryTracerTest.*'
 }
 
+soak() {
+  # Bounded (~60s real time) serving-edge soak: tools/loadgen's soak
+  # scenario runs a delta-publish storm (1000 publishes full-size, 25 in
+  # smoke) under open-loop query load while slow consumers scrape
+  # /metricsz and /statusz over the hardened HttpServer.  loadgen exits
+  # nonzero — failing this stage — on p99 drift between the run's
+  # halves, on any scrape answer other than 200/503, or on malformed
+  # scrape bodies.  TREL_SOAK_SMOKE=1 (the workflow default) shrinks it
+  # to a does-it-run pass for shared runners.
+  run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
+  run cmake --build build -j "${JOBS}" --target loadgen
+  local json_dir="build/bench-json"
+  mkdir -p "${json_dir}"
+  if [[ "${TREL_SOAK_SMOKE:-0}" == "1" ]]; then
+    run env TREL_BENCH_SMOKE=1 TREL_BENCH_JSON="${json_dir}" \
+      ./build/tools/loadgen --scenario=soak
+  else
+    # ~60s: 1000 publishes at a 50ms cadence, queries and scrapes the
+    # whole way.
+    run env TREL_BENCH_JSON="${json_dir}" ./build/tools/loadgen \
+      --scenario=soak --duration-s=60 --rate=2000 --publish-count=1000 \
+      --update-interval-ms=50
+  fi
+}
+
 arena_fuzz() {
   # Differential fuzz of the flat query arena under ASan/UBSan: the
   # randomized DAG / gap-labeling / overlay-chain suite is the one most
@@ -223,10 +261,11 @@ else
       --arena-fuzz) stages+=(arena_fuzz) ;;
       --simd-matrix) stages+=(simd_matrix) ;;
       --obs) stages+=(obs_stage) ;;
+      --soak) stages+=(soak) ;;
       *)
         echo "unknown stage: ${arg}" >&2
         echo "usage: tools/ci.sh [--tier1] [--asan] [--tsan] [--bench-smoke]" \
-          "[--arena-fuzz] [--simd-matrix] [--obs]" >&2
+          "[--arena-fuzz] [--simd-matrix] [--obs] [--soak]" >&2
         exit 2
         ;;
     esac

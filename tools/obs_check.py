@@ -46,6 +46,7 @@ STATUSZ_TO_METRICSZ = {
     "successor_queries": "trel_successor_queries_total",
     "batches": "trel_batches_total",
     "batch_us": "trel_batch_micros_total",
+    "batches_rejected": "trel_batches_rejected_total",
     "delta_nodes": "trel_delta_nodes_total",
     "publishes_full": 'trel_publishes_total{kind="full"}',
     "publishes_delta": 'trel_publishes_total{kind="delta"}',
@@ -222,6 +223,7 @@ def parse_statusz_metrics_line(statusz, errors):
                  "batch_us"):
         grab(rf"\b{name}=(\d+)", name)
     grab(r"\bbatches=(\d+)", "batches")
+    grab(r"\bbatches_rejected=(\d+)", "batches_rejected")
     grab(r" delta_nodes=(\d+)", "delta_nodes")
     grab(r"batch_kernel=\[fast=(\d+) filter_rej=(\d+) group_rej=(\d+) "
          r"extras=(\d+)\]", "kernel_fast", 1)
