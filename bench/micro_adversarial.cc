@@ -1,0 +1,159 @@
+// Adversarial index-family shootout: the shapes where the paper's
+// interval labeling pays Theta(n^2) — the Fig 3.6 complete-bipartite
+// crossing and a hub-and-spoke DAG — measured across all three snapshot
+// index families (intervals, tree covers, 2-hop labels) plus what the
+// auto selector picks.  Emits label bytes, build time, and point-probe
+// latency per family, and per graph the bytes ratio intervals/auto that
+// the hot-metrics manifest gates (direction "higher": auto must keep
+// beating forced intervals by a wide margin on these shapes).
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/compressed_closure.h"
+#include "core/hop_label_index.h"
+#include "core/index_family.h"
+#include "core/tree_cover_index.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace trel;
+using bench_util::Fmt;
+
+struct FamilyRun {
+  int64_t label_bytes = 0;
+  double build_ms = 0.0;
+  double us_per_probe = 0.0;
+  int64_t hits = 0;  // Keeps the probe loop from being optimized away.
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Builds one family's index and drives `probes` random point queries
+// through it.  The probe callback owns the index so each family pays its
+// own memory-access pattern, nothing else.
+FamilyRun Measure(const Digraph& graph, int64_t probes, IndexFamily family) {
+  FamilyRun run;
+  const auto build_start = std::chrono::steady_clock::now();
+  std::function<bool(NodeId, NodeId)> probe;
+  StatusOr<CompressedClosure> closure = CompressedClosure();
+  TreeCoverIndex trees;
+  HopLabelIndex hop;
+  switch (family) {
+    case IndexFamily::kIntervals: {
+      closure = CompressedClosure::Build(graph);
+      TREL_CHECK(closure.ok());
+      run.label_bytes = closure->ArenaByteSize();
+      probe = [&closure](NodeId u, NodeId v) { return closure->Reaches(u, v); };
+      break;
+    }
+    case IndexFamily::kTrees: {
+      trees = TreeCoverIndex::Build(graph);
+      run.label_bytes = trees.LabelBytes();
+      probe = [&trees](NodeId u, NodeId v) { return trees.Reaches(u, v); };
+      break;
+    }
+    case IndexFamily::kHop: {
+      hop = HopLabelIndex::Build(graph);
+      run.label_bytes = hop.LabelBytes();
+      probe = [&hop](NodeId u, NodeId v) { return hop.Reaches(u, v); };
+      break;
+    }
+  }
+  run.build_ms = MsSince(build_start);
+
+  Random rng(7);
+  const NodeId n = graph.NumNodes();
+  std::vector<std::pair<NodeId, NodeId>> pairs(
+      static_cast<size_t>(probes));
+  for (auto& [u, v] : pairs) {
+    u = static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(n)));
+    v = static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(n)));
+  }
+  const auto probe_start = std::chrono::steady_clock::now();
+  for (const auto& [u, v] : pairs) run.hits += probe(u, v) ? 1 : 0;
+  run.us_per_probe =
+      MsSince(probe_start) * 1000.0 / static_cast<double>(probes);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench_util::SmokeMode();
+  const int64_t probes = smoke ? 2000 : 200000;
+
+  // The two adversarial shapes, smoke-shrunk to stay under the CI cap.
+  const NodeId bip = static_cast<NodeId>(bench_util::ScaleN(250, 60));
+  const NodeId hub_sources = static_cast<NodeId>(bench_util::ScaleN(900, 90));
+  const NodeId hub_sinks = static_cast<NodeId>(bench_util::ScaleN(700, 70));
+  std::vector<std::pair<std::string, Digraph>> graphs;
+  graphs.emplace_back("fig3_6_bipartite", CompleteBipartite(bip, bip));
+  graphs.emplace_back("hub_spine", HubDag(hub_sources, 8, hub_sinks, 10));
+
+  std::printf("Adversarial shapes: index families vs forced intervals\n\n");
+  bench_util::Table table({"graph", "family", "label_bytes", "build_ms",
+                           "us_per_probe", "selected"});
+  bench_util::BenchReport report("micro_adversarial");
+  report.config()
+      .Set("smoke", smoke)
+      .Set("probes", probes)
+      .Set("bipartite_width", static_cast<int64_t>(bip))
+      .Set("hub_sources", static_cast<int64_t>(hub_sources))
+      .Set("hub_sinks", static_cast<int64_t>(hub_sinks));
+
+  for (const auto& [graph_name, graph] : graphs) {
+    auto closure = CompressedClosure::Build(graph);
+    TREL_CHECK(closure.ok());
+    const IndexFamily picked =
+        SelectIndexFamily(graph, closure->TotalIntervals());
+
+    int64_t intervals_bytes = 0;
+    int64_t auto_bytes = 0;
+    double auto_us = 0.0;
+    for (const IndexFamily family :
+         {IndexFamily::kIntervals, IndexFamily::kTrees, IndexFamily::kHop}) {
+      const FamilyRun run = Measure(graph, probes, family);
+      if (family == IndexFamily::kIntervals) intervals_bytes = run.label_bytes;
+      if (family == picked) {
+        auto_bytes = run.label_bytes;
+        auto_us = run.us_per_probe;
+      }
+      const std::string row_name =
+          graph_name + "/" + IndexFamilyName(family);
+      table.AddRow({graph_name, IndexFamilyName(family), Fmt(run.label_bytes),
+                    Fmt(run.build_ms), Fmt(run.us_per_probe, 4),
+                    family == picked ? "auto" : ""});
+      report.AddRow()
+          .Set("name", row_name)
+          .Set("label_bytes", run.label_bytes)
+          .Set("build_ms", run.build_ms)
+          .Set("us_per_probe", run.us_per_probe)
+          .Set("hits", run.hits)
+          .Set("selected", family == picked);
+    }
+    // The ratio row the manifest gates: how many times smaller the
+    // auto-selected family's labels are than forced intervals.
+    report.AddRow()
+        .Set("name", graph_name + "/auto_vs_intervals")
+        .Set("auto_family", IndexFamilyName(picked))
+        .Set("bytes_intervals_over_auto",
+             static_cast<double>(intervals_bytes) /
+                 static_cast<double>(auto_bytes))
+        .Set("auto_us_per_probe", auto_us);
+  }
+  table.Print();
+  if (!report.WriteIfEnabled()) return 1;
+  return 0;
+}

@@ -37,3 +37,4 @@ trel_add_bench(micro_concurrent_query)
 target_link_libraries(micro_concurrent_query PRIVATE trel_service)
 trel_add_microbench(micro_obs_overhead)
 target_link_libraries(micro_obs_overhead PRIVATE trel_service)
+trel_add_bench(micro_adversarial)

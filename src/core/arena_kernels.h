@@ -19,10 +19,12 @@ enum class ProbeTag : uint8_t {
   kGroupReject = 2,   // killed by a whole-group 512-bit filter test (batch)
   kExtrasSearch = 3,  // searched an extras run (vector scan or descent)
   kOverlay = 4,       // resolved against a WithDelta overlay entry
+  kHopIntersect = 5,  // decided by a 2-hop Lin/Lout merge-intersection
+  kFallback = 6,      // family fallback: pruned DFS or residual-index probe
 };
-constexpr int kNumProbeTags = 5;
+constexpr int kNumProbeTags = 7;
 
-// "slot" / "filter" / "group" / "extras" / "overlay".
+// "slot" / "filter" / "group" / "extras" / "overlay" / "hop" / "fallback".
 const char* ProbeTagName(ProbeTag tag);
 
 // Per-probe outcome detail filled by the traced query paths (sampled

@@ -21,6 +21,10 @@ const char* ProbeTagName(ProbeTag tag) {
       return "extras";
     case ProbeTag::kOverlay:
       return "overlay";
+    case ProbeTag::kHopIntersect:
+      return "hop";
+    case ProbeTag::kFallback:
+      return "fallback";
   }
   return "unknown";
 }

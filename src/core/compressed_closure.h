@@ -191,6 +191,14 @@ class CompressedClosure {
   }
   bool IsOverlay() const { return !overlay_.empty(); }
 
+  // True iff `v`'s label entry lives in the overlay (always false on full
+  // exports).  One flat byte load; used by the snapshot layer to decide
+  // whether a family index built at the base epoch may answer for `v`.
+  bool IsOverlayMember(NodeId v) const {
+    TREL_CHECK(IsValidNode(v));
+    return !overlay_.empty() && overlay_member_[v] != 0;
+  }
+
   // Introspection (used by tests, benches, and the dynamic index).
   // `labels()`, `tree_cover()`, and `arena()` expose the shared *base*
   // layer: exact for full exports, stale for overlaid nodes of a

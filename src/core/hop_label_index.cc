@@ -1,0 +1,173 @@
+#include "core/hop_label_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace trel {
+namespace {
+
+// One BFS from `start` over `forward ? out : in` arcs, appending `hub`
+// to per-node label builders for every node reached (including `start`
+// itself — the reflexive entries are what make hub-touching paths
+// complete).  `seen`/`epoch` is a reusable stamp set, `queue` a reusable
+// frontier.
+void LabelSweep(const Digraph& graph, NodeId start, NodeId hub, bool forward,
+                std::vector<std::vector<NodeId>>* labels,
+                std::vector<uint32_t>* seen, uint32_t epoch,
+                std::vector<NodeId>* queue) {
+  queue->clear();
+  queue->push_back(start);
+  (*seen)[start] = epoch;
+  (*labels)[start].push_back(hub);
+  for (size_t head = 0; head < queue->size(); ++head) {
+    const NodeId x = (*queue)[head];
+    const auto& next = forward ? graph.OutNeighbors(x) : graph.InNeighbors(x);
+    for (NodeId w : next) {
+      if ((*seen)[w] == epoch) continue;
+      (*seen)[w] = epoch;
+      (*labels)[w].push_back(hub);
+      queue->push_back(w);
+    }
+  }
+}
+
+void Flatten(const std::vector<std::vector<NodeId>>& per_node,
+             std::vector<int32_t>* offsets, std::vector<NodeId>* flat) {
+  int64_t total = 0;
+  for (const auto& list : per_node) total += static_cast<int64_t>(list.size());
+  TREL_CHECK(total <= std::numeric_limits<int32_t>::max());
+  offsets->assign(per_node.size() + 1, 0);
+  flat->clear();
+  flat->reserve(static_cast<size_t>(total));
+  for (size_t v = 0; v < per_node.size(); ++v) {
+    flat->insert(flat->end(), per_node[v].begin(), per_node[v].end());
+    (*offsets)[v + 1] = static_cast<int32_t>(flat->size());
+  }
+}
+
+}  // namespace
+
+HopLabelIndex HopLabelIndex::Build(const Digraph& graph, int max_hubs) {
+  TREL_CHECK(max_hubs >= 1);
+  HopLabelIndex index;
+  const NodeId n = graph.NumNodes();
+  index.num_nodes_ = n;
+  index.is_hub_.assign(static_cast<size_t>(n), 0);
+  index.residual_id_.assign(static_cast<size_t>(n), kNoNode);
+  if (n == 0) return index;
+
+  // Hubs: top-max_hubs by total degree, ids ascending afterwards so the
+  // per-node label lists come out sorted.  Zero-degree nodes never make
+  // useful hubs; cap the candidate set to nodes that touch an arc.
+  std::vector<NodeId> by_degree(static_cast<size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  const auto degree = [&graph](NodeId v) {
+    return graph.OutDegree(v) + graph.InDegree(v);
+  };
+  const size_t want = std::min<size_t>(max_hubs, by_degree.size());
+  std::partial_sort(by_degree.begin(),
+                    by_degree.begin() + static_cast<ptrdiff_t>(want),
+                    by_degree.end(), [&](NodeId a, NodeId b) {
+                      const int da = degree(a), db = degree(b);
+                      return da != db ? da > db : a < b;
+                    });
+  for (size_t i = 0; i < want; ++i) {
+    if (degree(by_degree[i]) == 0) break;
+    index.hubs_.push_back(by_degree[i]);
+  }
+  std::sort(index.hubs_.begin(), index.hubs_.end());
+  for (NodeId h : index.hubs_) index.is_hub_[h] = 1;
+
+  // One forward + one backward sweep per hub, ascending, so every list
+  // is appended in sorted hub order.
+  std::vector<std::vector<NodeId>> lin(static_cast<size_t>(n));
+  std::vector<std::vector<NodeId>> lout(static_cast<size_t>(n));
+  std::vector<uint32_t> seen(static_cast<size_t>(n), 0);
+  std::vector<NodeId> queue;
+  uint32_t epoch = 0;
+  for (NodeId h : index.hubs_) {
+    LabelSweep(graph, h, h, /*forward=*/true, &lin, &seen, ++epoch, &queue);
+    LabelSweep(graph, h, h, /*forward=*/false, &lout, &seen, ++epoch, &queue);
+  }
+  Flatten(lin, &index.lin_offset_, &index.lin_);
+  Flatten(lout, &index.lout_offset_, &index.lout_);
+
+  // Residual: the subgraph of arcs with no hub endpoint.  Only nodes
+  // incident to such an arc can sit on a hub-free path, so only they get
+  // remapped ids and interval labels.
+  for (NodeId v = 0; v < n; ++v) {
+    if (index.is_hub_[v]) continue;
+    for (NodeId w : graph.OutNeighbors(v)) {
+      if (index.is_hub_[w]) continue;
+      if (index.residual_id_[v] == kNoNode) {
+        index.residual_id_[v] = index.residual_nodes_++;
+      }
+      if (index.residual_id_[w] == kNoNode) {
+        index.residual_id_[w] = index.residual_nodes_++;
+      }
+    }
+  }
+  if (index.residual_nodes_ > 0) {
+    Digraph residual(index.residual_nodes_);
+    for (NodeId v = 0; v < n; ++v) {
+      if (index.residual_id_[v] == kNoNode || index.is_hub_[v]) continue;
+      for (NodeId w : graph.OutNeighbors(v)) {
+        if (index.is_hub_[w]) continue;
+        TREL_CHECK(
+            residual.AddArc(index.residual_id_[v], index.residual_id_[w])
+                .ok());
+      }
+    }
+    auto closure = CompressedClosure::Build(residual);
+    TREL_CHECK(closure.ok()) << closure.status();
+    index.residual_ = std::make_shared<const CompressedClosure>(
+        std::move(closure).value());
+  }
+  return index;
+}
+
+bool HopLabelIndex::ReachesTraced(NodeId u, NodeId v,
+                                  ProbeTrace* trace) const {
+  TREL_CHECK(u >= 0 && u < num_nodes_);
+  TREL_CHECK(v >= 0 && v < num_nodes_);
+  trace->tag = ProbeTag::kSlot;
+  trace->extras_probes = 0;
+  if (u == v) return true;
+  // Two-pointer intersect of Lout(u) and Lin(v): any common hub is a
+  // witness path u -> h -> v.
+  trace->tag = ProbeTag::kHopIntersect;
+  const NodeId* a = lout_.data() + lout_offset_[u];
+  const NodeId* a_end = lout_.data() + lout_offset_[static_cast<size_t>(u) + 1];
+  const NodeId* b = lin_.data() + lin_offset_[v];
+  const NodeId* b_end = lin_.data() + lin_offset_[static_cast<size_t>(v) + 1];
+  uint32_t probes = 0;
+  while (a != a_end && b != b_end) {
+    ++probes;
+    if (*a == *b) {
+      trace->extras_probes = probes;
+      return true;
+    }
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  trace->extras_probes = probes;
+  // Hubs carry reflexive entries, so for a hub endpoint the intersect
+  // above was already complete: u a hub means u in Lout(u), and u
+  // reaching v would put u in Lin(v) (symmetrically for v).
+  if (is_hub_[u] || is_hub_[v]) return false;
+  // Both non-hub: only a path through hub-free arcs remains, and both
+  // its endpoints would be incident to hub-free arcs.
+  trace->tag = ProbeTag::kFallback;
+  const NodeId ru = residual_id_[u];
+  const NodeId rv = residual_id_[v];
+  if (ru == kNoNode || rv == kNoNode) return false;
+  return residual_->Reaches(ru, rv);
+}
+
+}  // namespace trel

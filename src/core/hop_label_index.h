@@ -1,0 +1,97 @@
+#ifndef TREL_CORE_HOP_LABEL_INDEX_H_
+#define TREL_CORE_HOP_LABEL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/arena_kernels.h"
+#include "core/compressed_closure.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// Exact 2-hop reachability labels over a hub spine, with an interval
+// index on the hub-free residual.
+//
+// The high-degree "hubs" (top max_hubs nodes by total degree) get pulled
+// out of the graph: every node u stores Lout(u) = the hubs u reaches and
+// Lin(u) = the hubs that reach u, both as sorted arrays probed by a
+// two-pointer merge.  A path that touches any hub h gives h to both
+// Lout(u) and Lin(v), so a non-empty intersection decides those queries
+// in O(|Lout| + |Lin|).  Paths that avoid every hub live entirely in the
+// residual subgraph (arcs with no hub endpoint), which is indexed with
+// the paper's own interval closure — small by construction, because on
+// hub-dominated DAGs almost every arc has a hub endpoint.  Together the
+// two answers are exact.
+//
+// This is the family for graphs where interval labels explode because a
+// few hubs fan out to most of the graph: each hub contributes one 4-byte
+// entry per node it touches, where the interval labeling pays a
+// fragmented interval set per source.
+//
+// Immutable after Build; concurrent queries are safe.
+class HopLabelIndex {
+ public:
+  static constexpr int kDefaultMaxHubs = 96;
+
+  // Builds over `graph` (must be a DAG, like every closure build here).
+  // Deterministic: hubs are the top-max_hubs nodes by total degree, ties
+  // broken by id.
+  static HopLabelIndex Build(const Digraph& graph,
+                             int max_hubs = kDefaultMaxHubs);
+
+  HopLabelIndex() = default;
+
+  NodeId NumNodes() const { return num_nodes_; }
+  int num_hubs() const { return static_cast<int>(hubs_.size()); }
+  NodeId ResidualNodes() const { return residual_nodes_; }
+
+  // Exact reachability; both ids must be valid.
+  bool Reaches(NodeId u, NodeId v) const {
+    ProbeTrace trace;
+    return ReachesTraced(u, v, &trace);
+  }
+
+  // Tagged twin: kSlot for u == v, kHopIntersect when the Lin/Lout merge
+  // decided (extras_probes = label entries compared), kFallback when the
+  // residual interval index answered.
+  bool ReachesTraced(NodeId u, NodeId v, ProbeTrace* trace) const;
+
+  // Index footprint: both label CSRs plus the residual interval arena.
+  int64_t LabelBytes() const {
+    return static_cast<int64_t>((lin_.size() + lout_.size()) *
+                                sizeof(NodeId)) +
+           static_cast<int64_t>((lin_offset_.size() + lout_offset_.size()) *
+                                sizeof(int32_t)) +
+           static_cast<int64_t>(hubs_.size() * sizeof(NodeId)) +
+           (residual_ != nullptr ? residual_->ArenaByteSize() : 0);
+  }
+
+  bool IsHub(NodeId v) const { return is_hub_[v] != 0; }
+
+ private:
+  NodeId num_nodes_ = 0;
+  // Hub node ids, ascending; label entries are hub ids, so processing
+  // hubs in ascending order keeps every list sorted for the merge.
+  std::vector<NodeId> hubs_;
+  std::vector<uint8_t> is_hub_;
+  // CSR label arrays: Lin(v) = lin_[lin_offset_[v] .. lin_offset_[v+1]),
+  // likewise Lout.  int32 offsets: totals are bounded by n * max_hubs and
+  // checked at build.
+  std::vector<int32_t> lin_offset_;
+  std::vector<NodeId> lin_;
+  std::vector<int32_t> lout_offset_;
+  std::vector<NodeId> lout_;
+  // Hub-free residual: nodes incident to at least one hub-free arc get a
+  // dense remapped id; everyone else cannot lie on a hub-free path of
+  // length >= 1.  The remap keeps the residual arena's ~96-byte fixed
+  // per-node cost off the (typically many) untouched nodes.
+  std::vector<NodeId> residual_id_;
+  NodeId residual_nodes_ = 0;
+  std::shared_ptr<const CompressedClosure> residual_;
+};
+
+}  // namespace trel
+
+#endif  // TREL_CORE_HOP_LABEL_INDEX_H_

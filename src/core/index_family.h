@@ -1,0 +1,101 @@
+#ifndef TREL_CORE_INDEX_FAMILY_H_
+#define TREL_CORE_INDEX_FAMILY_H_
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+
+namespace trel {
+
+// The reachability-index families a snapshot can be served from.  The
+// paper's interval antichains (kIntervals) are the default and the only
+// family that supports every query shape (successor enumeration,
+// predecessors, WithDelta overlays); the other two exist because the
+// intervals degrade on dense, non-tree-like DAGs — the paper's own
+// Fig 3.6/3.7 bipartite constructions blow the interval count up to
+// Theta(n^2):
+//   kTrees — k independent random tree labelings with a label-pruned DFS
+//            fallback (GRAIL-style; see tree_cover_index.h).  Wins when
+//            the closure is dense but the graph is sparse.
+//   kHop   — 2-hop hub labels over the high-degree spine plus an interval
+//            index on the hub-free residual (see hop_label_index.h).
+//            Wins when a few hub nodes carry most paths.
+enum class IndexFamily : uint8_t {
+  kIntervals = 0,
+  kTrees = 1,
+  kHop = 2,
+};
+constexpr int kNumIndexFamilies = 3;
+
+// "intervals" / "trees" / "hop".
+const char* IndexFamilyName(IndexFamily family);
+
+// How a publisher picks the family for a full export: let the selector
+// score the graph, or force one family (the TREL_INDEX env values
+// "auto" / "intervals" / "trees" / "hop").
+enum class IndexFamilySetting : uint8_t {
+  kAuto = 0,
+  kForceIntervals = 1,
+  kForceTrees = 2,
+  kForceHop = 3,
+};
+
+// Parses a TREL_INDEX-style value; nullptr/empty/unknown mean kAuto (the
+// service must never fail to start over an env typo — the choice is
+// observable on /statusz).
+IndexFamilySetting ParseIndexFamilySetting(const char* value);
+// Reads TREL_INDEX from the environment.
+IndexFamilySetting IndexFamilySettingFromEnv();
+
+// What the selector looked at, recorded for introspection (trel_tool
+// index, tests).
+struct FamilySignals {
+  NodeId num_nodes = 0;
+  int64_t num_arcs = 0;
+  int64_t total_intervals = 0;
+  // total_intervals / num_nodes: the interval labeling's blowup over the
+  // one-interval-per-node ideal.  The paper's tree-like structures sit
+  // near 1; the Fig 3.6 shapes reach Theta(n).
+  double interval_blowup = 0.0;
+  // num_arcs / num_nodes.  High density is the signature of the
+  // bipartite-crossing shapes whose interval labels cannot compress
+  // (every arc crossing fragments some source's label); deep sparse DAGs
+  // grow intervals too, but organically, and keep O(1) probes worth it.
+  double arc_density = 0.0;
+  // Fraction of arcs incident to the top-kHubProbe nodes by total degree.
+  // Near 1 means a few hubs carry the graph — the 2-hop regime.
+  double hub_arc_fraction = 0.0;
+};
+
+// Selector thresholds, shared with tests and trel_tool so the decision
+// is reproducible outside the service.  Decision order:
+//   * blowup <= kMaxIntervalBlowup -> intervals (the common case: the
+//     paper's structures stay near one interval per node).
+//   * hub fraction >= kMinHubArcFraction -> hop labels (a handful of
+//     high-degree nodes carries the blowup; label them instead).
+//   * density >= kDenseArcsPerNode -> tree covers (bipartite-style
+//     crossings: intervals pay Theta(n^2), tree labels stay linear and
+//     the shallow fallback DFS is cheap).
+//   * otherwise -> intervals.  A deep sparse DAG (e.g. the standard
+//     50k-node degree-4 random DAG) grows intervals into the tens per
+//     node, but queries stay two array loads; a pruned DFS there would
+//     wander long chains, so the arena remains the right trade.
+constexpr double kMaxIntervalBlowup = 4.0;
+constexpr double kMinHubArcFraction = 0.5;
+constexpr double kDenseArcsPerNode = 8.0;
+constexpr int kHubProbe = 16;
+
+// Scores `graph` (with the interval labeling's total interval count, as
+// the would-be intervals export measures it) and picks a family.
+// Deterministic; fills `signals` when non-null.
+IndexFamily SelectIndexFamily(const Digraph& graph, int64_t total_intervals,
+                              FamilySignals* signals = nullptr);
+
+// Applies a forced setting, falling through to the selector on kAuto.
+IndexFamily ResolveIndexFamily(IndexFamilySetting setting,
+                               const Digraph& graph, int64_t total_intervals,
+                               FamilySignals* signals = nullptr);
+
+}  // namespace trel
+
+#endif  // TREL_CORE_INDEX_FAMILY_H_

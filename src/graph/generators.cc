@@ -167,6 +167,46 @@ int64_t EnumerateDagsOverOrder(
   return static_cast<int64_t>(total);
 }
 
+Digraph HubDag(NodeId num_sources, NodeId num_hubs, NodeId num_sinks,
+               uint64_t seed) {
+  TREL_CHECK_GT(num_sources, 0);
+  TREL_CHECK_GT(num_hubs, 0);
+  TREL_CHECK_GT(num_sinks, 0);
+  const NodeId hub_base = num_sources;
+  const NodeId sink_base = num_sources + num_hubs;
+  Digraph graph(num_sources + num_hubs + num_sinks);
+  Random rng(seed);
+  std::unordered_set<uint64_t> used;
+  for (NodeId s = 0; s < num_sources; ++s) {
+    const int picks = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < picks; ++i) {
+      const NodeId h =
+          hub_base + static_cast<NodeId>(rng.Uniform(num_hubs));
+      if (used.insert(PairKey(s, h)).second) {
+        TREL_CHECK(graph.AddArc(s, h).ok());
+      }
+    }
+  }
+  for (NodeId h = 0; h < num_hubs; ++h) {
+    // Each hub reaches its own random half of the sinks, so different
+    // hubs' sink sets interleave — that interleaving is what shreds the
+    // interval labeling of the sources upstream.
+    for (NodeId t = 0; t < num_sinks; ++t) {
+      if (rng.Bernoulli(0.5)) {
+        TREL_CHECK(graph.AddArc(hub_base + h, sink_base + t).ok());
+      }
+    }
+  }
+  // Hub-free shortcuts exercise a 2-hop index's residual path.
+  for (NodeId s = 0; s < num_sources; s += 16) {
+    const NodeId t = sink_base + static_cast<NodeId>(rng.Uniform(num_sinks));
+    if (used.insert(PairKey(s, t)).second) {
+      TREL_CHECK(graph.AddArc(s, t).ok());
+    }
+  }
+  return graph;
+}
+
 Digraph SampleDagOverOrder(NodeId num_nodes, uint64_t seed) {
   TREL_CHECK_GT(num_nodes, 0);
   Digraph graph(num_nodes);

@@ -44,6 +44,20 @@ Digraph CompleteBipartite(NodeId num_top, NodeId num_bottom);
 // (num_top, num_top + num_bottom] sinks.
 Digraph BipartiteWithIntermediary(NodeId num_top, NodeId num_bottom);
 
+// Hub-dominated DAG: `num_sources` source nodes each pick 1-3 of the
+// `num_hubs` hub nodes; every hub fans out to a random ~half of the
+// `num_sinks` sink nodes; plus a sprinkle of direct source -> sink arcs
+// (about one per 16 sources) that bypass the hubs entirely.  Node layout:
+// [0, num_sources) sources, then hubs, then sinks.
+//
+// This is the 2-hop index's home turf: almost every arc touches one of a
+// handful of hubs, yet each hub's sink set is a different random subset,
+// so the interval labeling fragments into Theta(num_sources * num_sinks)
+// intervals (each source's sink reachability is a union of scattered
+// postorder runs) while 2-hop labels stay at a few entries per node.
+Digraph HubDag(NodeId num_sources, NodeId num_hubs, NodeId num_sinks,
+               uint64_t seed);
+
 // Enumerates every DAG over the fixed topological order 0 < 1 < ... < n-1:
 // all 2^(n(n-1)/2) subsets of the arcs (i, j), i < j.  This is the
 // population behind the paper's Figure 3.12 sensitivity experiment.

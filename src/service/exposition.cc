@@ -112,6 +112,25 @@ std::string RenderMetricsz(const ServiceMetrics::View& view,
   out.Sample("trel_simd_level",
              PrometheusText::Label("name", view.simd_level_name),
              static_cast<int64_t>(view.simd_level));
+  out.Family("trel_index_family",
+             "Index family serving the live snapshot "
+             "(0=intervals,1=trees,2=hop).",
+             "gauge");
+  out.Sample("trel_index_family",
+             PrometheusText::Label("name", view.index_family_name),
+             static_cast<int64_t>(view.index_family));
+  out.Family("trel_family_label_bytes",
+             "Label footprint of the live snapshot's selected family.",
+             "gauge");
+  out.Sample("trel_family_label_bytes", "", view.family_label_bytes);
+  out.Family("trel_family_selects_total",
+             "Full publishes that selected each index family.", "counter");
+  for (int f = 0; f < kNumIndexFamilies; ++f) {
+    out.Sample("trel_family_selects_total",
+               PrometheusText::Label(
+                   "family", IndexFamilyName(static_cast<IndexFamily>(f))),
+               view.family_selects[f]);
+  }
 
   // --- Publish-pipeline spans --------------------------------------------
   if (spans != nullptr) {
@@ -183,6 +202,8 @@ std::string RenderStatusz(const ServiceMetrics::View& view,
   out << "arena_bytes: " << view.snapshot_arena_bytes << "\n";
   out << "simd: " << view.simd_level_name << " (level " << view.simd_level
       << ")\n";
+  out << "index_family: " << view.index_family_name
+      << " (label_bytes " << view.family_label_bytes << ")\n";
   out << "queries: reach=" << view.reach_queries
       << " successor=" << view.successor_queries
       << " batches=" << view.batches << "\n";

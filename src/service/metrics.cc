@@ -78,6 +78,9 @@ ServiceMetrics::View ServiceMetrics::Read() const {
     view.delta_nodes_histogram[i] =
         delta_histogram_[i].load(std::memory_order_relaxed);
   }
+  for (int i = 0; i < kNumIndexFamilies; ++i) {
+    view.family_selects[i] = family_selects_[i].load(std::memory_order_relaxed);
+  }
   return view;
 }
 
@@ -118,6 +121,16 @@ std::string ServiceMetrics::View::ToString() const {
     if (!first) out << " ";
     out << "<" << (int64_t{1} << (i + 1)) << ":" << delta_nodes_histogram[i];
     first = false;
+  }
+  out << "]";
+  // Appended past every pre-family field: tools/obs_check.py matches its
+  // fixed fields leftmost, so new names must never precede old ones.
+  out << " index_family=" << index_family_name
+      << " family_label_bytes=" << family_label_bytes << " family_selects=[";
+  for (int i = 0; i < kNumIndexFamilies; ++i) {
+    if (i > 0) out << " ";
+    out << IndexFamilyName(static_cast<IndexFamily>(i)) << "="
+        << family_selects[i];
   }
   out << "]";
   return out.str();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
@@ -87,6 +88,9 @@ QueryService::QueryService(const ServiceOptions& options)
   const uint32_t env_period = QueryTracer::PeriodFromEnv();
   tracer_.SetSamplePeriod(env_period != 0 ? env_period
                                           : options_.trace_sample_period);
+  if (std::getenv("TREL_INDEX") != nullptr) {
+    options_.index_family = IndexFamilySettingFromEnv();
+  }
   if (options_.num_workers > 0) {
     pool_ = std::make_unique<WorkerPool>(options_.num_workers);
   }
@@ -164,6 +168,14 @@ uint64_t QueryService::PublishLocked() {
     // Recomputing stats is O(n) — exactly the cost a delta publish exists
     // to avoid — so carry the base's forward (see snapshot.h).
     snapshot->stats = base->stats;
+    // Likewise the family index: rebuilt on full publishes only.  The
+    // overlay routing in ClosureSnapshot::FamilyCovers keeps the carried
+    // index exact for untouched node pairs.
+    snapshot->family = base->family;
+    snapshot->tree_index = base->tree_index;
+    snapshot->hop_index = base->hop_index;
+    snapshot->family_nodes = base->family_nodes;
+    snapshot->family_label_bytes = base->family_label_bytes;
     snapshot->delta_publish = true;
     snapshot->delta_entries = static_cast<int64_t>(delta.entries.size());
     ++delta_publishes_since_full_;
@@ -183,6 +195,31 @@ uint64_t QueryService::PublishLocked() {
       snapshot->closure = dynamic_.ExportClosure(
           nullptr, /*retain_labels=*/false, &arena_micros);
     }
+    // Family selection and build ride the export phase: scoring is one
+    // degree pass, and a trees/hop build is the same order of work as
+    // the arena build it replaces on the query path.
+    snapshot->family = ResolveIndexFamily(options_.index_family,
+                                          dynamic_.graph(),
+                                          snapshot->closure.TotalIntervals());
+    snapshot->family_nodes = num_nodes;
+    switch (snapshot->family) {
+      case IndexFamily::kTrees:
+        snapshot->tree_index =
+            std::make_shared<const TreeCoverIndex>(TreeCoverIndex::Build(
+                dynamic_.graph(), TreeCoverIndex::kDefaultNumTrees,
+                /*seed=*/epoch_ + 1));
+        snapshot->family_label_bytes = snapshot->tree_index->LabelBytes();
+        break;
+      case IndexFamily::kHop:
+        snapshot->hop_index = std::make_shared<const HopLabelIndex>(
+            HopLabelIndex::Build(dynamic_.graph()));
+        snapshot->family_label_bytes = snapshot->hop_index->LabelBytes();
+        break;
+      case IndexFamily::kIntervals:
+        snapshot->family_label_bytes = snapshot->closure.ArenaByteSize();
+        break;
+    }
+    metrics_.RecordFamilySelect(snapshot->family);
     // The export span is the label walk minus the arena construction the
     // closure timed for us (§4d's build-time tradeoff, now measured).
     span.phase_micros[static_cast<int>(PublishPhase::kExport)] =
@@ -233,7 +270,7 @@ bool QueryService::ReachesSampled(NodeId u, NodeId v) const {
   const auto start = std::chrono::steady_clock::now();
   const std::shared_ptr<const ClosureSnapshot> snapshot = Snapshot();
   ProbeTrace trace;
-  const bool answer = snapshot->closure.ReachesTraced(u, v, &trace);
+  const bool answer = snapshot->ReachesTraced(u, v, &trace);
   const uint64_t nanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
@@ -353,12 +390,12 @@ std::vector<uint8_t> QueryService::BatchReachesImpl(
   const auto body = [&](int64_t begin, int64_t end) {
     BatchKernelStats stats;
     if (sampled) {
-      snapshot->closure.BatchReachesTraced(pairs.data() + begin, end - begin,
-                                           results.data() + begin, &stats,
-                                           tags.data() + begin);
+      snapshot->BatchReachesTraced(pairs.data() + begin, end - begin,
+                                   results.data() + begin, &stats,
+                                   tags.data() + begin);
     } else {
-      snapshot->closure.BatchReaches(pairs.data() + begin, end - begin,
-                                     results.data() + begin, &stats);
+      snapshot->BatchReaches(pairs.data() + begin, end - begin,
+                             results.data() + begin, &stats);
     }
     metrics_.RecordBatchKernel(stats);
     tally.fast_path.fetch_add(stats.fast_path, std::memory_order_relaxed);
@@ -444,6 +481,9 @@ ServiceMetrics::View QueryService::Metrics() const {
   view.snapshot_arena_bytes = snapshot->closure.ArenaByteSize();
   view.simd_level = static_cast<int>(ActiveSimdLevel());
   view.simd_level_name = SimdLevelName(ActiveSimdLevel());
+  view.index_family = static_cast<int>(snapshot->family);
+  view.index_family_name = IndexFamilyName(snapshot->family);
+  view.family_label_bytes = snapshot->family_label_bytes;
   return view;
 }
 

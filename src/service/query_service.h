@@ -60,6 +60,12 @@ struct ServiceOptions {
   double max_delta_dirty_fraction = 0.5;
   // Build options for the underlying index (gap numbering etc.).
   ClosureOptions closure = DynamicClosure::DefaultOptions();
+  // Index family for full publishes: kAuto lets the selector score the
+  // graph per snapshot (core/index_family.h); the force values pin one
+  // family, mainly for the CI family matrix and benchmarks.  A TREL_INDEX
+  // env value ("auto"/"intervals"/"trees"/"hop") overrides this at
+  // construction.
+  IndexFamilySetting index_family = IndexFamilySetting::kAuto;
 
   // --- Observability (src/obs/, DESIGN.md §5) -----------------------------
   // Sample 1-in-N queries into the lock-free tracer; 0 = off (the

@@ -3,10 +3,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/closure_stats.h"
 #include "core/compressed_closure.h"
+#include "core/hop_label_index.h"
+#include "core/index_family.h"
+#include "core/tree_cover_index.h"
 
 namespace trel {
 
@@ -38,6 +42,24 @@ struct ClosureSnapshot {
   // both at their defaults.
   bool delta_publish = false;
   int64_t delta_entries = 0;
+  // Which index family answers point queries on this snapshot, plus the
+  // family structure itself when it is not the interval arena.  The
+  // interval closure above is ALWAYS present — it backs WithDelta
+  // overlays, successor/predecessor enumeration, and every query the
+  // family build does not cover — so a family index is a point-query
+  // accelerator layered on top, never a replacement.  Built on full
+  // publishes only; delta publishes carry the base's family forward and
+  // route queries touching changed nodes back to the (exact) overlay
+  // closure via FamilyCovers below.
+  IndexFamily family = IndexFamily::kIntervals;
+  std::shared_ptr<const TreeCoverIndex> tree_index;
+  std::shared_ptr<const HopLabelIndex> hop_index;
+  // Node-count high-water mark of the family build: ids >= family_nodes
+  // were added after it and must use the interval closure.
+  NodeId family_nodes = 0;
+  // Footprint of the selected family's labels (the interval arena's byte
+  // size when family == kIntervals), for /statusz and the benchmarks.
+  int64_t family_label_bytes = 0;
   // Publication instant on the MONOTONIC clock, captured by the writer
   // right before the atomic swap.  steady_clock by type so wall-clock
   // adjustments (NTP steps, suspend fix-ups) can never yield negative
@@ -64,8 +86,43 @@ struct ClosureSnapshot {
   // reader holding an old snapshot cannot know what ids exist now.
   bool Reaches(NodeId u, NodeId v) const {
     if (!closure.IsValidNode(u) || !closure.IsValidNode(v)) return false;
+    if (UsesFamily(u, v)) {
+      return family == IndexFamily::kTrees ? tree_index->Reaches(u, v)
+                                           : hop_index->Reaches(u, v);
+    }
     return closure.Reaches(u, v);
   }
+
+  // True iff the family build may answer for `x`: the node existed at
+  // build time and its label entry was not replaced by a delta overlay
+  // since.  Soundness: the writer's dirty tracking overapproximates label
+  // changes, so a node outside the overlay has the same reachability
+  // relation to every other non-overlay node as at the base epoch — where
+  // the family index was exact.
+  bool FamilyCovers(NodeId x) const {
+    return x < family_nodes && !closure.IsOverlayMember(x);
+  }
+
+  // A query pair routes to the family index only when BOTH endpoints are
+  // covered; anything touching an overlay member or a post-build node
+  // falls back to the interval overlay closure, which is always exact.
+  bool UsesFamily(NodeId u, NodeId v) const {
+    return family != IndexFamily::kIntervals && FamilyCovers(u) &&
+           FamilyCovers(v);
+  }
+
+  // Traced / batch twins of Reaches with the same family dispatch and
+  // the same snapshot semantics as the closure's versions (out-of-range
+  // ids answer 0).  On non-interval families the batch runs per query —
+  // the family probes are merge scans and pruned searches, not the
+  // arena's pipelined kernel — with tags folded into `stats` (hop
+  // intersects count as fast path, fallback searches as extras).
+  bool ReachesTraced(NodeId u, NodeId v, ProbeTrace* trace) const;
+  void BatchReaches(const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                    uint8_t* out, BatchKernelStats* stats) const;
+  void BatchReachesTraced(const std::pair<NodeId, NodeId>* pairs, int64_t n,
+                          uint8_t* out, BatchKernelStats* stats,
+                          uint8_t* tags) const;
 
   std::vector<NodeId> Successors(NodeId u) const {
     if (!closure.IsValidNode(u)) return {};

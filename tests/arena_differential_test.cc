@@ -21,7 +21,11 @@
 #include "core/arena_kernels.h"
 #include "core/compressed_closure.h"
 #include "core/dynamic_closure.h"
+#include "core/hop_label_index.h"
+#include "core/index_family.h"
 #include "core/simd_dispatch.h"
+#include "core/tree_cover_index.h"
+#include "service/snapshot.h"
 #include "common/random.h"
 #include "graph/generators.h"
 #include "graph/reachability.h"
@@ -563,6 +567,250 @@ TEST(ArenaDenseNodeTest, TenThousandExtraIntervals) {
 
   const ReferenceClosure ref(labels);
   ExpectBatchMatchesReference(closure, ref, 99, "dense");
+}
+
+// ---------------------------------------------------------------------------
+// Index-family differential suite: TreeCoverIndex and HopLabelIndex must
+// answer bit-for-bit like DFS ground truth (and hence like the interval
+// closure) on the adversarial shapes they exist for — the Fig 3.6 dense
+// bipartite layers that shred interval labels, and hub-dominated DAGs.
+
+// The generator mix: shapes where each family is at home plus shapes
+// where it is at a disadvantage, so correctness never leans on the
+// selector picking "its" graph.
+std::vector<std::pair<const char*, Digraph>> FamilyAdversarialGraphs() {
+  std::vector<std::pair<const char*, Digraph>> graphs;
+  graphs.emplace_back("bipartite", CompleteBipartite(22, 22));
+  graphs.emplace_back("layered_dense", LayeredDag(4, 14, 0.5, 91));
+  graphs.emplace_back("hub", HubDag(40, 5, 36, 92));
+  graphs.emplace_back("random_sparse", RandomDag(80, 1.5, 93));
+  graphs.emplace_back("random_dense", RandomDag(50, 5.0, 94));
+  graphs.emplace_back("intermediary", BipartiteWithIntermediary(20, 20));
+  return graphs;
+}
+
+TEST(IndexFamilyDifferentialTest, AllFamiliesMatchDfsGroundTruth) {
+  for (const auto& [name, graph] : FamilyAdversarialGraphs()) {
+    const ReachabilityMatrix truth(graph);
+    auto closure = CompressedClosure::Build(graph);
+    ASSERT_TRUE(closure.ok()) << name;
+    const TreeCoverIndex trees = TreeCoverIndex::Build(graph, 2, 7);
+    const HopLabelIndex hop = HopLabelIndex::Build(graph, 8);
+    const NodeId n = graph.NumNodes();
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        const bool want = truth.Reaches(u, v);
+        ASSERT_EQ(closure->Reaches(u, v), want)
+            << name << " intervals " << u << "->" << v;
+        ASSERT_EQ(trees.Reaches(u, v), want)
+            << name << " trees " << u << "->" << v;
+        ASSERT_EQ(hop.Reaches(u, v), want)
+            << name << " hop " << u << "->" << v;
+      }
+    }
+  }
+}
+
+// The traced twins must return the same answers and only family-legal
+// tags, since trace records cross the obs boundary by tag value.
+TEST(IndexFamilyDifferentialTest, TracedTwinsAgreeAndTagLegally) {
+  for (const auto& [name, graph] : FamilyAdversarialGraphs()) {
+    const TreeCoverIndex trees = TreeCoverIndex::Build(graph, 3, 8);
+    const HopLabelIndex hop = HopLabelIndex::Build(graph, 8);
+    const NodeId n = graph.NumNodes();
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        ProbeTrace trace;
+        ASSERT_EQ(trees.ReachesTraced(u, v, &trace), trees.Reaches(u, v))
+            << name;
+        ASSERT_TRUE(trace.tag == ProbeTag::kSlot ||
+                    trace.tag == ProbeTag::kFilterReject ||
+                    trace.tag == ProbeTag::kFallback)
+            << name << " trees tag " << static_cast<int>(trace.tag);
+        ASSERT_EQ(hop.ReachesTraced(u, v, &trace), hop.Reaches(u, v)) << name;
+        ASSERT_TRUE(trace.tag == ProbeTag::kSlot ||
+                    trace.tag == ProbeTag::kHopIntersect ||
+                    trace.tag == ProbeTag::kFallback)
+            << name << " hop tag " << static_cast<int>(trace.tag);
+      }
+    }
+  }
+}
+
+// The selector's contract on the canonical shapes: the paper's random
+// DAGs stay on intervals, the bipartite blowup flips to tree covers,
+// hub-dominated graphs flip to 2-hop labels.
+TEST(IndexFamilySelectorTest, PicksTheExpectedFamilyPerShape) {
+  const auto intervals_of = [](const Digraph& g) {
+    auto closure = CompressedClosure::Build(g);
+    TREL_CHECK(closure.ok());
+    return closure->TotalIntervals();
+  };
+
+  // The standard benchmark shape: interval counts blow up organically
+  // (tens per node) but the graph stays sparse — intervals must win on
+  // density, not on blowup.
+  const Digraph standard = RandomDag(2000, 4.0, 5);
+  FamilySignals signals;
+  EXPECT_EQ(SelectIndexFamily(standard, intervals_of(standard), &signals),
+            IndexFamily::kIntervals);
+  EXPECT_GT(signals.interval_blowup, kMaxIntervalBlowup);
+  EXPECT_LT(signals.arc_density, kDenseArcsPerNode);
+
+  // Tree-like shapes stay on intervals via the blowup cutoff alone.
+  const Digraph tree = RandomTree(2000, 5);
+  EXPECT_EQ(SelectIndexFamily(tree, intervals_of(tree), &signals),
+            IndexFamily::kIntervals);
+  EXPECT_LE(signals.interval_blowup, kMaxIntervalBlowup);
+
+  const Digraph bipartite = CompleteBipartite(60, 60);
+  EXPECT_EQ(SelectIndexFamily(bipartite, intervals_of(bipartite), &signals),
+            IndexFamily::kTrees);
+  EXPECT_GT(signals.interval_blowup, kMaxIntervalBlowup);
+  EXPECT_GE(signals.arc_density, kDenseArcsPerNode);
+  EXPECT_LT(signals.hub_arc_fraction, kMinHubArcFraction);
+
+  const Digraph hub = HubDag(400, 6, 300, 6);
+  EXPECT_EQ(SelectIndexFamily(hub, intervals_of(hub), &signals),
+            IndexFamily::kHop);
+  EXPECT_GT(signals.interval_blowup, kMaxIntervalBlowup);
+  EXPECT_GE(signals.hub_arc_fraction, kMinHubArcFraction);
+
+  // Forcing overrides scoring; kAuto falls through to it.
+  EXPECT_EQ(ResolveIndexFamily(IndexFamilySetting::kForceIntervals, hub,
+                               intervals_of(hub)),
+            IndexFamily::kIntervals);
+  EXPECT_EQ(ResolveIndexFamily(IndexFamilySetting::kAuto, hub,
+                               intervals_of(hub)),
+            IndexFamily::kHop);
+}
+
+TEST(IndexFamilySelectorTest, EnvParsingNeverFails) {
+  EXPECT_EQ(ParseIndexFamilySetting(nullptr), IndexFamilySetting::kAuto);
+  EXPECT_EQ(ParseIndexFamilySetting(""), IndexFamilySetting::kAuto);
+  EXPECT_EQ(ParseIndexFamilySetting("auto"), IndexFamilySetting::kAuto);
+  EXPECT_EQ(ParseIndexFamilySetting("bogus"), IndexFamilySetting::kAuto);
+  EXPECT_EQ(ParseIndexFamilySetting("intervals"),
+            IndexFamilySetting::kForceIntervals);
+  EXPECT_EQ(ParseIndexFamilySetting("trees"),
+            IndexFamilySetting::kForceTrees);
+  EXPECT_EQ(ParseIndexFamilySetting("hop"), IndexFamilySetting::kForceHop);
+}
+
+// On the shapes each family exists for, its labels must be materially
+// smaller than the interval arena — this is the economic half of the
+// acceptance bar (>= 3x), checked at test scale.
+TEST(IndexFamilyDifferentialTest, FamiliesBeatIntervalBytesOnTheirShapes) {
+  {
+    const Digraph bipartite = CompleteBipartite(150, 150);
+    auto closure = CompressedClosure::Build(bipartite);
+    ASSERT_TRUE(closure.ok());
+    const TreeCoverIndex trees = TreeCoverIndex::Build(bipartite, 2, 9);
+    EXPECT_GE(closure->ArenaByteSize(), 3 * trees.LabelBytes())
+        << "intervals " << closure->ArenaByteSize() << "B vs trees "
+        << trees.LabelBytes() << "B";
+  }
+  {
+    const Digraph hubby = HubDag(900, 8, 700, 10);
+    auto closure = CompressedClosure::Build(hubby);
+    ASSERT_TRUE(closure.ok());
+    const HopLabelIndex hop = HopLabelIndex::Build(hubby);
+    EXPECT_GE(closure->ArenaByteSize(), 3 * hop.LabelBytes())
+        << "intervals " << closure->ArenaByteSize() << "B vs hop "
+        << hop.LabelBytes() << "B";
+  }
+}
+
+// WithDelta overlay chains per family, through the snapshot dispatch
+// layer the service uses: any pair touching an overlaid or post-build
+// node must route back to the (exact) interval overlay, so the carried
+// family index never serves stale answers.
+TEST(IndexFamilyOverlayTest, OverlayChainsStayExactUnderEveryFamily) {
+  for (const IndexFamily family :
+       {IndexFamily::kIntervals, IndexFamily::kTrees, IndexFamily::kHop}) {
+    auto dynamic = DynamicClosure::Build(HubDag(30, 4, 26, 55));
+    ASSERT_TRUE(dynamic.ok());
+
+    // Full publish: interval export plus the family build, exactly as
+    // QueryService::PublishLocked assembles a snapshot.
+    ClosureSnapshot snapshot;
+    snapshot.closure = dynamic->ExportClosure();
+    dynamic->MarkClean();
+    snapshot.family = family;
+    snapshot.family_nodes = dynamic->NumNodes();
+    if (family == IndexFamily::kTrees) {
+      snapshot.tree_index = std::make_shared<const TreeCoverIndex>(
+          TreeCoverIndex::Build(dynamic->graph(), 2, 3));
+    } else if (family == IndexFamily::kHop) {
+      snapshot.hop_index = std::make_shared<const HopLabelIndex>(
+          HopLabelIndex::Build(dynamic->graph(), 8));
+    }
+
+    Random rng(137);
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 4; ++i) {
+        const NodeId u =
+            static_cast<NodeId>(rng.Uniform(dynamic->NumNodes()));
+        const NodeId v =
+            static_cast<NodeId>(rng.Uniform(dynamic->NumNodes()));
+        (void)dynamic->AddArc(u, v);  // Cycles/duplicates simply drop.
+      }
+      ASSERT_TRUE(dynamic
+                      ->AddLeafUnder(static_cast<NodeId>(
+                          rng.Uniform(dynamic->NumNodes())))
+                      .ok());
+
+      // Delta publish: overlay the closure, carry the family forward.
+      ClosureDelta delta = dynamic->ExportDelta();
+      snapshot.closure = CompressedClosure::WithDelta(snapshot.closure, delta);
+      ASSERT_TRUE(snapshot.closure.IsOverlay());
+
+      const ReachabilityMatrix truth(dynamic->graph());
+      const NodeId n = dynamic->NumNodes();
+      int64_t family_answered = 0;
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = 0; v < n; ++v) {
+          ASSERT_EQ(snapshot.Reaches(u, v), truth.Reaches(u, v))
+              << IndexFamilyName(family) << " round " << round << " " << u
+              << "->" << v;
+          if (snapshot.UsesFamily(u, v)) ++family_answered;
+        }
+      }
+      if (family != IndexFamily::kIntervals) {
+        // The overlay must not swallow the family entirely; on the first
+        // round (a handful of dirty nodes) it must still carry the bulk.
+        EXPECT_GT(family_answered, 0)
+            << IndexFamilyName(family) << " round " << round;
+        if (round == 0) {
+          EXPECT_GT(family_answered, static_cast<int64_t>(n) * n / 2)
+              << IndexFamilyName(family);
+        }
+      }
+
+      // Batch twins under the same snapshot semantics.
+      const auto pairs = FuzzPairs(n, 500 + round, 512);
+      std::vector<uint8_t> out(pairs.size()), tags(pairs.size());
+      BatchKernelStats stats;
+      snapshot.BatchReachesTraced(pairs.data(),
+                                  static_cast<int64_t>(pairs.size()),
+                                  out.data(), &stats, tags.data());
+      std::vector<uint8_t> untagged(pairs.size());
+      snapshot.BatchReaches(pairs.data(), static_cast<int64_t>(pairs.size()),
+                            untagged.data(), nullptr);
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        const auto [u, v] = pairs[i];
+        const bool valid = snapshot.closure.IsValidNode(u) &&
+                           snapshot.closure.IsValidNode(v);
+        const uint8_t want = valid && truth.Reaches(u, v) ? 1 : 0;
+        ASSERT_EQ(out[i], want) << IndexFamilyName(family) << " batch " << u
+                                << "->" << v;
+        ASSERT_EQ(untagged[i], want)
+            << IndexFamilyName(family) << " untagged batch " << u << "->"
+            << v;
+        ASSERT_LT(tags[i], kNumProbeTags);
+      }
+    }
+  }
 }
 
 }  // namespace

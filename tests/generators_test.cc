@@ -102,6 +102,41 @@ TEST(EnumerateDagsTest, CountsAllGraphsOverOrder) {
   EXPECT_EQ(with_two_arcs, 3);  // (3 choose 2) masks with two bits set.
 }
 
+TEST(HubDagTest, LayoutAndHubDominanceHold) {
+  const NodeId sources = 50, hubs = 4, sinks = 40;
+  const Digraph graph = HubDag(sources, hubs, sinks, 77);
+  ASSERT_EQ(graph.NumNodes(), sources + hubs + sinks);
+  EXPECT_TRUE(IsAcyclic(graph));
+  // Sources only emit arcs; sinks only receive; hubs do both.
+  int64_t hub_incident = 0;
+  for (const auto& [u, v] : graph.Arcs()) {
+    EXPECT_LT(u, sources + hubs);   // Sinks never emit.
+    EXPECT_GE(v, sources);          // Sources never receive.
+    const bool u_hub = u >= sources && u < sources + hubs;
+    const bool v_hub = v >= sources && v < sources + hubs;
+    if (u_hub || v_hub) ++hub_incident;
+  }
+  // Almost every arc touches a hub; the direct source->sink shortcuts
+  // (one per 16 sources) are the only exceptions.
+  EXPECT_GE(hub_incident, graph.NumArcs() - (sources / 16 + 1));
+  EXPECT_LT(hub_incident, graph.NumArcs());  // But some shortcut exists.
+  // Every source reaches at least one hub.
+  ReachabilityMatrix matrix(graph);
+  for (NodeId s = 0; s < sources; ++s) {
+    bool any = false;
+    for (NodeId h = 0; h < hubs; ++h) any |= matrix.Reaches(s, sources + h);
+    EXPECT_TRUE(any) << "source " << s;
+  }
+}
+
+TEST(HubDagTest, DeterministicPerSeed) {
+  const Digraph a = HubDag(30, 3, 20, 5);
+  const Digraph b = HubDag(30, 3, 20, 5);
+  const Digraph c = HubDag(30, 3, 20, 6);
+  EXPECT_EQ(a.Arcs(), b.Arcs());
+  EXPECT_NE(a.Arcs(), c.Arcs());
+}
+
 TEST(SampleDagTest, UniformSamplesAreAcyclicAndVaried) {
   int64_t arcs_total = 0;
   for (uint64_t seed = 0; seed < 20; ++seed) {

@@ -92,6 +92,10 @@ TEST(ServiceMetricsViewTest, ToStringGolden) {
   view.delta_nodes_total = 4;
   view.batch_latency_histogram[8] = 2;  // [256, 512) us.
   view.delta_nodes_histogram[2] = 1;    // [4, 8) nodes.
+  view.index_family = 2;
+  view.index_family_name = "hop";
+  view.family_label_bytes = 4096;
+  view.family_selects = {5, 0, 2};
 
   EXPECT_EQ(view.ToString(),
             "epoch=3 age_s=0.5 nodes=10 intervals=12 overlay_nodes=1 "
@@ -100,7 +104,9 @@ TEST(ServiceMetricsViewTest, ToStringGolden) {
             "batch_kernel=[fast=50 filter_rej=30 group_rej=10 extras=10] "
             "publishes=3 (full=2 delta=1) publish_us=1020 (full=1000 "
             "delta=20) delta_nodes=4 latency_hist_us=[<512:2] "
-            "delta_nodes_hist=[<8:1]");
+            "delta_nodes_hist=[<8:1] index_family=hop "
+            "family_label_bytes=4096 "
+            "family_selects=[intervals=5 trees=0 hop=2]");
 }
 
 // ---------------------------------------------------------------------------

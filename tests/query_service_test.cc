@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -166,6 +169,99 @@ TEST(QueryServiceTest, MetricsCountQueriesAndPublishes) {
 }
 
 // --- Admission control ------------------------------------------------------
+
+// Clears TREL_INDEX for the enclosing scope so tests that exercise
+// ServiceOptions::index_family directly aren't overridden when the whole
+// binary reruns under tools/ci.sh --family-matrix.
+class ScopedClearIndexEnv {
+ public:
+  ScopedClearIndexEnv() {
+    const char* value = std::getenv("TREL_INDEX");
+    if (value != nullptr) saved_ = value;
+    unsetenv("TREL_INDEX");
+  }
+  ~ScopedClearIndexEnv() {
+    if (saved_.has_value()) setenv("TREL_INDEX", saved_->c_str(), 1);
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+// Every forced index family (and auto) must serve the exact same answers
+// through the full service stack — singles, batches, and after delta
+// publishes that overlay the carried family index.  tools/ci.sh
+// --family-matrix additionally reruns this whole binary under each
+// TREL_INDEX value, which exercises the env override path.
+TEST(QueryServiceFamilyTest, EveryFamilyServesExactAnswers) {
+  ScopedClearIndexEnv clear_env;
+  const Digraph graph = HubDag(40, 5, 36, 31);
+  for (const IndexFamilySetting setting :
+       {IndexFamilySetting::kAuto, IndexFamilySetting::kForceIntervals,
+        IndexFamilySetting::kForceTrees, IndexFamilySetting::kForceHop}) {
+    ServiceOptions options = SmallBatchOptions();
+    options.index_family = setting;
+    QueryService service(options);
+    ASSERT_TRUE(service.Load(graph).ok());
+
+    ReachabilityMatrix truth(graph);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      for (NodeId v = 0; v < graph.NumNodes(); ++v) pairs.emplace_back(u, v);
+    }
+    std::vector<uint8_t> batch = service.BatchReaches(pairs);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const auto [u, v] = pairs[i];
+      ASSERT_EQ(service.Reaches(u, v), truth.Reaches(u, v))
+          << static_cast<int>(setting) << " " << u << "->" << v;
+      ASSERT_EQ(batch[i] != 0, truth.Reaches(u, v))
+          << static_cast<int>(setting) << " batch " << u << "->" << v;
+    }
+
+    // Mutate + publish (likely a delta): the carried family index must
+    // keep agreeing with fresh ground truth.
+    // Source 1 has no shortcut arc (only every 16th source does), so this
+    // arc is guaranteed new.
+    ASSERT_TRUE(service.AddArc(1, graph.NumNodes() - 1).ok());
+    auto leaf = service.AddLeafUnder(1);
+    ASSERT_TRUE(leaf.ok());
+    service.Publish();
+    const auto snapshot = service.Snapshot();
+    for (NodeId u = 0; u < snapshot->NumNodes(); ++u) {
+      for (NodeId v = 0; v < snapshot->NumNodes(); ++v) {
+        const bool want = u == v || (u == 1 && v == graph.NumNodes() - 1) ||
+                          (u < graph.NumNodes() && v < graph.NumNodes() &&
+                           truth.Reaches(u, v)) ||
+                          (v == *leaf && (u == 1 || truth.Reaches(u, 1)));
+        ASSERT_EQ(snapshot->Reaches(u, v), want)
+            << static_cast<int>(setting) << " post-delta " << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(QueryServiceFamilyTest, SelectionIsRecordedInMetrics) {
+  ScopedClearIndexEnv clear_env;
+  // Hub-dominated graph: auto must pick hop and say so in metrics.
+  ServiceOptions options;
+  options.num_workers = 0;
+  QueryService service(options);
+  ASSERT_TRUE(service.Load(HubDag(400, 6, 300, 6)).ok());
+  ServiceMetrics::View view = service.Metrics();
+  EXPECT_EQ(view.index_family_name, "hop");
+  EXPECT_EQ(view.index_family, static_cast<int>(IndexFamily::kHop));
+  EXPECT_GT(view.family_label_bytes, 0);
+  EXPECT_LT(view.family_label_bytes, view.snapshot_arena_bytes);
+  EXPECT_GT(view.family_selects[static_cast<int>(IndexFamily::kHop)], 0);
+
+  // Standard sparse random DAG: auto stays on intervals.
+  ASSERT_TRUE(service.Load(RandomDag(2000, 4.0, 5)).ok());
+  view = service.Metrics();
+  EXPECT_EQ(view.index_family_name, "intervals");
+  EXPECT_EQ(view.family_label_bytes, view.snapshot_arena_bytes);
+  EXPECT_GT(view.family_selects[static_cast<int>(IndexFamily::kIntervals)],
+            0);
+}
 
 TEST(QueryServiceAdmissionTest, RejectsAtLimitThenRecoversExactly) {
   Digraph graph = RandomDag(80, 2.5, 33);

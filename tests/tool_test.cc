@@ -2,6 +2,8 @@
 // -> query -> dot -> alpha, via std::system.  The binary path is injected
 // by CMake as TREL_TOOL_PATH.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -20,8 +22,11 @@ std::string TempPath(const std::string& name) {
 }
 
 // Runs a command, returns its exit code, captures stdout into `output`.
+// The capture file is per-process: ctest runs each ToolTest case as its
+// own process, concurrently under -j, and a shared name races.
 int RunTool(const std::string& command, std::string& output) {
-  const std::string out_file = TempPath("tool_out.txt");
+  const std::string out_file =
+      TempPath("tool_out." + std::to_string(getpid()) + ".txt");
   const int code = std::system((command + " > " + out_file + " 2>&1").c_str());
   std::ifstream in(out_file);
   std::ostringstream buffer;

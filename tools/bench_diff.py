@@ -33,8 +33,12 @@ artifact or row absent from the fresh output — a bench that stops
 emitting must fail loudly, never silently un-gate itself.  Extra
 current artifacts/rows are fine.  Set TREL_BENCH_DIFF_SKIP=1 to report
 without failing (escape hatch for hosts that don't match the committed
-baselines' machine).  tools/bench_diff_test.py self-tests these rules
-and runs in ci.sh --bench-smoke.
+baselines' machine).  ``--report <path>`` additionally writes a markdown
+drift report — the same hot-row table and failure list, in a form CI can
+upload as an artifact — in every mode, including the skip-mode pass,
+which is exactly when a human most wants to see what would have failed.
+tools/bench_diff_test.py self-tests these rules and runs in ci.sh
+--bench-smoke.
 """
 
 import argparse
@@ -79,6 +83,37 @@ def fmt_delta(base, cur):
     return f"{(cur - base) / base:+.1%}"
 
 
+def write_report(path, hot_rows, failures, report_only):
+    """Writes the markdown drift report uploaded as a CI artifact."""
+    lines = ["# Bench drift report", ""]
+    if report_only:
+        lines.append("Mode: **report-only** (`TREL_BENCH_DIFF_SKIP=1` — "
+                     "failures below did not gate the job).")
+    else:
+        lines.append("Mode: gating.")
+    lines += ["", "## Hot metrics", ""]
+    if hot_rows:
+        lines.append("| metric | baseline | current | delta | allowed "
+                     "| status |")
+        lines.append("|---|---|---|---|---|---|")
+        for row in hot_rows:
+            lines.append(
+                f"| `{row['label']}` | {row['base']:g} | {row['cur']:g} "
+                f"| {row['delta']} | ±{row['threshold']:.0%} "
+                f"| {row['status']} |")
+    else:
+        lines.append("No hot rows were comparable (see failures).")
+    lines += ["", "## Failures", ""]
+    if failures:
+        lines += [f"- {failure}" for failure in failures]
+    else:
+        lines.append("None.")
+    lines.append("")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        f.write("\n".join(lines))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True,
@@ -87,6 +122,8 @@ def main():
                         help="directory of committed baseline artifacts")
     parser.add_argument("--manifest", required=True,
                         help="hot-metrics manifest (JSON)")
+    parser.add_argument("--report", default=None,
+                        help="write a markdown drift report to this path")
     parser.add_argument("--verbose", action="store_true",
                         help="print every matched row, not just hot ones")
     args = parser.parse_args()
@@ -100,6 +137,7 @@ def main():
 
     report_only = os.environ.get("TREL_BENCH_DIFF_SKIP") == "1"
     failures = []
+    hot_rows = []
 
     # Completeness: every baseline artifact and every baseline row must
     # still exist in the fresh output.  A bench binary that silently
@@ -176,10 +214,17 @@ def main():
         status = "REGRESSED" if regressed else "ok"
         print(f"{status:>9}  {label}: {base_val:g} -> {cur_val:g} "
               f"({fmt_delta(base_val, cur_val)}, allowed ±{threshold:.0%})")
+        hot_rows.append({"label": label, "base": base_val, "cur": cur_val,
+                         "delta": fmt_delta(base_val, cur_val),
+                         "threshold": threshold, "status": status})
         if regressed:
             failures.append(
                 f"{label}: {base_val:g} -> {cur_val:g} exceeds "
                 f"{threshold:.0%} threshold")
+
+    if args.report:
+        write_report(args.report, hot_rows, failures, report_only)
+        print(f"bench_diff: drift report written to {args.report}")
 
     if failures:
         print(f"\nbench_diff: {len(failures)} hot-metric failure(s):",

@@ -40,14 +40,16 @@ def write_artifact(directory, doc):
         json.dump(doc, f)
 
 
-def run_diff(current, baselines, manifest_path, env_extra=None):
+def run_diff(current, baselines, manifest_path, env_extra=None,
+             extra_args=None):
     env = dict(os.environ)
     env.pop("TREL_BENCH_DIFF_SKIP", None)
     if env_extra:
         env.update(env_extra)
     proc = subprocess.run(
         [sys.executable, BENCH_DIFF, "--current", current,
-         "--baselines", baselines, "--manifest", manifest_path],
+         "--baselines", baselines, "--manifest", manifest_path]
+        + (extra_args or []),
         capture_output=True, text=True, env=env)
     return proc.returncode, proc.stdout + proc.stderr
 
@@ -114,6 +116,41 @@ def main():
         code, out = run_diff(cur, base, manifest,
                              env_extra={"TREL_BENCH_DIFF_SKIP": "1"})
         ok &= expect("SKIP=1 reports without failing", code == 0, out)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Skip mode + --report: the job passes but the drift report must
+        # still exist and spell out what would have failed — that's the
+        # artifact a human reads on a host that doesn't match baselines.
+        regressed = json.loads(json.dumps(BASELINE))
+        regressed["rows"][0]["us_per_op"] = 2.0
+        cur, base, manifest = make_dirs(tmp, regressed)
+        report = os.path.join(tmp, "artifacts", "bench_drift_report.md")
+        code, out = run_diff(cur, base, manifest,
+                             env_extra={"TREL_BENCH_DIFF_SKIP": "1"},
+                             extra_args=["--report", report])
+        ok &= expect("SKIP=1 with --report passes", code == 0, out)
+        ok &= expect("drift report file exists", os.path.isfile(report),
+                     report)
+        if os.path.isfile(report):
+            with open(report) as f:
+                body = f.read()
+            ok &= expect("report names the regressed row",
+                         "BM_Fast/100" in body and "REGRESSED" in body, body)
+            ok &= expect("report says it was report-only",
+                         "report-only" in body, body)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Gating pass also writes the report (with an ok row).
+        cur, base, manifest = make_dirs(tmp, BASELINE)
+        report = os.path.join(tmp, "report.md")
+        code, out = run_diff(cur, base, manifest,
+                             extra_args=["--report", report])
+        ok &= expect("pass mode writes report", code == 0
+                     and os.path.isfile(report), out)
+        if os.path.isfile(report):
+            with open(report) as f:
+                body = f.read()
+            ok &= expect("pass report has ok row", "| ok |" in body, body)
 
     with tempfile.TemporaryDirectory() as tmp:
         # Extra current rows/artifacts are fine (new benches land first).

@@ -12,6 +12,10 @@
 #                              # repeated once per TREL_SIMD level
 #   tools/ci.sh --simd-matrix  # tier-1 test battery under each TREL_SIMD
 #                              # level the host can execute
+#   tools/ci.sh --family-matrix # differential + service test battery under
+#                              # each TREL_INDEX family (intervals, trees,
+#                              # hop, auto) — every family must be
+#                              # bit-for-bit exact
 #   tools/ci.sh --obs          # obs unit tests, live /metricsz–/statusz
 #                              # scrape validated by tools/obs_check.py,
 #                              # and the query tracer under TSan
@@ -112,10 +116,13 @@ bench_smoke() {
   # Smoke iteration counts are tiny, so the manifest carries generous
   # per-row thresholds; TREL_BENCH_DIFF_SKIP=1 demotes failures to a
   # report for hosts that don't resemble the baseline machine.
+  # The markdown drift report lands next to the JSON so the workflow's
+  # bench-json artifact upload carries it too.
   run python3 tools/bench_diff.py \
     --current "${json_dir}" \
     --baselines bench/baselines/smoke \
-    --manifest bench/baselines/hot_metrics.json
+    --manifest bench/baselines/hot_metrics.json \
+    --report "${json_dir}/bench_drift_report.md"
 }
 
 # Levels this host can execute, per the runtime dispatcher itself
@@ -148,6 +155,31 @@ simd_matrix() {
     run env TREL_SIMD="${level}" ./build/tests/arena_differential_test
     run env TREL_SIMD="${level}" ./build/tests/compressed_closure_test
     run env TREL_SIMD="${level}" ./build/tests/query_service_test
+  done
+}
+
+family_matrix() {
+  # Re-runs the correctness battery once per index family.  TREL_INDEX
+  # forces the snapshot publisher's family choice (auto lets the selector
+  # score each graph), so a family whose answers drift from the interval
+  # ground truth — or whose overlay/batch plumbing is wrong — fails the
+  # same differential assertions the default build passes.  `trel_tool
+  # index` runs first per family as a cheap does-the-override-stick probe.
+  run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
+  run cmake --build build -j "${JOBS}" --target \
+    trel_tool arena_differential_test query_service_test \
+    delta_snapshot_test snapshot_test
+  local graph="build/family-graph.el"
+  echo "==> ./build/tools/trel_tool generate random 500 3 11 > ${graph}"
+  ./build/tools/trel_tool generate random 500 3 11 > "${graph}"
+  local family
+  for family in intervals trees hop auto; do
+    echo "==> family matrix: TREL_INDEX=${family}"
+    run env TREL_INDEX="${family}" ./build/tools/trel_tool index "${graph}"
+    run env TREL_INDEX="${family}" ./build/tests/arena_differential_test
+    run env TREL_INDEX="${family}" ./build/tests/query_service_test
+    run env TREL_INDEX="${family}" ./build/tests/delta_snapshot_test
+    run env TREL_INDEX="${family}" ./build/tests/snapshot_test
   done
 }
 
@@ -260,12 +292,14 @@ else
       --bench-smoke) stages+=(bench_smoke) ;;
       --arena-fuzz) stages+=(arena_fuzz) ;;
       --simd-matrix) stages+=(simd_matrix) ;;
+      --family-matrix) stages+=(family_matrix) ;;
       --obs) stages+=(obs_stage) ;;
       --soak) stages+=(soak) ;;
       *)
         echo "unknown stage: ${arg}" >&2
         echo "usage: tools/ci.sh [--tier1] [--asan] [--tsan] [--bench-smoke]" \
-          "[--arena-fuzz] [--simd-matrix] [--obs] [--soak]" >&2
+          "[--arena-fuzz] [--simd-matrix] [--family-matrix] [--obs]" \
+          "[--soak]" >&2
         exit 2
         ;;
     esac

@@ -23,7 +23,10 @@
 #include "baselines/inverse_closure.h"
 #include "core/closure_stats.h"
 #include "core/compressed_closure.h"
+#include "core/hop_label_index.h"
+#include "core/index_family.h"
 #include "core/simd_dispatch.h"
+#include "core/tree_cover_index.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/reachability.h"
@@ -54,9 +57,15 @@ int Usage() {
       "  trel_tool alpha <relation.csv> <src-col> <dst-col> <from> <to>\n"
       "  trel_tool successors <relation.csv> <src-col> <dst-col> <from>\n"
       "  trel_tool simd\n"
+      "  trel_tool index <graph.el>\n"
       "  trel_tool metricsz <graph.el>\n"
       "  trel_tool tracez <graph.el> [sample_period]\n"
-      "  trel_tool serve <graph.el> <port> [duration_s]\n");
+      "  trel_tool serve <graph.el> <port> [duration_s]\n"
+      "\n"
+      "environment:\n"
+      "  TREL_SIMD   force a query-kernel level (scalar|sse|avx2|auto)\n"
+      "  TREL_INDEX  force the snapshot index family\n"
+      "              (intervals|trees|hop|auto); unknown values mean auto\n");
   return 2;
 }
 
@@ -86,6 +95,48 @@ int SimdInfo() {
                  SimdLevelName(active), SimdLevelName(expected));
     return 1;
   }
+  return 0;
+}
+
+// Prints the family selector's signals and decision for a graph, plus
+// what each family would cost in label bytes — the offline twin of the
+// choice PublishLocked makes, so operators can predict (and CI can pin)
+// what a snapshot of this graph will serve from.  Honors TREL_INDEX the
+// same way the service does.
+int IndexInfo(const Digraph& graph) {
+  auto closure = CompressedClosure::Build(graph);
+  if (!closure.ok()) {
+    std::cerr << closure.status() << "\n";
+    return 1;
+  }
+  FamilySignals signals;
+  const IndexFamily picked =
+      SelectIndexFamily(graph, closure->TotalIntervals(), &signals);
+  const IndexFamilySetting setting = IndexFamilySettingFromEnv();
+  const IndexFamily resolved =
+      ResolveIndexFamily(setting, graph, closure->TotalIntervals());
+  const TreeCoverIndex trees = TreeCoverIndex::Build(graph);
+  const HopLabelIndex hop = HopLabelIndex::Build(graph);
+  const char* env = std::getenv("TREL_INDEX");
+
+  std::printf("nodes:             %d\n", signals.num_nodes);
+  std::printf("arcs:              %lld\n",
+              static_cast<long long>(signals.num_arcs));
+  std::printf("total intervals:   %lld\n",
+              static_cast<long long>(signals.total_intervals));
+  std::printf("interval blowup:   %.2f  (intervals -> trees/hop above %.1f)\n",
+              signals.interval_blowup, kMaxIntervalBlowup);
+  std::printf("arc density:       %.2f  (trees at or above %.1f)\n",
+              signals.arc_density, kDenseArcsPerNode);
+  std::printf("hub arc fraction:  %.3f  (hop at or above %.2f, top-%d hubs)\n",
+              signals.hub_arc_fraction, kMinHubArcFraction, kHubProbe);
+  std::printf("label bytes:       intervals=%lld trees=%lld hop=%lld\n",
+              static_cast<long long>(closure->ArenaByteSize()),
+              static_cast<long long>(trees.LabelBytes()),
+              static_cast<long long>(hop.LabelBytes()));
+  std::printf("selector picks:    %s\n", IndexFamilyName(picked));
+  std::printf("TREL_INDEX:        %s\n", env != nullptr ? env : "(unset)");
+  std::printf("service would use: %s\n", IndexFamilyName(resolved));
   return 0;
 }
 
@@ -387,6 +438,14 @@ int main(int argc, char** argv) {
     return Successors(argv[2], argv[3], argv[4], argv[5]);
   }
   if (command == "simd" && argc == 2) return SimdInfo();
+  if (command == "index" && argc == 3) {
+    auto graph = LoadGraph(argv[2]);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return 1;
+    }
+    return IndexInfo(graph.value());
+  }
   if (command == "metricsz" && argc == 3) return Metricsz(argv[2]);
   if (command == "tracez" && (argc == 3 || argc == 4)) {
     return Tracez(argv[2],
