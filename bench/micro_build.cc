@@ -4,11 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
-#include "baselines/chain_cover.h"
+#include "core/chain_cover.h"
 #include "bench/bench_util.h"
 #include "bench/gbench_report.h"
+#include "core/chain_propagator.h"
 #include "core/compressed_closure.h"
 #include "core/tree_cover.h"
 #include "graph/generators.h"
@@ -55,6 +57,32 @@ void BM_BuildFullClosureMatrix(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildFullClosureMatrix)->Apply(BuildSizes);
+
+// The chain-fast publish tier's label build on its home shape (a
+// chain-structured DAG, node count = range(0)), against the Alg1-optimal
+// build of the SAME graph below — the per-publish trade DESIGN.md §4d
+// quantifies.  Chain count scales with size so eligibility holds.
+void BM_BuildChainFast(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Digraph graph = ChainedDag(std::max(2, static_cast<int>(n / 125)),
+                             std::min<NodeId>(n, 125), 3.0, 8100);
+  for (auto _ : state) {
+    auto build = BuildChainLabeling(graph, LabelingOptions{});
+    benchmark::DoNotOptimize(build);
+  }
+}
+BENCHMARK(BM_BuildChainFast)->Apply(BuildSizes);
+
+void BM_BuildOptimalOnChainedDag(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Digraph graph = ChainedDag(std::max(2, static_cast<int>(n / 125)),
+                             std::min<NodeId>(n, 125), 3.0, 8100);
+  for (auto _ : state) {
+    auto closure = CompressedClosure::Build(graph);
+    benchmark::DoNotOptimize(closure);
+  }
+}
+BENCHMARK(BM_BuildOptimalOnChainedDag)->Apply(BuildSizes);
 
 void BM_BuildChainCoverGreedy(benchmark::State& state) {
   Digraph graph = RandomDag(static_cast<NodeId>(state.range(0)), 2.0, 8100);

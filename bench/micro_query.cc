@@ -5,7 +5,7 @@
 
 #include <vector>
 
-#include "baselines/chain_cover.h"
+#include "core/chain_cover.h"
 #include "baselines/full_closure.h"
 #include "bench/bench_util.h"
 #include "bench/gbench_report.h"

@@ -38,3 +38,5 @@ target_link_libraries(micro_concurrent_query PRIVATE trel_service)
 trel_add_microbench(micro_obs_overhead)
 target_link_libraries(micro_obs_overhead PRIVATE trel_service)
 trel_add_bench(micro_adversarial)
+trel_add_bench(micro_publish)
+target_link_libraries(micro_publish PRIVATE trel_service)

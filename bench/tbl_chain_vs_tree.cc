@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "baselines/chain_cover.h"
+#include "core/chain_cover.h"
 #include "bench/bench_util.h"
 #include "core/compressed_closure.h"
 #include "graph/generators.h"

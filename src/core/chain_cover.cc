@@ -1,7 +1,8 @@
-#include "baselines/chain_cover.h"
+#include "core/chain_cover.h"
 
 #include <algorithm>
 #include <functional>
+#include <numeric>
 #include <queue>
 #include <vector>
 
@@ -69,14 +70,58 @@ std::vector<int> HopcroftKarp(int n, const std::vector<std::vector<int>>& adj) {
 
 }  // namespace
 
+ChainAssignment GreedyPathCover(const Digraph& graph,
+                                const std::vector<NodeId>& topo) {
+  const NodeId n = graph.NumNodes();
+  ChainAssignment out;
+  out.chain_of.assign(n, ChainAssignment::kNone);
+  out.seq_of.assign(n, ChainAssignment::kNone);
+
+  // First fit over in-neighbors: is_tail[u] marks nodes that currently
+  // end a chain; consuming one extends its chain by the arc (u, v).
+  std::vector<uint8_t> is_tail(n, 0);
+  std::vector<int> chain_len;
+  std::vector<NodeId> head_of;
+  for (NodeId v : topo) {
+    int chosen = ChainAssignment::kNone;
+    for (NodeId u : graph.InNeighbors(v)) {
+      if (is_tail[u]) {
+        chosen = out.chain_of[u];
+        is_tail[u] = 0;
+        break;
+      }
+    }
+    if (chosen == ChainAssignment::kNone) {
+      chosen = out.num_chains++;
+      chain_len.push_back(0);
+      head_of.push_back(v);
+    }
+    out.chain_of[v] = chosen;
+    out.seq_of[v] = chain_len[chosen]++;
+    is_tail[v] = 1;
+  }
+
+  // Renumber chains by ascending head id so the induced TreeCover's roots
+  // come out in the order tree_cover.h documents.
+  std::vector<int> order(out.num_chains);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&head_of](int a, int b) { return head_of[a] < head_of[b]; });
+  std::vector<int> remap(out.num_chains);
+  for (int i = 0; i < out.num_chains; ++i) remap[order[i]] = i;
+  for (NodeId v = 0; v < n; ++v) out.chain_of[v] = remap[out.chain_of[v]];
+  return out;
+}
+
 StatusOr<ChainCover> ChainCover::Build(const Digraph& graph, Method method) {
   TREL_ASSIGN_OR_RETURN(std::vector<NodeId> topo, TopologicalOrder(graph));
   const NodeId n = graph.NumNodes();
   ReachabilityMatrix matrix(graph);
 
   ChainCover cover;
-  cover.chain_of_.assign(n, kNone);
-  cover.seq_of_.assign(n, kNone);
+  ChainAssignment& assignment = cover.assignment_;
+  assignment.chain_of.assign(n, kNone);
+  assignment.seq_of.assign(n, kNone);
 
   if (method == Method::kGreedy) {
     // First-fit decreasing over the topological order; chain_tails[c] is
@@ -98,10 +143,10 @@ StatusOr<ChainCover> ChainCover::Build(const Digraph& graph, Method method) {
       } else {
         chain_tails[chosen] = v;
       }
-      cover.chain_of_[v] = chosen;
-      cover.seq_of_[v] = chain_lengths[chosen]++;
+      assignment.chain_of[v] = chosen;
+      assignment.seq_of[v] = chain_lengths[chosen]++;
     }
-    cover.num_chains_ = static_cast<int>(chain_tails.size());
+    assignment.num_chains = static_cast<int>(chain_tails.size());
   } else {
     // Dilworth via maximum matching on the strict closure relation.
     std::vector<std::vector<int>> adj(n);
@@ -125,12 +170,12 @@ StatusOr<ChainCover> ChainCover::Build(const Digraph& graph, Method method) {
       if (has_pred[v]) continue;
       int seq = 0;
       for (int w = v; w != kNone; w = next[w]) {
-        cover.chain_of_[w] = chains;
-        cover.seq_of_[w] = seq++;
+        assignment.chain_of[w] = chains;
+        assignment.seq_of[w] = seq++;
       }
       ++chains;
     }
-    cover.num_chains_ = chains;
+    assignment.num_chains = chains;
   }
 
   cover.ComputeReachTables(graph);
@@ -139,7 +184,7 @@ StatusOr<ChainCover> ChainCover::Build(const Digraph& graph, Method method) {
 
 void ChainCover::ComputeReachTables(const Digraph& graph) {
   const NodeId n = graph.NumNodes();
-  first_reach_.assign(n, std::vector<int>(num_chains_, kNone));
+  first_reach_.assign(n, std::vector<int>(assignment_.num_chains, kNone));
 
   auto topo = TopologicalOrder(graph);
   TREL_CHECK(topo.ok());
@@ -147,10 +192,10 @@ void ChainCover::ComputeReachTables(const Digraph& graph) {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId v = *it;
     auto& row = first_reach_[v];
-    row[chain_of_[v]] = seq_of_[v];
+    row[assignment_.chain_of[v]] = assignment_.seq_of[v];
     for (NodeId w : graph.OutNeighbors(v)) {
       const auto& succ_row = first_reach_[w];
-      for (int c = 0; c < num_chains_; ++c) {
+      for (int c = 0; c < assignment_.num_chains; ++c) {
         if (succ_row[c] == kNone) continue;
         if (row[c] == kNone || succ_row[c] < row[c]) row[c] = succ_row[c];
       }
@@ -159,7 +204,7 @@ void ChainCover::ComputeReachTables(const Digraph& graph) {
 
   storage_entries_ = 0;
   for (NodeId v = 0; v < n; ++v) {
-    for (int c = 0; c < num_chains_; ++c) {
+    for (int c = 0; c < assignment_.num_chains; ++c) {
       if (first_reach_[v][c] != kNone) ++storage_entries_;
     }
   }
@@ -167,12 +212,12 @@ void ChainCover::ComputeReachTables(const Digraph& graph) {
 
 bool ChainCover::Reaches(NodeId u, NodeId v) const {
   TREL_CHECK_GE(u, 0);
-  TREL_CHECK_LT(static_cast<size_t>(u), chain_of_.size());
+  TREL_CHECK_LT(static_cast<size_t>(u), assignment_.chain_of.size());
   TREL_CHECK_GE(v, 0);
-  TREL_CHECK_LT(static_cast<size_t>(v), chain_of_.size());
+  TREL_CHECK_LT(static_cast<size_t>(v), assignment_.chain_of.size());
   if (u == v) return true;
-  const int entry = first_reach_[u][chain_of_[v]];
-  return entry != kNone && entry <= seq_of_[v];
+  const int entry = first_reach_[u][assignment_.chain_of[v]];
+  return entry != kNone && entry <= assignment_.seq_of[v];
 }
 
 }  // namespace trel

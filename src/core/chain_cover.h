@@ -1,0 +1,96 @@
+#ifndef TREL_CORE_CHAIN_COVER_H_
+#define TREL_CORE_CHAIN_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/digraph.h"
+
+namespace trel {
+
+// A partition of the node set into chains — sequences totally ordered by
+// reachability.  chain_of[v] identifies v's chain, seq_of[v] its position
+// within it (0 = head, the first member in topological order).  Shared by
+// the Jagadish baseline below and the chain-fast publish path
+// (chain_propagator.h), which differ in how they thread the chains.
+struct ChainAssignment {
+  static constexpr int kNone = -1;
+
+  int num_chains = 0;
+  std::vector<int> chain_of;
+  std::vector<int> seq_of;
+
+  NodeId NumNodes() const { return static_cast<NodeId>(chain_of.size()); }
+};
+
+// Greedy arc-threaded path cover in O(n + m): walk `topo` (a topological
+// order of `graph`) and append each node to the chain of its first
+// in-neighbor that is still a chain tail, else start a new chain.  Every
+// chain is a directed *path in the graph itself* — each consecutive pair
+// is an arc — which makes the cover a valid TreeCover (parent = chain
+// predecessor) and is the property the chain-fast labeling relies on.
+// ChainCover::kGreedy, by contrast, threads chains through the closure
+// relation (any reachable tail extends), which yields fewer chains but
+// costs a full reachability matrix.  Chains are renumbered so ascending
+// chain id = ascending head node id, matching TreeCover's roots order.
+ChainAssignment GreedyPathCover(const Digraph& graph,
+                                const std::vector<NodeId>& topo);
+
+// Chain-decomposition closure compression (Jagadish, "A Compressed
+// Transitive Closure Technique for Efficient Fixed-Point Query
+// Processing", 2nd Int'l Conf. Expert Database Systems, 1988) — the
+// related-work comparator of the paper's Theorem 2.
+//
+// The node set is partitioned into chains; each node stores, per chain,
+// the earliest (lowest sequence number) member it can reach; all later
+// members of that chain are then implied.  Theorem 2: the tree-cover
+// interval compression never needs more storage than the best chain
+// compression (without chain reduction).
+class ChainCover {
+ public:
+  enum class Method {
+    // First-fit over a topological order: append each node to the first
+    // chain whose tail reaches it.
+    kGreedy,
+    // Minimum chain cover (Dilworth): n - max bipartite matching on the
+    // closure relation, via Hopcroft–Karp.  Quadratic memory in n; meant
+    // for graphs up to a few thousand nodes.
+    kMinimum,
+  };
+
+  // Fails with FailedPrecondition if `graph` is cyclic.
+  static StatusOr<ChainCover> Build(const Digraph& graph,
+                                    Method method = Method::kGreedy);
+
+  bool Reaches(NodeId u, NodeId v) const;
+
+  int NumChains() const { return assignment_.num_chains; }
+
+  // Number of stored (node, chain) -> first-reachable entries; the
+  // storage measure compared against the interval count in Theorem 2.
+  int64_t StorageUnits() const { return storage_entries_; }
+
+  int ChainOf(NodeId v) const { return assignment_.chain_of[v]; }
+  int SeqOf(NodeId v) const { return assignment_.seq_of[v]; }
+
+  const ChainAssignment& assignment() const { return assignment_; }
+
+ private:
+  ChainCover() = default;
+
+  // Shared tail: given chain assignments, computes first-reachable tables.
+  void ComputeReachTables(const Digraph& graph);
+
+  ChainAssignment assignment_;
+  // first_reach_[v][c] = lowest sequence number in chain c reachable from
+  // v, or kNone.
+  std::vector<std::vector<int>> first_reach_;
+  int64_t storage_entries_ = 0;
+
+  static constexpr int kNone = ChainAssignment::kNone;
+};
+
+}  // namespace trel
+
+#endif  // TREL_CORE_CHAIN_COVER_H_

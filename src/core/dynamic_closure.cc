@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "core/chain_propagator.h"
 #include "graph/topology.h"
 
 namespace trel {
@@ -40,6 +41,26 @@ StatusOr<DynamicClosure> DynamicClosure::Build(const Digraph& graph,
   closure.graph_ = graph;
   closure.AdoptCover(cover, std::move(labels));
   return closure;
+}
+
+StatusOr<DynamicClosure> DynamicClosure::BuildWithChains(
+    const Digraph& graph, const ClosureOptions& options) {
+  TREL_ASSIGN_OR_RETURN(ChainBuild chain,
+                        BuildChainLabeling(graph, options.labeling));
+  DynamicClosure closure(options);
+  closure.graph_ = graph;
+  closure.AdoptCover(chain.cover, std::move(chain.labels));
+  closure.cover_is_chain_ = true;
+  return closure;
+}
+
+Status DynamicClosure::RebuildWithChains() {
+  auto chain = BuildChainLabeling(graph_, options_.labeling);
+  if (!chain.ok()) return chain.status();
+  AdoptCover(chain->cover, std::move(chain->labels));
+  cover_is_chain_ = true;
+  ++stats_.chain_rebuilds;
+  return Status::Ok();
 }
 
 void DynamicClosure::AdoptCover(const TreeCover& cover, NodeLabels labels) {

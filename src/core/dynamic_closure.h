@@ -42,6 +42,7 @@ class DynamicClosure {
   struct Stats {
     int64_t renumbers = 0;      // automatic Renumber() invocations
     int64_t reoptimizes = 0;    // full rebuilds (explicit or forced)
+    int64_t chain_rebuilds = 0;  // chain-fast rebuilds (RebuildWithChains)
     int64_t propagation_node_visits = 0;  // nodes touched by AddArc floods
   };
 
@@ -55,6 +56,27 @@ class DynamicClosure {
   // Wraps an existing DAG.  Fails if `graph` is cyclic.
   static StatusOr<DynamicClosure> Build(
       const Digraph& graph, const ClosureOptions& options = DefaultOptions());
+
+  // Like Build, but labels via the chain-fast path (chain_propagator.h):
+  // greedy path cover + blocked frontier propagation instead of Alg1's
+  // antichain-optimal cover + per-interval merges.  Much cheaper on
+  // chain-structured graphs; label quality (interval count) can be worse.
+  // Fails like BuildChainLabeling does (incl. ResourceExhausted on the
+  // entry cap) — callers fall back to Build.  options.strategy is ignored
+  // (the cover IS the path cover).
+  static StatusOr<DynamicClosure> BuildWithChains(
+      const Digraph& graph, const ClosureOptions& options = DefaultOptions());
+
+  // In-place chain-fast rebuild of the current graph: the fast analogue
+  // of Reoptimize().  On failure the index is left untouched and the
+  // error returned (callers then Reoptimize instead).
+  Status RebuildWithChains();
+
+  // True iff the current labeling came from a chain-fast build (and no
+  // Alg1 rebuild has replaced it since).  Publishers use this as the
+  // provenance tag for exported snapshots.  Conservatively false after
+  // Load(): the snapshot format does not record cover provenance.
+  bool UsesChainCover() const { return cover_is_chain_; }
 
   // --- Updates (paper Section 4) -----------------------------------------
 
@@ -219,6 +241,11 @@ class DynamicClosure {
   // (the flag dedups, the list keeps draining O(dirty) not O(n)).
   std::vector<bool> dirty_flag_;
   std::vector<NodeId> dirty_list_;
+  // Labeling provenance: set by BuildWithChains/RebuildWithChains,
+  // cleared by any Alg1 rebuild (Reoptimize constructs a fresh index and
+  // move-assigns it over *this, carrying its default false).  Renumber
+  // keeps the cover — and therefore the flag.
+  bool cover_is_chain_ = false;
   Stats stats_;
 };
 

@@ -8,6 +8,20 @@ std::ostream& operator<<(std::ostream& os, const Interval& interval) {
   return os << "[" << interval.lo << "," << interval.hi << "]";
 }
 
+IntervalSet IntervalSet::FromSortedAntichain(std::vector<Interval> intervals) {
+  IntervalSet set;
+  for (size_t k = 0; k < intervals.size(); ++k) {
+    TREL_CHECK_LE(intervals[k].lo, intervals[k].hi);
+    if (k > 0) {
+      // Antichain sorted by lo: both coordinates strictly increase.
+      TREL_CHECK_LT(intervals[k - 1].lo, intervals[k].lo);
+      TREL_CHECK_LT(intervals[k - 1].hi, intervals[k].hi);
+    }
+  }
+  set.intervals_ = std::move(intervals);
+  return set;
+}
+
 bool IntervalSet::Insert(Interval interval) {
   TREL_CHECK_LE(interval.lo, interval.hi);
   // Position of the first member with lo > interval.lo.

@@ -41,6 +41,12 @@ class IntervalSet {
  public:
   IntervalSet() = default;
 
+  // Adopts `intervals` wholesale in O(1) moves plus one validation pass.
+  // The input must already be what Insert would have produced: sorted
+  // ascending by lo with no subsumption (an antichain).  Bulk emitters
+  // (chain_propagator.cc) use this to skip per-interval Insert costs.
+  static IntervalSet FromSortedAntichain(std::vector<Interval> intervals);
+
   // Inserts `interval` unless an existing member subsumes it.  Removes any
   // members the new interval subsumes.  Returns true iff the set changed.
   bool Insert(Interval interval);

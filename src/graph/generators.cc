@@ -141,6 +141,45 @@ Digraph BipartiteWithIntermediary(NodeId num_top, NodeId num_bottom) {
   return graph;
 }
 
+Digraph ChainedDag(int num_chains, NodeId chain_length, double avg_degree,
+                   uint64_t seed) {
+  TREL_CHECK_GT(num_chains, 0);
+  TREL_CHECK_GT(chain_length, 0);
+  const NodeId n = static_cast<NodeId>(num_chains) * chain_length;
+  Digraph graph(n);
+  for (int w = 0; w < num_chains; ++w) {
+    for (NodeId i = 0; i + 1 < chain_length; ++i) {
+      const NodeId v = static_cast<NodeId>(w) * chain_length + i;
+      TREL_CHECK(graph.AddArc(v, v + 1).ok());
+    }
+  }
+  const int64_t chain_arcs =
+      static_cast<int64_t>(num_chains) * (chain_length - 1);
+  int64_t target = std::llround(avg_degree * n) - chain_arcs;
+  TREL_CHECK_GE(target, 0) << "avg_degree below the chain arcs' share";
+  if (num_chains == 1 || chain_length == 1) target = 0;  // No cross arcs fit.
+  Random rng(seed);
+  std::unordered_set<uint64_t> used;
+  used.reserve(static_cast<size_t>(target) * 2);
+  int64_t added = 0;
+  while (added < target) {
+    const int wa = static_cast<int>(rng.Uniform(num_chains));
+    const int wb = static_cast<int>(rng.Uniform(num_chains));
+    if (wa == wb) continue;
+    const NodeId ia = static_cast<NodeId>(rng.Uniform(chain_length));
+    const NodeId ib = static_cast<NodeId>(rng.Uniform(chain_length));
+    // Strictly increasing in-chain position keeps the graph acyclic (and
+    // node id order topological) regardless of chain order.
+    if (ia >= ib) continue;
+    const NodeId a = static_cast<NodeId>(wa) * chain_length + ia;
+    const NodeId b = static_cast<NodeId>(wb) * chain_length + ib;
+    if (!used.insert(PairKey(a, b)).second) continue;
+    TREL_CHECK(graph.AddArc(a, b).ok());
+    ++added;
+  }
+  return graph;
+}
+
 int64_t EnumerateDagsOverOrder(
     NodeId num_nodes, const std::function<void(const Digraph&)>& fn) {
   TREL_CHECK_GT(num_nodes, 0);

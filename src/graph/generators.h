@@ -58,6 +58,23 @@ Digraph BipartiteWithIntermediary(NodeId num_top, NodeId num_bottom);
 Digraph HubDag(NodeId num_sources, NodeId num_hubs, NodeId num_sinks,
                uint64_t seed);
 
+// Chain-structured DAG: `num_chains` explicit paths of `chain_length`
+// nodes each (node w * chain_length + i, arcs along ascending i), plus
+// random cross arcs between DIFFERENT chains until the total arc count
+// reaches round(n * avg_degree).  A cross arc always runs from a smaller
+// to a strictly larger in-chain position, so node id order is a
+// topological order and acyclicity holds by construction.
+//
+// This is the chain-fast publish tier's home turf (DESIGN.md §"Publish
+// strategies"): the greedy path cover recovers ~num_chains chains, so
+// BuildChainLabeling needs ceil(num_chains / 64) cheap passes where
+// Alg1's optimal-cover build pays per-interval antichain merges — while
+// the cross arcs keep the closure dense enough that the build time
+// actually matters.  avg_degree counts ALL arcs (the n - num_chains
+// chain arcs included) and must be >= their share.
+Digraph ChainedDag(int num_chains, NodeId chain_length, double avg_degree,
+                   uint64_t seed);
+
 // Enumerates every DAG over the fixed topological order 0 < 1 < ... < n-1:
 // all 2^(n(n-1)/2) subsets of the arcs (i, j), i < j.  This is the
 // population behind the paper's Figure 3.12 sensitivity experiment.

@@ -16,6 +16,20 @@ const char* PublishPhaseName(PublishPhase phase) {
       return "stats";
     case PublishPhase::kSwap:
       return "swap";
+    case PublishPhase::kRebuild:
+      return "rebuild";
+  }
+  return "unknown";
+}
+
+const char* PublishStrategyName(PublishStrategy strategy) {
+  switch (strategy) {
+    case PublishStrategy::kDelta:
+      return "delta";
+    case PublishStrategy::kChainFull:
+      return "chain_full";
+    case PublishStrategy::kOptimalFull:
+      return "optimal_full";
   }
   return "unknown";
 }
@@ -24,7 +38,7 @@ SpanLog::SpanLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void SpanLog::Record(const PublishSpan& span) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const int kind = span.delta ? 1 : 0;
+  const int kind = static_cast<int>(span.strategy);
   ++aggregate_.count[kind];
   aggregate_.total_micros[kind] += span.total_micros;
   for (int p = 0; p < kNumPublishPhases; ++p) {

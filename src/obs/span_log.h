@@ -12,31 +12,47 @@ namespace trel {
 // The named phases of one QueryService publish, in execution order.
 // Full publishes spend their time in export + arena_build (+ stats);
 // delta publishes in drain (ExportDelta) + export (WithDelta) and leave
-// the other phases at 0.  See DESIGN.md §5.
+// the other phases at 0.  rebuild covers in-publish index rebuilds
+// (chain-fast RebuildWithChains or the cadence-driven Reoptimize) and is
+// 0 when the publish reused the standing labeling.  See DESIGN.md §5.
 enum class PublishPhase : int {
   kDrain = 0,       // Dirty-set drain: ExportDelta (delta) / MarkClean (full).
   kExport = 1,      // Label export minus the arena build; WithDelta for delta.
   kArenaBuild = 2,  // Flat LabelArena construction (full publishes only).
   kStats = 3,       // Optional ClosureStats pass (full publishes only).
   kSwap = 4,        // The atomic snapshot pointer store.
+  kRebuild = 5,     // In-publish relabeling (chain-fast or Alg1 reoptimize).
 };
-constexpr int kNumPublishPhases = 5;
+constexpr int kNumPublishPhases = 6;
 
-// "drain" / "export" / "arena_build" / "stats" / "swap".
+// "drain" / "export" / "arena_build" / "stats" / "swap" / "rebuild".
 const char* PublishPhaseName(PublishPhase phase);
+
+// How a published snapshot was produced.  The enum value doubles as the
+// aggregate index, so delta stays 0 for continuity with the old
+// full-vs-delta split.
+enum class PublishStrategy : uint8_t {
+  kDelta = 0,        // Overlay: ExportDelta + WithDelta on the base arena.
+  kChainFull = 1,    // Full export of a chain-fast (path-cover) labeling.
+  kOptimalFull = 2,  // Full export of an Alg1 antichain-optimal labeling.
+};
+constexpr int kNumPublishStrategies = 3;
+
+// "delta" / "chain_full" / "optimal_full".
+const char* PublishStrategyName(PublishStrategy strategy);
 
 // One publish, decomposed into phases.  total_micros is the end-to-end
 // publish time; the phases need not sum exactly to it (loop overhead and
 // snapshot allocation sit between them).
 struct PublishSpan {
   uint64_t epoch = 0;
-  bool delta = false;
+  PublishStrategy strategy = PublishStrategy::kOptimalFull;
   int64_t total_micros = 0;
   std::array<int64_t, kNumPublishPhases> phase_micros{};
 };
 
 // Bounded log of publish spans plus incrementally maintained per-phase
-// aggregates split full vs. delta.  Mutex-guarded: publishes are rare
+// aggregates split by strategy.  Mutex-guarded: publishes are rare
 // (milliseconds apart at the fastest) and already serialized by the
 // service's writer mutex, so a lock here costs nothing measurable.
 class SpanLog {
@@ -45,12 +61,15 @@ class SpanLog {
   // that took [2^i, 2^(i+1)) microseconds (PowerOfTwoBucket semantics).
   static constexpr int kBuckets = 22;
 
-  // Index 0 = full publishes, 1 = delta publishes.
+  // Outer index = PublishStrategy value (0 delta, 1 chain_full,
+  // 2 optimal_full).
   struct Aggregate {
-    std::array<int64_t, 2> count{};
-    std::array<int64_t, 2> total_micros{};
-    std::array<std::array<int64_t, kNumPublishPhases>, 2> phase_micros_total{};
-    std::array<std::array<std::array<int64_t, kBuckets>, kNumPublishPhases>, 2>
+    std::array<int64_t, kNumPublishStrategies> count{};
+    std::array<int64_t, kNumPublishStrategies> total_micros{};
+    std::array<std::array<int64_t, kNumPublishPhases>, kNumPublishStrategies>
+        phase_micros_total{};
+    std::array<std::array<std::array<int64_t, kBuckets>, kNumPublishPhases>,
+               kNumPublishStrategies>
         phase_histogram{};
   };
 

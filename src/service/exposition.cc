@@ -10,10 +10,14 @@ namespace trel {
 
 namespace {
 
-constexpr const char* kKindNames[2] = {"full", "delta"};
+// Publish-span kind labels follow the strategy enum order
+// (obs/span_log.h): 0 delta, 1 chain_full, 2 optimal_full.
+const char* KindName(int kind) {
+  return PublishStrategyName(static_cast<PublishStrategy>(kind));
+}
 
 std::string KindPhaseLabels(int kind, int phase) {
-  return std::string("kind=\"") + kKindNames[kind] + "\",phase=\"" +
+  return std::string("kind=\"") + KindName(kind) + "\",phase=\"" +
          PublishPhaseName(static_cast<PublishPhase>(phase)) + "\"";
 }
 
@@ -44,16 +48,21 @@ std::string RenderMetricsz(const ServiceMetrics::View& view,
              "counter");
   out.Sample("trel_batches_rejected_total", "", view.batches_rejected);
   out.Family("trel_publishes_total",
-             "Snapshot publishes, split by export kind.", "counter");
-  out.Sample("trel_publishes_total", "kind=\"full\"", view.publishes_full);
+             "Snapshot publishes, split by publish strategy.", "counter");
   out.Sample("trel_publishes_total", "kind=\"delta\"", view.publishes_delta);
+  out.Sample("trel_publishes_total", "kind=\"chain_full\"",
+             view.publishes_chain_full);
+  out.Sample("trel_publishes_total", "kind=\"optimal_full\"",
+             view.publishes_optimal_full);
   out.Family("trel_publish_micros_total",
-             "Wall microseconds spent publishing, split by export kind.",
+             "Wall microseconds spent publishing, split by strategy.",
              "counter");
-  out.Sample("trel_publish_micros_total", "kind=\"full\"",
-             view.publish_full_micros_total);
   out.Sample("trel_publish_micros_total", "kind=\"delta\"",
              view.publish_delta_micros_total);
+  out.Sample("trel_publish_micros_total", "kind=\"chain_full\"",
+             view.publish_chain_full_micros_total);
+  out.Sample("trel_publish_micros_total", "kind=\"optimal_full\"",
+             view.publish_optimal_full_micros_total);
   out.Family("trel_delta_nodes_total",
              "Changed-node entries shipped across all delta publishes.",
              "counter");
@@ -131,14 +140,44 @@ std::string RenderMetricsz(const ServiceMetrics::View& view,
                    "family", IndexFamilyName(static_cast<IndexFamily>(f))),
                view.family_selects[f]);
   }
+  out.Family("trel_publish_strategy",
+             "Strategy of the most recent publish (by name label; value is "
+             "the PublishStrategy enum, -1 before the first publish).",
+             "gauge");
+  {
+    int64_t last = -1;
+    for (int s = 0; s < kNumPublishStrategies; ++s) {
+      if (view.last_publish_strategy ==
+          PublishStrategyName(static_cast<PublishStrategy>(s))) {
+        last = s;
+      }
+    }
+    out.Sample("trel_publish_strategy",
+               PrometheusText::Label("name", view.last_publish_strategy),
+               last);
+  }
+  out.Family("trel_publish_intervals_last",
+             "Snapshot interval count at the most recent full publish of "
+             "each kind (chain-vs-optimal interval blowup numerator and "
+             "denominator).",
+             "gauge");
+  out.Sample("trel_publish_intervals_last", "kind=\"chain_full\"",
+             view.chain_full_intervals_last);
+  out.Sample("trel_publish_intervals_last", "kind=\"optimal_full\"",
+             view.optimal_full_intervals_last);
+  out.Family("trel_chain_interval_blowup",
+             "Last chain-full interval count over last optimal-full count "
+             "(0 until both tiers have published).",
+             "gauge");
+  out.Sample("trel_chain_interval_blowup", "", view.chain_interval_blowup);
 
   // --- Publish-pipeline spans --------------------------------------------
   if (spans != nullptr) {
     const SpanLog::Aggregate agg = spans->Read();
     out.Family("trel_publish_phase_micros_total",
-               "Wall microseconds per publish phase, split by export kind.",
+               "Wall microseconds per publish phase, split by strategy.",
                "counter");
-    for (int kind = 0; kind < 2; ++kind) {
+    for (int kind = 0; kind < kNumPublishStrategies; ++kind) {
       for (int phase = 0; phase < kNumPublishPhases; ++phase) {
         out.Sample("trel_publish_phase_micros_total",
                    KindPhaseLabels(kind, phase),
@@ -148,7 +187,7 @@ std::string RenderMetricsz(const ServiceMetrics::View& view,
     out.Family("trel_publish_phase_microseconds",
                "Per-publish phase latency (power-of-two buckets).",
                "histogram");
-    for (int kind = 0; kind < 2; ++kind) {
+    for (int kind = 0; kind < kNumPublishStrategies; ++kind) {
       for (int phase = 0; phase < kNumPublishPhases; ++phase) {
         out.Histogram("trel_publish_phase_microseconds",
                       KindPhaseLabels(kind, phase),
@@ -211,11 +250,15 @@ std::string RenderStatusz(const ServiceMetrics::View& view,
       << " delta=" << view.publishes_delta
       << " (us: full=" << view.publish_full_micros_total
       << " delta=" << view.publish_delta_micros_total << ")\n";
+  out << "publish_strategy: last=" << view.last_publish_strategy
+      << " chain_full=" << view.publishes_chain_full
+      << " optimal_full=" << view.publishes_optimal_full
+      << " chain_blowup=" << view.chain_interval_blowup << "\n";
   if (spans != nullptr) {
     const SpanLog::Aggregate agg = spans->Read();
-    for (int kind = 0; kind < 2; ++kind) {
+    for (int kind = 0; kind < kNumPublishStrategies; ++kind) {
       if (agg.count[kind] == 0) continue;
-      out << "publish_phases_avg_us{" << kKindNames[kind] << "}:";
+      out << "publish_phases_avg_us{" << KindName(kind) << "}:";
       for (int phase = 0; phase < kNumPublishPhases; ++phase) {
         out << " " << PublishPhaseName(static_cast<PublishPhase>(phase)) << "="
             << agg.phase_micros_total[kind][phase] / agg.count[kind];

@@ -13,7 +13,8 @@ namespace trel {
 class QueryService;
 
 // Renders every ServiceMetrics counter and histogram, the publish-span
-// phase breakdown (split full vs. delta), and the tracer / slow-log
+// phase breakdown (split delta / chain_full / optimal_full), and the
+// tracer / slow-log
 // summaries as Prometheus text exposition format (version 0.0.4).  All
 // metric names carry the `trel_` prefix.  Null obs components are
 // omitted, so tools can render a bare counter view.

@@ -22,9 +22,24 @@ void ServiceMetrics::RecordBatch(int64_t micros) {
       1, std::memory_order_relaxed);
 }
 
-void ServiceMetrics::RecordPublishFull(int64_t micros) {
-  publishes_full_.fetch_add(1, std::memory_order_relaxed);
-  publish_full_micros_total_.fetch_add(micros, std::memory_order_relaxed);
+void ServiceMetrics::RecordPublishFull(PublishStrategy strategy,
+                                       int64_t micros,
+                                       int64_t total_intervals) {
+  if (strategy == PublishStrategy::kChainFull) {
+    publishes_chain_full_.fetch_add(1, std::memory_order_relaxed);
+    publish_chain_full_micros_total_.fetch_add(micros,
+                                               std::memory_order_relaxed);
+    chain_full_intervals_last_.store(total_intervals,
+                                     std::memory_order_relaxed);
+  } else {
+    publishes_optimal_full_.fetch_add(1, std::memory_order_relaxed);
+    publish_optimal_full_micros_total_.fetch_add(micros,
+                                                 std::memory_order_relaxed);
+    optimal_full_intervals_last_.store(total_intervals,
+                                       std::memory_order_relaxed);
+  }
+  last_publish_strategy_.store(static_cast<int>(strategy),
+                               std::memory_order_relaxed);
 }
 
 void ServiceMetrics::RecordPublishDelta(int64_t micros, int64_t delta_nodes) {
@@ -33,6 +48,8 @@ void ServiceMetrics::RecordPublishDelta(int64_t micros, int64_t delta_nodes) {
   delta_nodes_total_.fetch_add(delta_nodes, std::memory_order_relaxed);
   delta_histogram_[BucketFor(delta_nodes, kDeltaNodeBuckets)].fetch_add(
       1, std::memory_order_relaxed);
+  last_publish_strategy_.store(static_cast<int>(PublishStrategy::kDelta),
+                               std::memory_order_relaxed);
 }
 
 void ServiceMetrics::RecordBatchKernel(const BatchKernelStats& stats) {
@@ -53,16 +70,38 @@ ServiceMetrics::View ServiceMetrics::Read() const {
   view.batch_micros_total =
       batch_micros_total_.load(std::memory_order_relaxed);
   view.batches_rejected = batches_rejected_.load(std::memory_order_relaxed);
-  view.publishes_full = publishes_full_.load(std::memory_order_relaxed);
+  view.publishes_chain_full =
+      publishes_chain_full_.load(std::memory_order_relaxed);
+  view.publishes_optimal_full =
+      publishes_optimal_full_.load(std::memory_order_relaxed);
+  view.publishes_full = view.publishes_chain_full + view.publishes_optimal_full;
   view.publishes_delta = publishes_delta_.load(std::memory_order_relaxed);
   view.publishes = view.publishes_full + view.publishes_delta;
-  view.publish_full_micros_total =
-      publish_full_micros_total_.load(std::memory_order_relaxed);
+  view.publish_chain_full_micros_total =
+      publish_chain_full_micros_total_.load(std::memory_order_relaxed);
+  view.publish_optimal_full_micros_total =
+      publish_optimal_full_micros_total_.load(std::memory_order_relaxed);
+  view.publish_full_micros_total = view.publish_chain_full_micros_total +
+                                   view.publish_optimal_full_micros_total;
   view.publish_delta_micros_total =
       publish_delta_micros_total_.load(std::memory_order_relaxed);
   view.publish_micros_total =
       view.publish_full_micros_total + view.publish_delta_micros_total;
   view.delta_nodes_total = delta_nodes_total_.load(std::memory_order_relaxed);
+  const int last = last_publish_strategy_.load(std::memory_order_relaxed);
+  view.last_publish_strategy =
+      last < 0 ? "none"
+               : PublishStrategyName(static_cast<PublishStrategy>(last));
+  view.chain_full_intervals_last =
+      chain_full_intervals_last_.load(std::memory_order_relaxed);
+  view.optimal_full_intervals_last =
+      optimal_full_intervals_last_.load(std::memory_order_relaxed);
+  view.chain_interval_blowup =
+      (view.chain_full_intervals_last > 0 &&
+       view.optimal_full_intervals_last > 0)
+          ? static_cast<double>(view.chain_full_intervals_last) /
+                static_cast<double>(view.optimal_full_intervals_last)
+          : 0.0;
   view.batch_fast_path = batch_fast_path_.load(std::memory_order_relaxed);
   view.batch_filter_rejects =
       batch_filter_rejects_.load(std::memory_order_relaxed);
@@ -133,6 +172,17 @@ std::string ServiceMetrics::View::ToString() const {
         << family_selects[i];
   }
   out << "]";
+  // Publish-strategy split, appended past the family block for the same
+  // leftmost-match reason.  The legacy full counters above stay as the
+  // chain_full + optimal_full sums.
+  out << " publish_strategy=" << last_publish_strategy
+      << " publishes_chain_full=" << publishes_chain_full
+      << " publishes_optimal_full=" << publishes_optimal_full
+      << " publish_us_chain_full=" << publish_chain_full_micros_total
+      << " publish_us_optimal_full=" << publish_optimal_full_micros_total
+      << " chain_intervals_last=" << chain_full_intervals_last
+      << " optimal_intervals_last=" << optimal_full_intervals_last
+      << " chain_blowup=" << chain_interval_blowup;
   return out.str();
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/arena_kernels.h"
 #include "core/index_family.h"
+#include "obs/span_log.h"
 
 namespace trel {
 
@@ -34,13 +35,18 @@ class ServiceMetrics {
     // Batches refused by admission control (TryBatchReaches /
     // TryBatchSuccessors with ServiceOptions::max_inflight_batches set).
     int64_t batches_rejected = 0;
-    // Publishes split by export kind; `publishes` is their sum.
+    // Publishes split by strategy; `publishes` is their sum and the
+    // legacy full counters are the chain_full + optimal_full sums.
     int64_t publishes = 0;
     int64_t publishes_full = 0;
     int64_t publishes_delta = 0;
+    int64_t publishes_chain_full = 0;
+    int64_t publishes_optimal_full = 0;
     int64_t publish_micros_total = 0;
     int64_t publish_full_micros_total = 0;
     int64_t publish_delta_micros_total = 0;
+    int64_t publish_chain_full_micros_total = 0;
+    int64_t publish_optimal_full_micros_total = 0;
     // Changed-node entries shipped across all delta publishes.
     int64_t delta_nodes_total = 0;
     std::array<int64_t, kLatencyBuckets> batch_latency_histogram{};
@@ -76,6 +82,15 @@ class ServiceMetrics {
     // How many full publishes selected each family since startup,
     // indexed by IndexFamily.
     std::array<int64_t, kNumIndexFamilies> family_selects{};
+    // Strategy of the most recent publish ("none" before the first).
+    std::string last_publish_strategy = "none";
+    // Snapshot interval totals observed at the most recent full publish
+    // of each kind, and their ratio (chain / optimal) — the interval
+    // blowup the chain-fast tier trades for build speed.  0 until both
+    // kinds have published at least once.
+    int64_t chain_full_intervals_last = 0;
+    int64_t optimal_full_intervals_last = 0;
+    double chain_interval_blowup = 0.0;
 
     std::string ToString() const;
   };
@@ -92,8 +107,12 @@ class ServiceMetrics {
   void RecordBatchRejected() {
     batches_rejected_.fetch_add(1, std::memory_order_relaxed);
   }
-  // One publish that re-exported the entire labeling.
-  void RecordPublishFull(int64_t micros);
+  // One publish that re-exported the entire labeling.  `strategy` says
+  // which full tier built it (kDelta is invalid here);
+  // `total_intervals` is the published snapshot's interval count, kept
+  // per tier so the chain-vs-optimal blowup ratio is observable.
+  void RecordPublishFull(PublishStrategy strategy, int64_t micros,
+                         int64_t total_intervals);
   // One publish that shipped `delta_nodes` changed entries as an overlay.
   void RecordPublishDelta(int64_t micros, int64_t delta_nodes);
   // Folds one batch invocation's kernel tallies in (four relaxed adds —
@@ -113,11 +132,17 @@ class ServiceMetrics {
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> batch_micros_total_{0};
   std::atomic<int64_t> batches_rejected_{0};
-  std::atomic<int64_t> publishes_full_{0};
+  std::atomic<int64_t> publishes_chain_full_{0};
+  std::atomic<int64_t> publishes_optimal_full_{0};
   std::atomic<int64_t> publishes_delta_{0};
-  std::atomic<int64_t> publish_full_micros_total_{0};
+  std::atomic<int64_t> publish_chain_full_micros_total_{0};
+  std::atomic<int64_t> publish_optimal_full_micros_total_{0};
   std::atomic<int64_t> publish_delta_micros_total_{0};
   std::atomic<int64_t> delta_nodes_total_{0};
+  // PublishStrategy value of the latest publish; -1 before the first.
+  std::atomic<int> last_publish_strategy_{-1};
+  std::atomic<int64_t> chain_full_intervals_last_{0};
+  std::atomic<int64_t> optimal_full_intervals_last_{0};
   std::array<std::atomic<int64_t>, kLatencyBuckets> histogram_{};
   std::array<std::atomic<int64_t>, kDeltaNodeBuckets> delta_histogram_{};
   std::atomic<int64_t> batch_fast_path_{0};

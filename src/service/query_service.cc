@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "core/chain_propagator.h"
 #include "core/simd_dispatch.h"
 
 namespace trel {
@@ -17,6 +19,38 @@ namespace {
 constexpr int64_t kMaxBatchTraceRecords = 32;
 
 }  // namespace
+
+PublishStrategySetting ParsePublishStrategySetting(const char* value) {
+  if (value == nullptr) return PublishStrategySetting::kAuto;
+  if (std::strcmp(value, "delta") == 0) {
+    return PublishStrategySetting::kForceDelta;
+  }
+  if (std::strcmp(value, "chain") == 0) {
+    return PublishStrategySetting::kForceChain;
+  }
+  if (std::strcmp(value, "optimal") == 0) {
+    return PublishStrategySetting::kForceOptimal;
+  }
+  return PublishStrategySetting::kAuto;
+}
+
+PublishStrategySetting PublishStrategySettingFromEnv() {
+  return ParsePublishStrategySetting(std::getenv("TREL_PUBLISH"));
+}
+
+const char* PublishStrategySettingName(PublishStrategySetting setting) {
+  switch (setting) {
+    case PublishStrategySetting::kAuto:
+      return "auto";
+    case PublishStrategySetting::kForceDelta:
+      return "delta";
+    case PublishStrategySetting::kForceChain:
+      return "chain";
+    case PublishStrategySetting::kForceOptimal:
+      return "optimal";
+  }
+  return "auto";
+}
 
 // --- WorkerPool ------------------------------------------------------------
 
@@ -91,6 +125,9 @@ QueryService::QueryService(const ServiceOptions& options)
   if (std::getenv("TREL_INDEX") != nullptr) {
     options_.index_family = IndexFamilySettingFromEnv();
   }
+  if (std::getenv("TREL_PUBLISH") != nullptr) {
+    options_.publish_strategy = PublishStrategySettingFromEnv();
+  }
   if (options_.num_workers > 0) {
     pool_ = std::make_unique<WorkerPool>(options_.num_workers);
   }
@@ -102,13 +139,32 @@ QueryService::QueryService(const ServiceOptions& options)
 QueryService::~QueryService() = default;
 
 Status QueryService::Load(const Digraph& graph) {
-  TREL_ASSIGN_OR_RETURN(DynamicClosure built,
-                        DynamicClosure::Build(graph, options_.closure));
+  // Tiered build (DESIGN.md §"Publish strategies"): the chain-fast path
+  // replaces Alg1's antichain-optimal cover with a greedy path cover when
+  // the cover is narrow, cutting the dominant full-build cost.  Any
+  // chain-path failure (cycle, entry cap) falls through to the Alg1
+  // build, which reports the authoritative status.
+  StatusOr<DynamicClosure> built(FailedPreconditionError("unbuilt"));
+  const bool want_chain =
+      options_.publish_strategy == PublishStrategySetting::kForceChain ||
+      (options_.publish_strategy == PublishStrategySetting::kAuto &&
+       [&graph] {
+         StatusOr<ChainSignals> signals = AnalyzeChains(graph);
+         return signals.ok() && signals->eligible;
+       }());
+  if (want_chain) {
+    built = DynamicClosure::BuildWithChains(graph, options_.closure);
+  }
+  if (!built.ok()) {
+    built = DynamicClosure::Build(graph, options_.closure);
+  }
+  TREL_RETURN_IF_ERROR(built.status());
   std::lock_guard<std::mutex> lock(writer_mutex_);
-  dynamic_ = std::move(built);
+  dynamic_ = std::move(*built);
   // A fresh index is a new lineage: the previous snapshot's node ids mean
   // nothing to it, so it can never serve as a delta base.
   force_full_publish_ = true;
+  chain_fulls_since_optimal_ = 0;
   PublishLocked();
   return Status::Ok();
 }
@@ -155,9 +211,10 @@ uint64_t QueryService::PublishLocked() {
       delta_publishes_since_full_ < options_.max_delta_publishes &&
       static_cast<double>(dirty) <=
           options_.max_delta_dirty_fraction * static_cast<double>(num_nodes);
-  span.delta = use_delta;
   Stopwatch phase;
   if (use_delta) {
+    span.strategy = PublishStrategy::kDelta;
+    snapshot->publish_strategy = PublishStrategy::kDelta;
     ClosureDelta delta = dynamic_.ExportDelta();
     span.phase_micros[static_cast<int>(PublishPhase::kDrain)] =
         phase.ElapsedMicros();
@@ -180,6 +237,50 @@ uint64_t QueryService::PublishLocked() {
     snapshot->delta_entries = static_cast<int64_t>(delta.entries.size());
     ++delta_publishes_since_full_;
   } else {
+    // Tier selection for the full export: decide whether to relabel
+    // before exporting.  Rebuilds are timed as their own span phase —
+    // they are the cost the chain-fast tier exists to cut.
+    switch (options_.publish_strategy) {
+      case PublishStrategySetting::kAuto:
+        // Chain labelings trade interval count for build speed; every
+        // Nth consecutive chain full re-tightens with an Alg1 rebuild.
+        if (dynamic_.UsesChainCover() &&
+            options_.chain_reoptimize_cadence > 0 &&
+            chain_fulls_since_optimal_ + 1 >=
+                options_.chain_reoptimize_cadence) {
+          dynamic_.Reoptimize();
+        }
+        break;
+      case PublishStrategySetting::kForceChain:
+        if (!dynamic_.UsesChainCover()) {
+          // Best effort: on failure (entry cap, cycle) the index is
+          // untouched and this publish is tagged by its true provenance.
+          const Status rebuilt = dynamic_.RebuildWithChains();
+          (void)rebuilt;
+        }
+        break;
+      case PublishStrategySetting::kForceOptimal:
+        if (dynamic_.UsesChainCover()) dynamic_.Reoptimize();
+        break;
+      case PublishStrategySetting::kForceDelta:
+        // Never rebuilds; the delta gate still demanded a full export.
+        break;
+    }
+    span.phase_micros[static_cast<int>(PublishPhase::kRebuild)] =
+        phase.ElapsedMicros();
+    phase.Restart();
+    // The strategy tag records labeling PROVENANCE, not intent: a failed
+    // chain rebuild publishes (correctly) as optimal_full.
+    const PublishStrategy full_strategy =
+        dynamic_.UsesChainCover() ? PublishStrategy::kChainFull
+                                  : PublishStrategy::kOptimalFull;
+    span.strategy = full_strategy;
+    snapshot->publish_strategy = full_strategy;
+    if (full_strategy == PublishStrategy::kChainFull) {
+      ++chain_fulls_since_optimal_;
+    } else {
+      chain_fulls_since_optimal_ = 0;
+    }
     int64_t arena_micros = 0;
     if (pool_ != nullptr) {
       // Shard the arena build of the full export across the worker pool
@@ -243,6 +344,7 @@ uint64_t QueryService::PublishLocked() {
   }
   snapshot->created_at = std::chrono::steady_clock::now();
   const int64_t delta_entries = snapshot->delta_entries;
+  const int64_t total_intervals = snapshot->closure.TotalIntervals();
   phase.Restart();
   snapshot_.store(std::shared_ptr<const ClosureSnapshot>(std::move(snapshot)),
                   std::memory_order_release);
@@ -253,7 +355,8 @@ uint64_t QueryService::PublishLocked() {
   if (use_delta) {
     metrics_.RecordPublishDelta(span.total_micros, delta_entries);
   } else {
-    metrics_.RecordPublishFull(span.total_micros);
+    metrics_.RecordPublishFull(span.strategy, span.total_micros,
+                               total_intervals);
   }
   return epoch_;
 }

@@ -23,6 +23,30 @@
 
 namespace trel {
 
+// How the service picks its publish tier (DESIGN.md §"Publish
+// strategies").  kAuto runs the full selector: delta overlay when the
+// dirty set is small, chain-fast full builds when the graph's greedy
+// path cover is narrow (core/chain_propagator.h), Alg1-optimal fulls
+// otherwise plus on the re-optimization cadence.  The force values pin
+// one tier for the CI publish matrix and benchmarks; forcing never
+// changes the delta gate conditions (kForceDelta only suppresses
+// rebuilds — a full export still happens when the gate demands one).
+enum class PublishStrategySetting : uint8_t {
+  kAuto = 0,
+  kForceDelta = 1,
+  kForceChain = 2,
+  kForceOptimal = 3,
+};
+
+// "auto" / "delta" / "chain" / "optimal"; nullptr, empty, or unknown
+// values parse as kAuto (an unset env var means "let the service pick").
+PublishStrategySetting ParsePublishStrategySetting(const char* value);
+
+// ParsePublishStrategySetting(getenv("TREL_PUBLISH")).
+PublishStrategySetting PublishStrategySettingFromEnv();
+
+const char* PublishStrategySettingName(PublishStrategySetting setting);
+
 // Knobs for QueryService.
 struct ServiceOptions {
   // Worker threads for the batch APIs.  0 disables the pool entirely
@@ -66,6 +90,15 @@ struct ServiceOptions {
   // env value ("auto"/"intervals"/"trees"/"hop") overrides this at
   // construction.
   IndexFamilySetting index_family = IndexFamilySetting::kAuto;
+  // Publish tier selection (see PublishStrategySetting above).  A set
+  // TREL_PUBLISH env value overrides this at construction, mirroring
+  // TREL_INDEX.
+  PublishStrategySetting publish_strategy = PublishStrategySetting::kAuto;
+  // Under kAuto, upgrade every Nth consecutive chain-full publish to an
+  // Alg1-optimal rebuild (Reoptimize), re-tightening the interval count
+  // the fast tier let grow.  <= 0 disables the cadence (chain labelings
+  // then persist until an explicit Reoptimize).
+  int chain_reoptimize_cadence = 8;
 
   // --- Observability (src/obs/, DESIGN.md §5) -----------------------------
   // Sample 1-in-N queries into the lock-free tracer; 0 = off (the
@@ -208,7 +241,7 @@ class QueryService {
   // The sampled query tracer.  Mutable access so callers (tools, tests)
   // can flip the sampling period on a live service.
   QueryTracer& tracer() const { return tracer_; }
-  // Publish-pipeline spans, split full vs. delta per phase.
+  // Publish-pipeline spans, split per strategy per phase.
   const SpanLog& span_log() const { return span_log_; }
   // Queries/batches that exceeded the slow thresholds (always on).
   const SlowQueryLog& slow_log() const { return slow_log_; }
@@ -271,6 +304,9 @@ class QueryService {
   uint64_t epoch_ = 0;      // Guarded by writer_mutex_.
   // Delta publishes since the last full export; guarded by writer_mutex_.
   int delta_publishes_since_full_ = 0;
+  // Consecutive chain-full publishes since the last Alg1-optimal one;
+  // drives the kAuto re-optimization cadence.  Guarded by writer_mutex_.
+  int chain_fulls_since_optimal_ = 0;
   // Set when the previous snapshot cannot serve as a delta base (initial
   // state, or Load() swapped in a new index lineage).
   bool force_full_publish_ = true;  // Guarded by writer_mutex_.

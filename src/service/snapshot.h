@@ -11,6 +11,7 @@
 #include "core/hop_label_index.h"
 #include "core/index_family.h"
 #include "core/tree_cover_index.h"
+#include "obs/span_log.h"
 
 namespace trel {
 
@@ -42,6 +43,11 @@ struct ClosureSnapshot {
   // both at their defaults.
   bool delta_publish = false;
   int64_t delta_entries = 0;
+  // Which publish tier produced this snapshot (obs/span_log.h): kDelta
+  // for overlays, else the provenance of the exported labeling —
+  // kChainFull when it came from the chain-fast path cover, kOptimalFull
+  // for the Alg1 antichain-optimal cover.
+  PublishStrategy publish_strategy = PublishStrategy::kOptimalFull;
   // Which index family answers point queries on this snapshot, plus the
   // family structure itself when it is not the interval arena.  The
   // interval closure above is ALWAYS present — it backs WithDelta

@@ -18,7 +18,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/status.h"
 #include "core/arena_kernels.h"
+#include "core/chain_propagator.h"
 #include "core/compressed_closure.h"
 #include "core/dynamic_closure.h"
 #include "core/hop_label_index.h"
@@ -811,6 +813,189 @@ TEST(IndexFamilyOverlayTest, OverlayChainsStayExactUnderEveryFamily) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Chain-fast publish differential suite: BuildChainLabeling's closed-form
+// frontier propagation must be BIT-IDENTICAL to running the generic
+// propagator (BuildLabels) over the same greedy path cover, and a
+// chain-built snapshot must answer exactly like DFS ground truth — on
+// chain-friendly shapes and on shapes the fast path was never meant for.
+
+std::vector<std::pair<const char*, Digraph>> ChainAdversarialGraphs() {
+  std::vector<std::pair<const char*, Digraph>> graphs;
+  graphs.emplace_back("chained", ChainedDag(8, 30, 3.0, 41));
+  graphs.emplace_back("chained_wide", ChainedDag(24, 10, 2.2, 42));
+  graphs.emplace_back("chained_sparse", ChainedDag(4, 60, 1.5, 43));
+  graphs.emplace_back("tree", RandomTree(200, 44));
+  graphs.emplace_back("layered", LayeredDag(6, 8, 0.35, 45));
+  graphs.emplace_back("hub", HubDag(40, 5, 36, 46));
+  graphs.emplace_back("random_sparse", RandomDag(120, 1.2, 47));
+  graphs.emplace_back("intermediary", BipartiteWithIntermediary(16, 16));
+  graphs.emplace_back("single_chain", ChainedDag(1, 40, 0.975, 48));
+  return graphs;
+}
+
+TEST(ChainDifferentialTest, ChainLabelingBitIdenticalToGenericPropagator) {
+  for (const auto& [name, graph] : ChainAdversarialGraphs()) {
+    for (const auto& [gap, reserve] :
+         {std::pair<Label, Label>{1, 0}, std::pair<Label, Label>{64, 16}}) {
+      LabelingOptions options;
+      options.gap = gap;
+      options.reserve = reserve;
+      auto chain = BuildChainLabeling(graph, options);
+      ASSERT_TRUE(chain.ok()) << name << ": " << chain.status().message();
+
+      // The generic propagator over the SAME cover is the oracle.
+      auto generic = BuildLabels(graph, chain->cover, options);
+      ASSERT_TRUE(generic.ok()) << name;
+      ASSERT_EQ(chain->labels.postorder, generic->postorder)
+          << name << " gap=" << gap;
+      ASSERT_EQ(chain->labels.tree_interval, generic->tree_interval)
+          << name << " gap=" << gap;
+      ASSERT_EQ(chain->labels.intervals.size(), generic->intervals.size())
+          << name;
+      for (size_t v = 0; v < generic->intervals.size(); ++v) {
+        ASSERT_EQ(chain->labels.intervals[v], generic->intervals[v])
+            << name << " gap=" << gap << " node " << v;
+      }
+      EXPECT_EQ(chain->labels.gap, gap);
+      EXPECT_EQ(chain->labels.reserve, reserve);
+
+      // The pre-sorted directory must be exactly (postorder, node)
+      // ascending — the exporter trusts it without re-sorting.
+      ASSERT_EQ(chain->sorted_directory.size(),
+                static_cast<size_t>(graph.NumNodes()))
+          << name;
+      for (size_t i = 0; i < chain->sorted_directory.size(); ++i) {
+        const auto [p, v] = chain->sorted_directory[i];
+        ASSERT_EQ(p, chain->labels.postorder[v]) << name << " dir " << i;
+        if (i > 0) {
+          ASSERT_LT(chain->sorted_directory[i - 1].first, p)
+              << name << " dir order " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ChainDifferentialTest, ChainBuiltSnapshotMatchesGroundTruth) {
+  for (const auto& [name, graph] : ChainAdversarialGraphs()) {
+    auto dynamic = DynamicClosure::BuildWithChains(graph);
+    ASSERT_TRUE(dynamic.ok()) << name << ": " << dynamic.status().message();
+    EXPECT_TRUE(dynamic->UsesChainCover()) << name;
+
+    const CompressedClosure snapshot = dynamic->ExportClosure();
+    const ReferenceClosure ref(snapshot.labels());
+    ExpectMatchesReference(snapshot, ref, name);
+    ExpectBatchMatchesReference(snapshot, ref, 600, name);
+
+    const ReachabilityMatrix truth(graph);
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+        ASSERT_EQ(snapshot.Reaches(u, v), truth.Reaches(u, v))
+            << name << " chain ground truth " << u << "->" << v;
+      }
+    }
+
+    // Re-tightening with the Alg1 optimal cover (the publish cadence's
+    // upgrade step) keeps answers identical and never grows the label.
+    const int64_t chain_intervals = snapshot.TotalIntervals();
+    dynamic->Reoptimize();
+    EXPECT_FALSE(dynamic->UsesChainCover()) << name;
+    const CompressedClosure optimal = dynamic->ExportClosure();
+    EXPECT_LE(optimal.TotalIntervals(), chain_intervals) << name;
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+        ASSERT_EQ(optimal.Reaches(u, v), truth.Reaches(u, v))
+            << name << " reoptimized " << u << "->" << v;
+      }
+    }
+  }
+}
+
+// WithDelta overlay chains on a chain-fast base: the delta pipeline must
+// be oblivious to which cover built the base labels.
+TEST(ChainDifferentialTest, OverlayChainOnChainFastBaseStaysExact) {
+  for (const bool query_only_base : {false, true}) {
+    auto dynamic = DynamicClosure::BuildWithChains(ChainedDag(6, 12, 2.5, 71));
+    ASSERT_TRUE(dynamic.ok());
+    ASSERT_TRUE(dynamic->UsesChainCover());
+
+    CompressedClosure snapshot = dynamic->ExportClosure(
+        /*runner=*/nullptr, /*retain_labels=*/!query_only_base);
+    dynamic->MarkClean();
+
+    Random rng(173);
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 5; ++i) {
+        const NodeId u =
+            static_cast<NodeId>(rng.Uniform(dynamic->NumNodes()));
+        const NodeId v =
+            static_cast<NodeId>(rng.Uniform(dynamic->NumNodes()));
+        (void)dynamic->AddArc(u, v);  // Cycles/duplicates are fine to drop.
+      }
+      ASSERT_TRUE(dynamic
+                      ->AddLeafUnder(static_cast<NodeId>(
+                          rng.Uniform(dynamic->NumNodes())))
+                      .ok());
+
+      ClosureDelta delta = dynamic->ExportDelta();
+      snapshot = CompressedClosure::WithDelta(snapshot, delta);
+      ASSERT_TRUE(snapshot.IsOverlay());
+
+      const CompressedClosure full = dynamic->ExportClosure();
+      const ReferenceClosure ref(full.labels());
+      ExpectMatchesReference(snapshot, ref,
+                             query_only_base ? "chain overlay(query-only)"
+                                             : "chain overlay");
+      ExpectBatchMatchesReference(snapshot, ref, 700 + round,
+                                  "chain overlay batch");
+
+      const ReachabilityMatrix truth(dynamic->graph());
+      for (NodeId u = 0; u < dynamic->NumNodes(); ++u) {
+        for (NodeId v = 0; v < dynamic->NumNodes(); ++v) {
+          ASSERT_EQ(snapshot.Reaches(u, v), truth.Reaches(u, v))
+              << "chain overlay ground truth " << u << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+// The analyzer's verdicts on canonical shapes, and the entry-cap
+// backstop on the one shape engineered to trip it.
+TEST(ChainDifferentialTest, EligibilityAndEntryCapBackstop) {
+  // Chain-structured: few chains, eligible.
+  auto chained = AnalyzeChains(ChainedDag(8, 100, 2.5, 81));
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(chained->num_chains, 8);
+  EXPECT_TRUE(chained->eligible);
+
+  // Random degree-3: the greedy cover fragments far past n/16.
+  auto random = AnalyzeChains(RandomDag(500, 3.0, 82));
+  ASSERT_TRUE(random.ok());
+  EXPECT_FALSE(random->eligible);
+  EXPECT_GT(random->num_chains,
+            static_cast<int>(500 * kMaxChainWidthFraction));
+
+  // Cyclic input is a precondition failure, mirroring BuildLabels.
+  Digraph cyclic(2);
+  ASSERT_TRUE(cyclic.AddArc(0, 1).ok());
+  ASSERT_TRUE(cyclic.AddArc(1, 0).ok());
+  EXPECT_EQ(AnalyzeChains(cyclic).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // A dense bipartite shape fans every source-side chain into every
+  // sink: with enough chains the per-node emission blows through
+  // kMaxChainEntriesPerNode and the build must abort, not degrade.
+  const Digraph bipartite = CompleteBipartite(120, 120);
+  auto build = BuildChainLabeling(bipartite, LabelingOptions{});
+  ASSERT_FALSE(build.ok());
+  EXPECT_EQ(build.status().code(), StatusCode::kResourceExhausted);
+  // The service-facing wrapper falls back to the Alg1 path instead.
+  auto fallback = DynamicClosure::BuildWithChains(bipartite);
+  ASSERT_FALSE(fallback.ok());
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "baselines/chain_cover.h"
+#include "core/chain_cover.h"
 #include "baselines/full_closure.h"
 #include "baselines/inverse_closure.h"
 #include "graph/generators.h"

@@ -9,7 +9,7 @@
 
 #include <gtest/gtest.h>
 
-#include "baselines/chain_cover.h"
+#include "core/chain_cover.h"
 #include "baselines/full_closure.h"
 #include "baselines/grail_index.h"
 #include "baselines/inverse_closure.h"

@@ -86,9 +86,13 @@ TEST(ServiceMetricsViewTest, ToStringGolden) {
   view.publishes = 3;
   view.publishes_full = 2;
   view.publishes_delta = 1;
+  view.publishes_chain_full = 1;
+  view.publishes_optimal_full = 1;
   view.publish_micros_total = 1020;
   view.publish_full_micros_total = 1000;
   view.publish_delta_micros_total = 20;
+  view.publish_chain_full_micros_total = 300;
+  view.publish_optimal_full_micros_total = 700;
   view.delta_nodes_total = 4;
   view.batch_latency_histogram[8] = 2;  // [256, 512) us.
   view.delta_nodes_histogram[2] = 1;    // [4, 8) nodes.
@@ -96,6 +100,10 @@ TEST(ServiceMetricsViewTest, ToStringGolden) {
   view.index_family_name = "hop";
   view.family_label_bytes = 4096;
   view.family_selects = {5, 0, 2};
+  view.last_publish_strategy = "chain_full";
+  view.chain_full_intervals_last = 24;
+  view.optimal_full_intervals_last = 12;
+  view.chain_interval_blowup = 2.0;
 
   EXPECT_EQ(view.ToString(),
             "epoch=3 age_s=0.5 nodes=10 intervals=12 overlay_nodes=1 "
@@ -106,7 +114,11 @@ TEST(ServiceMetricsViewTest, ToStringGolden) {
             "delta=20) delta_nodes=4 latency_hist_us=[<512:2] "
             "delta_nodes_hist=[<8:1] index_family=hop "
             "family_label_bytes=4096 "
-            "family_selects=[intervals=5 trees=0 hop=2]");
+            "family_selects=[intervals=5 trees=0 hop=2] "
+            "publish_strategy=chain_full publishes_chain_full=1 "
+            "publishes_optimal_full=1 publish_us_chain_full=300 "
+            "publish_us_optimal_full=700 chain_intervals_last=24 "
+            "optimal_intervals_last=12 chain_blowup=2");
 }
 
 // ---------------------------------------------------------------------------
@@ -272,44 +284,67 @@ TEST(QueryTracerTest, PeriodFromEnv) {
 // ---------------------------------------------------------------------------
 // SpanLog
 
-TEST(SpanLogTest, AggregateSplitsFullAndDelta) {
+TEST(SpanLogTest, AggregateSplitsByStrategy) {
   SpanLog log(/*capacity=*/8);
-  PublishSpan full;
-  full.epoch = 1;
-  full.delta = false;
-  full.total_micros = 100;
-  full.phase_micros[static_cast<int>(PublishPhase::kExport)] = 60;
-  full.phase_micros[static_cast<int>(PublishPhase::kArenaBuild)] = 30;
-  log.Record(full);
+  PublishSpan optimal;
+  optimal.epoch = 1;
+  optimal.strategy = PublishStrategy::kOptimalFull;
+  optimal.total_micros = 100;
+  optimal.phase_micros[static_cast<int>(PublishPhase::kExport)] = 60;
+  optimal.phase_micros[static_cast<int>(PublishPhase::kArenaBuild)] = 30;
+  log.Record(optimal);
   PublishSpan delta;
   delta.epoch = 2;
-  delta.delta = true;
+  delta.strategy = PublishStrategy::kDelta;
   delta.total_micros = 5;
   delta.phase_micros[static_cast<int>(PublishPhase::kDrain)] = 3;
   log.Record(delta);
+  PublishSpan chain;
+  chain.epoch = 3;
+  chain.strategy = PublishStrategy::kChainFull;
+  chain.total_micros = 40;
+  chain.phase_micros[static_cast<int>(PublishPhase::kRebuild)] = 25;
+  log.Record(chain);
 
+  const int kDelta = static_cast<int>(PublishStrategy::kDelta);
+  const int kChain = static_cast<int>(PublishStrategy::kChainFull);
+  const int kOptimal = static_cast<int>(PublishStrategy::kOptimalFull);
   const SpanLog::Aggregate agg = log.Read();
-  EXPECT_EQ(agg.count[0], 1);
-  EXPECT_EQ(agg.count[1], 1);
-  EXPECT_EQ(agg.total_micros[0], 100);
-  EXPECT_EQ(agg.total_micros[1], 5);
-  EXPECT_EQ(agg.phase_micros_total[0][static_cast<int>(PublishPhase::kExport)],
+  EXPECT_EQ(agg.count[kDelta], 1);
+  EXPECT_EQ(agg.count[kChain], 1);
+  EXPECT_EQ(agg.count[kOptimal], 1);
+  EXPECT_EQ(agg.total_micros[kDelta], 5);
+  EXPECT_EQ(agg.total_micros[kChain], 40);
+  EXPECT_EQ(agg.total_micros[kOptimal], 100);
+  EXPECT_EQ(agg.phase_micros_total[kOptimal]
+                                  [static_cast<int>(PublishPhase::kExport)],
             60);
+  EXPECT_EQ(agg.phase_micros_total[kOptimal][static_cast<int>(
+                PublishPhase::kArenaBuild)],
+            30);
   EXPECT_EQ(
-      agg.phase_micros_total[0][static_cast<int>(PublishPhase::kArenaBuild)],
-      30);
-  EXPECT_EQ(agg.phase_micros_total[1][static_cast<int>(PublishPhase::kDrain)],
-            3);
-  // 60us -> bucket 5 ([32, 64)); 3us -> bucket 1 ([2, 4)).
+      agg.phase_micros_total[kDelta][static_cast<int>(PublishPhase::kDrain)],
+      3);
+  EXPECT_EQ(agg.phase_micros_total[kChain]
+                                  [static_cast<int>(PublishPhase::kRebuild)],
+            25);
+  // 60us -> bucket 5 ([32, 64)); 3us -> bucket 1 ([2, 4));
+  // 25us -> bucket 4 ([16, 32)).
   EXPECT_EQ(
-      agg.phase_histogram[0][static_cast<int>(PublishPhase::kExport)][5], 1);
-  EXPECT_EQ(agg.phase_histogram[1][static_cast<int>(PublishPhase::kDrain)][1],
-            1);
+      agg.phase_histogram[kOptimal][static_cast<int>(PublishPhase::kExport)][5],
+      1);
+  EXPECT_EQ(
+      agg.phase_histogram[kDelta][static_cast<int>(PublishPhase::kDrain)][1],
+      1);
+  EXPECT_EQ(
+      agg.phase_histogram[kChain][static_cast<int>(PublishPhase::kRebuild)][4],
+      1);
 
   const std::vector<PublishSpan> recent = log.Recent();
-  ASSERT_EQ(recent.size(), 2u);
-  EXPECT_FALSE(recent[0].delta);
-  EXPECT_TRUE(recent[1].delta);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].strategy, PublishStrategy::kOptimalFull);
+  EXPECT_EQ(recent[1].strategy, PublishStrategy::kDelta);
+  EXPECT_EQ(recent[2].strategy, PublishStrategy::kChainFull);
   EXPECT_EQ(recent[1].epoch, 2u);
 }
 
@@ -324,7 +359,9 @@ TEST(SpanLogTest, RecentIsBounded) {
   ASSERT_EQ(recent.size(), 2u);
   EXPECT_EQ(recent[0].epoch, 4u);
   EXPECT_EQ(recent[1].epoch, 5u);
-  EXPECT_EQ(log.Read().count[0], 5);  // Aggregates keep counting.
+  // Aggregates keep counting (default spans tag as optimal_full).
+  EXPECT_EQ(
+      log.Read().count[static_cast<int>(PublishStrategy::kOptimalFull)], 5);
 }
 
 TEST(SpanLogTest, PhaseNames) {
@@ -333,6 +370,14 @@ TEST(SpanLogTest, PhaseNames) {
   EXPECT_STREQ(PublishPhaseName(PublishPhase::kArenaBuild), "arena_build");
   EXPECT_STREQ(PublishPhaseName(PublishPhase::kStats), "stats");
   EXPECT_STREQ(PublishPhaseName(PublishPhase::kSwap), "swap");
+  EXPECT_STREQ(PublishPhaseName(PublishPhase::kRebuild), "rebuild");
+}
+
+TEST(SpanLogTest, StrategyNames) {
+  EXPECT_STREQ(PublishStrategyName(PublishStrategy::kDelta), "delta");
+  EXPECT_STREQ(PublishStrategyName(PublishStrategy::kChainFull), "chain_full");
+  EXPECT_STREQ(PublishStrategyName(PublishStrategy::kOptimalFull),
+               "optimal_full");
 }
 
 // ---------------------------------------------------------------------------
@@ -413,10 +458,14 @@ TEST(ExpositionTest, MetricszAgreesWithRead) {
             static_cast<double>(view.batches));
   EXPECT_EQ(samples.at("trel_batch_micros_total"),
             static_cast<double>(view.batch_micros_total));
-  EXPECT_EQ(samples.at("trel_publishes_total{kind=\"full\"}"),
-            static_cast<double>(view.publishes_full));
+  EXPECT_EQ(samples.at("trel_publishes_total{kind=\"chain_full\"}"),
+            static_cast<double>(view.publishes_chain_full));
+  EXPECT_EQ(samples.at("trel_publishes_total{kind=\"optimal_full\"}"),
+            static_cast<double>(view.publishes_optimal_full));
   EXPECT_EQ(samples.at("trel_publishes_total{kind=\"delta\"}"),
             static_cast<double>(view.publishes_delta));
+  EXPECT_EQ(view.publishes_full,
+            view.publishes_chain_full + view.publishes_optimal_full);
   EXPECT_EQ(samples.at("trel_delta_nodes_total"),
             static_cast<double>(view.delta_nodes_total));
   EXPECT_EQ(samples.at("trel_batch_kernel_outcomes_total{outcome=\"fast_"
@@ -503,7 +552,9 @@ TEST(ExpositionTest, StatuszEmbedsMetricsLine) {
   EXPECT_NE(statusz.find("epoch: 1"), std::string::npos);
   // The machine-checkable raw counter line (scraped by tools/obs_check.py).
   EXPECT_NE(statusz.find("metrics: epoch=1 "), std::string::npos);
-  EXPECT_NE(statusz.find("publish_phases_avg_us{full}:"), std::string::npos);
+  EXPECT_NE(statusz.find("publish_phases_avg_us{optimal_full}:"),
+            std::string::npos);
+  EXPECT_NE(statusz.find("publish_strategy: last="), std::string::npos);
 }
 
 TEST(ExpositionTest, TracezListsRecordsAndSlowQueries) {
@@ -689,18 +740,20 @@ TEST(QueryServiceObsTest, PublishSpansSplitFullVsDelta) {
   service.Publish();  // Delta export.
 
   const SpanLog::Aggregate agg = service.span_log().Read();
-  // Two full publishes (the constructor's empty bootstrap + the Load)
-  // and one delta.
-  ASSERT_EQ(agg.count[0], 2);
-  ASSERT_EQ(agg.count[1], 1);
+  // Two full publishes (the constructor's empty bootstrap + the Load —
+  // both optimal_full: a random DAG this size is chain-ineligible) and
+  // one delta.
+  ASSERT_EQ(agg.count[static_cast<int>(PublishStrategy::kOptimalFull)], 2);
+  ASSERT_EQ(agg.count[static_cast<int>(PublishStrategy::kDelta)], 1);
+  ASSERT_EQ(agg.count[static_cast<int>(PublishStrategy::kChainFull)], 0);
 
   const std::vector<PublishSpan> spans = service.span_log().Recent();
   ASSERT_EQ(spans.size(), 3u);
-  EXPECT_FALSE(spans[0].delta);
+  EXPECT_EQ(spans[0].strategy, PublishStrategy::kOptimalFull);
   EXPECT_EQ(spans[0].epoch, 0u);
-  EXPECT_FALSE(spans[1].delta);
+  EXPECT_EQ(spans[1].strategy, PublishStrategy::kOptimalFull);
   EXPECT_EQ(spans[1].epoch, 1u);
-  EXPECT_TRUE(spans[2].delta);
+  EXPECT_EQ(spans[2].strategy, PublishStrategy::kDelta);
   EXPECT_EQ(spans[2].epoch, 2u);
   for (const PublishSpan& span : spans) {
     int64_t phase_sum = 0;
@@ -711,10 +764,12 @@ TEST(QueryServiceObsTest, PublishSpansSplitFullVsDelta) {
     // Phases never account for more than the whole publish.
     EXPECT_LE(phase_sum, span.total_micros + 1);
   }
-  // Delta publishes never build an arena or recompute stats.
+  // Delta publishes never build an arena, recompute stats, or relabel.
   EXPECT_EQ(
       spans[2].phase_micros[static_cast<int>(PublishPhase::kArenaBuild)], 0);
   EXPECT_EQ(spans[2].phase_micros[static_cast<int>(PublishPhase::kStats)], 0);
+  EXPECT_EQ(spans[2].phase_micros[static_cast<int>(PublishPhase::kRebuild)],
+            0);
 }
 
 // ---------------------------------------------------------------------------

@@ -11,7 +11,7 @@
 
 #include <gtest/gtest.h>
 
-#include "baselines/chain_cover.h"
+#include "core/chain_cover.h"
 #include "common/check.h"
 #include "core/labeling.h"
 #include "core/tree_cover.h"

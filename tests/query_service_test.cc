@@ -263,6 +263,183 @@ TEST(QueryServiceFamilyTest, SelectionIsRecordedInMetrics) {
             0);
 }
 
+// --- Publish strategies -----------------------------------------------------
+
+// Clears TREL_PUBLISH for the enclosing scope so tests that exercise
+// ServiceOptions::publish_strategy directly aren't overridden when the
+// whole binary reruns under tools/ci.sh --publish-matrix.
+class ScopedClearPublishEnv {
+ public:
+  ScopedClearPublishEnv() {
+    const char* value = std::getenv("TREL_PUBLISH");
+    if (value != nullptr) saved_ = value;
+    unsetenv("TREL_PUBLISH");
+  }
+  ~ScopedClearPublishEnv() {
+    if (saved_.has_value()) setenv("TREL_PUBLISH", saved_->c_str(), 1);
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(QueryServicePublishStrategyTest, EnvParsingNeverFails) {
+  EXPECT_EQ(ParsePublishStrategySetting(nullptr),
+            PublishStrategySetting::kAuto);
+  EXPECT_EQ(ParsePublishStrategySetting(""), PublishStrategySetting::kAuto);
+  EXPECT_EQ(ParsePublishStrategySetting("auto"),
+            PublishStrategySetting::kAuto);
+  EXPECT_EQ(ParsePublishStrategySetting("bogus"),
+            PublishStrategySetting::kAuto);
+  EXPECT_EQ(ParsePublishStrategySetting("delta"),
+            PublishStrategySetting::kForceDelta);
+  EXPECT_EQ(ParsePublishStrategySetting("chain"),
+            PublishStrategySetting::kForceChain);
+  EXPECT_EQ(ParsePublishStrategySetting("optimal"),
+            PublishStrategySetting::kForceOptimal);
+}
+
+// Every forced publish tier (and auto) must serve the exact same answers
+// through the full service stack — singles, batches, and after a delta
+// publish on top of whichever base the tier built.  tools/ci.sh
+// --publish-matrix additionally reruns this whole binary under each
+// TREL_PUBLISH value, which exercises the env override path.
+TEST(QueryServicePublishStrategyTest, EveryStrategyServesExactAnswers) {
+  ScopedClearPublishEnv clear_env;
+  const Digraph graph = ChainedDag(6, 20, 2.5, 31);
+  for (const PublishStrategySetting setting :
+       {PublishStrategySetting::kAuto, PublishStrategySetting::kForceDelta,
+        PublishStrategySetting::kForceChain,
+        PublishStrategySetting::kForceOptimal}) {
+    ServiceOptions options = SmallBatchOptions();
+    options.publish_strategy = setting;
+    QueryService service(options);
+    ASSERT_TRUE(service.Load(graph).ok());
+
+    ReachabilityMatrix truth(graph);
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      for (NodeId v = 0; v < graph.NumNodes(); ++v) pairs.emplace_back(u, v);
+    }
+    std::vector<uint8_t> batch = service.BatchReaches(pairs);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const auto [u, v] = pairs[i];
+      ASSERT_EQ(service.Reaches(u, v), truth.Reaches(u, v))
+          << PublishStrategySettingName(setting) << " " << u << "->" << v;
+      ASSERT_EQ(batch[i] != 0, truth.Reaches(u, v))
+          << PublishStrategySettingName(setting) << " batch " << u << "->"
+          << v;
+    }
+
+    // Mutate + publish (a delta under every setting — forcing never
+    // changes the delta gate): answers must track fresh ground truth.
+    // The shadow graph replays the same mutations for the oracle.
+    Digraph mutated = graph;
+    auto leaf = service.AddLeafUnder(2);
+    ASSERT_TRUE(leaf.ok());
+    ASSERT_EQ(mutated.AddNode(), *leaf);
+    ASSERT_TRUE(mutated.AddArc(2, *leaf).ok());
+    ASSERT_TRUE(service.AddArc(0, *leaf).ok());  // New by construction.
+    ASSERT_TRUE(mutated.AddArc(0, *leaf).ok());
+    service.Publish();
+    const auto snapshot = service.Snapshot();
+    EXPECT_EQ(snapshot->publish_strategy, PublishStrategy::kDelta)
+        << PublishStrategySettingName(setting);
+    const ReachabilityMatrix post(mutated);
+    for (NodeId u = 0; u < snapshot->NumNodes(); ++u) {
+      for (NodeId v = 0; v < snapshot->NumNodes(); ++v) {
+        ASSERT_EQ(snapshot->Reaches(u, v), post.Reaches(u, v))
+            << PublishStrategySettingName(setting) << " post-delta " << u
+            << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(QueryServicePublishStrategyTest, ForcedTiersTagMetricsAndSnapshots) {
+  ScopedClearPublishEnv clear_env;
+  const Digraph chained = ChainedDag(6, 20, 2.5, 31);
+  {
+    ServiceOptions options;
+    options.num_workers = 0;
+    options.publish_strategy = PublishStrategySetting::kForceChain;
+    QueryService service(options);
+    ASSERT_TRUE(service.Load(chained).ok());
+    EXPECT_EQ(service.Snapshot()->publish_strategy,
+              PublishStrategy::kChainFull);
+    const ServiceMetrics::View view = service.Metrics();
+    EXPECT_GE(view.publishes_chain_full, 1);
+    EXPECT_EQ(view.last_publish_strategy, "chain_full");
+    EXPECT_GT(view.chain_full_intervals_last, 0);
+    EXPECT_EQ(view.publishes_full,
+              view.publishes_chain_full + view.publishes_optimal_full);
+  }
+  {
+    ServiceOptions options;
+    options.num_workers = 0;
+    options.publish_strategy = PublishStrategySetting::kForceOptimal;
+    QueryService service(options);
+    ASSERT_TRUE(service.Load(chained).ok());
+    EXPECT_EQ(service.Snapshot()->publish_strategy,
+              PublishStrategy::kOptimalFull);
+    const ServiceMetrics::View view = service.Metrics();
+    EXPECT_EQ(view.publishes_chain_full, 0);
+    EXPECT_GE(view.publishes_optimal_full, 2);  // Bootstrap + Load.
+    EXPECT_EQ(view.last_publish_strategy, "optimal_full");
+  }
+  {
+    // Forcing chain on a shape whose chain build trips the entry cap must
+    // fall back to the Alg1 build — and the provenance tag must say so.
+    ServiceOptions options;
+    options.num_workers = 0;
+    options.publish_strategy = PublishStrategySetting::kForceChain;
+    QueryService service(options);
+    ASSERT_TRUE(service.Load(CompleteBipartite(120, 120)).ok());
+    EXPECT_EQ(service.Snapshot()->publish_strategy,
+              PublishStrategy::kOptimalFull);
+    EXPECT_TRUE(service.Reaches(0, 121));
+    EXPECT_FALSE(service.Reaches(121, 0));
+  }
+}
+
+TEST(QueryServicePublishStrategyTest, AutoSelectsByEligibilityAndCadence) {
+  ScopedClearPublishEnv clear_env;
+  ServiceOptions options;
+  options.num_workers = 0;
+  options.delta_publish = false;  // Every publish is a full export.
+  options.chain_reoptimize_cadence = 2;
+  QueryService service(options);
+
+  // Chain-structured graph: auto picks the chain-fast tier at Load.
+  ASSERT_TRUE(service.Load(ChainedDag(6, 20, 2.5, 31)).ok());
+  EXPECT_EQ(service.Snapshot()->publish_strategy, PublishStrategy::kChainFull);
+  ServiceMetrics::View view = service.Metrics();
+  EXPECT_EQ(view.publishes_chain_full, 1);
+  EXPECT_EQ(view.last_publish_strategy, "chain_full");
+
+  // The next full publish is the 2nd consecutive chain-cover one, so the
+  // cadence upgrades it to an Alg1-optimal rebuild mid-publish.
+  auto leaf = service.AddLeafUnder(0);
+  ASSERT_TRUE(leaf.ok());
+  service.Publish();
+  EXPECT_EQ(service.Snapshot()->publish_strategy,
+            PublishStrategy::kOptimalFull);
+  view = service.Metrics();
+  EXPECT_EQ(view.publishes_chain_full, 1);
+  EXPECT_EQ(view.last_publish_strategy, "optimal_full");
+  // Both tiers have now published, so the blowup ratio is live (the chain
+  // labeling can only be as good as or worse than Alg1's).
+  EXPECT_GT(view.chain_full_intervals_last, 0);
+  EXPECT_GT(view.optimal_full_intervals_last, 0);
+  EXPECT_GE(view.chain_interval_blowup, 1.0);
+
+  // Chain-hostile graph: auto stays on the Alg1-optimal tier at Load.
+  ASSERT_TRUE(service.Load(RandomDag(500, 3.0, 11)).ok());
+  EXPECT_EQ(service.Snapshot()->publish_strategy,
+            PublishStrategy::kOptimalFull);
+  EXPECT_EQ(service.Metrics().publishes_chain_full, 1);  // Unchanged.
+}
+
 TEST(QueryServiceAdmissionTest, RejectsAtLimitThenRecoversExactly) {
   Digraph graph = RandomDag(80, 2.5, 33);
   ReachabilityMatrix matrix(graph);

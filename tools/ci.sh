@@ -16,6 +16,10 @@
 #                              # each TREL_INDEX family (intervals, trees,
 #                              # hop, auto) — every family must be
 #                              # bit-for-bit exact
+#   tools/ci.sh --publish-matrix # differential + service test battery under
+#                              # each TREL_PUBLISH tier (delta, chain,
+#                              # optimal, auto) — every tier must be
+#                              # bit-for-bit exact
 #   tools/ci.sh --obs          # obs unit tests, live /metricsz–/statusz
 #                              # scrape validated by tools/obs_check.py,
 #                              # and the query tracer under TSan
@@ -183,6 +187,37 @@ family_matrix() {
   done
 }
 
+publish_matrix() {
+  # Re-runs the correctness battery once per publish tier.  TREL_PUBLISH
+  # forces the full-publish strategy (auto lets the selector pick per
+  # graph; delta only suppresses rebuilds — the delta gate itself never
+  # moves), so a tier whose labels or provenance plumbing drift from the
+  # DFS/interval ground truth fails the same differential assertions the
+  # default build passes.  `trel_tool chains` runs first per tier as a
+  # cheap offline probe of the same eligibility signals the service uses,
+  # on both a chain-friendly and a chain-hostile graph.
+  run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
+  run cmake --build build -j "${JOBS}" --target \
+    trel_tool arena_differential_test query_service_test \
+    delta_snapshot_test snapshot_test
+  local chained="build/publish-chained.el"
+  local random="build/publish-random.el"
+  echo "==> ./build/tools/trel_tool generate chained 16 125 4.0 7 > ${chained}"
+  ./build/tools/trel_tool generate chained 16 125 4.0 7 > "${chained}"
+  echo "==> ./build/tools/trel_tool generate random 500 3 11 > ${random}"
+  ./build/tools/trel_tool generate random 500 3 11 > "${random}"
+  local tier
+  for tier in delta chain optimal auto; do
+    echo "==> publish matrix: TREL_PUBLISH=${tier}"
+    run env TREL_PUBLISH="${tier}" ./build/tools/trel_tool chains "${chained}"
+    run env TREL_PUBLISH="${tier}" ./build/tools/trel_tool chains "${random}"
+    run env TREL_PUBLISH="${tier}" ./build/tests/arena_differential_test
+    run env TREL_PUBLISH="${tier}" ./build/tests/query_service_test
+    run env TREL_PUBLISH="${tier}" ./build/tests/delta_snapshot_test
+    run env TREL_PUBLISH="${tier}" ./build/tests/snapshot_test
+  done
+}
+
 obs_stage() {
   # Observability end-to-end: run the obs unit suite, then scrape a live
   # exporter (trel_tool serve on an ephemeral port, warmed with
@@ -293,13 +328,14 @@ else
       --arena-fuzz) stages+=(arena_fuzz) ;;
       --simd-matrix) stages+=(simd_matrix) ;;
       --family-matrix) stages+=(family_matrix) ;;
+      --publish-matrix) stages+=(publish_matrix) ;;
       --obs) stages+=(obs_stage) ;;
       --soak) stages+=(soak) ;;
       *)
         echo "unknown stage: ${arg}" >&2
         echo "usage: tools/ci.sh [--tier1] [--asan] [--tsan] [--bench-smoke]" \
-          "[--arena-fuzz] [--simd-matrix] [--family-matrix] [--obs]" \
-          "[--soak]" >&2
+          "[--arena-fuzz] [--simd-matrix] [--family-matrix]" \
+          "[--publish-matrix] [--obs] [--soak]" >&2
         exit 2
         ;;
     esac

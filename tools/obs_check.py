@@ -48,10 +48,13 @@ STATUSZ_TO_METRICSZ = {
     "batch_us": "trel_batch_micros_total",
     "batches_rejected": "trel_batches_rejected_total",
     "delta_nodes": "trel_delta_nodes_total",
-    "publishes_full": 'trel_publishes_total{kind="full"}',
     "publishes_delta": 'trel_publishes_total{kind="delta"}',
-    "publish_us_full": 'trel_publish_micros_total{kind="full"}',
     "publish_us_delta": 'trel_publish_micros_total{kind="delta"}',
+    "publishes_chain_full": 'trel_publishes_total{kind="chain_full"}',
+    "publishes_optimal_full": 'trel_publishes_total{kind="optimal_full"}',
+    "publish_us_chain_full": 'trel_publish_micros_total{kind="chain_full"}',
+    "publish_us_optimal_full":
+        'trel_publish_micros_total{kind="optimal_full"}',
     "kernel_fast": 'trel_batch_kernel_outcomes_total{outcome="fast_path"}',
     "kernel_filter_rej":
         'trel_batch_kernel_outcomes_total{outcome="filter_reject"}',
@@ -237,6 +240,10 @@ def parse_statusz_metrics_line(statusz, errors):
     grab(r"publishes=\d+ \(full=(\d+) delta=(\d+)\)", "publishes_delta", 2)
     grab(r"publish_us=\d+ \(full=(\d+) delta=(\d+)\)", "publish_us_full", 1)
     grab(r"publish_us=\d+ \(full=(\d+) delta=(\d+)\)", "publish_us_delta", 2)
+    grab(r"\bpublishes_chain_full=(\d+)", "publishes_chain_full")
+    grab(r"\bpublishes_optimal_full=(\d+)", "publishes_optimal_full")
+    grab(r"\bpublish_us_chain_full=(\d+)", "publish_us_chain_full")
+    grab(r"\bpublish_us_optimal_full=(\d+)", "publish_us_optimal_full")
     return fields
 
 
@@ -292,13 +299,33 @@ def main():
         print(f"obs_check: statusz/metricsz agreement over "
               f"{len(fields)} fields")
 
+    # The publish-tier split must add up: the statusz full totals are the
+    # sum of the chain_full and optimal_full tiers.
+    for total_field, parts in (
+            ("publishes_full",
+             ("publishes_chain_full", "publishes_optimal_full")),
+            ("publish_us_full",
+             ("publish_us_chain_full", "publish_us_optimal_full"))):
+        if total_field in fields and all(p in fields for p in parts):
+            part_sum = sum(fields[p] for p in parts)
+            if fields[total_field] != part_sum:
+                errors.append(
+                    f"tier split: {total_field} {fields[total_field]:g} != "
+                    f"{' + '.join(parts)} = {part_sum:g}")
+
     # The warmed server must show real traffic, or the checks above are
-    # vacuous.
+    # vacuous.  Full publishes may be chain-fast or Alg1-optimal depending
+    # on the serve graph, so the tiers are summed.
     for key in ("trel_reach_queries_total", "trel_batches_total",
-                'trel_publishes_total{kind="full"}',
                 'trel_publishes_total{kind="delta"}'):
         if samples.get(key, 0) <= 0:
             errors.append(f"warmup: {key} is zero — serve warmup broken")
+    full_publishes = (
+        samples.get('trel_publishes_total{kind="chain_full"}', 0) +
+        samples.get('trel_publishes_total{kind="optimal_full"}', 0))
+    if full_publishes <= 0:
+        errors.append("warmup: no chain_full/optimal_full publishes — "
+                      "serve warmup broken")
 
     if "sample_period:" not in tracez or "slow_queries:" not in tracez:
         errors.append("tracez: missing sample_period/slow_queries sections")

@@ -19,7 +19,9 @@
 #include <utility>
 #include <vector>
 
-#include "baselines/chain_cover.h"
+#include "core/chain_cover.h"
+#include "core/chain_propagator.h"
+#include "core/dynamic_closure.h"
 #include "baselines/inverse_closure.h"
 #include "core/closure_stats.h"
 #include "core/compressed_closure.h"
@@ -50,6 +52,7 @@ int Usage() {
       "  trel_tool generate random <nodes> <avg_degree> <seed>\n"
       "  trel_tool generate tree <nodes> <seed>\n"
       "  trel_tool generate bipartite <top> <bottom>\n"
+      "  trel_tool generate chained <chains> <length> <avg_degree> <seed>\n"
       "  trel_tool stats <graph.el>\n"
       "  trel_tool compress <graph.el> <closure.db>\n"
       "  trel_tool query <closure.db> <from> <to>\n"
@@ -58,6 +61,7 @@ int Usage() {
       "  trel_tool successors <relation.csv> <src-col> <dst-col> <from>\n"
       "  trel_tool simd\n"
       "  trel_tool index <graph.el>\n"
+      "  trel_tool chains <graph.el>\n"
       "  trel_tool metricsz <graph.el>\n"
       "  trel_tool tracez <graph.el> [sample_period]\n"
       "  trel_tool serve <graph.el> <port> [duration_s]\n"
@@ -65,7 +69,9 @@ int Usage() {
       "environment:\n"
       "  TREL_SIMD   force a query-kernel level (scalar|sse|avx2|auto)\n"
       "  TREL_INDEX  force the snapshot index family\n"
-      "              (intervals|trees|hop|auto); unknown values mean auto\n");
+      "              (intervals|trees|hop|auto); unknown values mean auto\n"
+      "  TREL_PUBLISH  force the service publish tier\n"
+      "              (delta|chain|optimal|auto); unknown values mean auto\n");
   return 2;
 }
 
@@ -140,6 +146,73 @@ int IndexInfo(const Digraph& graph) {
   return 0;
 }
 
+// Prints the chain analyzer's signals and the publish tier a service
+// Load of this graph would build with — the offline twin of the
+// PublishLocked tiering, mirroring what `trel_tool index` does for the
+// family selector.  Honors TREL_PUBLISH the same way the service does.
+int ChainsInfo(const Digraph& graph) {
+  auto signals = AnalyzeChains(graph);
+  if (!signals.ok()) {
+    std::cerr << signals.status() << "\n";
+    return 1;
+  }
+  auto closure = CompressedClosure::Build(graph);
+  if (!closure.ok()) {
+    std::cerr << closure.status() << "\n";
+    return 1;
+  }
+  const LabelingOptions labeling = DynamicClosure::DefaultOptions().labeling;
+  auto chain = BuildChainLabeling(graph, labeling);
+  // The true width (minimum chain cover, Dilworth) bounds the greedy
+  // count from below; the Hopcroft-Karp matching behind it is quadratic
+  // in memory, so probe it on small graphs only.
+  int width = -1;
+  if (graph.NumNodes() <= 4096) {
+    auto minimum = ChainCover::Build(graph, ChainCover::Method::kMinimum);
+    if (minimum.ok()) width = minimum->NumChains();
+  }
+  const char* env = std::getenv("TREL_PUBLISH");
+  const PublishStrategySetting setting = PublishStrategySettingFromEnv();
+  const bool loads_chain =
+      chain.ok() &&
+      (setting == PublishStrategySetting::kForceChain ||
+       (setting == PublishStrategySetting::kAuto && signals->eligible));
+
+  std::printf("nodes:             %d\n", signals->num_nodes);
+  std::printf("arcs:              %lld\n",
+              static_cast<long long>(signals->num_arcs));
+  std::printf("greedy chains:     %d  (fraction %.4f, eligible below "
+              "min(%d, n/%d))\n",
+              signals->num_chains, signals->chain_fraction,
+              kMaxChainFastChains,
+              static_cast<int>(1.0 / kMaxChainWidthFraction));
+  if (width >= 0) {
+    std::printf("minimum chains:    %d  (antichain width, Dilworth)\n", width);
+  } else {
+    std::printf("minimum chains:    (skipped; graph over 4096 nodes)\n");
+  }
+  std::printf("chain eligible:    %s\n", signals->eligible ? "yes" : "no");
+  std::printf("alg1 intervals:    %lld\n",
+              static_cast<long long>(closure->TotalIntervals()));
+  if (chain.ok()) {
+    const int64_t chain_intervals = chain->labels.TotalIntervals();
+    std::printf("chain intervals:   %lld  (blowup %.2fx, cap %lld/node)\n",
+                static_cast<long long>(chain_intervals),
+                closure->TotalIntervals() > 0
+                    ? static_cast<double>(chain_intervals) /
+                          static_cast<double>(closure->TotalIntervals())
+                    : 0.0,
+                static_cast<long long>(kMaxChainEntriesPerNode));
+  } else {
+    std::printf("chain intervals:   (build failed: %s)\n",
+                chain.status().ToString().c_str());
+  }
+  std::printf("TREL_PUBLISH:      %s\n", env != nullptr ? env : "(unset)");
+  std::printf("load would build:  %s\n",
+              loads_chain ? "chain_full" : "optimal_full");
+  return 0;
+}
+
 StatusOr<Digraph> LoadGraph(const std::string& path) {
   std::ifstream in(path);
   if (!in) return IoError("cannot open " + path);
@@ -158,6 +231,10 @@ int Generate(int argc, char** argv) {
                        std::strtoull(argv[2], nullptr, 10));
   } else if (kind == "bipartite" && argc == 3) {
     graph = CompleteBipartite(std::atoi(argv[1]), std::atoi(argv[2]));
+  } else if (kind == "chained" && argc == 5) {
+    graph = ChainedDag(std::atoi(argv[1]), std::atoi(argv[2]),
+                       std::atof(argv[3]),
+                       std::strtoull(argv[4], nullptr, 10));
   } else {
     return Usage();
   }
@@ -445,6 +522,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     return IndexInfo(graph.value());
+  }
+  if (command == "chains" && argc == 3) {
+    auto graph = LoadGraph(argv[2]);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return 1;
+    }
+    return ChainsInfo(graph.value());
   }
   if (command == "metricsz" && argc == 3) return Metricsz(argv[2]);
   if (command == "tracez" && (argc == 3 || argc == 4)) {
