@@ -40,3 +40,5 @@ target_link_libraries(micro_obs_overhead PRIVATE trel_service)
 trel_add_bench(micro_adversarial)
 trel_add_bench(micro_publish)
 target_link_libraries(micro_publish PRIVATE trel_service)
+trel_add_bench(micro_sharded)
+target_link_libraries(micro_sharded PRIVATE trel_service)

@@ -180,6 +180,58 @@ Digraph ChainedDag(int num_chains, NodeId chain_length, double avg_degree,
   return graph;
 }
 
+Digraph ClusteredDag(int num_clusters, NodeId cluster_size,
+                     double avg_out_degree, int gateways,
+                     double cross_fraction, uint64_t seed) {
+  TREL_CHECK_GT(num_clusters, 0);
+  TREL_CHECK_GT(cluster_size, 0);
+  TREL_CHECK_GT(gateways, 0);
+  TREL_CHECK_LE(gateways, cluster_size);
+  TREL_CHECK_GE(cross_fraction, 0.0);
+  TREL_CHECK_LE(cross_fraction, 1.0);
+  const NodeId n = static_cast<NodeId>(num_clusters) * cluster_size;
+  Digraph graph(n);
+  const int64_t target = std::llround(avg_out_degree * n);
+  int64_t cross_target =
+      num_clusters > 1 ? std::llround(cross_fraction * target) : 0;
+  // Intra-cluster arcs need i < j pairs; a 1-node cluster has none.
+  int64_t intra_target = cluster_size > 1 ? target - cross_target : 0;
+  const int64_t intra_max = static_cast<int64_t>(num_clusters) *
+                            cluster_size * (cluster_size - 1) / 2;
+  intra_target = std::min(intra_target, intra_max);
+  Random rng(seed);
+  std::unordered_set<uint64_t> used;
+  used.reserve(static_cast<size_t>(target) * 2);
+  int64_t added = 0;
+  while (added < intra_target) {
+    const NodeId base =
+        static_cast<NodeId>(rng.Uniform(num_clusters)) * cluster_size;
+    const NodeId i = static_cast<NodeId>(rng.Uniform(cluster_size));
+    const NodeId j = static_cast<NodeId>(rng.Uniform(cluster_size));
+    if (i >= j) continue;
+    if (!used.insert(PairKey(base + i, base + j)).second) continue;
+    TREL_CHECK(graph.AddArc(base + i, base + j).ok());
+    ++added;
+  }
+  added = 0;
+  int64_t attempts = 0;
+  while (added < cross_target && attempts < cross_target * 64 + 1024) {
+    ++attempts;
+    const int ca = static_cast<int>(rng.Uniform(num_clusters));
+    const int cb = static_cast<int>(rng.Uniform(num_clusters));
+    if (ca >= cb) continue;  // Forward in id order keeps it acyclic.
+    // Leave through a gateway: one of the source cluster's last nodes.
+    const NodeId u = static_cast<NodeId>(ca) * cluster_size + cluster_size -
+                     1 - static_cast<NodeId>(rng.Uniform(gateways));
+    const NodeId v = static_cast<NodeId>(cb) * cluster_size +
+                     static_cast<NodeId>(rng.Uniform(cluster_size));
+    if (!used.insert(PairKey(u, v)).second) continue;
+    TREL_CHECK(graph.AddArc(u, v).ok());
+    ++added;
+  }
+  return graph;
+}
+
 int64_t EnumerateDagsOverOrder(
     NodeId num_nodes, const std::function<void(const Digraph&)>& fn) {
   TREL_CHECK_GT(num_nodes, 0);

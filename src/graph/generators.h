@@ -75,6 +75,24 @@ Digraph HubDag(NodeId num_sources, NodeId num_hubs, NodeId num_sinks,
 Digraph ChainedDag(int num_chains, NodeId chain_length, double avg_degree,
                    uint64_t seed);
 
+// Clustered DAG: `num_clusters` contiguous-id clusters of `cluster_size`
+// nodes each, with round(n * avg_out_degree) total arcs.  All arcs run
+// from a smaller to a larger node id, so node id order is topological
+// and acyclicity holds by construction.  A `cross_fraction` share of the
+// arcs cross clusters; every cross arc leaves through one of the last
+// `gateways` nodes of its source cluster (the cluster's "gateways"), so
+// cross-cluster traffic concentrates on ~num_clusters * gateways nodes.
+// The rest of the arcs are uniform intra-cluster pairs.
+//
+// This is the sharded service's home turf: a topo-range partitioner cuts
+// between clusters at a small edge-cut fraction, and the greedy hub
+// cover of the cut arcs recovers the gateways (see graph/partition.h).
+// RandomDag is the wrong shape for that experiment — its uniform arc
+// spans make every cut sever Theta(m) arcs.
+Digraph ClusteredDag(int num_clusters, NodeId cluster_size,
+                     double avg_out_degree, int gateways,
+                     double cross_fraction, uint64_t seed);
+
 // Enumerates every DAG over the fixed topological order 0 < 1 < ... < n-1:
 // all 2^(n(n-1)/2) subsets of the arcs (i, j), i < j.  This is the
 // population behind the paper's Figure 3.12 sensitivity experiment.

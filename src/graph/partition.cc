@@ -1,0 +1,182 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/topology.h"
+
+namespace trel {
+
+namespace {
+
+// Lexicographically smallest topological order (min-id Kahn).  The
+// generic TopologicalOrder is BFS-layered, which interleaves far-apart
+// id ranges — terrible for the cut sweep, since node ids usually encode
+// locality (clusters, load order).  The lex-min order degenerates to
+// the identity permutation whenever id order is itself topological, so
+// id-contiguous clusters stay contiguous in position space.
+StatusOr<std::vector<NodeId>> LexMinTopologicalOrder(const Digraph& graph) {
+  const NodeId n = graph.NumNodes();
+  std::vector<int> in_degree(n, 0);
+  for (NodeId v = 0; v < n; ++v) in_degree[v] = graph.InDegree(v);
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<NodeId>>
+      ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (NodeId w : graph.OutNeighbors(u)) {
+      if (--in_degree[w] == 0) ready.push(w);
+    }
+  }
+  if (static_cast<NodeId>(order.size()) != n) {
+    return FailedPreconditionError("graph contains a cycle");
+  }
+  return order;
+}
+
+// Picks the K-1 cut positions.  crossing[p] counts arcs spanning a cut
+// just before topological position p (valid p in [1, n-1]); each cut
+// slides within its slack window to the minimum-crossing position,
+// constrained to stay at or after the previous cut (empty shards are
+// allowed when n < K).
+std::vector<int64_t> ChooseCuts(const std::vector<int64_t>& crossing,
+                                int64_t n, int num_shards,
+                                double window_fraction) {
+  std::vector<int64_t> cuts;
+  cuts.reserve(num_shards - 1);
+  const int64_t window = std::max<int64_t>(
+      1, static_cast<int64_t>(window_fraction * static_cast<double>(n)));
+  int64_t prev = 0;
+  for (int k = 1; k < num_shards; ++k) {
+    const int64_t ideal = (n * k) / num_shards;
+    int64_t lo = std::max<int64_t>(prev, ideal - window);
+    int64_t hi = std::min<int64_t>(n, ideal + window);
+    if (lo > hi) lo = hi;
+    int64_t best = lo;
+    // Only interior positions have a crossing count; cuts at 0 or n make
+    // an empty shard and sever nothing.
+    for (int64_t p = lo; p <= hi; ++p) {
+      const int64_t cost = (p >= 1 && p < n) ? crossing[p] : 0;
+      const int64_t best_cost =
+          (best >= 1 && best < n) ? crossing[best] : 0;
+      if (cost < best_cost ||
+          (cost == best_cost &&
+           std::llabs(p - ideal) < std::llabs(best - ideal))) {
+        best = p;
+      }
+    }
+    cuts.push_back(best);
+    prev = best;
+  }
+  return cuts;
+}
+
+}  // namespace
+
+StatusOr<Partition> PartitionDag(const Digraph& graph,
+                                 const PartitionOptions& options) {
+  if (options.num_shards < 1) {
+    return InvalidArgumentError("num_shards must be >= 1");
+  }
+  StatusOr<std::vector<NodeId>> order = LexMinTopologicalOrder(graph);
+  TREL_RETURN_IF_ERROR(order.status());
+  const int64_t n = graph.NumNodes();
+  const std::vector<int> pos = PositionsInOrder(*order, graph.NumNodes());
+
+  Partition part;
+  part.num_shards = options.num_shards;
+  part.shard_of.assign(n, 0);
+  part.is_hub.assign(n, 0);
+  part.shard_nodes.assign(options.num_shards, 0);
+  part.total_arcs = graph.NumArcs();
+
+  if (options.num_shards > 1 && n > 0) {
+    // crossing[p] = #{arcs (u,v) : pos[u] < p <= pos[v]}; each arc
+    // contributes to positions (pos[u], pos[v]], accumulated with a
+    // difference array.
+    std::vector<int64_t> diff(n + 2, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : graph.OutNeighbors(u)) {
+        const int64_t a = pos[u];
+        const int64_t b = pos[v];
+        TREL_CHECK_LT(a, b);
+        diff[a + 1] += 1;
+        diff[b + 1] -= 1;
+      }
+    }
+    std::vector<int64_t> crossing(n + 1, 0);
+    int64_t run = 0;
+    for (int64_t p = 1; p <= n; ++p) {
+      run += diff[p];
+      crossing[p] = run;
+    }
+    const std::vector<int64_t> cuts =
+        ChooseCuts(crossing, n, options.num_shards, options.window_fraction);
+    for (int64_t p = 0; p < n; ++p) {
+      const NodeId node = (*order)[p];
+      int shard = 0;
+      while (shard < static_cast<int>(cuts.size()) && p >= cuts[shard]) {
+        ++shard;
+      }
+      part.shard_of[node] = shard;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) ++part.shard_nodes[part.shard_of[v]];
+
+  // Greedy vertex cover of the cut arcs by descending uncovered cross
+  // degree: classic 2-approximation territory, and on hub-and-spoke
+  // graphs it recovers the gateways.  Lazy-deletion heap: stale entries
+  // are skipped when their recorded degree no longer matches.
+  std::vector<std::pair<NodeId, NodeId>> cut;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (part.shard_of[u] != part.shard_of[v]) cut.emplace_back(u, v);
+    }
+  }
+  part.cut_arcs = static_cast<int64_t>(cut.size());
+  if (!cut.empty()) {
+    std::vector<std::vector<int64_t>> incident(n);
+    for (int64_t i = 0; i < static_cast<int64_t>(cut.size()); ++i) {
+      incident[cut[i].first].push_back(i);
+      incident[cut[i].second].push_back(i);
+    }
+    std::vector<int64_t> degree(n, 0);
+    std::priority_queue<std::pair<int64_t, NodeId>> heap;
+    for (NodeId v = 0; v < n; ++v) {
+      degree[v] = static_cast<int64_t>(incident[v].size());
+      // Negated id so ties prefer the SMALLER node id (max-heap).
+      if (degree[v] > 0) heap.emplace(degree[v], -v);
+    }
+    std::vector<uint8_t> covered(cut.size(), 0);
+    while (!heap.empty()) {
+      const auto [d, neg] = heap.top();
+      heap.pop();
+      const NodeId v = -neg;
+      if (d != degree[v] || d == 0) continue;  // stale or exhausted
+      part.is_hub[v] = 1;
+      degree[v] = 0;
+      for (int64_t i : incident[v]) {
+        if (covered[i]) continue;
+        covered[i] = 1;
+        const NodeId other = cut[i].first == v ? cut[i].second : cut[i].first;
+        if (part.is_hub[other]) continue;
+        if (--degree[other] > 0) heap.emplace(degree[other], -other);
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (part.is_hub[v]) part.hubs.push_back(v);
+  }
+  return part;
+}
+
+}  // namespace trel

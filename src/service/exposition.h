@@ -11,6 +11,7 @@
 namespace trel {
 
 class QueryService;
+class ShardedQueryService;
 
 // Renders every ServiceMetrics counter and histogram, the publish-span
 // phase breakdown (split delta / chain_full / optimal_full), and the
@@ -38,6 +39,15 @@ std::string RenderTracez(const QueryTracer* tracer, const SlowQueryLog* slow);
 std::string RenderMetricsz(const QueryService& service);
 std::string RenderStatusz(const QueryService& service);
 std::string RenderTracez(const QueryService& service);
+
+// Sharded-service exposition: the boundary layer's own families
+// (trel_sharded_* / trel_boundary_* / trel_hub_*) plus every per-shard
+// counter that matters for balance debugging, labeled shard="<s>".  The
+// statusz page carries one line per shard and a machine-checkable
+// `boundary_metrics:` line (ShardedMetricsView::ToString()) that the
+// --obs CI stage diffs against /metricsz.
+std::string RenderMetricsz(const ShardedQueryService& service);
+std::string RenderStatusz(const ShardedQueryService& service);
 
 }  // namespace trel
 

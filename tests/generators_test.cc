@@ -137,6 +137,48 @@ TEST(HubDagTest, DeterministicPerSeed) {
   EXPECT_NE(a.Arcs(), c.Arcs());
 }
 
+TEST(ClusteredDagTest, ArcCountLayoutAndGatewayFunnelHold) {
+  const int clusters = 6, gateways = 2;
+  const NodeId cluster_size = 50;
+  const Digraph graph =
+      ClusteredDag(clusters, cluster_size, 3.0, gateways, 0.1, 11);
+  ASSERT_EQ(graph.NumNodes(), clusters * cluster_size);
+  EXPECT_TRUE(IsAcyclic(graph));
+  // Arc budget: round(n * degree), split ~90/10 intra/cross (the cross
+  // loop may fall short only if its attempt cap trips, which it should
+  // not at this density).
+  EXPECT_EQ(graph.NumArcs(), 900);
+  int64_t cross = 0;
+  for (const auto& [u, v] : graph.Arcs()) {
+    const int cu = u / cluster_size;
+    const int cv = v / cluster_size;
+    EXPECT_LE(cu, cv);
+    if (cu == cv) {
+      EXPECT_LT(u, v);  // Intra arcs ascend in id: acyclic by layout.
+    } else {
+      ++cross;
+      // Cross arcs leave through one of the source cluster's gateways.
+      EXPECT_GE(u, (cu + 1) * cluster_size - gateways);
+    }
+  }
+  EXPECT_EQ(cross, 90);
+}
+
+TEST(ClusteredDagTest, DeterministicPerSeed) {
+  const Digraph a = ClusteredDag(4, 25, 2.0, 2, 0.1, 3);
+  const Digraph b = ClusteredDag(4, 25, 2.0, 2, 0.1, 3);
+  const Digraph c = ClusteredDag(4, 25, 2.0, 2, 0.1, 4);
+  EXPECT_EQ(a.Arcs(), b.Arcs());
+  EXPECT_NE(a.Arcs(), c.Arcs());
+}
+
+TEST(ClusteredDagTest, SingleClusterHasNoCrossArcs) {
+  const NodeId cluster_size = 40;
+  const Digraph graph = ClusteredDag(1, cluster_size, 2.0, 1, 0.5, 7);
+  EXPECT_TRUE(IsAcyclic(graph));
+  EXPECT_EQ(graph.NumArcs(), 80);  // Cross share folded back into intra.
+}
+
 TEST(SampleDagTest, UniformSamplesAreAcyclicAndVaried) {
   int64_t arcs_total = 0;
   for (uint64_t seed = 0; seed < 20; ++seed) {

@@ -1,0 +1,157 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+// Structural invariants every partition must satisfy, regardless of
+// graph shape or K: shard assignment total and in-range, shard_nodes
+// consistent, hubs sorted/deduped and flag-consistent, and — the
+// invariant the sharded service's exactness rests on — every
+// cross-shard arc has at least one hub endpoint.
+void CheckInvariants(const Digraph& graph, const Partition& p,
+                     int num_shards) {
+  const NodeId n = graph.NumNodes();
+  ASSERT_EQ(p.num_shards, num_shards);
+  ASSERT_EQ(static_cast<NodeId>(p.shard_of.size()), n);
+  ASSERT_EQ(static_cast<NodeId>(p.is_hub.size()), n);
+  ASSERT_EQ(static_cast<int>(p.shard_nodes.size()), num_shards);
+
+  std::vector<int64_t> counts(num_shards, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ASSERT_GE(p.shard_of[v], 0);
+    ASSERT_LT(p.shard_of[v], num_shards);
+    ++counts[p.shard_of[v]];
+  }
+  EXPECT_EQ(counts, p.shard_nodes);
+
+  EXPECT_TRUE(std::is_sorted(p.hubs.begin(), p.hubs.end()));
+  EXPECT_EQ(std::adjacent_find(p.hubs.begin(), p.hubs.end()), p.hubs.end());
+  int64_t flagged = 0;
+  for (NodeId v = 0; v < n; ++v) flagged += p.is_hub[v] != 0;
+  EXPECT_EQ(flagged, static_cast<int64_t>(p.hubs.size()));
+  for (NodeId h : p.hubs) EXPECT_TRUE(p.is_hub[h]);
+
+  int64_t cut = 0;
+  for (const auto& [a, b] : graph.Arcs()) {
+    if (p.shard_of[a] != p.shard_of[b]) {
+      ++cut;
+      EXPECT_TRUE(p.is_hub[a] || p.is_hub[b])
+          << "cut arc (" << a << "," << b << ") has no hub endpoint";
+    }
+  }
+  EXPECT_EQ(cut, p.cut_arcs);
+  EXPECT_EQ(p.total_arcs, graph.NumArcs());
+}
+
+TEST(PartitionTest, SingleShardHasNoCutsAndNoHubs) {
+  const Digraph g = RandomDag(200, 3.0, /*seed=*/1);
+  PartitionOptions options;
+  options.num_shards = 1;
+  const auto p = PartitionDag(g, options);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  CheckInvariants(g, *p, 1);
+  EXPECT_EQ(p->cut_arcs, 0);
+  EXPECT_TRUE(p->hubs.empty());
+  EXPECT_EQ(p->shard_nodes[0], 200);
+  EXPECT_EQ(p->EdgeCutFraction(), 0.0);
+}
+
+TEST(PartitionTest, PaperDagFourShards) {
+  const Digraph g = testing_util::PaperStyleDag();
+  PartitionOptions options;
+  options.num_shards = 4;
+  const auto p = PartitionDag(g, options);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  CheckInvariants(g, *p, 4);
+}
+
+TEST(PartitionTest, RandomDagsSatisfyInvariants) {
+  for (const uint64_t seed : {7u, 8u, 9u}) {
+    for (const int k : {2, 3, 4, 8}) {
+      const Digraph g = RandomDag(300, 2.5, seed);
+      PartitionOptions options;
+      options.num_shards = k;
+      const auto p = PartitionDag(g, options);
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      CheckInvariants(g, *p, k);
+      // Contiguous topo ranges keep shards reasonably balanced even
+      // after the cut points slide inside their slack windows.
+      const int64_t ideal = 300 / k;
+      for (const int64_t size : p->shard_nodes) {
+        EXPECT_LE(size, ideal + ideal / 2 + 32);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, ClusteredDagCutsBetweenClusters) {
+  // 8 clusters of 128 nodes; cross traffic funneled through 3 gateways
+  // per cluster.  A topo-range partitioner at K=4 should cut on (or
+  // near) cluster boundaries, keeping the edge-cut a small fraction,
+  // and the greedy cover should need few hubs (the gateways and the
+  // entry nodes they feed).
+  const Digraph g = ClusteredDag(/*num_clusters=*/8, /*cluster_size=*/128,
+                                 /*avg_out_degree=*/3.0, /*gateways=*/3,
+                                 /*cross_fraction=*/0.08, /*seed=*/42);
+  PartitionOptions options;
+  options.num_shards = 4;
+  const auto p = PartitionDag(g, options);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  CheckInvariants(g, *p, 4);
+  EXPECT_LT(p->EdgeCutFraction(), 0.10);
+  // Far fewer hubs than nodes — the whole point of the gateway funnel.
+  EXPECT_LE(static_cast<NodeId>(p->hubs.size()), g.NumNodes() / 8);
+}
+
+TEST(PartitionTest, MoreShardsThanNodesLeavesEmptyShards) {
+  Digraph g(3);
+  ASSERT_TRUE(g.AddArc(0, 1).ok());
+  ASSERT_TRUE(g.AddArc(1, 2).ok());
+  PartitionOptions options;
+  options.num_shards = 8;
+  const auto p = PartitionDag(g, options);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  CheckInvariants(g, *p, 8);
+  int64_t total = 0;
+  for (const int64_t size : p->shard_nodes) total += size;
+  EXPECT_EQ(total, 3);
+}
+
+TEST(PartitionTest, EmptyGraph) {
+  const Digraph g(0);
+  PartitionOptions options;
+  options.num_shards = 4;
+  const auto p = PartitionDag(g, options);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  CheckInvariants(g, *p, 4);
+  EXPECT_EQ(p->cut_arcs, 0);
+}
+
+TEST(PartitionTest, CyclicGraphFails) {
+  Digraph g(2);
+  ASSERT_TRUE(g.AddArc(0, 1).ok());
+  ASSERT_TRUE(g.AddArc(1, 0).ok());
+  PartitionOptions options;
+  options.num_shards = 2;
+  const auto p = PartitionDag(g, options);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(PartitionTest, InvalidShardCountFails) {
+  const Digraph g(4);
+  PartitionOptions options;
+  options.num_shards = 0;
+  EXPECT_FALSE(PartitionDag(g, options).ok());
+}
+
+}  // namespace
+}  // namespace trel

@@ -1,0 +1,413 @@
+// Differential suite for the sharded query service: a
+// ShardedQueryService at any K must be bit-for-bit indistinguishable
+// from the monolithic QueryService — same answers, same error codes,
+// same assigned node ids, same visibility rules — on every graph family
+// and under interleaved update streams that dirty the shard boundary.
+//
+// TREL_SHARDS pins the shard-count sweep to one value (the CI shard
+// matrix runs the suite once per K); unset, each test sweeps
+// K in {1, 2, 4, 8}.
+
+#include "service/sharded_service.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/digraph.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "service/query_service.h"
+#include "tests/test_util.h"
+
+namespace trel {
+namespace {
+
+std::vector<int> ShardCounts() {
+  const char* pin = std::getenv("TREL_SHARDS");
+  if (pin != nullptr && *pin != '\0') return {std::max(1, std::atoi(pin))};
+  return {1, 2, 4, 8};
+}
+
+ShardedServiceOptions OptionsFor(int k) {
+  ShardedServiceOptions options;
+  options.num_shards = k;
+  return options;
+}
+
+// Every pair, both orders: the sharded and monolithic services must
+// agree with each other AND (when given) with the DFS ground truth.
+void ExpectAllPairsAgree(const ShardedQueryService& sharded,
+                         const QueryService& mono, NodeId n,
+                         const ReachabilityMatrix* truth,
+                         const std::string& context) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(static_cast<size_t>(n) * n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) pairs.emplace_back(u, v);
+  }
+  const std::vector<uint8_t> got = sharded.BatchReaches(pairs);
+  const std::vector<uint8_t> want = mono.BatchReaches(pairs);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(got[i] != 0, want[i] != 0)
+        << context << ": pair (" << pairs[i].first << "," << pairs[i].second
+        << ")";
+    ASSERT_EQ(sharded.Reaches(pairs[i].first, pairs[i].second), want[i] != 0)
+        << context << ": single Reaches (" << pairs[i].first << ","
+        << pairs[i].second << ")";
+    if (truth != nullptr) {
+      ASSERT_EQ(got[i] != 0, truth->Reaches(pairs[i].first, pairs[i].second))
+          << context << ": oracle (" << pairs[i].first << ","
+          << pairs[i].second << ")";
+    }
+  }
+}
+
+// Successor sets must match as SETS; the monolithic snapshot enumerates
+// in label order, the sharded path in ascending global id.
+void ExpectSuccessorsAgree(const ShardedQueryService& sharded,
+                           const QueryService& mono, NodeId n,
+                           const std::string& context) {
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<NodeId> want = mono.Successors(u);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(sharded.Successors(u), want) << context << ": node " << u;
+  }
+}
+
+void ExpectSampledPairsAgree(const ShardedQueryService& sharded,
+                             const QueryService& mono, NodeId n,
+                             int samples, Random& rng,
+                             const std::string& context) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.Uniform(n)),
+                       static_cast<NodeId>(rng.Uniform(n)));
+  }
+  const std::vector<uint8_t> got = sharded.BatchReaches(pairs);
+  const std::vector<uint8_t> want = mono.BatchReaches(pairs);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_EQ(got[i] != 0, want[i] != 0)
+        << context << ": pair (" << pairs[i].first << "," << pairs[i].second
+        << ")";
+  }
+}
+
+TEST(ShardedServiceTest, LoadMatchesMonolithicOnRandomDags) {
+  for (const int k : ShardCounts()) {
+    for (const uint64_t seed : {21u, 22u}) {
+      const Digraph graph = RandomDag(120, 2.5, seed);
+      const ReachabilityMatrix truth(graph);
+      QueryService mono;
+      ASSERT_TRUE(mono.Load(graph).ok());
+      ShardedQueryService sharded(OptionsFor(k));
+      ASSERT_TRUE(sharded.Load(graph).ok());
+      const std::string context =
+          "k=" + std::to_string(k) + " seed=" + std::to_string(seed);
+      ExpectAllPairsAgree(sharded, mono, graph.NumNodes(), &truth, context);
+      ExpectSuccessorsAgree(sharded, mono, graph.NumNodes(), context);
+    }
+  }
+}
+
+TEST(ShardedServiceTest, ClusteredAndHubDagsMatch) {
+  for (const int k : ShardCounts()) {
+    const std::string context = "k=" + std::to_string(k);
+    {
+      const Digraph graph = ClusteredDag(6, 40, 3.0, 2, 0.1, 5);
+      QueryService mono;
+      ASSERT_TRUE(mono.Load(graph).ok());
+      ShardedQueryService sharded(OptionsFor(k));
+      ASSERT_TRUE(sharded.Load(graph).ok());
+      ExpectAllPairsAgree(sharded, mono, graph.NumNodes(), nullptr,
+                          context + " clustered");
+    }
+    {
+      const Digraph graph = HubDag(60, 5, 50, 6);
+      QueryService mono;
+      ASSERT_TRUE(mono.Load(graph).ok());
+      ShardedQueryService sharded(OptionsFor(k));
+      ASSERT_TRUE(sharded.Load(graph).ok());
+      ExpectAllPairsAgree(sharded, mono, graph.NumNodes(), nullptr,
+                          context + " hubdag");
+    }
+  }
+}
+
+TEST(ShardedServiceTest, OutOfRangeAndReflexiveSemanticsMatch) {
+  for (const int k : ShardCounts()) {
+    const Digraph graph = RandomDag(30, 2.0, 3);
+    QueryService mono;
+    ASSERT_TRUE(mono.Load(graph).ok());
+    ShardedQueryService sharded(OptionsFor(k));
+    ASSERT_TRUE(sharded.Load(graph).ok());
+    for (const auto& [u, v] : std::vector<std::pair<NodeId, NodeId>>{
+             {-1, 0}, {0, -1}, {30, 0}, {0, 30}, {99, 99}, {5, 5}}) {
+      EXPECT_EQ(sharded.Reaches(u, v), mono.Reaches(u, v))
+          << "(" << u << "," << v << ")";
+    }
+    EXPECT_TRUE(sharded.Reaches(5, 5));
+    EXPECT_TRUE(sharded.Successors(-3).empty());
+    EXPECT_TRUE(sharded.Successors(30).empty());
+  }
+}
+
+TEST(ShardedServiceTest, ErrorCodeParityWithMonolithic) {
+  for (const int k : ShardCounts()) {
+    const Digraph graph = testing_util::PaperStyleDag();
+    QueryService mono;
+    ASSERT_TRUE(mono.Load(graph).ok());
+    ShardedQueryService sharded(OptionsFor(k));
+    ASSERT_TRUE(sharded.Load(graph).ok());
+
+    // Invalid endpoints / parents.
+    EXPECT_EQ(sharded.AddArc(-1, 2).code(), mono.AddArc(-1, 2).code());
+    EXPECT_EQ(sharded.AddArc(0, 99).code(), mono.AddArc(0, 99).code());
+    EXPECT_EQ(sharded.AddLeafUnder(99).status().code(),
+              mono.AddLeafUnder(99).status().code());
+    EXPECT_EQ(sharded.AddLeafUnder(99).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(sharded.RemoveArc(-1, 2).code(), mono.RemoveArc(-1, 2).code());
+
+    // Self loops and cycles are invalid-argument, duplicates
+    // already-exists, missing removals not-found — same precedence as
+    // DynamicClosure.
+    EXPECT_EQ(sharded.AddArc(3, 3).code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(sharded.AddArc(3, 3).code(), mono.AddArc(3, 3).code());
+    for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+      for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+        if (u == v) continue;
+        // Probe every pair on BOTH services; each probe mutates on
+        // success, so apply to both to keep them in lockstep.
+        const StatusCode got = sharded.AddArc(u, v).code();
+        const StatusCode want = mono.AddArc(u, v).code();
+        ASSERT_EQ(got, want) << "AddArc(" << u << "," << v << ")";
+      }
+    }
+    EXPECT_EQ(sharded.RemoveArc(0, 9).code(), mono.RemoveArc(0, 9).code());
+    sharded.Publish();
+    mono.Publish();
+    ExpectAllPairsAgree(sharded, mono, graph.NumNodes(), nullptr,
+                        "k=" + std::to_string(k) + " error-parity");
+  }
+}
+
+TEST(ShardedServiceTest, UnpublishedUpdatesAreInvisible) {
+  for (const int k : ShardCounts()) {
+    const Digraph graph = RandomDag(60, 2.0, 9);
+    QueryService mono;
+    ASSERT_TRUE(mono.Load(graph).ok());
+    ShardedQueryService sharded(OptionsFor(k));
+    ASSERT_TRUE(sharded.Load(graph).ok());
+
+    const StatusOr<NodeId> leaf_s = sharded.AddLeafUnder(0);
+    const StatusOr<NodeId> leaf_m = mono.AddLeafUnder(0);
+    ASSERT_TRUE(leaf_s.ok());
+    ASSERT_TRUE(leaf_m.ok());
+    EXPECT_EQ(*leaf_s, *leaf_m);  // Same sequential global ids.
+    // Invisible on both until Publish.
+    EXPECT_FALSE(sharded.Reaches(0, *leaf_s));
+    EXPECT_FALSE(mono.Reaches(0, *leaf_m));
+    sharded.Publish();
+    mono.Publish();
+    EXPECT_TRUE(sharded.Reaches(0, *leaf_s));
+    EXPECT_TRUE(mono.Reaches(0, *leaf_m));
+    ExpectAllPairsAgree(sharded, mono, graph.NumNodes() + 1, nullptr,
+                        "k=" + std::to_string(k) + " leaf");
+  }
+}
+
+TEST(ShardedServiceTest, InterleavedUpdateStreamStaysBitForBit) {
+  for (const int k : ShardCounts()) {
+    for (const uint64_t seed : {31u, 32u}) {
+      const Digraph graph = ClusteredDag(4, 25, 2.5, 2, 0.12, seed);
+      QueryService mono;
+      ASSERT_TRUE(mono.Load(graph).ok());
+      ShardedQueryService sharded(OptionsFor(k));
+      ASSERT_TRUE(sharded.Load(graph).ok());
+
+      Random rng(seed * 1000 + k);
+      // Driver-side arc list for removal picks; mirrors both services.
+      std::vector<std::pair<NodeId, NodeId>> arcs = graph.Arcs();
+      NodeId n = graph.NumNodes();
+      const std::string context =
+          "k=" + std::to_string(k) + " seed=" + std::to_string(seed);
+
+      for (int op = 0; op < 160; ++op) {
+        const uint64_t kind = rng.Uniform(10);
+        if (kind < 4) {
+          // Random arc: exercises same-shard and cross-shard inserts,
+          // duplicate and cycle rejections — codes must agree.
+          const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+          const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+          const Status got = sharded.AddArc(u, v);
+          const Status want = mono.AddArc(u, v);
+          ASSERT_EQ(got.code(), want.code())
+              << context << " op " << op << ": AddArc(" << u << "," << v
+              << ") sharded=" << got.ToString()
+              << " mono=" << want.ToString();
+          if (got.ok()) arcs.emplace_back(u, v);
+        } else if (kind < 6) {
+          // New leaf, occasionally a parentless root.
+          const NodeId parent = rng.Uniform(8) == 0
+                                    ? kNoNode
+                                    : static_cast<NodeId>(rng.Uniform(n));
+          const StatusOr<NodeId> got = sharded.AddLeafUnder(parent);
+          const StatusOr<NodeId> want = mono.AddLeafUnder(parent);
+          ASSERT_EQ(got.status().code(), want.status().code())
+              << context << " op " << op;
+          if (got.ok()) {
+            ASSERT_EQ(*got, *want) << context << " op " << op;
+            ASSERT_EQ(*got, n) << context << " op " << op;
+            if (parent != kNoNode) arcs.emplace_back(parent, *got);
+            ++n;
+          }
+        } else if (kind < 8 && !arcs.empty()) {
+          // Remove a live arc (tree or non-tree, possibly cross-shard).
+          const size_t pick = rng.Uniform(arcs.size());
+          const auto [u, v] = arcs[pick];
+          const Status got = sharded.RemoveArc(u, v);
+          const Status want = mono.RemoveArc(u, v);
+          ASSERT_EQ(got.code(), want.code())
+              << context << " op " << op << ": RemoveArc(" << u << "," << v
+              << ")";
+          if (got.ok()) {
+            arcs[pick] = arcs.back();
+            arcs.pop_back();
+          }
+        } else {
+          sharded.Publish();
+          mono.Publish();
+        }
+        if (op % 20 == 19) {
+          sharded.Publish();
+          mono.Publish();
+          ExpectSampledPairsAgree(sharded, mono, n, 300, rng,
+                                  context + " op " + std::to_string(op));
+        }
+      }
+      sharded.Publish();
+      mono.Publish();
+      ExpectAllPairsAgree(sharded, mono, n, nullptr, context + " final");
+      ExpectSuccessorsAgree(sharded, mono, n, context + " final");
+    }
+  }
+}
+
+TEST(ShardedServiceTest, CrossShardArcsPromoteHubsAndStayExact) {
+  for (const int k : ShardCounts()) {
+    if (k < 2) continue;  // Needs a real boundary.
+    const Digraph graph = ClusteredDag(4, 30, 2.0, 2, 0.05, 17);
+    QueryService mono;
+    ASSERT_TRUE(mono.Load(graph).ok());
+    ShardedQueryService sharded(OptionsFor(k));
+    ASSERT_TRUE(sharded.Load(graph).ok());
+    const NodeId n = graph.NumNodes();
+
+    // Force cross-shard arcs between ordinary (non-gateway) nodes so the
+    // initial hub cover cannot absorb them without promotions.
+    Random rng(99);
+    int added = 0;
+    const int64_t before = sharded.MetricsView().hub_promotions;
+    for (int attempt = 0; attempt < 400 && added < 12; ++attempt) {
+      const NodeId u = static_cast<NodeId>(rng.Uniform(n));
+      const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+      if (sharded.ShardOf(u) == sharded.ShardOf(v)) continue;
+      const Status got = sharded.AddArc(u, v);
+      const Status want = mono.AddArc(u, v);
+      ASSERT_EQ(got.code(), want.code())
+          << "AddArc(" << u << "," << v << ")";
+      if (got.ok()) ++added;
+    }
+    ASSERT_GT(added, 0);
+    EXPECT_GT(sharded.MetricsView().hub_promotions, before);
+    sharded.Publish();
+    mono.Publish();
+    ExpectAllPairsAgree(sharded, mono, n, nullptr, "k=" + std::to_string(k));
+
+    const ShardedMetricsView view = sharded.MetricsView();
+    EXPECT_EQ(view.num_shards, k);
+    EXPECT_GT(view.num_hubs, 0);
+    EXPECT_GT(view.boundary_label_bytes, 0);
+    EXPECT_GT(view.boundary_republishes, 0);
+  }
+}
+
+TEST(ShardedServiceTest, PublishShardMakesThatShardVisible) {
+  for (const int k : ShardCounts()) {
+    const Digraph graph = RandomDag(80, 2.0, 13);
+    ShardedQueryService sharded(OptionsFor(k));
+    ASSERT_TRUE(sharded.Load(graph).ok());
+    const NodeId parent = 10;
+    const int s = sharded.ShardOf(parent);
+    ASSERT_GE(s, 0);
+    const StatusOr<NodeId> leaf = sharded.AddLeafUnder(parent);
+    ASSERT_TRUE(leaf.ok());
+    EXPECT_FALSE(sharded.Reaches(parent, *leaf));
+    const uint64_t epoch_before = sharded.Epoch();
+    EXPECT_GT(sharded.PublishShard(s), epoch_before);
+    EXPECT_TRUE(sharded.Reaches(parent, *leaf));
+    EXPECT_TRUE(sharded.Reaches(*leaf, *leaf));
+  }
+}
+
+TEST(ShardedServiceTest, CleanRepublishSkipsBoundaryRebuild) {
+  for (const int k : ShardCounts()) {
+    const Digraph graph = RandomDag(50, 2.0, 23);
+    ShardedQueryService sharded(OptionsFor(k));
+    ASSERT_TRUE(sharded.Load(graph).ok());
+    const int64_t republishes = sharded.MetricsView().boundary_republishes;
+    const int64_t skips = sharded.MetricsView().boundary_skips;
+    sharded.Publish();  // Nothing changed since Load's publish.
+    sharded.Publish();
+    const ShardedMetricsView view = sharded.MetricsView();
+    EXPECT_EQ(view.boundary_republishes, republishes);
+    EXPECT_EQ(view.boundary_skips, skips + 2);
+    // A boundary-dirtying update makes the next publish a real one.
+    ASSERT_TRUE(sharded.AddLeafUnder(0).ok());
+    sharded.Publish();
+    EXPECT_EQ(sharded.MetricsView().boundary_republishes, republishes + 1);
+  }
+}
+
+TEST(ShardedServiceTest, EmptyServiceBehavesLikeEmptyMonolith) {
+  for (const int k : ShardCounts()) {
+    ShardedQueryService sharded(OptionsFor(k));
+    QueryService mono;
+    EXPECT_EQ(sharded.Reaches(0, 0), mono.Reaches(0, 0));
+    EXPECT_TRUE(sharded.BatchReaches({{0, 1}, {2, 2}}) ==
+                mono.BatchReaches({{0, 1}, {2, 2}}));
+    // Grow from nothing: roots then arcs, never having called Load.
+    const StatusOr<NodeId> a_s = sharded.AddLeafUnder(kNoNode);
+    const StatusOr<NodeId> a_m = mono.AddLeafUnder(kNoNode);
+    ASSERT_TRUE(a_s.ok());
+    ASSERT_EQ(*a_s, *a_m);
+    const StatusOr<NodeId> b_s = sharded.AddLeafUnder(*a_s);
+    const StatusOr<NodeId> b_m = mono.AddLeafUnder(*a_m);
+    ASSERT_TRUE(b_s.ok());
+    ASSERT_EQ(*b_s, *b_m);
+    sharded.Publish();
+    mono.Publish();
+    ExpectAllPairsAgree(sharded, mono, 2, nullptr, "k=" + std::to_string(k));
+    EXPECT_TRUE(sharded.Reaches(*a_s, *b_s));
+  }
+}
+
+TEST(ShardedServiceTest, MetricsViewToStringIsMachineCheckable) {
+  ShardedQueryService sharded(OptionsFor(2));
+  ASSERT_TRUE(sharded.Load(RandomDag(40, 2.0, 3)).ok());
+  const std::string s = sharded.MetricsView().ToString();
+  EXPECT_NE(s.find("shards=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("nodes=40"), std::string::npos) << s;
+  EXPECT_NE(s.find("boundary_republishes="), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace trel

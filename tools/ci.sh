@@ -20,9 +20,14 @@
 #                              # each TREL_PUBLISH tier (delta, chain,
 #                              # optimal, auto) — every tier must be
 #                              # bit-for-bit exact
+#   tools/ci.sh --shard-matrix # partitioner invariants + the sharded-vs-
+#                              # monolithic differential battery once per
+#                              # TREL_SHARDS in {1, 2, 4, 8} — every shard
+#                              # count must be bit-for-bit exact
 #   tools/ci.sh --obs          # obs unit tests, live /metricsz–/statusz
-#                              # scrape validated by tools/obs_check.py,
-#                              # and the query tracer under TSan
+#                              # scrape validated by tools/obs_check.py
+#                              # (monolithic and sharded exporters), and
+#                              # the query tracer under TSan
 #   tools/ci.sh --soak         # bounded serving-edge soak: delta-publish
 #                              # storm under open-loop load + slow scrapes,
 #                              # failing on p99 drift or bad responses
@@ -107,7 +112,7 @@ bench_smoke() {
   done
   # The open-loop load harness emits artifacts through the same pipe.
   local scenario
-  for scenario in zipf_single batch_mix update_storm; do
+  for scenario in zipf_single batch_mix update_storm shard_mix; do
     run env TREL_BENCH_SMOKE=1 TREL_BENCH_JSON="${json_dir}" \
       ./build/tools/loadgen --scenario="${scenario}" > /dev/null
   done
@@ -218,6 +223,28 @@ publish_matrix() {
   done
 }
 
+shard_matrix() {
+  # Partition invariants once, then the sharded-vs-monolithic
+  # differential battery once per shard count.  TREL_SHARDS pins the
+  # suite's K sweep to one value, so a failure names the shard count
+  # that broke.  `trel_tool partition` runs per K as a cheap offline
+  # probe of the same partitioning step the sharded Load performs.
+  run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
+  run cmake --build build -j "${JOBS}" --target \
+    trel_tool partition_test sharded_service_test
+  run ./build/tests/partition_test
+  local graph="build/shard-graph.el"
+  echo "==> ./build/tools/trel_tool generate clustered 8 125 3.0 3 0.08 7" \
+    "> ${graph}"
+  ./build/tools/trel_tool generate clustered 8 125 3.0 3 0.08 7 > "${graph}"
+  local k
+  for k in 1 2 4 8; do
+    echo "==> shard matrix: TREL_SHARDS=${k}"
+    run ./build/tools/trel_tool partition "${graph}" "${k}"
+    run env TREL_SHARDS="${k}" ./build/tests/sharded_service_test
+  done
+}
+
 obs_stage() {
   # Observability end-to-end: run the obs unit suite, then scrape a live
   # exporter (trel_tool serve on an ephemeral port, warmed with
@@ -262,6 +289,43 @@ obs_stage() {
   python3 tools/obs_check.py --port "${port}" || check_status=$?
   kill "${serve_pid}" 2>/dev/null || true
   wait "${serve_pid}" 2>/dev/null || true
+  [[ "${check_status}" -eq 0 ]] || exit "${check_status}"
+  # Same scrape dance against the sharded exporter: serve-sharded on a
+  # clustered graph (so the boundary is non-trivial), validated by the
+  # checker's --sharded mode.
+  local sharded_graph="build/obs-sharded-graph.el"
+  local sharded_log="build/obs-serve-sharded.log"
+  echo "==> ./build/tools/trel_tool generate clustered 8 125 3.0 3 0.08 7" \
+    "> ${sharded_graph}"
+  ./build/tools/trel_tool generate clustered 8 125 3.0 3 0.08 7 \
+    > "${sharded_graph}"
+  ./build/tools/trel_tool serve-sharded "${sharded_graph}" 4 0 60 \
+    > "${sharded_log}" &
+  local sharded_pid=$!
+  port=""
+  for attempt in $(seq 1 100); do
+    port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+      "${sharded_log}")"
+    [[ -n "${port}" ]] && break
+    if ! kill -0 "${sharded_pid}" 2>/dev/null; then
+      echo "obs: trel_tool serve-sharded exited before binding" >&2
+      cat "${sharded_log}" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "obs: timed out waiting for serve-sharded to bind" >&2
+    cat "${sharded_log}" >&2
+    kill "${sharded_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  echo "==> obs: sharded exporter listening on port ${port}"
+  check_status=0
+  python3 tools/obs_check.py --port "${port}" --sharded 4 \
+    || check_status=$?
+  kill "${sharded_pid}" 2>/dev/null || true
+  wait "${sharded_pid}" 2>/dev/null || true
   [[ "${check_status}" -eq 0 ]] || exit "${check_status}"
   # Tracer concurrency tests under TSan: writers race Drain by design.
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -329,13 +393,14 @@ else
       --simd-matrix) stages+=(simd_matrix) ;;
       --family-matrix) stages+=(family_matrix) ;;
       --publish-matrix) stages+=(publish_matrix) ;;
+      --shard-matrix) stages+=(shard_matrix) ;;
       --obs) stages+=(obs_stage) ;;
       --soak) stages+=(soak) ;;
       *)
         echo "unknown stage: ${arg}" >&2
         echo "usage: tools/ci.sh [--tier1] [--asan] [--tsan] [--bench-smoke]" \
           "[--arena-fuzz] [--simd-matrix] [--family-matrix]" \
-          "[--publish-matrix] [--obs] [--soak]" >&2
+          "[--publish-matrix] [--shard-matrix] [--obs] [--soak]" >&2
         exit 2
         ;;
     esac

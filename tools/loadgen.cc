@@ -21,6 +21,10 @@
 //                 between the first and second half, on any scrape
 //                 answer other than 200/503, or on malformed scrape
 //                 bodies.  CI runs this via tools/ci.sh --soak.
+//   shard_mix     Singles plus batches against a ShardedQueryService
+//                 (--shards, clustered graph) while a writer thread
+//                 drives per-shard publishes — the sharded serving
+//                 stack under one open-loop clock.
 //
 // Each run prints a table and (with TREL_BENCH_JSON=<dir>) writes
 // BENCH_loadgen_<scenario>.json, gated by tools/bench_diff.py like any
@@ -55,6 +59,7 @@
 #include "obs/http_server.h"
 #include "service/exposition.h"
 #include "service/query_service.h"
+#include "service/sharded_service.h"
 
 namespace trel {
 namespace {
@@ -83,6 +88,7 @@ struct LoadgenConfig {
   int scrape_pause_ms = 2;      // ...and the stall between reads.
   double soak_drift_factor = 3.0;  // soak: p99 half-over-half budget.
   double soak_p99_floor_us = 50.0; // Below this, drift is noise.
+  int shards = 4;                  // shard_mix: ShardedQueryService K.
 };
 
 bool ParseKeyValue(const std::string& key, const std::string& value,
@@ -113,6 +119,7 @@ bool ParseKeyValue(const std::string& key, const std::string& value,
     config->scrape_pause_ms = static_cast<int>(as_int());
   else if (key == "soak_drift_factor") config->soak_drift_factor = as_double();
   else if (key == "soak_p99_floor_us") config->soak_p99_floor_us = as_double();
+  else if (key == "shards") config->shards = static_cast<int>(as_int());
   else return false;
   return true;
 }
@@ -506,7 +513,121 @@ void AddHistRow(bench_util::BenchReport* report, bench_util::Table* table,
       .Set("max_us", hist.max_us());
 }
 
+// The sharded serving stack under the same open-loop clock: zipf-skewed
+// singles plus BatchReaches batches against a ShardedQueryService over
+// a clustered graph (the partitioner's home shape), while one writer
+// thread adds leaves and publishes the dirtied shards on the update
+// cadence.  Reports the same histogram rows as batch_mix plus the
+// boundary counters, as BENCH_loadgen_shard_mix.json.
+int RunShardMix(const LoadgenConfig& config) {
+  std::fprintf(stderr,
+               "loadgen: scenario=shard_mix shards=%d nodes=%lld "
+               "rate=%.0f/s duration=%.2fs threads=%d\n",
+               config.shards, static_cast<long long>(config.nodes),
+               config.rate, config.duration_s, config.threads);
+  ShardedServiceOptions options;
+  options.num_shards = config.shards;
+  ShardedQueryService service(options);
+  const int num_clusters = std::max(2, config.shards * 2);
+  const NodeId cluster_size = static_cast<NodeId>(
+      std::max<int64_t>(1, config.nodes / num_clusters));
+  const int64_t nodes =
+      static_cast<int64_t>(num_clusters) * static_cast<int64_t>(cluster_size);
+  {
+    const Digraph graph =
+        ClusteredDag(num_clusters, cluster_size, config.avg_out,
+                     /*gateways=*/3, /*cross_fraction=*/0.08, config.seed);
+    const Status status = service.Load(graph);
+    if (!status.ok()) {
+      std::fprintf(stderr, "loadgen: load failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  const ZipfSampler zipf(nodes, config.zipf_s, config.seed);
+
+  // Writer: a few leaves per tick, then per-shard publishes of exactly
+  // the dirtied shards — the sharded write path, not a global Publish.
+  std::atomic<bool> stop_writer{false};
+  std::atomic<int64_t> shard_publishes{0};
+  std::thread writer([&] {
+    Random rng(config.seed ^ 0x54a6dULL);
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      std::vector<uint8_t> dirty(static_cast<size_t>(config.shards), 0);
+      for (int i = 0; i < config.updates_per_publish; ++i) {
+        const NodeId parent = static_cast<NodeId>(
+            rng.Uniform(static_cast<uint64_t>(nodes)));
+        if (service.AddLeafUnder(parent).ok()) {
+          dirty[static_cast<size_t>(service.ShardOf(parent))] = 1;
+        }
+      }
+      for (int s = 0; s < config.shards; ++s) {
+        if (dirty[static_cast<size_t>(s)] == 0) continue;
+        service.PublishShard(s);
+        shard_publishes.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.update_interval_ms));
+    }
+  });
+
+  LatencyHistogram single_hist, batch_hist;
+  OpenLoopStats open_loop = RunOpenLoop(
+      config.rate, config.duration_s, config.threads, config.seed,
+      [&](uint64_t, Random& rng) -> LatencyHistogram* {
+        if (rng.Bernoulli(config.batch_ratio)) {
+          std::vector<std::pair<NodeId, NodeId>> pairs;
+          pairs.reserve(config.batch_size);
+          for (int i = 0; i < config.batch_size; ++i) {
+            pairs.emplace_back(zipf.Sample(rng.NextDouble()),
+                               zipf.Sample(rng.NextDouble()));
+          }
+          (void)service.BatchReaches(pairs);
+          return &batch_hist;
+        }
+        (void)service.Reaches(zipf.Sample(rng.NextDouble()),
+                              zipf.Sample(rng.NextDouble()));
+        return &single_hist;
+      });
+  stop_writer.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  bench_util::Table table(
+      {"class", "count", "p50_us", "p99_us", "p999_us", "max_us"});
+  bench_util::BenchReport report("loadgen_shard_mix");
+  report.config()
+      .Set("scenario", config.scenario)
+      .Set("shards", static_cast<int64_t>(config.shards))
+      .Set("nodes", nodes)
+      .Set("rate", config.rate)
+      .Set("duration_s", config.duration_s)
+      .Set("threads", config.threads)
+      .Set("zipf_s", config.zipf_s)
+      .Set("seed", config.seed)
+      .Set("smoke", bench_util::SmokeMode());
+  AddHistRow(&report, &table, "overall", single_hist);
+  AddHistRow(&report, &table, "batch", batch_hist);
+  const ShardedMetricsView view = service.MetricsView();
+  report.AddRow()
+      .Set("name", "sharded_counters")
+      .Set("shard_publishes", shard_publishes.load())
+      .Set("cross_shard_queries", view.cross_shard_queries)
+      .Set("hub_hop_queries", view.hub_hop_queries)
+      .Set("boundary_republishes", view.boundary_republishes)
+      .Set("boundary_skips", view.boundary_skips);
+  table.Print();
+  std::fprintf(stderr,
+               "loadgen: %llu arrivals issued, %lld shard publishes, "
+               "%lld cross-shard queries\n",
+               static_cast<unsigned long long>(open_loop.issued),
+               static_cast<long long>(shard_publishes.load()),
+               static_cast<long long>(view.cross_shard_queries));
+  if (!report.WriteIfEnabled()) return 1;
+  return 0;
+}
+
 int RunScenario(const LoadgenConfig& config) {
+  if (config.scenario == "shard_mix") return RunShardMix(config);
   std::fprintf(stderr,
                "loadgen: scenario=%s nodes=%lld rate=%.0f/s duration=%.2fs "
                "threads=%d\n",
@@ -719,7 +840,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: loadgen [--scenario=zipf_single|batch_mix|update_storm|"
-      "slow_scrape|soak]\n"
+      "slow_scrape|soak|shard_mix]\n"
       "               [--scenario-file=path] [--rate=N] [--duration-s=S]\n"
       "               [--threads=N] [--nodes=N] [--seed=N] [--zipf-s=S]\n"
       "               [--batch-ratio=F] [--batch-size=N]\n"

@@ -23,8 +23,16 @@ server is quiescent while being scraped, the checks can be exact:
      (snapshot age excluded — it is the one field that moves on an idle
      server).
 
+With ``--sharded K`` the checker validates a ``trel_tool serve-sharded``
+exporter instead: the boundary-layer families and one labeled sample per
+shard must be present, counters must stay monotonic across scrapes, and
+the /statusz ``boundary_metrics:`` line
+(ShardedMetricsView::ToString()) must agree with /metricsz field for
+field.  The sharded surface has no /tracez and no histograms, so those
+checks are skipped.
+
 Usage:
-  tools/obs_check.py --port 8080 [--host 127.0.0.1]
+  tools/obs_check.py --port 8080 [--host 127.0.0.1] [--sharded K]
 """
 
 import argparse
@@ -247,13 +255,146 @@ def parse_statusz_metrics_line(statusz, errors):
     return fields
 
 
+# /statusz `boundary_metrics:` field -> sharded /metricsz sample key.
+BOUNDARY_TO_METRICSZ = {
+    "shards": "trel_sharded_shards",
+    "epoch": "trel_sharded_epoch",
+    "nodes": "trel_sharded_nodes",
+    "hubs": "trel_boundary_hubs",
+    "boundary_label_bytes": "trel_boundary_label_bytes",
+    "cross_shard_queries": "trel_cross_shard_queries_total",
+    "hub_hop_queries": "trel_hub_hop_queries_total",
+    "boundary_republishes": "trel_boundary_republishes_total",
+    "boundary_skips": "trel_boundary_skips_total",
+    "hub_promotions": "trel_hub_promotions_total",
+}
+
+# Per-shard families every shard must show up in, with a shard="<s>"
+# label (trel_shard_publishes_total additionally splits by kind).
+PER_SHARD_FAMILIES = [
+    "trel_shard_reach_queries_total",
+    "trel_shard_batches_total",
+    "trel_shard_snapshot_epoch",
+    "trel_shard_snapshot_nodes",
+]
+
+
+def parse_boundary_metrics_line(statusz, errors):
+    """Extracts ShardedMetricsView::ToString() fields from /statusz."""
+    line = None
+    for candidate in statusz.splitlines():
+        if candidate.startswith("boundary_metrics: "):
+            line = candidate[len("boundary_metrics: "):]
+            break
+    if line is None:
+        errors.append("statusz: no `boundary_metrics:` line")
+        return {}
+    fields = {}
+    for name in BOUNDARY_TO_METRICSZ:
+        m = re.search(rf"\b{name}=(\d+)", line)
+        if m is None:
+            errors.append(f"statusz boundary_metrics line: missing {name}")
+        else:
+            fields[name] = float(m.group(1))
+    return fields
+
+
+def check_sharded(args, errors):
+    first = fetch(args.host, args.port, "/metricsz")
+    statusz = fetch(args.host, args.port, "/statusz")
+    second = fetch(args.host, args.port, "/metricsz")
+
+    types, samples = parse_prometheus(first, errors)
+    _, samples2 = parse_prometheus(second, [])
+    print(f"obs_check: {len(samples)} samples in {len(types)} families "
+          f"(sharded, K={args.sharded})")
+
+    # Boundary-layer families and declared shard count.
+    for key in BOUNDARY_TO_METRICSZ.values():
+        if key not in samples:
+            errors.append(f"sharded: /metricsz lacks {key}")
+    if samples.get("trel_sharded_shards") != float(args.sharded):
+        errors.append(
+            f"sharded: trel_sharded_shards = "
+            f"{samples.get('trel_sharded_shards')} but expected "
+            f"{args.sharded}")
+
+    # One labeled sample per shard per family.
+    for s in range(args.sharded):
+        for family in PER_SHARD_FAMILIES:
+            key = f'{family}{{shard="{s}"}}'
+            if key not in samples:
+                errors.append(f"sharded: missing {key}")
+        for kind in ("delta", "chain_full", "optimal_full"):
+            key = f'trel_shard_publishes_total{{shard="{s}",kind="{kind}"}}'
+            if key not in samples:
+                errors.append(f"sharded: missing {key}")
+
+    # Counter monotonicity between the two scrapes.
+    for key, value in samples.items():
+        name = key.split("{", 1)[0]
+        if types.get(name) == "counter":
+            later = samples2.get(key)
+            if later is None:
+                errors.append(f"monotonicity: {key} vanished on re-scrape")
+            elif later < value:
+                errors.append(
+                    f"monotonicity: {key} went {value:g} -> {later:g}")
+
+    # /statusz `boundary_metrics:` line vs /metricsz, field for field.
+    fields = parse_boundary_metrics_line(statusz, errors)
+    for field, value in sorted(fields.items()):
+        key = BOUNDARY_TO_METRICSZ[field]
+        got = samples.get(key)
+        if got is None:
+            errors.append(f"agreement: /metricsz lacks {key}")
+        elif got != value:
+            errors.append(f"agreement: {key} = {got:g} but statusz "
+                          f"{field} = {value:g}")
+    if fields:
+        print(f"obs_check: statusz/metricsz agreement over "
+              f"{len(fields)} boundary fields")
+
+    # Per-shard statusz lines must cover every shard.
+    for s in range(args.sharded):
+        if f"shard[{s}]:" not in statusz:
+            errors.append(f"statusz: missing shard[{s}] line")
+
+    # Warmed-up traffic: shard reach counters and boundary republishes
+    # must be live; cross-shard traffic requires a real boundary (K > 1).
+    shard_reach = sum(
+        samples.get(f'trel_shard_reach_queries_total{{shard="{s}"}}', 0)
+        for s in range(args.sharded))
+    if shard_reach <= 0:
+        errors.append("warmup: no per-shard reach queries — "
+                      "serve-sharded warmup broken")
+    if samples.get("trel_boundary_republishes_total", 0) <= 0:
+        errors.append("warmup: no boundary republishes")
+    if args.sharded > 1 and \
+            samples.get("trel_cross_shard_queries_total", 0) <= 0:
+        errors.append("warmup: no cross-shard queries despite K > 1")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--sharded", type=int, default=0, metavar="K",
+                        help="validate a serve-sharded exporter with K "
+                             "shards instead of the monolithic surface")
     args = parser.parse_args()
 
     errors = []
+
+    if args.sharded > 0:
+        check_sharded(args, errors)
+        if errors:
+            print(f"\nobs_check: {len(errors)} failure(s):", file=sys.stderr)
+            for err in errors:
+                print(f"  {err}", file=sys.stderr)
+            return 1
+        print("obs_check: all sharded exporter checks passed")
+        return 0
 
     first = fetch(args.host, args.port, "/metricsz")
     statusz = fetch(args.host, args.port, "/statusz")

@@ -35,8 +35,10 @@
 #include "obs/http_server.h"
 #include "relational/alpha.h"
 #include "relational/csv.h"
+#include "graph/partition.h"
 #include "service/exposition.h"
 #include "service/query_service.h"
+#include "service/sharded_service.h"
 #include "storage/buffer_pool.h"
 #include "storage/closure_store.h"
 #include "storage/page_store.h"
@@ -53,6 +55,8 @@ int Usage() {
       "  trel_tool generate tree <nodes> <seed>\n"
       "  trel_tool generate bipartite <top> <bottom>\n"
       "  trel_tool generate chained <chains> <length> <avg_degree> <seed>\n"
+      "  trel_tool generate clustered <clusters> <size> <avg_degree> "
+      "<gateways> <cross_fraction> <seed>\n"
       "  trel_tool stats <graph.el>\n"
       "  trel_tool compress <graph.el> <closure.db>\n"
       "  trel_tool query <closure.db> <from> <to>\n"
@@ -65,6 +69,9 @@ int Usage() {
       "  trel_tool metricsz <graph.el>\n"
       "  trel_tool tracez <graph.el> [sample_period]\n"
       "  trel_tool serve <graph.el> <port> [duration_s]\n"
+      "  trel_tool partition <graph.el> [num_shards]\n"
+      "  trel_tool serve-sharded <graph.el> <num_shards> <port> "
+      "[duration_s]\n"
       "\n"
       "environment:\n"
       "  TREL_SIMD   force a query-kernel level (scalar|sse|avx2|auto)\n"
@@ -235,6 +242,11 @@ int Generate(int argc, char** argv) {
     graph = ChainedDag(std::atoi(argv[1]), std::atoi(argv[2]),
                        std::atof(argv[3]),
                        std::strtoull(argv[4], nullptr, 10));
+  } else if (kind == "clustered" && argc == 7) {
+    graph = ClusteredDag(std::atoi(argv[1]), std::atoi(argv[2]),
+                         std::atof(argv[3]), std::atoi(argv[4]),
+                         std::atof(argv[5]),
+                         std::strtoull(argv[6], nullptr, 10));
   } else {
     return Usage();
   }
@@ -481,6 +493,109 @@ int Serve(const std::string& path, int port, int duration_seconds) {
   return 0;
 }
 
+// Prints the shard layout a ShardedQueryService Load of this graph would
+// use: per-shard sizes, the edge cut, the hub cover, and what the
+// boundary index would cost — the offline twin of the sharded service's
+// partitioning step, mirroring `trel_tool index` / `trel_tool chains`.
+int PartitionInfo(const std::string& path, int num_shards) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  PartitionOptions options;
+  options.num_shards = num_shards;
+  auto part = PartitionDag(graph.value(), options);
+  if (!part.ok()) {
+    std::cerr << part.status() << "\n";
+    return 1;
+  }
+  const int64_t n = graph->NumNodes();
+  const int64_t hubs = static_cast<int64_t>(part->hubs.size());
+  const int64_t words = (hubs + 63) / 64;
+  // Two bitset rows (hubs-out, hubs-in) per node; the hub-core 2-hop
+  // labels come on top but are bounded by the same order of magnitude.
+  const int64_t boundary_bytes = 2 * n * words * 8;
+
+  std::printf("nodes:              %lld\n", static_cast<long long>(n));
+  std::printf("arcs:               %lld\n",
+              static_cast<long long>(part->total_arcs));
+  std::printf("shards:             %d\n", part->num_shards);
+  std::printf("shard sizes:       ");
+  for (const int64_t size : part->shard_nodes) {
+    std::printf(" %lld", static_cast<long long>(size));
+  }
+  std::printf("\n");
+  std::printf("cut arcs:           %lld  (edge-cut fraction %.4f)\n",
+              static_cast<long long>(part->cut_arcs),
+              part->EdgeCutFraction());
+  std::printf("hubs:               %lld  (%.2f%% of nodes)\n",
+              static_cast<long long>(hubs),
+              n > 0 ? 100.0 * static_cast<double>(hubs) /
+                          static_cast<double>(n)
+                    : 0.0);
+  std::printf("boundary bitsets:   %lld bytes  (%lld words/node x2)\n",
+              static_cast<long long>(boundary_bytes),
+              static_cast<long long>(words));
+  return 0;
+}
+
+// Sharded traffic for serve-sharded warmup: singles and one batch
+// through the routing front end, so the cross-shard and per-shard
+// counters are all live, then a leaf append + publish to tick the
+// boundary republish path.
+void WarmupShardedService(ShardedQueryService& service) {
+  const int64_t n = service.MetricsView().num_nodes;
+  if (n <= 0) return;
+  uint64_t lcg = 0x2545F4914F6CDD1DULL;
+  auto next = [&lcg, n]() {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<NodeId>((lcg >> 33) % static_cast<uint64_t>(n));
+  };
+  for (int i = 0; i < 256; ++i) (void)service.Reaches(next(), next());
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(4096);
+  for (int i = 0; i < 4096; ++i) pairs.emplace_back(next(), next());
+  (void)service.BatchReaches(pairs);
+  auto leaf = service.AddLeafUnder(0);
+  if (leaf.ok()) service.Publish();
+  for (int i = 0; i < 32; ++i) (void)service.Reaches(next(), next());
+}
+
+// Sharded twin of Serve: /metricsz and /statusz over a
+// ShardedQueryService (no /tracez — per-shard tracers are reachable
+// through the embedded API, not the sharded HTTP surface).
+int ServeSharded(const std::string& path, int num_shards, int port,
+                 int duration_seconds) {
+  auto graph = LoadGraph(path);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  ShardedServiceOptions options;
+  options.num_shards = num_shards;
+  ShardedQueryService service(options);
+  Status loaded = service.Load(graph.value());
+  if (!loaded.ok()) {
+    std::cerr << loaded << "\n";
+    return 1;
+  }
+  WarmupShardedService(service);
+  HttpServer server;
+  server.Handle("/metricsz", [&service]() { return RenderMetricsz(service); });
+  server.Handle("/statusz", [&service]() { return RenderStatusz(service); });
+  Status started = server.Start(port);
+  if (!started.ok()) {
+    std::cerr << started << "\n";
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::seconds(duration_seconds));
+  server.Stop();
+  return 0;
+}
+
 int Dot(const std::string& path) {
   auto graph = LoadGraph(path);
   if (!graph.ok()) {
@@ -541,6 +656,13 @@ int main(int argc, char** argv) {
   if (command == "serve" && (argc == 4 || argc == 5)) {
     return Serve(argv[2], std::atoi(argv[3]),
                  argc == 5 ? std::atoi(argv[4]) : 30);
+  }
+  if (command == "partition" && (argc == 3 || argc == 4)) {
+    return PartitionInfo(argv[2], argc == 4 ? std::atoi(argv[3]) : 4);
+  }
+  if (command == "serve-sharded" && (argc == 5 || argc == 6)) {
+    return ServeSharded(argv[2], std::atoi(argv[3]), std::atoi(argv[4]),
+                        argc == 6 ? std::atoi(argv[5]) : 30);
   }
   return Usage();
 }
