@@ -21,10 +21,12 @@ enum class ProbeTag : uint8_t {
   kOverlay = 4,       // resolved against a WithDelta overlay entry
   kHopIntersect = 5,  // decided by a 2-hop Lin/Lout merge-intersection
   kFallback = 6,      // family fallback: pruned DFS or residual-index probe
+  kBoundaryBitset = 7,  // decided by a cross-shard hub-bitset row intersection
 };
-constexpr int kNumProbeTags = 7;
+constexpr int kNumProbeTags = 8;
 
-// "slot" / "filter" / "group" / "extras" / "overlay" / "hop" / "fallback".
+// "slot" / "filter" / "group" / "extras" / "overlay" / "hop" / "fallback" /
+// "boundary".
 const char* ProbeTagName(ProbeTag tag);
 
 // Per-probe outcome detail filled by the traced query paths (sampled

@@ -25,6 +25,8 @@ const char* ProbeTagName(ProbeTag tag) {
       return "hop";
     case ProbeTag::kFallback:
       return "fallback";
+    case ProbeTag::kBoundaryBitset:
+      return "boundary";
   }
   return "unknown";
 }

@@ -1,0 +1,261 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace trel {
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendTraceJson(std::ostringstream& out, const TraceRecord& r) {
+  out << "{\"seq\":" << r.sequence << ",\"src\":" << r.source
+      << ",\"dst\":" << r.target << ",\"answer\":" << (r.answer ? 1 : 0)
+      << ",\"batch\":" << (r.from_batch ? 1 : 0) << ",\"tag\":\""
+      << ProbeTagName(r.tag) << "\",\"probes\":" << r.extras_probes
+      << ",\"epoch\":" << r.epoch << ",\"nanos\":" << r.nanos;
+  if (r.has_stages) {
+    out << ",\"shard\":" << r.shard << ",\"stages\":{";
+    for (int s = 0; s < kNumQueryStages; ++s) {
+      if (s > 0) out << ",";
+      out << "\"" << QueryStageName(static_cast<QueryStage>(s))
+          << "\":" << r.stage_nanos[s];
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+void AppendSpanJson(std::ostringstream& out, const PublishSpan& span) {
+  out << "{\"epoch\":" << span.epoch << ",\"strategy\":\""
+      << PublishStrategyName(span.strategy)
+      << "\",\"total_micros\":" << span.total_micros << ",\"phases\":{";
+  for (int p = 0; p < kNumPublishPhases; ++p) {
+    if (p > 0) out << ",";
+    out << "\"" << PublishPhaseName(static_cast<PublishPhase>(p))
+        << "\":" << span.phase_micros[p];
+  }
+  out << "}}";
+}
+
+void AppendSlowJson(std::ostringstream& out, const SlowQueryEntry& e) {
+  out << "{\"seq\":" << e.sequence << ",\"batch\":" << (e.is_batch ? 1 : 0)
+      << ",\"first\":[" << e.source << "," << e.target << "]"
+      << ",\"n\":" << e.num_queries << ",\"us\":" << e.micros
+      << ",\"epoch\":" << e.epoch << ",\"source_shard\":" << e.source_shard
+      << ",\"target_shard\":" << e.target_shard
+      << ",\"cross_shard\":" << (e.cross_shard ? 1 : 0) << "}";
+}
+
+void AppendWindowJson(std::ostringstream& out,
+                      const FlightCapture::WindowRow& row) {
+  out << "{\"series\":\"" << JsonEscape(row.series) << "\",\"window\":\""
+      << row.window_minutes << "m\",\"count\":" << row.stats.count
+      << ",\"p50_us\":" << row.stats.p50_us
+      << ",\"p99_us\":" << row.stats.p99_us
+      << ",\"p999_us\":" << row.stats.p999_us << "}";
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::FlightRecorder(const Options& options,
+                               LatencyRollup::NowFn now_fn)
+    : options_(options),
+      now_fn_(now_fn != nullptr ? now_fn : &LatencyRollup::MonotonicNanos) {}
+
+void FlightRecorder::Attach(const LatencyRollup* rollup,
+                            CaptureBuilder builder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rollup_ = rollup;
+  builder_ = std::move(builder);
+}
+
+void FlightRecorder::TriggerLocked(const std::string& reason,
+                                   const std::string& detail) {
+  FlightCapture capture;
+  if (builder_) builder_(&capture);
+  capture.sequence = next_sequence_++;
+  capture.reason = reason;
+  capture.detail = detail;
+  capture.trigger_nanos = now_fn_();
+  if (rollup_ != nullptr) {
+    for (int s = 0; s < rollup_->num_series(); ++s) {
+      for (const int minutes : LatencyRollup::WindowMinutes()) {
+        FlightCapture::WindowRow row;
+        row.series = rollup_->series_name(s);
+        row.window_minutes = minutes;
+        row.stats = rollup_->Window(s, minutes);
+        capture.windows.push_back(std::move(row));
+      }
+    }
+  }
+  ++total_triggered_;
+  captures_.push_back(std::move(capture));
+  while (static_cast<int>(captures_.size()) > options_.max_captures) {
+    captures_.pop_front();
+  }
+}
+
+bool FlightRecorder::Check(const Inputs& inputs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string reason;
+  std::string detail;
+
+  // Publish stall: at most one capture per stalled epoch.
+  if (inputs.has_publish && options_.publish_stall_micros > 0 &&
+      inputs.last_publish_micros >= options_.publish_stall_micros &&
+      (!has_stall_epoch_ || inputs.last_publish_epoch != last_stall_epoch_)) {
+    has_stall_epoch_ = true;
+    last_stall_epoch_ = inputs.last_publish_epoch;
+    reason = "publish_stall";
+    std::ostringstream d;
+    d << "publish epoch " << inputs.last_publish_epoch << " took "
+      << inputs.last_publish_micros << " us";
+    detail = d.str();
+  }
+
+  // Counter bursts: deltas between consecutive checks.  The first check
+  // only seeds the baselines.
+  if (reason.empty() && prev_rejected_ >= 0 && options_.rejected_burst > 0 &&
+      inputs.batches_rejected - prev_rejected_ >= options_.rejected_burst) {
+    reason = "rejected_burst";
+    std::ostringstream d;
+    d << "batches_rejected +" << (inputs.batches_rejected - prev_rejected_)
+      << " since last check";
+    detail = d.str();
+  }
+  if (reason.empty() && prev_republishes_ >= 0 &&
+      options_.boundary_spike > 0 &&
+      inputs.boundary_republishes - prev_republishes_ >=
+          options_.boundary_spike) {
+    reason = "boundary_spike";
+    std::ostringstream d;
+    d << "boundary_republishes +"
+      << (inputs.boundary_republishes - prev_republishes_)
+      << " since last check";
+    detail = d.str();
+  }
+  prev_rejected_ = inputs.batches_rejected;
+  prev_republishes_ = inputs.boundary_republishes;
+
+  // p99 drift: the current minute's window vs the trailing 4 minutes,
+  // re-armed at most once per minute so a sustained anomaly doesn't
+  // flood the capture ring.
+  if (reason.empty() && rollup_ != nullptr && options_.p99_drift_factor > 0) {
+    const int64_t minute = now_fn_() / LatencyRollup::kNanosPerMinute;
+    if (minute != last_drift_minute_) {
+      for (int s = 0; s < rollup_->num_series(); ++s) {
+        const LatencyRollup::WindowStats current = rollup_->Window(s, 1);
+        if (current.count < options_.min_window_count) continue;
+        const LatencyRollup::WindowStats baseline =
+            rollup_->Window(s, 4, /*skip_minutes=*/1);
+        if (baseline.count < options_.min_window_count) continue;
+        if (current.p99_us >
+            options_.p99_drift_factor * baseline.p99_us) {
+          last_drift_minute_ = minute;
+          reason = "p99_drift";
+          std::ostringstream d;
+          d << "series " << rollup_->series_name(s) << " 1m p99 "
+            << current.p99_us << " us vs trailing baseline "
+            << baseline.p99_us << " us";
+          detail = d.str();
+          break;
+        }
+      }
+    }
+  }
+
+  if (reason.empty()) return false;
+  TriggerLocked(reason, detail);
+  return true;
+}
+
+bool FlightRecorder::ForceCapture(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TriggerLocked(reason, "forced capture");
+  return true;
+}
+
+std::vector<FlightCapture> FlightRecorder::Captures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<FlightCapture>(captures_.begin(), captures_.end());
+}
+
+int64_t FlightRecorder::TotalTriggered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_triggered_;
+}
+
+std::string FlightRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"total_triggered\":" << total_triggered_ << ",\"captures\":[";
+  bool first_capture = true;
+  for (const FlightCapture& c : captures_) {
+    if (!first_capture) out << ",";
+    first_capture = false;
+    out << "{\"sequence\":" << c.sequence << ",\"reason\":\""
+        << JsonEscape(c.reason) << "\",\"detail\":\"" << JsonEscape(c.detail)
+        << "\",\"trigger_nanos\":" << c.trigger_nanos << ",\"traces\":[";
+    for (size_t i = 0; i < c.traces.size(); ++i) {
+      if (i > 0) out << ",";
+      AppendTraceJson(out, c.traces[i]);
+    }
+    out << "],\"spans\":[";
+    for (size_t i = 0; i < c.spans.size(); ++i) {
+      if (i > 0) out << ",";
+      AppendSpanJson(out, c.spans[i]);
+    }
+    out << "],\"slow\":[";
+    for (size_t i = 0; i < c.slow.size(); ++i) {
+      if (i > 0) out << ",";
+      AppendSlowJson(out, c.slow[i]);
+    }
+    out << "],\"metrics\":\"" << JsonEscape(c.metrics) << "\",\"windows\":[";
+    for (size_t i = 0; i < c.windows.size(); ++i) {
+      if (i > 0) out << ",";
+      AppendWindowJson(out, c.windows[i]);
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace trel

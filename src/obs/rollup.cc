@@ -1,0 +1,106 @@
+#include "obs/rollup.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace trel {
+
+namespace {
+
+// Upper edge of bucket b in microseconds: buckets hold [2^b, 2^(b+1))
+// nanos, so the edge is 2^(b+1) ns (the last, open-ended bucket keeps
+// its lower-edge doubling as a finite, monotone stand-in).
+double BucketUpperEdgeUs(int bucket) {
+  return static_cast<double>(int64_t{1} << (bucket + 1)) / 1000.0;
+}
+
+}  // namespace
+
+int64_t LatencyRollup::MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const std::vector<int>& LatencyRollup::WindowMinutes() {
+  static const std::vector<int> kWindows = {1, 5};
+  return kWindows;
+}
+
+LatencyRollup::LatencyRollup(std::vector<std::string> series_names,
+                             NowFn now_fn)
+    : names_(std::move(series_names)),
+      now_fn_(now_fn != nullptr ? now_fn : &MonotonicNanos),
+      cells_(names_.size() * kRingMinutes) {}
+
+void LatencyRollup::Record(int series, int64_t nanos) {
+  if (series < 0 || series >= num_series()) return;
+  if (nanos < 0) nanos = 0;
+  const int64_t minute = now_fn_() / kNanosPerMinute;
+  Cell& cell =
+      cells_[static_cast<size_t>(series) * kRingMinutes + minute % kRingMinutes];
+  int64_t stamped = cell.minute.load(std::memory_order_relaxed);
+  if (stamped != minute) {
+    // Claim the cell for the new minute; exactly one racing writer wins
+    // and clears it.  Losers (stamped already advanced) fall through and
+    // record into the fresh cell.
+    if (cell.minute.compare_exchange_strong(stamped, minute,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum_nanos.store(0, std::memory_order_relaxed);
+      for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  cell.buckets[PowerOfTwoBucket(nanos, kBuckets)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+LatencyRollup::WindowStats LatencyRollup::Window(int series,
+                                                 int window_minutes,
+                                                 int skip_minutes) const {
+  WindowStats stats;
+  if (series < 0 || series >= num_series() || window_minutes <= 0) {
+    return stats;
+  }
+  const int64_t now_minute = now_fn_() / kNanosPerMinute;
+  const int64_t newest = now_minute - skip_minutes;
+  const int64_t oldest = newest - window_minutes + 1;
+  int64_t buckets[kBuckets] = {};
+  const Cell* row = &cells_[static_cast<size_t>(series) * kRingMinutes];
+  for (int i = 0; i < kRingMinutes; ++i) {
+    const Cell& cell = row[i];
+    const int64_t m = cell.minute.load(std::memory_order_relaxed);
+    if (m < oldest || m > newest) continue;
+    stats.count += cell.count.load(std::memory_order_relaxed);
+    stats.sum_nanos += cell.sum_nanos.load(std::memory_order_relaxed);
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  // Quantile ranks off the folded histogram.  Bucket totals are the
+  // source of truth for ranking (count can race slightly ahead of the
+  // bucket adds); an empty window reports zeros.
+  int64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) total += buckets[b];
+  if (total == 0) return stats;
+  const auto quantile_us = [&](double q) {
+    const int64_t rank =
+        std::max<int64_t>(1, static_cast<int64_t>(q * static_cast<double>(total) + 0.5));
+    int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets[b];
+      if (seen >= rank) return BucketUpperEdgeUs(b);
+    }
+    return BucketUpperEdgeUs(kBuckets - 1);
+  };
+  stats.p50_us = quantile_us(0.50);
+  stats.p99_us = quantile_us(0.99);
+  stats.p999_us = quantile_us(0.999);
+  return stats;
+}
+
+}  // namespace trel

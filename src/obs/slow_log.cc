@@ -1,6 +1,36 @@
 #include "obs/slow_log.h"
 
+#include <sstream>
+
 namespace trel {
+
+std::string SlowQueryEntry::ToString() const {
+  std::ostringstream out;
+  out << "seq=" << sequence << " epoch=" << epoch
+      << (is_batch ? " batch" : " single") << " n=" << num_queries
+      << " first=(" << source << "," << target << ")" << " us=" << micros;
+  if (is_batch) {
+    out << " stats[fast=" << stats.fast_path
+        << " filter=" << stats.filter_rejects
+        << " group=" << stats.group_rejects
+        << " extras=" << stats.extras_searches << "]";
+  } else {
+    out << " answer=" << (answer ? 1 : 0) << " tag=" << ProbeTagName(tag);
+  }
+  if (source_shard >= 0 || target_shard >= 0) {
+    out << " shards=(" << source_shard << "," << target_shard << ")"
+        << " cross=" << (cross_shard ? 1 : 0);
+  }
+  return out.str();
+}
+
+std::string SlowQueryLog::ToString() const {
+  std::ostringstream out;
+  for (const SlowQueryEntry& entry : Recent()) {
+    out << entry.ToString() << "\n";
+  }
+  return out.str();
+}
 
 SlowQueryLog::SlowQueryLog(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/arena_kernels.h"
@@ -29,6 +30,16 @@ struct SlowQueryEntry {
   int64_t micros = 0;
   // Kernel tallies — batches only (zeros for singles).
   BatchKernelStats stats;
+  // Shard attribution, filled by the sharded front end (-1 = monolithic
+  // entry / unknown).  For batches: the shards of the first pair.
+  int32_t source_shard = -1;
+  int32_t target_shard = -1;
+  bool cross_shard = false;
+
+  // `seq=.. epoch=.. batch|single n=.. first=(u,v) us=..` plus per-kind
+  // detail, plus ` shards=(su,sv) cross=0|1` when shard-attributed.
+  // Shared by /tracez and SlowQueryLog::ToString.
+  std::string ToString() const;
 };
 
 // Always-on bounded deque of slow queries.  Unlike the sampled tracer
@@ -54,6 +65,9 @@ class SlowQueryLog {
   int64_t TotalRecorded() const {
     return total_.load(std::memory_order_relaxed);
   }
+
+  // The retained entries rendered one per line, oldest first.
+  std::string ToString() const;
 
  private:
   mutable std::mutex mutex_;

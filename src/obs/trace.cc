@@ -33,6 +33,22 @@ int ThreadRingIndex() {
 
 }  // namespace
 
+const char* QueryStageName(QueryStage stage) {
+  switch (stage) {
+    case QueryStage::kRoute:
+      return "route";
+    case QueryStage::kBoundaryBitset:
+      return "boundary_bitset";
+    case QueryStage::kHopCore:
+      return "hop_core";
+    case QueryStage::kShardQuery:
+      return "shard_query";
+    case QueryStage::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
 QueryTracer::QueryTracer(uint32_t ring_capacity)
     : ring_capacity_(RoundUpPow2(ring_capacity == 0 ? 1 : ring_capacity)) {
   for (Ring& ring : rings_) {
@@ -56,7 +72,8 @@ uint32_t QueryTracer::PeriodFromEnv() {
 
 void QueryTracer::Record(NodeId source, NodeId target, bool answer,
                          bool from_batch, ProbeTag tag, uint32_t extras_probes,
-                         uint64_t epoch, uint64_t nanos) {
+                         uint64_t epoch, uint64_t nanos,
+                         const StageTrace* stages) {
   const uint64_t seq = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   tag_counts_[static_cast<int>(tag)].fetch_add(1, std::memory_order_relaxed);
   Ring& ring = rings_[ThreadRingIndex()];
@@ -76,6 +93,23 @@ void QueryTracer::Record(NodeId source, NodeId target, bool answer,
                        ((static_cast<uint64_t>(tag) & kTagMask) << kTagShift) |
                        (static_cast<uint64_t>(extras_probes) << kProbesShift),
                    std::memory_order_relaxed);
+  if (stages != nullptr) {
+    slot.word4.store(static_cast<uint64_t>(stages->stage_nanos[0]) |
+                         (static_cast<uint64_t>(stages->stage_nanos[1]) << 32),
+                     std::memory_order_relaxed);
+    slot.word5.store(static_cast<uint64_t>(stages->stage_nanos[2]) |
+                         (static_cast<uint64_t>(stages->stage_nanos[3]) << 32),
+                     std::memory_order_relaxed);
+    slot.word6.store(
+        static_cast<uint64_t>(stages->stage_nanos[4]) |
+            (static_cast<uint64_t>(static_cast<uint32_t>(stages->shard + 2))
+             << 32),
+        std::memory_order_relaxed);
+  } else {
+    slot.word4.store(0, std::memory_order_relaxed);
+    slot.word5.store(0, std::memory_order_relaxed);
+    slot.word6.store(0, std::memory_order_relaxed);
+  }
   slot.gen.store(seq + 1, std::memory_order_release);
 }
 
@@ -89,6 +123,9 @@ std::vector<TraceRecord> QueryTracer::Drain() const {
       const uint64_t w1 = slot.word1.load(std::memory_order_relaxed);
       const uint64_t w2 = slot.word2.load(std::memory_order_relaxed);
       const uint64_t w3 = slot.word3.load(std::memory_order_relaxed);
+      const uint64_t w4 = slot.word4.load(std::memory_order_relaxed);
+      const uint64_t w5 = slot.word5.load(std::memory_order_relaxed);
+      const uint64_t w6 = slot.word6.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (slot.gen.load(std::memory_order_relaxed) != g1) continue;  // Torn.
       TraceRecord record;
@@ -101,6 +138,16 @@ std::vector<TraceRecord> QueryTracer::Drain() const {
       record.from_batch = (w3 & kFromBatchBit) != 0;
       record.tag = static_cast<ProbeTag>((w3 >> kTagShift) & kTagMask);
       record.extras_probes = static_cast<uint32_t>(w3 >> kProbesShift);
+      const uint32_t shard_marker = static_cast<uint32_t>(w6 >> 32);
+      if (shard_marker != 0) {
+        record.has_stages = true;
+        record.shard = static_cast<int32_t>(shard_marker) - 2;
+        record.stage_nanos[0] = static_cast<uint32_t>(w4);
+        record.stage_nanos[1] = static_cast<uint32_t>(w4 >> 32);
+        record.stage_nanos[2] = static_cast<uint32_t>(w5);
+        record.stage_nanos[3] = static_cast<uint32_t>(w5 >> 32);
+        record.stage_nanos[4] = static_cast<uint32_t>(w6);
+      }
       records.push_back(record);
     }
   }

@@ -11,6 +11,32 @@
 
 namespace trel {
 
+// The pipeline stages a sharded query can spend time in.  A monolithic
+// query never sets these; the sharded front end attributes its sampled
+// queries stage-by-stage (DESIGN.md §5).
+enum class QueryStage : uint8_t {
+  kRoute = 0,           // bounds check + per-endpoint shard routing
+  kBoundaryBitset = 1,  // hub out-row x in-row intersection
+  kHopCore = 2,         // hub-bit probe + hop-label core query
+  kShardQuery = 3,      // same-shard defer into the owning shard's index
+  kMerge = 4,           // batch-only: folding shard results back
+};
+constexpr int kNumQueryStages = 5;
+
+// "route" / "boundary_bitset" / "hop_core" / "shard_query" / "merge".
+const char* QueryStageName(QueryStage stage);
+
+// Stage attribution carried alongside a sampled record.  stage_nanos are
+// sub-intervals of the record's end-to-end nanos measured on the same
+// clock, so their sum never exceeds it (obs_check.py asserts this on
+// flight-recorder captures).
+struct StageTrace {
+  uint32_t stage_nanos[kNumQueryStages] = {};
+  // Shard whose local index decided the query; -1 when the boundary
+  // layer (bitset or hop core) decided it without consulting a shard.
+  int32_t shard = -1;
+};
+
 // One sampled query, reconstructed from a ring slot by Drain().
 struct TraceRecord {
   // Global sampling order (monotone across threads); older records have
@@ -27,6 +53,10 @@ struct TraceRecord {
   // Snapshot epoch the query was answered against.
   uint64_t epoch = 0;
   uint64_t nanos = 0;
+  // Stage attribution (sharded records only; has_stages=false otherwise).
+  bool has_stages = false;
+  int32_t shard = -1;
+  uint32_t stage_nanos[kNumQueryStages] = {};
 };
 
 // Lock-free sampled query tracer.  Sampled records land in a small set
@@ -79,7 +109,16 @@ class QueryTracer {
   // Appends one record (cold path — call only after ShouldSample).
   void Record(NodeId source, NodeId target, bool answer, bool from_batch,
               ProbeTag tag, uint32_t extras_probes, uint64_t epoch,
-              uint64_t nanos);
+              uint64_t nanos) {
+    Record(source, target, answer, from_batch, tag, extras_probes, epoch,
+           nanos, nullptr);
+  }
+
+  // Stage-attributed variant for the sharded front end: `stages` (may be
+  // null) rides in three extra slot words under the same seqlock.
+  void Record(NodeId source, NodeId target, bool answer, bool from_batch,
+              ProbeTag tag, uint32_t extras_probes, uint64_t epoch,
+              uint64_t nanos, const StageTrace* stages);
 
   // Merged, sequence-ordered (oldest first) snapshot of the ring
   // contents.  Non-destructive: rings keep the most recent records.
@@ -104,6 +143,11 @@ class QueryTracer {
     std::atomic<uint64_t> word1{0};  // epoch
     std::atomic<uint64_t> word2{0};  // nanos
     std::atomic<uint64_t> word3{0};  // flags | tag | extras_probes
+    std::atomic<uint64_t> word4{0};  // stage_nanos[1] (high 32) | [0] (low 32)
+    std::atomic<uint64_t> word5{0};  // stage_nanos[3] (high 32) | [2] (low 32)
+    // High 32: 0 = no stage info, else shard + 2 (so shard -1 encodes
+    // as 1).  Low 32: stage_nanos[4].
+    std::atomic<uint64_t> word6{0};
   };
   struct Ring {
     std::atomic<uint64_t> head{0};

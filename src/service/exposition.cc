@@ -23,11 +23,95 @@ std::string KindPhaseLabels(int kind, int phase) {
          PublishPhaseName(static_cast<PublishPhase>(phase)) + "\"";
 }
 
+// Windowed latency families (obs/rollup.h): per series x window, the
+// three quantile gauges plus the window's observation count.  Sample
+// lines of a family must stay contiguous under its header, so the two
+// families iterate the series separately.
+void AppendLatencyWindows(PrometheusText& out, const LatencyRollup& rollup) {
+  out.Family("trel_latency_window_us",
+             "Windowed latency quantiles from the per-minute rollup "
+             "(upper edge of the deciding power-of-two bucket).",
+             "gauge");
+  for (int s = 0; s < rollup.num_series(); ++s) {
+    for (const int minutes : LatencyRollup::WindowMinutes()) {
+      const LatencyRollup::WindowStats stats = rollup.Window(s, minutes);
+      const std::string base =
+          PrometheusText::Label("series", rollup.series_name(s)) +
+          ",window=\"" + std::to_string(minutes) + "m\",quantile=\"";
+      out.Sample("trel_latency_window_us", base + "p50\"", stats.p50_us);
+      out.Sample("trel_latency_window_us", base + "p99\"", stats.p99_us);
+      out.Sample("trel_latency_window_us", base + "p999\"", stats.p999_us);
+    }
+  }
+  out.Family("trel_latency_window_samples",
+             "Observations inside each sliding latency window.", "gauge");
+  for (int s = 0; s < rollup.num_series(); ++s) {
+    for (const int minutes : LatencyRollup::WindowMinutes()) {
+      out.Sample("trel_latency_window_samples",
+                 PrometheusText::Label("series", rollup.series_name(s)) +
+                     ",window=\"" + std::to_string(minutes) + "m\"",
+                 rollup.Window(s, minutes).count);
+    }
+  }
+}
+
+// The /statusz `latency_windows:` block: one line per series x window.
+void AppendLatencyWindowsStatus(std::ostringstream& out,
+                                const LatencyRollup& rollup) {
+  out << "latency_windows:\n";
+  for (int s = 0; s < rollup.num_series(); ++s) {
+    for (const int minutes : LatencyRollup::WindowMinutes()) {
+      const LatencyRollup::WindowStats stats = rollup.Window(s, minutes);
+      out << "  series=" << rollup.series_name(s) << " window=" << minutes
+          << "m count=" << stats.count << " p50_us=" << stats.p50_us
+          << " p99_us=" << stats.p99_us << " p999_us=" << stats.p999_us
+          << "\n";
+    }
+  }
+}
+
+// Tracer-summary and slow-log families shared by the monolithic and
+// sharded metricsz pages.
+void AppendTracerFamilies(PrometheusText& out, const QueryTracer& tracer) {
+  out.Family("trel_trace_sample_period",
+             "Query-tracer sampling period (0 = off).", "gauge");
+  out.Sample("trel_trace_sample_period", "",
+             static_cast<int64_t>(tracer.sample_period()));
+  out.Family("trel_trace_sampled_total",
+             "Queries sampled into the tracer since startup.", "counter");
+  out.Sample("trel_trace_sampled_total", "",
+             static_cast<int64_t>(tracer.TotalSampled()));
+  out.Family("trel_trace_records_total",
+             "Sampled trace records by deciding probe path.", "counter");
+  const std::array<uint64_t, kNumProbeTags> tags = tracer.TagCounts();
+  for (int t = 0; t < kNumProbeTags; ++t) {
+    out.Sample(
+        "trel_trace_records_total",
+        PrometheusText::Label("tag", ProbeTagName(static_cast<ProbeTag>(t))),
+        static_cast<int64_t>(tags[t]));
+  }
+}
+
+void AppendSlowLogFamilies(PrometheusText& out, const SlowQueryLog& slow) {
+  out.Family("trel_slow_queries_total",
+             "Queries/batches admitted to the slow-query log.", "counter");
+  out.Sample("trel_slow_queries_total", "", slow.TotalRecorded());
+}
+
+void AppendFlightFamilies(PrometheusText& out, const FlightRecorder& flight) {
+  out.Family("trel_flight_captures_total",
+             "Anomaly flight-recorder captures frozen since startup.",
+             "counter");
+  out.Sample("trel_flight_captures_total", "", flight.TotalTriggered());
+}
+
 }  // namespace
 
 std::string RenderMetricsz(const ServiceMetrics::View& view,
                            const QueryTracer* tracer, const SpanLog* spans,
-                           const SlowQueryLog* slow) {
+                           const SlowQueryLog* slow,
+                           const LatencyRollup* rollup,
+                           const FlightRecorder* flight) {
   PrometheusText out;
 
   // --- ServiceMetrics counters -------------------------------------------
@@ -200,39 +284,21 @@ std::string RenderMetricsz(const ServiceMetrics::View& view,
   }
 
   // --- Tracer summary -----------------------------------------------------
-  if (tracer != nullptr) {
-    out.Family("trel_trace_sample_period",
-               "Query-tracer sampling period (0 = off).", "gauge");
-    out.Sample("trel_trace_sample_period", "",
-               static_cast<int64_t>(tracer->sample_period()));
-    out.Family("trel_trace_sampled_total",
-               "Queries sampled into the tracer since startup.", "counter");
-    out.Sample("trel_trace_sampled_total", "",
-               static_cast<int64_t>(tracer->TotalSampled()));
-    out.Family("trel_trace_records_total",
-               "Sampled trace records by deciding probe path.", "counter");
-    const std::array<uint64_t, kNumProbeTags> tags = tracer->TagCounts();
-    for (int t = 0; t < kNumProbeTags; ++t) {
-      out.Sample(
-          "trel_trace_records_total",
-          PrometheusText::Label("tag",
-                                ProbeTagName(static_cast<ProbeTag>(t))),
-          static_cast<int64_t>(tags[t]));
-    }
-  }
+  if (tracer != nullptr) AppendTracerFamilies(out, *tracer);
 
   // --- Slow-query log ------------------------------------------------------
-  if (slow != nullptr) {
-    out.Family("trel_slow_queries_total",
-               "Queries/batches admitted to the slow-query log.", "counter");
-    out.Sample("trel_slow_queries_total", "", slow->TotalRecorded());
-  }
+  if (slow != nullptr) AppendSlowLogFamilies(out, *slow);
+
+  // --- Windowed latency + flight recorder ----------------------------------
+  if (rollup != nullptr) AppendLatencyWindows(out, *rollup);
+  if (flight != nullptr) AppendFlightFamilies(out, *flight);
 
   return out.str();
 }
 
 std::string RenderStatusz(const ServiceMetrics::View& view,
-                          const SpanLog* spans) {
+                          const SpanLog* spans,
+                          const LatencyRollup* rollup) {
   std::ostringstream out;
   out << "trel query service status\n";
   out << "epoch: " << view.current_epoch << "\n";
@@ -268,6 +334,7 @@ std::string RenderStatusz(const ServiceMetrics::View& view,
       out << "\n";
     }
   }
+  if (rollup != nullptr) AppendLatencyWindowsStatus(out, *rollup);
   // The raw counter line: /metricsz must agree with it field for field
   // (the --obs CI stage scrapes both and diffs them on a quiescent
   // server).
@@ -292,8 +359,17 @@ std::string RenderTracez(const QueryTracer* tracer, const SlowQueryLog* slow) {
       out << "seq=" << r.sequence << " epoch=" << r.epoch << " src=" << r.source
           << " dst=" << r.target << " answer=" << (r.answer ? 1 : 0)
           << " tag=" << ProbeTagName(r.tag) << " probes=" << r.extras_probes
-          << " nanos=" << r.nanos << " batch=" << (r.from_batch ? 1 : 0)
-          << "\n";
+          << " nanos=" << r.nanos << " batch=" << (r.from_batch ? 1 : 0);
+      if (r.has_stages) {
+        out << " shard=" << r.shard << " stages=[";
+        for (int s = 0; s < kNumQueryStages; ++s) {
+          if (s > 0) out << " ";
+          out << QueryStageName(static_cast<QueryStage>(s)) << "="
+              << r.stage_nanos[s];
+        }
+        out << "]";
+      }
+      out << "\n";
     }
   }
   if (slow != nullptr) {
@@ -301,39 +377,37 @@ std::string RenderTracez(const QueryTracer* tracer, const SlowQueryLog* slow) {
     out << "slow_queries: " << entries.size() << " (total admitted "
         << slow->TotalRecorded() << ")\n";
     for (const SlowQueryEntry& e : entries) {
-      out << "seq=" << e.sequence << " epoch=" << e.epoch
-          << (e.is_batch ? " batch" : " single") << " n=" << e.num_queries
-          << " first=(" << e.source << "," << e.target << ")"
-          << " us=" << e.micros;
-      if (e.is_batch) {
-        out << " stats[fast=" << e.stats.fast_path
-            << " filter=" << e.stats.filter_rejects
-            << " group=" << e.stats.group_rejects
-            << " extras=" << e.stats.extras_searches << "]";
-      } else {
-        out << " answer=" << (e.answer ? 1 : 0)
-            << " tag=" << ProbeTagName(e.tag);
-      }
-      out << "\n";
+      out << e.ToString() << "\n";
     }
   }
   return out.str();
 }
 
 std::string RenderMetricsz(const QueryService& service) {
+  // A metrics scrape doubles as a flight-recorder detector pass, so
+  // anomalies are caught even when nobody polls /flightz.
+  service.CheckFlightRecorder();
   return RenderMetricsz(service.Metrics(), &service.tracer(),
-                        &service.span_log(), &service.slow_log());
+                        &service.span_log(), &service.slow_log(),
+                        &service.rollup(), &service.flight_recorder());
 }
 
 std::string RenderStatusz(const QueryService& service) {
-  return RenderStatusz(service.Metrics(), &service.span_log());
+  return RenderStatusz(service.Metrics(), &service.span_log(),
+                       &service.rollup());
 }
 
 std::string RenderTracez(const QueryService& service) {
   return RenderTracez(&service.tracer(), &service.slow_log());
 }
 
+std::string RenderFlightz(const QueryService& service) {
+  service.CheckFlightRecorder();
+  return service.flight_recorder().ToJson();
+}
+
 std::string RenderMetricsz(const ShardedQueryService& service) {
+  service.CheckFlightRecorder();
   PrometheusText out;
   const ShardedMetricsView view = service.MetricsView();
 
@@ -422,6 +496,12 @@ std::string RenderMetricsz(const ShardedQueryService& service) {
     out.Sample("trel_shard_snapshot_nodes", shard_labels[s],
                shard_views[s].snapshot_num_nodes);
   }
+
+  // --- Front-end observability -------------------------------------------
+  AppendTracerFamilies(out, service.tracer());
+  AppendSlowLogFamilies(out, service.slow_log());
+  AppendLatencyWindows(out, service.rollup());
+  AppendFlightFamilies(out, service.flight_recorder());
   return out.str();
 }
 
@@ -446,10 +526,20 @@ std::string RenderStatusz(const ShardedQueryService& service) {
         << " publishes full=" << shard.publishes_full
         << " delta=" << shard.publishes_delta << "\n";
   }
+  AppendLatencyWindowsStatus(out, service.rollup());
   // Machine-checkable raw line, mirroring the monolithic `metrics:` line
   // (the --obs CI stage diffs it against /metricsz).
   out << "boundary_metrics: " << view.ToString() << "\n";
   return out.str();
+}
+
+std::string RenderTracez(const ShardedQueryService& service) {
+  return RenderTracez(&service.tracer(), &service.slow_log());
+}
+
+std::string RenderFlightz(const ShardedQueryService& service) {
+  service.CheckFlightRecorder();
+  return service.flight_recorder().ToJson();
 }
 
 }  // namespace trel

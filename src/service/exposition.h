@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "obs/flight_recorder.h"
+#include "obs/rollup.h"
 #include "obs/slow_log.h"
 #include "obs/span_log.h"
 #include "obs/trace.h"
@@ -21,17 +23,22 @@ class ShardedQueryService;
 // omitted, so tools can render a bare counter view.
 std::string RenderMetricsz(const ServiceMetrics::View& view,
                            const QueryTracer* tracer, const SpanLog* spans,
-                           const SlowQueryLog* slow);
+                           const SlowQueryLog* slow,
+                           const LatencyRollup* rollup = nullptr,
+                           const FlightRecorder* flight = nullptr);
 
 // Human-oriented one-page status: epoch / age / arena / SIMD gauges, the
 // publish mix with per-phase averages, and the raw
 // ServiceMetrics::View::ToString() line (machine-checkable against
 // /metricsz — the --obs CI stage diffs the two).
 std::string RenderStatusz(const ServiceMetrics::View& view,
-                          const SpanLog* spans);
+                          const SpanLog* spans,
+                          const LatencyRollup* rollup = nullptr);
 
 // The latest drained trace records plus the slow-query log, one line per
-// record, oldest first.
+// record, oldest first.  Stage-attributed records (sharded front end)
+// carry ` shard=` / ` stages=[...]` suffixes; slow entries render via
+// SlowQueryEntry::ToString (shard-attributed when available).
 std::string RenderTracez(const QueryTracer* tracer, const SlowQueryLog* slow);
 
 // Conveniences over a live service (current Metrics() view + its obs
@@ -40,14 +47,23 @@ std::string RenderMetricsz(const QueryService& service);
 std::string RenderStatusz(const QueryService& service);
 std::string RenderTracez(const QueryService& service);
 
+// The anomaly flight recorder's JSON payload
+// ({"total_triggered":N,"captures":[...]}; obs/flight_recorder.h).
+// Rendering first runs the detectors against the live counters, so a
+// scrape of /flightz is also a detector pass.
+std::string RenderFlightz(const QueryService& service);
+
 // Sharded-service exposition: the boundary layer's own families
 // (trel_sharded_* / trel_boundary_* / trel_hub_*) plus every per-shard
 // counter that matters for balance debugging, labeled shard="<s>".  The
-// statusz page carries one line per shard and a machine-checkable
+// statusz page carries one line per shard, a `latency_windows:` block
+// from the front-end rollup, and a machine-checkable
 // `boundary_metrics:` line (ShardedMetricsView::ToString()) that the
 // --obs CI stage diffs against /metricsz.
 std::string RenderMetricsz(const ShardedQueryService& service);
 std::string RenderStatusz(const ShardedQueryService& service);
+std::string RenderTracez(const ShardedQueryService& service);
+std::string RenderFlightz(const ShardedQueryService& service);
 
 }  // namespace trel
 

@@ -18,6 +18,10 @@ namespace {
 // the outcome mix without one big batch flushing every ring.
 constexpr int64_t kMaxBatchTraceRecords = 32;
 
+// Rollup series of the monolithic service (constructor order).
+constexpr int kRollupSingle = 0;
+constexpr int kRollupBatch = 1;
+
 }  // namespace
 
 PublishStrategySetting ParsePublishStrategySetting(const char* value) {
@@ -117,11 +121,19 @@ QueryService::QueryService(const ServiceOptions& options)
       tracer_(options.trace_ring_capacity),
       span_log_(options.span_log_capacity),
       slow_log_(options.slow_log_capacity),
+      rollup_({"single", "batch"}),
+      flight_(options.flight),
       dynamic_(options.closure) {
   TREL_CHECK_GE(options_.num_workers, 0);
   const uint32_t env_period = QueryTracer::PeriodFromEnv();
   tracer_.SetSamplePeriod(env_period != 0 ? env_period
                                           : options_.trace_sample_period);
+  flight_.Attach(&rollup_, [this](FlightCapture* capture) {
+    capture->traces = tracer_.Drain();
+    capture->spans = span_log_.Recent();
+    capture->slow = slow_log_.Recent();
+    capture->metrics = Metrics().ToString();
+  });
   if (std::getenv("TREL_INDEX") != nullptr) {
     options_.index_family = IndexFamilySettingFromEnv();
   }
@@ -191,8 +203,28 @@ Status QueryService::Apply(
 }
 
 uint64_t QueryService::Publish() {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
-  return PublishLocked();
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    epoch = PublishLocked();
+  }
+  // Detector pass outside the writer mutex: a stalled publish freezes
+  // its capture right here instead of waiting for the next scrape.
+  CheckFlightRecorder();
+  return epoch;
+}
+
+bool QueryService::CheckFlightRecorder() const {
+  FlightRecorder::Inputs inputs;
+  inputs.batches_rejected =
+      metrics_.Read().batches_rejected;
+  const std::vector<PublishSpan> spans = span_log_.Recent();
+  if (!spans.empty()) {
+    inputs.has_publish = true;
+    inputs.last_publish_micros = spans.back().total_micros;
+    inputs.last_publish_epoch = spans.back().epoch;
+  }
+  return flight_.Check(inputs);
 }
 
 uint64_t QueryService::PublishLocked() {
@@ -380,6 +412,7 @@ bool QueryService::ReachesSampled(NodeId u, NodeId v) const {
           .count());
   tracer_.Record(u, v, answer, /*from_batch=*/false, trace.tag,
                  trace.extras_probes, snapshot->epoch, nanos);
+  rollup_.Record(kRollupSingle, static_cast<int64_t>(nanos));
   if (options_.slow_query_micros > 0 &&
       nanos >= static_cast<uint64_t>(options_.slow_query_micros) * 1000) {
     SlowQueryEntry entry;
@@ -517,6 +550,7 @@ std::vector<uint8_t> QueryService::BatchReachesImpl(
   metrics_.RecordReachQueries(n);
   const int64_t micros = timer.ElapsedMicros();
   metrics_.RecordBatch(micros);
+  rollup_.Record(kRollupBatch, micros * 1000);
   if (sampled) {
     const uint64_t per_query_nanos =
         static_cast<uint64_t>(micros) * 1000 / static_cast<uint64_t>(n);

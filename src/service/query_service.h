@@ -15,6 +15,8 @@
 #include "common/statusor.h"
 #include "core/dynamic_closure.h"
 #include "graph/digraph.h"
+#include "obs/flight_recorder.h"
+#include "obs/rollup.h"
 #include "obs/slow_log.h"
 #include "obs/span_log.h"
 #include "obs/trace.h"
@@ -121,6 +123,9 @@ struct ServiceOptions {
   // Bounded retention of the publish-span and slow-query logs.
   size_t span_log_capacity = 128;
   size_t slow_log_capacity = 64;
+  // Anomaly flight-recorder thresholds (obs/flight_recorder.h).  The
+  // detectors run at scrape time and after publishes, never per query.
+  FlightRecorder::Options flight;
 };
 
 // Thread-safe, snapshot-based query front-end over the compressed
@@ -245,6 +250,17 @@ class QueryService {
   const SpanLog& span_log() const { return span_log_; }
   // Queries/batches that exceeded the slow thresholds (always on).
   const SlowQueryLog& slow_log() const { return slow_log_; }
+  // Windowed latency percentiles.  Series: "single" (sampled point
+  // lookups — the unsampled path never reads a clock) and "batch"
+  // (every batch call, at zero extra clock cost: batches are already
+  // timed for metrics).
+  const LatencyRollup& rollup() const { return rollup_; }
+  // The anomaly flight recorder over rollup() (obs/flight_recorder.h).
+  FlightRecorder& flight_recorder() const { return flight_; }
+  // Runs the flight-recorder detectors against the live counters.
+  // Called from /flightz and /metricsz rendering and after publishes;
+  // safe from any thread.  Returns true when a capture was frozen.
+  bool CheckFlightRecorder() const;
 
  private:
   // Minimal fixed-size worker pool for batch fan-out.  Deliberately
@@ -298,6 +314,8 @@ class QueryService {
   mutable QueryTracer tracer_;
   SpanLog span_log_;  // Written by the (single) publisher only.
   mutable SlowQueryLog slow_log_;
+  mutable LatencyRollup rollup_;
+  mutable FlightRecorder flight_;
 
   std::mutex writer_mutex_;
   DynamicClosure dynamic_;  // Guarded by writer_mutex_.

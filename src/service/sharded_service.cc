@@ -19,6 +19,31 @@ inline bool RowsIntersect(const uint64_t* a, const uint64_t* b, int words) {
   return false;
 }
 
+// Upper bound on trace records emitted per sampled batch (mirrors the
+// monolithic service).
+constexpr int64_t kMaxBatchTraceRecords = 32;
+
+// Rollup series layout for the sharded front end: the five pipeline
+// stages first (indexed by QueryStage), then the end-to-end series,
+// then one series per shard (see ShardedQueryService::rollup()).
+constexpr int kRollupSingleSeries = kNumQueryStages;
+constexpr int kRollupBatchSeries = kNumQueryStages + 1;
+constexpr int kRollupShardBase = kNumQueryStages + 2;
+
+std::vector<std::string> RollupSeriesNames(int num_shards) {
+  std::vector<std::string> names;
+  names.reserve(kRollupShardBase + num_shards);
+  for (int s = 0; s < kNumQueryStages; ++s) {
+    names.emplace_back(QueryStageName(static_cast<QueryStage>(s)));
+  }
+  names.emplace_back("single");
+  names.emplace_back("batch");
+  for (int s = 0; s < num_shards; ++s) {
+    names.push_back("shard" + std::to_string(s));
+  }
+  return names;
+}
+
 }  // namespace
 
 std::string ShardedMetricsView::ToString() const {
@@ -162,8 +187,26 @@ int ShardedQueryService::BoundarySnapshot::HubBit(NodeId node) const {
 // --- ShardedQueryService ---------------------------------------------------
 
 ShardedQueryService::ShardedQueryService(const ShardedServiceOptions& options)
-    : options_(options) {
+    : options_(options),
+      tracer_(options.trace_ring_capacity),
+      slow_log_(options.slow_log_capacity),
+      rollup_(RollupSeriesNames(options.num_shards)),
+      flight_(options.flight) {
   TREL_CHECK_GE(options_.num_shards, 1);
+  const uint32_t env_period = QueryTracer::PeriodFromEnv();
+  tracer_.SetSamplePeriod(env_period != 0 ? env_period
+                                          : options_.trace_sample_period);
+  flight_.Attach(&rollup_, [this](FlightCapture* capture) {
+    capture->traces = tracer_.Drain();
+    // The front end has no publish pipeline of its own; the capture
+    // carries every shard's recent spans instead (epochs disambiguate).
+    for (const auto& shard : shards_) {
+      const std::vector<PublishSpan> spans = shard->span_log().Recent();
+      capture->spans.insert(capture->spans.end(), spans.begin(), spans.end());
+    }
+    capture->slow = slow_log_.Recent();
+    capture->metrics = MetricsView().ToString();
+  });
   shards_.reserve(options_.num_shards);
   for (int s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<QueryService>(options_.shard));
@@ -363,59 +406,194 @@ Status ShardedQueryService::RemoveArc(NodeId from, NodeId to) {
 }
 
 uint64_t ShardedQueryService::Publish() {
+  const int64_t start = LatencyRollup::MonotonicNanos();
   for (auto& shard : shards_) shard->Publish();
   const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::lock_guard<std::mutex> lock(boundary_mutex_);
-  PublishBoundaryLocked();
+  {
+    std::lock_guard<std::mutex> lock(boundary_mutex_);
+    PublishBoundaryLocked();
+  }
+  NotePublish(epoch, (LatencyRollup::MonotonicNanos() - start) / 1000);
+  CheckFlightRecorder();
   return epoch;
 }
 
 uint64_t ShardedQueryService::PublishShard(int shard) {
   TREL_CHECK_GE(shard, 0);
   TREL_CHECK_LT(shard, num_shards());
+  const int64_t start = LatencyRollup::MonotonicNanos();
   shards_[shard]->Publish();
   const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::lock_guard<std::mutex> lock(boundary_mutex_);
-  PublishBoundaryLocked();
+  {
+    std::lock_guard<std::mutex> lock(boundary_mutex_);
+    PublishBoundaryLocked();
+  }
+  NotePublish(epoch, (LatencyRollup::MonotonicNanos() - start) / 1000);
+  CheckFlightRecorder();
   return epoch;
+}
+
+void ShardedQueryService::NotePublish(uint64_t epoch, int64_t micros) {
+  last_publish_micros_.store(micros, std::memory_order_relaxed);
+  last_publish_epoch_.store(epoch, std::memory_order_relaxed);
+  has_publish_.store(true, std::memory_order_relaxed);
+}
+
+bool ShardedQueryService::CheckFlightRecorder() const {
+  FlightRecorder::Inputs inputs;
+  int64_t rejected = 0;
+  for (const auto& shard : shards_) {
+    rejected += shard->Metrics().batches_rejected;
+  }
+  inputs.batches_rejected = rejected;
+  inputs.boundary_republishes =
+      boundary_republishes_.load(std::memory_order_relaxed);
+  inputs.has_publish = has_publish_.load(std::memory_order_relaxed);
+  inputs.last_publish_micros =
+      last_publish_micros_.load(std::memory_order_relaxed);
+  inputs.last_publish_epoch =
+      last_publish_epoch_.load(std::memory_order_relaxed);
+  return flight_.Check(inputs);
+}
+
+template <bool kTimed>
+bool ShardedQueryService::ReachesCore(const BoundarySnapshot& b, NodeId u,
+                                      NodeId v, RouteInfo* route,
+                                      StageTrace* stages) const {
+  int64_t mark = 0;
+  if constexpr (kTimed) mark = LatencyRollup::MonotonicNanos();
+  // Attributes the nanos since `mark` to `stage`; a no-op (and no clock
+  // read) on the untimed path.
+  const auto close_stage = [&](QueryStage stage) {
+    if constexpr (kTimed) {
+      const int64_t now = LatencyRollup::MonotonicNanos();
+      stages->stage_nanos[static_cast<int>(stage)] +=
+          static_cast<uint32_t>(now - mark);
+      mark = now;
+    }
+  };
+
+  // kRoute: bounds check + per-endpoint shard routing.  Snapshot
+  // semantics: ids the published boundary has never heard of reach
+  // nothing (matches ClosureSnapshot).
+  if (u < 0 || v < 0 || u >= b.num_nodes || v >= b.num_nodes) {
+    close_stage(QueryStage::kRoute);
+    return false;
+  }
+  if (u == v) {
+    close_stage(QueryStage::kRoute);
+    return true;
+  }
+  const int su = b.ShardOfAt(u);
+  const int sv = b.ShardOfAt(v);
+  route->su = su;
+  route->sv = sv;
+  if (su != sv) cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
+  close_stage(QueryStage::kRoute);
+
+  // kHopCore: hub-to-hub routes through the 2-hop core over the hub
+  // graph (the hub-bit probes are part of this stage).
+  if (b.hop != nullptr) {
+    const int hu = b.HubBit(u);
+    if (hu >= 0) {
+      const int hv = b.HubBit(v);
+      if (hv >= 0) {
+        hub_hop_queries_.fetch_add(1, std::memory_order_relaxed);
+        const bool answer = b.hop->Reaches(hu, hv);
+        route->tag = ProbeTag::kHopIntersect;
+        close_stage(QueryStage::kHopCore);
+        return answer;
+      }
+    }
+  }
+  close_stage(QueryStage::kHopCore);
+
+  // kBoundaryBitset: hub out-row x in-row intersection.
+  if (b.words > 0 && RowsIntersect(b.OutRow(u), b.InRow(v), b.words)) {
+    route->tag = ProbeTag::kBoundaryBitset;
+    close_stage(QueryStage::kBoundaryBitset);
+    return true;
+  }
+  close_stage(QueryStage::kBoundaryBitset);
+
+  if (su == sv) {
+    // kShardQuery: defer into the owning shard's local index.
+    route->shard = su;
+    route->tag = ProbeTag::kFallback;
+    const bool answer = shards_[su]->Reaches(b.LocalIdAt(u), b.LocalIdAt(v));
+    close_stage(QueryStage::kShardQuery);
+    return answer;
+  }
+  // Cross-shard with no hub witness: unreachable, decided by the bitset.
+  route->tag = ProbeTag::kBoundaryBitset;
+  return false;
 }
 
 bool ShardedQueryService::Reaches(NodeId u, NodeId v) const {
   const std::shared_ptr<const BoundarySnapshot> b =
       boundary_.load(std::memory_order_acquire);
-  // Snapshot semantics: ids the published boundary has never heard of
-  // reach nothing (matches ClosureSnapshot).
-  if (u < 0 || v < 0 || u >= b->num_nodes || v >= b->num_nodes) return false;
-  if (u == v) return true;
-  const int su = b->ShardOfAt(u);
-  const int sv = b->ShardOfAt(v);
-  if (su != sv) cross_shard_queries_.fetch_add(1, std::memory_order_relaxed);
-  if (b->hop != nullptr) {
-    const int hu = b->HubBit(u);
-    if (hu >= 0) {
-      const int hv = b->HubBit(v);
-      if (hv >= 0) {
-        // Hub-to-hub routes through the 2-hop core over the hub graph.
-        hub_hop_queries_.fetch_add(1, std::memory_order_relaxed);
-        return b->hop->Reaches(hu, hv);
-      }
-    }
+  RouteInfo route;
+  if (!tracer_.ShouldSample()) {
+    // Hot path: two clock reads feeding the windowed rollup; the
+    // per-stage timers compile out of ReachesCore<false>.
+    const int64_t start = LatencyRollup::MonotonicNanos();
+    const bool answer = ReachesCore<false>(*b, u, v, &route, nullptr);
+    const int64_t nanos = LatencyRollup::MonotonicNanos() - start;
+    RecordSingle(u, v, answer, route, b->epoch, nanos);
+    return answer;
   }
-  if (b->words > 0 && RowsIntersect(b->OutRow(u), b->InRow(v), b->words)) {
-    return true;
+  StageTrace stages;
+  const int64_t start = LatencyRollup::MonotonicNanos();
+  const bool answer = ReachesCore<true>(*b, u, v, &route, &stages);
+  const int64_t nanos = LatencyRollup::MonotonicNanos() - start;
+  stages.shard = route.shard;
+  tracer_.Record(u, v, answer, /*from_batch=*/false, route.tag,
+                 /*extras_probes=*/0, b->epoch, static_cast<uint64_t>(nanos),
+                 &stages);
+  for (int s = 0; s < kNumQueryStages; ++s) {
+    if (stages.stage_nanos[s] > 0) rollup_.Record(s, stages.stage_nanos[s]);
   }
-  if (su == sv) {
-    return shards_[su]->Reaches(b->LocalIdAt(u), b->LocalIdAt(v));
+  RecordSingle(u, v, answer, route, b->epoch, nanos);
+  return answer;
+}
+
+void ShardedQueryService::RecordSingle(NodeId u, NodeId v, bool answer,
+                                       const RouteInfo& route, uint64_t epoch,
+                                       int64_t nanos) const {
+  rollup_.Record(kRollupSingleSeries, nanos);
+  if (route.su >= 0) rollup_.Record(kRollupShardBase + route.su, nanos);
+  if (options_.slow_query_micros > 0 &&
+      nanos >= options_.slow_query_micros * 1000) {
+    SlowQueryEntry entry;
+    entry.is_batch = false;
+    entry.source = u;
+    entry.target = v;
+    entry.answer = answer;
+    entry.tag = route.tag;
+    entry.epoch = epoch;
+    entry.micros = nanos / 1000;
+    entry.source_shard = route.su;
+    entry.target_shard = route.sv;
+    entry.cross_shard = route.su >= 0 && route.sv >= 0 && route.su != route.sv;
+    slow_log_.Record(entry);
   }
-  return false;
 }
 
 std::vector<uint8_t> ShardedQueryService::BatchReaches(
     const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+  // Batches are always stage-timed: a handful of clock reads per batch
+  // (never per pair) amortize to nothing against the kernel work.
+  const int64_t t_start = LatencyRollup::MonotonicNanos();
   const std::shared_ptr<const BoundarySnapshot> b =
       boundary_.load(std::memory_order_acquire);
   const int64_t n = static_cast<int64_t>(pairs.size());
+  const bool sampled = n > 0 && tracer_.ShouldSample();
   std::vector<uint8_t> results(pairs.size(), 0);
+  // Per-pair decision tags, tracked only for sampled batches.
+  std::vector<uint8_t> tags;
+  if (sampled) {
+    tags.assign(pairs.size(), static_cast<uint8_t>(ProbeTag::kSlot));
+  }
   // Pairs the bitset layer cannot settle (same shard, no hub witness)
   // are deferred per shard and run through that shard's SIMD batch
   // kernels in one call each.
@@ -423,6 +601,10 @@ std::vector<uint8_t> ShardedQueryService::BatchReaches(
       shards_.size());
   std::vector<std::vector<int64_t>> deferred_idx(shards_.size());
   int64_t cross = 0;
+  int32_t first_su = -1;
+  int32_t first_sv = -1;
+  // Everything up to here (snapshot load + allocations) is kRoute.
+  const int64_t t_setup = LatencyRollup::MonotonicNanos();
   for (int64_t i = 0; i < n; ++i) {
     const NodeId u = pairs[i].first;
     const NodeId v = pairs[i].second;
@@ -433,25 +615,93 @@ std::vector<uint8_t> ShardedQueryService::BatchReaches(
     }
     const int su = b->ShardOfAt(u);
     const int sv = b->ShardOfAt(v);
+    if (i == 0) {
+      first_su = su;
+      first_sv = sv;
+    }
     if (su != sv) ++cross;
     if (b->words > 0 && RowsIntersect(b->OutRow(u), b->InRow(v), b->words)) {
       results[i] = 1;
+      if (sampled) tags[i] = static_cast<uint8_t>(ProbeTag::kBoundaryBitset);
       continue;
     }
     if (su == sv) {
       deferred[su].emplace_back(b->LocalIdAt(u), b->LocalIdAt(v));
       deferred_idx[su].push_back(i);
+      if (sampled) tags[i] = static_cast<uint8_t>(ProbeTag::kFallback);
+    } else if (sampled) {
+      // Cross-shard with no hub witness: decided false by the bitset.
+      tags[i] = static_cast<uint8_t>(ProbeTag::kBoundaryBitset);
     }
   }
   if (cross > 0) {
     cross_shard_queries_.fetch_add(cross, std::memory_order_relaxed);
   }
+  // The settle loop is the boundary-bitset stage.
+  const int64_t t_settle = LatencyRollup::MonotonicNanos();
+  int64_t shard_nanos = 0;
+  int64_t merge_nanos = 0;
   for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
     if (deferred[s].empty()) continue;
+    const int64_t t0 = LatencyRollup::MonotonicNanos();
     const std::vector<uint8_t> local = shards_[s]->BatchReaches(deferred[s]);
+    const int64_t t1 = LatencyRollup::MonotonicNanos();
     for (size_t j = 0; j < local.size(); ++j) {
       results[deferred_idx[s][j]] = local[j];
     }
+    shard_nanos += t1 - t0;
+    merge_nanos += LatencyRollup::MonotonicNanos() - t1;
+  }
+
+  // Stage totals feed the per-stage windows; the end-to-end total feeds
+  // the "batch" series.
+  int64_t stage_total[kNumQueryStages] = {};
+  stage_total[static_cast<int>(QueryStage::kRoute)] = t_setup - t_start;
+  stage_total[static_cast<int>(QueryStage::kBoundaryBitset)] =
+      t_settle - t_setup;
+  stage_total[static_cast<int>(QueryStage::kShardQuery)] = shard_nanos;
+  stage_total[static_cast<int>(QueryStage::kMerge)] = merge_nanos;
+  for (int s = 0; s < kNumQueryStages; ++s) {
+    if (stage_total[s] > 0) rollup_.Record(s, stage_total[s]);
+  }
+  const int64_t total_nanos = LatencyRollup::MonotonicNanos() - t_start;
+  rollup_.Record(kRollupBatchSeries, total_nanos);
+
+  if (sampled) {
+    // A bounded, evenly spaced selection of per-query outcomes, each
+    // carrying the batch's per-query average stage split.
+    const uint64_t per_query_nanos =
+        static_cast<uint64_t>(total_nanos) / static_cast<uint64_t>(n);
+    StageTrace rec_stages;
+    for (int s = 0; s < kNumQueryStages; ++s) {
+      rec_stages.stage_nanos[s] =
+          static_cast<uint32_t>(stage_total[s] / n);
+    }
+    const int64_t stride = std::max<int64_t>(1, n / kMaxBatchTraceRecords);
+    for (int64_t i = 0; i < n; i += stride) {
+      const ProbeTag tag = static_cast<ProbeTag>(tags[i]);
+      StageTrace st = rec_stages;
+      if (tag == ProbeTag::kFallback) {
+        st.shard = b->ShardOfAt(pairs[i].first);
+      }
+      tracer_.Record(pairs[i].first, pairs[i].second, results[i] != 0,
+                     /*from_batch=*/true, tag, /*extras_probes=*/0, b->epoch,
+                     per_query_nanos, &st);
+    }
+  }
+  if (options_.slow_batch_micros > 0 && n > 0 &&
+      total_nanos / 1000 >= options_.slow_batch_micros) {
+    SlowQueryEntry entry;
+    entry.is_batch = true;
+    entry.source = pairs[0].first;
+    entry.target = pairs[0].second;
+    entry.num_queries = n;
+    entry.epoch = b->epoch;
+    entry.micros = total_nanos / 1000;
+    entry.source_shard = first_su;
+    entry.target_shard = first_sv;
+    entry.cross_shard = first_su >= 0 && first_sv >= 0 && first_su != first_sv;
+    slow_log_.Record(entry);
   }
   return results;
 }

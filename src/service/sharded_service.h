@@ -14,6 +14,10 @@
 #include "core/hop_label_index.h"
 #include "graph/digraph.h"
 #include "graph/partition.h"
+#include "obs/flight_recorder.h"
+#include "obs/rollup.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 
 namespace trel {
@@ -33,6 +37,23 @@ struct ShardedServiceOptions {
 
   // Options applied to every per-shard QueryService.
   ServiceOptions shard;
+
+  // --- Observability of the sharded front end (DESIGN.md §5) --------------
+  // These govern the FRONT-END tracer / slow log / windowed rollup /
+  // flight recorder, which see every query with its cross-shard routing
+  // and stage attribution; each shard's own QueryService additionally
+  // keeps its local observability (options above in `shard`).
+  // Sample 1-in-N front-end queries; 0 = off.  A nonzero
+  // TREL_TRACE_SAMPLE env value overrides this at construction.
+  uint32_t trace_sample_period = 0;
+  uint32_t trace_ring_capacity = QueryTracer::kDefaultRingCapacity;
+  // Unlike the monolithic service, sharded singles are always timed
+  // (the routing layer reads the clock for the windowed rollup anyway),
+  // so slow-single coverage here is total, not sampled.
+  int64_t slow_query_micros = 10000;
+  int64_t slow_batch_micros = 100000;
+  size_t slow_log_capacity = 64;
+  FlightRecorder::Options flight;
 };
 
 // Counter/gauge view of the sharded layer itself; per-shard counters
@@ -151,6 +172,29 @@ class ShardedQueryService {
   uint64_t Epoch() const { return epoch_.load(std::memory_order_relaxed); }
   ShardedMetricsView MetricsView() const;
 
+  // --- Observability (front-end; per-shard obs via shard(s)) ----------
+
+  // The front-end tracer: sampled queries carry stage attribution
+  // (StageTrace) and the deciding shard.  Mutable so tools can flip the
+  // sampling period on a live service.
+  QueryTracer& tracer() const { return tracer_; }
+  // Slow front-end queries/batches, always shard-attributed.
+  const SlowQueryLog& slow_log() const { return slow_log_; }
+  // Windowed latency percentiles.  Series layout: the five pipeline
+  // stages ("route", "boundary_bitset", "hop_core", "shard_query",
+  // "merge") indexed by QueryStage, then "single" and "batch"
+  // end-to-end, then "shard<s>" (singles attributed to the source
+  // endpoint's shard).  Stage series are fed by every batch and by
+  // sampled singles; end-to-end and shard series see every call.
+  const LatencyRollup& rollup() const { return rollup_; }
+  // The anomaly flight recorder over rollup() (obs/flight_recorder.h).
+  FlightRecorder& flight_recorder() const { return flight_; }
+  // Runs the flight-recorder detectors against the live counters
+  // (rejected batches summed over shards, boundary republishes, last
+  // publish span).  Called from /flightz and /metricsz rendering and
+  // after publishes; safe from any thread.
+  bool CheckFlightRecorder() const;
+
  private:
   static constexpr int64_t kRowsPerChunk = 4096;
 
@@ -228,6 +272,32 @@ class ShardedQueryService {
     int HubBit(NodeId node) const;  // -1 when not a hub
   };
 
+  // How one single query routed: the endpoint shards, the shard whose
+  // local index decided it (-1 = the boundary layer decided without
+  // consulting a shard), and the probe tag for the trace record.
+  struct RouteInfo {
+    int32_t su = -1;
+    int32_t sv = -1;
+    int32_t shard = -1;
+    ProbeTag tag = ProbeTag::kSlot;
+  };
+
+  // The single-query routing pipeline.  kTimed=false is the hot path:
+  // the per-stage clock reads compile out and only the end-to-end pair
+  // in Reaches() remains.  kTimed=true (sampled queries) additionally
+  // attributes elapsed nanos to `stages` stage by stage on the same
+  // monotonic clock, so the stage sum never exceeds the total.
+  template <bool kTimed>
+  bool ReachesCore(const BoundarySnapshot& b, NodeId u, NodeId v,
+                   RouteInfo* route, StageTrace* stages) const;
+
+  // Rollup + slow-log bookkeeping shared by both Reaches paths.
+  void RecordSingle(NodeId u, NodeId v, bool answer, const RouteInfo& route,
+                    uint64_t epoch, int64_t nanos) const;
+
+  // Publishes the last publish span to the flight-recorder inputs.
+  void NotePublish(uint64_t epoch, int64_t micros);
+
   // Writer-side helpers; all assume boundary_mutex_ is held.
   bool WorkingBitsHitLocked(NodeId a, NodeId b) const;
   bool ReachesGloballyLocked(NodeId a, NodeId b,
@@ -272,6 +342,15 @@ class ShardedQueryService {
   std::atomic<int64_t> boundary_republishes_{0};
   std::atomic<int64_t> boundary_skips_{0};
   std::atomic<int64_t> hub_promotions_{0};
+
+  // Front-end observability (see the accessors above for semantics).
+  mutable QueryTracer tracer_;
+  mutable SlowQueryLog slow_log_;
+  mutable LatencyRollup rollup_;
+  mutable FlightRecorder flight_;
+  std::atomic<int64_t> last_publish_micros_{0};
+  std::atomic<uint64_t> last_publish_epoch_{0};
+  std::atomic<bool> has_publish_{false};
 };
 
 }  // namespace trel

@@ -24,10 +24,12 @@
 #                              # monolithic differential battery once per
 #                              # TREL_SHARDS in {1, 2, 4, 8} — every shard
 #                              # count must be bit-for-bit exact
-#   tools/ci.sh --obs          # obs unit tests, live /metricsz–/statusz
-#                              # scrape validated by tools/obs_check.py
-#                              # (monolithic and sharded exporters), and
-#                              # the query tracer under TSan
+#   tools/ci.sh --obs          # obs unit tests, live /metricsz–/statusz–
+#                              # /flightz scrapes validated by
+#                              # tools/obs_check.py (monolithic and
+#                              # sharded exporters at K=1 and K=4, with a
+#                              # forced flight-recorder capture), and the
+#                              # query tracer + latency rollup under TSan
 #   tools/ci.sh --soak         # bounded serving-edge soak: delta-publish
 #                              # storm under open-loop load + slow scrapes,
 #                              # failing on p99 drift or bad responses
@@ -245,94 +247,102 @@ shard_matrix() {
   done
 }
 
+# Waits for a backgrounded trel_tool serve/serve-sharded to print its
+# bound port into $1; echoes the port, or fails the stage.
+wait_for_serve_port() {
+  local log="$1" pid="$2" what="$3"
+  local port=""
+  local attempt
+  for attempt in $(seq 1 100); do
+    port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+      "${log}")"
+    [[ -n "${port}" ]] && break
+    if ! kill -0 "${pid}" 2>/dev/null; then
+      echo "obs: ${what} exited before binding" >&2
+      cat "${log}" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "obs: timed out waiting for ${what} to bind" >&2
+    cat "${log}" >&2
+    kill "${pid}" 2>/dev/null || true
+    return 1
+  fi
+  echo "${port}"
+}
+
 obs_stage() {
-  # Observability end-to-end: run the obs unit suite, then scrape a live
-  # exporter (trel_tool serve on an ephemeral port, warmed with
-  # deterministic traffic) and validate /metricsz, /statusz and /tracez
-  # with tools/obs_check.py — Prometheus well-formedness, histogram
-  # consistency, counter monotonicity, and field-for-field agreement of
-  # /metricsz with the ServiceMetrics::Read() line embedded in /statusz.
-  # Finally the lock-free tracer's concurrency tests rerun under TSan.
+  # Observability end-to-end: run the obs unit suites, then scrape live
+  # exporters (trel_tool serve / serve-sharded on ephemeral ports, warmed
+  # with deterministic traffic, with a forced flight-recorder capture via
+  # TREL_FLIGHT_TEST_TRIGGER) and validate /metricsz, /statusz, /tracez
+  # and /flightz with tools/obs_check.py — Prometheus well-formedness,
+  # histogram consistency, counter monotonicity, windowed-latency
+  # ordering, field-for-field agreement of /metricsz with the
+  # ServiceMetrics::Read() line embedded in /statusz, and the forced
+  # capture's stage-attributed traces.  The sharded exporter runs at
+  # K=1 and K=4.  Finally the lock-free tracer's and the rollup's
+  # concurrency tests rerun under TSan.
   run cmake -B build -S . "${EXTRA_CMAKE_FLAGS[@]}"
-  run cmake --build build -j "${JOBS}" --target trel_tool obs_test
+  run cmake --build build -j "${JOBS}" --target trel_tool obs_test \
+    rollup_test
   run ./build/tests/obs_test
+  run ./build/tests/rollup_test
   local graph="build/obs-graph.el"
   local serve_log="build/obs-serve.log"
   echo "==> ./build/tools/trel_tool generate random 2000 3 17 > ${graph}"
   ./build/tools/trel_tool generate random 2000 3 17 > "${graph}"
   # Sampling on (1-in-64) so /tracez and the trace counters are
   # non-trivial; port 0 = kernel-assigned, parsed back from the log.
-  env TREL_TRACE_SAMPLE=64 ./build/tools/trel_tool serve "${graph}" 0 60 \
-    > "${serve_log}" &
+  env TREL_TRACE_SAMPLE=64 TREL_FLIGHT_TEST_TRIGGER=1 \
+    ./build/tools/trel_tool serve "${graph}" 0 60 > "${serve_log}" &
   local serve_pid=$!
-  local port=""
-  local attempt
-  for attempt in $(seq 1 100); do
-    port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
-      "${serve_log}")"
-    [[ -n "${port}" ]] && break
-    if ! kill -0 "${serve_pid}" 2>/dev/null; then
-      echo "obs: trel_tool serve exited before binding" >&2
-      cat "${serve_log}" >&2
-      exit 1
-    fi
-    sleep 0.1
-  done
-  if [[ -z "${port}" ]]; then
-    echo "obs: timed out waiting for serve to bind" >&2
-    cat "${serve_log}" >&2
-    kill "${serve_pid}" 2>/dev/null || true
-    exit 1
-  fi
+  local port
+  port="$(wait_for_serve_port "${serve_log}" "${serve_pid}" \
+    "trel_tool serve")" || exit 1
   echo "==> obs: exporter listening on port ${port}"
   local check_status=0
-  python3 tools/obs_check.py --port "${port}" || check_status=$?
+  python3 tools/obs_check.py --port "${port}" --expect-flight \
+    || check_status=$?
   kill "${serve_pid}" 2>/dev/null || true
   wait "${serve_pid}" 2>/dev/null || true
   [[ "${check_status}" -eq 0 ]] || exit "${check_status}"
   # Same scrape dance against the sharded exporter: serve-sharded on a
   # clustered graph (so the boundary is non-trivial), validated by the
-  # checker's --sharded mode.
+  # checker's --sharded mode at a degenerate and a real shard count.
   local sharded_graph="build/obs-sharded-graph.el"
-  local sharded_log="build/obs-serve-sharded.log"
   echo "==> ./build/tools/trel_tool generate clustered 8 125 3.0 3 0.08 7" \
     "> ${sharded_graph}"
   ./build/tools/trel_tool generate clustered 8 125 3.0 3 0.08 7 \
     > "${sharded_graph}"
-  ./build/tools/trel_tool serve-sharded "${sharded_graph}" 4 0 60 \
-    > "${sharded_log}" &
-  local sharded_pid=$!
-  port=""
-  for attempt in $(seq 1 100); do
-    port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
-      "${sharded_log}")"
-    [[ -n "${port}" ]] && break
-    if ! kill -0 "${sharded_pid}" 2>/dev/null; then
-      echo "obs: trel_tool serve-sharded exited before binding" >&2
-      cat "${sharded_log}" >&2
-      exit 1
-    fi
-    sleep 0.1
-  done
-  if [[ -z "${port}" ]]; then
-    echo "obs: timed out waiting for serve-sharded to bind" >&2
-    cat "${sharded_log}" >&2
+  local k
+  for k in 1 4; do
+    local sharded_log="build/obs-serve-sharded-k${k}.log"
+    env TREL_TRACE_SAMPLE=64 TREL_FLIGHT_TEST_TRIGGER=1 \
+      ./build/tools/trel_tool serve-sharded "${sharded_graph}" "${k}" 0 60 \
+      > "${sharded_log}" &
+    local sharded_pid=$!
+    port="$(wait_for_serve_port "${sharded_log}" "${sharded_pid}" \
+      "trel_tool serve-sharded (K=${k})")" || exit 1
+    echo "==> obs: sharded exporter (K=${k}) listening on port ${port}"
+    check_status=0
+    python3 tools/obs_check.py --port "${port}" --sharded "${k}" \
+      --expect-flight || check_status=$?
     kill "${sharded_pid}" 2>/dev/null || true
-    exit 1
-  fi
-  echo "==> obs: sharded exporter listening on port ${port}"
-  check_status=0
-  python3 tools/obs_check.py --port "${port}" --sharded 4 \
-    || check_status=$?
-  kill "${sharded_pid}" 2>/dev/null || true
-  wait "${sharded_pid}" 2>/dev/null || true
-  [[ "${check_status}" -eq 0 ]] || exit "${check_status}"
-  # Tracer concurrency tests under TSan: writers race Drain by design.
+    wait "${sharded_pid}" 2>/dev/null || true
+    [[ "${check_status}" -eq 0 ]] || exit "${check_status}"
+  done
+  # Tracer and rollup concurrency tests under TSan: writers race Drain /
+  # Window by design.
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTREL_SANITIZE=thread "${EXTRA_CMAKE_FLAGS[@]}"
-  run cmake --build build-tsan -j "${JOBS}" --target obs_test
+  run cmake --build build-tsan -j "${JOBS}" --target obs_test rollup_test
   run env TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
     ./build-tsan/tests/obs_test --gtest_filter='QueryTracerTest.*'
+  run env TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp halt_on_error=1" \
+    ./build-tsan/tests/rollup_test --gtest_filter='LatencyRollupTest.*'
 }
 
 soak() {

@@ -57,6 +57,7 @@
 #include "graph/digraph.h"
 #include "graph/generators.h"
 #include "obs/http_server.h"
+#include "obs/rollup.h"
 #include "service/exposition.h"
 #include "service/query_service.h"
 #include "service/sharded_service.h"
@@ -513,6 +514,28 @@ void AddHistRow(bench_util::BenchReport* report, bench_util::Table* table,
       .Set("max_us", hist.max_us());
 }
 
+// End-of-run snapshot of the service's own windowed latency engine
+// (obs/rollup.h): one row per rollup series x window, so the bench
+// artifact pairs the client-observed open-loop latencies with what the
+// server measured about itself over the same interval.  Series names
+// are fixed per service type (and per --shards for the sharded stack),
+// so the row set is deterministic and baseline-diffable.
+void AddServerWindowRows(bench_util::BenchReport* report,
+                         const LatencyRollup& rollup) {
+  for (int s = 0; s < rollup.num_series(); ++s) {
+    for (const int minutes : LatencyRollup::WindowMinutes()) {
+      const LatencyRollup::WindowStats stats = rollup.Window(s, minutes);
+      report->AddRow()
+          .Set("name", "server_window_" + rollup.series_name(s) + "_" +
+                           std::to_string(minutes) + "m")
+          .Set("count", stats.count)
+          .Set("p50_us", stats.p50_us)
+          .Set("p99_us", stats.p99_us)
+          .Set("p999_us", stats.p999_us);
+    }
+  }
+}
+
 // The sharded serving stack under the same open-loop clock: zipf-skewed
 // singles plus BatchReaches batches against a ShardedQueryService over
 // a clustered graph (the partitioner's home shape), while one writer
@@ -615,6 +638,7 @@ int RunShardMix(const LoadgenConfig& config) {
       .Set("hub_hop_queries", view.hub_hop_queries)
       .Set("boundary_republishes", view.boundary_republishes)
       .Set("boundary_skips", view.boundary_skips);
+  AddServerWindowRows(&report, service.rollup());
   table.Print();
   std::fprintf(stderr,
                "loadgen: %llu arrivals issued, %lld shard publishes, "
@@ -638,6 +662,10 @@ int RunScenario(const LoadgenConfig& config) {
   ServiceOptions options;
   options.num_workers = 2;
   options.max_inflight_batches = 4;  // Exercise the admission gate.
+  // Sample 1-in-64 singles so the server-side `single` window series is
+  // live (the monolithic rollup only times sampled singles; batches are
+  // always timed).  TREL_TRACE_SAMPLE still overrides.
+  options.trace_sample_period = 64;
   QueryService service(options);
   {
     const Digraph graph = RandomDag(config.nodes, config.avg_out,
@@ -829,6 +857,7 @@ int RunScenario(const LoadgenConfig& config) {
       }
     }
   }
+  AddServerWindowRows(&report, service.rollup());
   table.Print();
   std::fprintf(stderr, "loadgen: %llu arrivals issued\n",
                static_cast<unsigned long long>(open_loop.issued));

@@ -23,19 +23,34 @@ server is quiescent while being scraped, the checks can be exact:
      (snapshot age excluded — it is the one field that moves on an idle
      server).
 
+  5. The windowed latency families are well-formed: every
+     ``trel_latency_window_us`` series carries p50/p99/p999 samples in
+     non-decreasing order, a matching ``trel_latency_window_samples``, and
+     a ``window`` label of the ``<N>m`` form; /statusz carries the
+     ``latency_windows:`` block.
+
 With ``--sharded K`` the checker validates a ``trel_tool serve-sharded``
 exporter instead: the boundary-layer families and one labeled sample per
 shard must be present, counters must stay monotonic across scrapes, and
 the /statusz ``boundary_metrics:`` line
 (ShardedMetricsView::ToString()) must agree with /metricsz field for
-field.  The sharded surface has no /tracez and no histograms, so those
-checks are skipped.
+field.  The sharded surface keeps per-shard and per-stage window series
+(route/boundary_bitset/hop_core/shard_query/merge, single, batch,
+shard0..shardK-1); monolithic histogram checks are skipped.
+
+With ``--expect-flight`` (the serve ran under TREL_FLIGHT_TEST_TRIGGER)
+the checker additionally fetches /flightz and requires at least one
+frozen capture whose payload is complete; in sharded mode the capture
+must contain stage-attributed traces whose per-stage nanos sum to no
+more than the recorded end-to-end latency.
 
 Usage:
   tools/obs_check.py --port 8080 [--host 127.0.0.1] [--sharded K]
+      [--expect-flight]
 """
 
 import argparse
+import json
 import re
 import sys
 import urllib.request
@@ -255,6 +270,96 @@ def parse_statusz_metrics_line(statusz, errors):
     return fields
 
 
+WINDOW_SAMPLE_RE = re.compile(
+    r'^trel_latency_window_us\{series="([^"]*)",window="([^"]*)",'
+    r'quantile="([^"]*)"\}$')
+
+
+def check_latency_windows(samples, statusz, errors, expect_series=None):
+    """Validates the windowed latency families and the statusz block."""
+    # Group the quantile gauges by (series, window).
+    groups = {}
+    for key in samples:
+        m = WINDOW_SAMPLE_RE.match(key)
+        if m is None:
+            if key.startswith("trel_latency_window_us{"):
+                errors.append(f"windows: unparseable labels in {key}")
+            continue
+        series, window, quantile = m.group(1), m.group(2), m.group(3)
+        if not re.fullmatch(r"\d+m", window):
+            errors.append(f"windows: {series}: bad window label {window!r}")
+        groups.setdefault((series, window), {})[quantile] = samples[key]
+    if not groups:
+        errors.append("windows: no trel_latency_window_us samples")
+        return
+    seen_series = set()
+    for (series, window), quantiles in sorted(groups.items()):
+        seen_series.add(series)
+        missing = {"p50", "p99", "p999"} - set(quantiles)
+        if missing:
+            errors.append(f"windows: {series}/{window}: missing quantiles "
+                          f"{sorted(missing)}")
+            continue
+        if not (quantiles["p50"] <= quantiles["p99"] <= quantiles["p999"]):
+            errors.append(
+                f"windows: {series}/{window}: quantiles out of order "
+                f"(p50={quantiles['p50']:g} p99={quantiles['p99']:g} "
+                f"p999={quantiles['p999']:g})")
+        count_key = (f'trel_latency_window_samples{{series="{series}",'
+                     f'window="{window}"}}')
+        if count_key not in samples:
+            errors.append(f"windows: missing {count_key}")
+    for series in expect_series or []:
+        if series not in seen_series:
+            errors.append(f"windows: expected series {series!r} absent")
+    if "latency_windows:" not in statusz:
+        errors.append("statusz: missing latency_windows: block")
+    print(f"obs_check: {len(groups)} latency window series validated")
+
+
+def check_flightz(args, errors, require_stages):
+    """Validates the /flightz payload after a forced test trigger."""
+    try:
+        doc = json.loads(fetch(args.host, args.port, "/flightz"))
+    except (RuntimeError, ValueError) as exc:
+        errors.append(f"flightz: fetch/parse failed: {exc}")
+        return
+    if doc.get("total_triggered", 0) < 1:
+        errors.append("flightz: total_triggered < 1 despite forced trigger")
+    captures = doc.get("captures", [])
+    if not captures:
+        errors.append("flightz: no captures despite forced trigger")
+        return
+    stage_traces = 0
+    for capture in captures:
+        for key in ("sequence", "reason", "detail", "trigger_nanos",
+                    "traces", "spans", "slow", "metrics", "windows"):
+            if key not in capture:
+                errors.append(f"flightz: capture missing {key!r}")
+        for trace in capture.get("traces", []):
+            stages = trace.get("stages")
+            if stages is None:
+                continue
+            stage_traces += 1
+            stage_sum = sum(stages.values())
+            if stage_sum > trace.get("nanos", 0):
+                errors.append(
+                    f"flightz: trace ({trace.get('src')},{trace.get('dst')})"
+                    f" stage sum {stage_sum} exceeds end-to-end "
+                    f"{trace.get('nanos')} ns")
+        for row in capture.get("windows", []):
+            if not (row.get("p50_us", 0) <= row.get("p99_us", 0)
+                    <= row.get("p999_us", 0)):
+                errors.append(f"flightz: window row {row.get('series')}/"
+                              f"{row.get('window')} quantiles out of order")
+    if not any(c.get("reason") == "forced_test_trigger" for c in captures):
+        errors.append("flightz: no capture with reason forced_test_trigger")
+    if require_stages and stage_traces == 0:
+        errors.append("flightz: no stage-attributed traces in any capture")
+    print(f"obs_check: flightz has {len(captures)} capture(s), "
+          f"{stage_traces} stage-attributed trace(s)")
+
+
 # /statusz `boundary_metrics:` field -> sharded /metricsz sample key.
 BOUNDARY_TO_METRICSZ = {
     "shards": "trel_sharded_shards",
@@ -374,6 +479,15 @@ def check_sharded(args, errors):
             samples.get("trel_cross_shard_queries_total", 0) <= 0:
         errors.append("warmup: no cross-shard queries despite K > 1")
 
+    # Windowed latency families: per-stage, front-end, and per-shard
+    # series (src/service/sharded_service.cc rollup layout).
+    expect_series = ["route", "boundary_bitset", "hop_core", "shard_query",
+                     "merge", "single", "batch"]
+    expect_series += [f"shard{s}" for s in range(args.sharded)]
+    check_latency_windows(samples, statusz, errors, expect_series)
+    if args.expect_flight:
+        check_flightz(args, errors, require_stages=True)
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -382,6 +496,9 @@ def main():
     parser.add_argument("--sharded", type=int, default=0, metavar="K",
                         help="validate a serve-sharded exporter with K "
                              "shards instead of the monolithic surface")
+    parser.add_argument("--expect-flight", action="store_true",
+                        help="the serve ran under TREL_FLIGHT_TEST_TRIGGER: "
+                             "require a forced /flightz capture")
     args = parser.parse_args()
 
     errors = []
@@ -470,6 +587,12 @@ def main():
 
     if "sample_period:" not in tracez or "slow_queries:" not in tracez:
         errors.append("tracez: missing sample_period/slow_queries sections")
+
+    # Windowed latency families: the monolithic service keeps a `single`
+    # (sampled path) and a `batch` series.
+    check_latency_windows(samples, statusz, errors, ["single", "batch"])
+    if args.expect_flight:
+        check_flightz(args, errors, require_stages=False)
 
     if errors:
         print(f"\nobs_check: {len(errors)} failure(s):", file=sys.stderr)

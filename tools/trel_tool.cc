@@ -68,6 +68,7 @@ int Usage() {
       "  trel_tool chains <graph.el>\n"
       "  trel_tool metricsz <graph.el>\n"
       "  trel_tool tracez <graph.el> [sample_period]\n"
+      "  trel_tool flightz <graph.el> [num_shards]\n"
       "  trel_tool serve <graph.el> <port> [duration_s]\n"
       "  trel_tool partition <graph.el> [num_shards]\n"
       "  trel_tool serve-sharded <graph.el> <num_shards> <port> "
@@ -78,7 +79,10 @@ int Usage() {
       "  TREL_INDEX  force the snapshot index family\n"
       "              (intervals|trees|hop|auto); unknown values mean auto\n"
       "  TREL_PUBLISH  force the service publish tier\n"
-      "              (delta|chain|optimal|auto); unknown values mean auto\n");
+      "              (delta|chain|optimal|auto); unknown values mean auto\n"
+      "  TREL_TRACE_SAMPLE  sample 1-in-N queries into the tracer\n"
+      "  TREL_FLIGHT_TEST_TRIGGER  force one flight-recorder capture after\n"
+      "              serve/serve-sharded warmup (CI /flightz validation)\n");
   return 2;
 }
 
@@ -452,6 +456,15 @@ void WarmupService(QueryService& service) {
   WarmupQueries(service, 32, 512);
 }
 
+// CI hook (tools/ci.sh --obs): when TREL_FLIGHT_TEST_TRIGGER is set to a
+// non-empty, non-"0" value, freeze one capture after warmup so /flightz
+// deterministically carries warmed-up traces, spans and windows.
+bool FlightTestTriggerRequested() {
+  const char* env = std::getenv("TREL_FLIGHT_TEST_TRIGGER");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
 int Metricsz(const std::string& path) {
   QueryService service;
   if (int rc = LoadService(path, service); rc != 0) return rc;
@@ -469,18 +482,58 @@ int Tracez(const std::string& path, uint32_t sample_period) {
   return 0;
 }
 
-// Serves /metricsz, /statusz and /tracez on 127.0.0.1:<port> for
-// `duration_seconds`, then exits.  Prints the bound port (meaningful with
-// port 0 = ephemeral) on a single line once the listener is up, so
+void WarmupShardedService(ShardedQueryService& service);  // Defined below.
+
+// Offline /flightz dump: build the service (monolithic, or sharded when
+// num_shards > 0), sample every query, run the warmup traffic, force one
+// capture, and print the flight-recorder JSON.
+int Flightz(const std::string& path, int num_shards) {
+  if (num_shards > 0) {
+    auto graph = LoadGraph(path);
+    if (!graph.ok()) {
+      std::cerr << graph.status() << "\n";
+      return 1;
+    }
+    ShardedServiceOptions options;
+    options.num_shards = num_shards;
+    options.trace_sample_period = 1;
+    ShardedQueryService service(options);
+    Status loaded = service.Load(graph.value());
+    if (!loaded.ok()) {
+      std::cerr << loaded << "\n";
+      return 1;
+    }
+    WarmupShardedService(service);
+    service.flight_recorder().ForceCapture("forced_dump");
+    std::cout << RenderFlightz(service) << "\n";
+    return 0;
+  }
+  ServiceOptions options;
+  options.trace_sample_period = 1;
+  QueryService service(options);
+  if (int rc = LoadService(path, service); rc != 0) return rc;
+  WarmupService(service);
+  service.flight_recorder().ForceCapture("forced_dump");
+  std::cout << RenderFlightz(service) << "\n";
+  return 0;
+}
+
+// Serves /metricsz, /statusz, /tracez and /flightz on 127.0.0.1:<port>
+// for `duration_seconds`, then exits.  Prints the bound port (meaningful
+// with port 0 = ephemeral) on a single line once the listener is up, so
 // scripts can scrape it (see tools/ci.sh --obs).
 int Serve(const std::string& path, int port, int duration_seconds) {
   QueryService service;
   if (int rc = LoadService(path, service); rc != 0) return rc;
   WarmupService(service);
+  if (FlightTestTriggerRequested()) {
+    service.flight_recorder().ForceCapture("forced_test_trigger");
+  }
   HttpServer server;
   server.Handle("/metricsz", [&service]() { return RenderMetricsz(service); });
   server.Handle("/statusz", [&service]() { return RenderStatusz(service); });
   server.Handle("/tracez", [&service]() { return RenderTracez(service); });
+  server.Handle("/flightz", [&service]() { return RenderFlightz(service); });
   Status started = server.Start(port);
   if (!started.ok()) {
     std::cerr << started << "\n";
@@ -562,9 +615,9 @@ void WarmupShardedService(ShardedQueryService& service) {
   for (int i = 0; i < 32; ++i) (void)service.Reaches(next(), next());
 }
 
-// Sharded twin of Serve: /metricsz and /statusz over a
-// ShardedQueryService (no /tracez — per-shard tracers are reachable
-// through the embedded API, not the sharded HTTP surface).
+// Sharded twin of Serve: /metricsz, /statusz, /tracez (the front-end
+// tracer with stage attribution) and /flightz over a
+// ShardedQueryService.
 int ServeSharded(const std::string& path, int num_shards, int port,
                  int duration_seconds) {
   auto graph = LoadGraph(path);
@@ -581,9 +634,14 @@ int ServeSharded(const std::string& path, int num_shards, int port,
     return 1;
   }
   WarmupShardedService(service);
+  if (FlightTestTriggerRequested()) {
+    service.flight_recorder().ForceCapture("forced_test_trigger");
+  }
   HttpServer server;
   server.Handle("/metricsz", [&service]() { return RenderMetricsz(service); });
   server.Handle("/statusz", [&service]() { return RenderStatusz(service); });
+  server.Handle("/tracez", [&service]() { return RenderTracez(service); });
+  server.Handle("/flightz", [&service]() { return RenderFlightz(service); });
   Status started = server.Start(port);
   if (!started.ok()) {
     std::cerr << started << "\n";
@@ -652,6 +710,9 @@ int main(int argc, char** argv) {
                   argc == 4
                       ? static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10))
                       : 1u);
+  }
+  if (command == "flightz" && (argc == 3 || argc == 4)) {
+    return Flightz(argv[2], argc == 4 ? std::atoi(argv[3]) : 0);
   }
   if (command == "serve" && (argc == 4 || argc == 5)) {
     return Serve(argv[2], std::atoi(argv[3]),
